@@ -1,0 +1,50 @@
+// Ablation: commission-period sweep for the lazy layered skip graph.
+// The paper (§5) conjectures a "sweet spot": too-short commission periods
+// retire nodes aggressively (extra CASes under contention); too-long ones
+// let invalid nodes accumulate (longer traversals, bigger structure at
+// times). Sweeps multiples of the 350000*T default across HC and LC.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/layered_map.hpp"
+#include "harness/driver.hpp"
+#include "harness/imap.hpp"
+#include "harness/report.hpp"
+
+int main() {
+  using namespace lsg::harness;
+  const int duration = bench_duration_ms();
+  std::printf("\n=== Ablation — commission period sweep (lazy map/SG) ===\n");
+  std::printf("%-10s %-10s %8s %12s %10s %10s\n", "workload", "multiple",
+              "threads", "ops/ms", "nodes/op", "CAS succ");
+  for (const char* workload : {"HC", "LC"}) {
+    TrialConfig cfg = std::string(workload) == "HC" ? TrialConfig::hc()
+                                                    : TrialConfig::lc();
+    cfg.update_pct = 50;
+    cfg.duration_ms = duration;
+    cfg.threads = bench_thread_counts().back();
+    for (double mult : {0.0, 0.01, 0.1, 1.0, 10.0}) {
+      const uint64_t cycles =
+          mult == 0.0
+              ? 1  // retire invalid nodes at first sight
+              : static_cast<uint64_t>(350000.0 * cfg.threads * mult);
+      MapFactory factory = [cycles](const TrialConfig& c) {
+        lsg::core::LayeredOptions o;
+        o.num_threads = c.threads;
+        o.lazy = true;
+        o.commission_cycles = cycles;
+        return std::unique_ptr<IMap>(
+            new MapAdapter<lsg::core::LayeredMap<uint64_t, uint64_t>>(
+                "lazy_layered_sg", o));
+      };
+      TrialResult r = run_trial(cfg, factory);
+      std::printf("%-10s %-10.2f %8d %12.1f %10.2f %10.3f\n", workload, mult,
+                  cfg.threads, r.ops_per_ms, r.nodes_per_op,
+                  r.cas_success_rate);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n(multiple = fraction of the paper's 350000*T cycles)\n");
+  return 0;
+}

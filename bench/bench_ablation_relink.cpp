@@ -1,0 +1,31 @@
+// Ablation: the relink optimization (p. 6) on the lock-free skip list —
+// splicing whole marked chains with one CAS vs one CAS per marked node.
+#include <cstdio>
+
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
+
+int main() {
+  using namespace lsg::harness;
+  std::printf("\n=== Ablation — relink optimization (skip list) ===\n");
+  print_throughput_header();
+  for (const char* workload : {"HC", "MC"}) {
+    TrialConfig cfg = std::string(workload) == "HC" ? TrialConfig::hc()
+                                                    : TrialConfig::mc();
+    cfg.update_pct = 50;
+    cfg.duration_ms = bench_duration_ms();
+    cfg.runs = bench_runs();
+    std::printf("-- %s --\n", workload);
+    for (const char* algo : {"skiplist", "skiplist_norelink"}) {
+      for (int threads : bench_thread_counts()) {
+        TrialConfig c = cfg;
+        c.algorithm = algo;
+        c.threads = threads;
+        TrialResult r = run_averaged(c);
+        print_throughput_row(r);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figures 11-13 (Appendix F): read-heavy (20% requested updates) versions
+// of the HC/MC/LC throughput sweeps.
+#include "bench_throughput_common.hpp"
+
+int main() {
+  using lsg::harness::TrialConfig;
+  for (auto [name, cfg] :
+       {std::pair<const char*, TrialConfig>{"Fig. 11 — HC, RH",
+                                            TrialConfig::hc()},
+        {"Fig. 12 — MC, RH", TrialConfig::mc()},
+        {"Fig. 13 — LC, RH", TrialConfig::lc()}}) {
+    cfg.update_pct = 20;
+    lsg::bench::run_throughput_figure(name, cfg);
+  }
+  return 0;
+}

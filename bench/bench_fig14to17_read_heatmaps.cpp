@@ -1,0 +1,11 @@
+// Figures 14-17 (Appendix G): read heatmaps, analogous to Figs. 6-9.
+#include "bench_heatmap_common.hpp"
+
+int main() {
+  return lsg::bench::run_heatmap_figure(
+      "Figs. 14-17 — read heatmaps, MC-WH", /*cas_maps=*/false,
+      {{"lazy_layered_sg", "Fig. 14 lazy map/SG"},
+       {"layered_map_sg", "Fig. 15 map/SG"},
+       {"layered_map_ssg", "Fig. 16 sparse map/SG"},
+       {"skiplist", "Fig. 17 skip list"}});
+}

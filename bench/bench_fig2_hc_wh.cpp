@@ -1,0 +1,10 @@
+// Figure 2: throughput (ops/ms) vs thread count, high contention (2^8 key
+// space), write-heavy (50% requested updates; the paper reports ~32%
+// effective updates under this setting).
+#include "bench_throughput_common.hpp"
+
+int main() {
+  lsg::harness::TrialConfig cfg = lsg::harness::TrialConfig::hc();
+  cfg.update_pct = 50;
+  return lsg::bench::run_throughput_figure("Fig. 2 — HC, WH", cfg);
+}

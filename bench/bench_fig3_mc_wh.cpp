@@ -1,0 +1,9 @@
+// Figure 3: throughput vs thread count, medium contention (2^14 keys),
+// write-heavy.
+#include "bench_throughput_common.hpp"
+
+int main() {
+  lsg::harness::TrialConfig cfg = lsg::harness::TrialConfig::mc();
+  cfg.update_pct = 50;
+  return lsg::bench::run_throughput_figure("Fig. 3 — MC, WH", cfg);
+}

@@ -1,0 +1,9 @@
+// Figure 4: throughput vs thread count, low contention (2^17 keys,
+// preloaded to 2.5%), write-heavy (~4% effective updates in the paper).
+#include "bench_throughput_common.hpp"
+
+int main() {
+  lsg::harness::TrialConfig cfg = lsg::harness::TrialConfig::lc();
+  cfg.update_pct = 50;
+  return lsg::bench::run_throughput_figure("Fig. 4 — LC, WH", cfg);
+}

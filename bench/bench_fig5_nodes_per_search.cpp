@@ -1,0 +1,34 @@
+// Figure 5: average shared nodes traversed per operation under MC-WH, for
+// the layered variants vs skip list vs non-layered skip graph. The paper's
+// claim: layering yields shorter shared-structure traversals, and the lazy
+// variant does not traverse more than the non-lazy ones despite its
+// conservative commission policy.
+#include <cstdio>
+
+#include "harness/driver.hpp"
+#include "harness/registry.hpp"
+#include "harness/report.hpp"
+
+int main() {
+  using namespace lsg::harness;
+  TrialConfig cfg = TrialConfig::mc();
+  cfg.update_pct = 50;
+  cfg.duration_ms = bench_duration_ms();
+  cfg.runs = bench_runs();
+  print_banner("Fig. 5 — avg shared nodes per operation, MC-WH", cfg);
+  print_nodes_per_search_header();
+  const char* algos[] = {"layered_map_sg", "lazy_layered_sg",
+                         "layered_map_ssg", "layered_map_sl", "skiplist",
+                         "skipgraph"};
+  for (const char* algo : algos) {
+    for (int threads : bench_thread_counts()) {
+      TrialConfig c = cfg;
+      c.algorithm = algo;
+      c.threads = threads;
+      TrialResult r = run_averaged(c);
+      print_nodes_per_search_row(r);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figures 6-9: T x T maintenance-CAS heatmaps on the MC-WH workload.
+// Cell (i, j) counts CAS operations by thread i on nodes allocated by
+// thread j. The paper's finding: all layered skip-graph versions show a
+// dramatic locality increase (block-diagonal mass) vs a skip list.
+#include "bench_heatmap_common.hpp"
+
+int main() {
+  return lsg::bench::run_heatmap_figure(
+      "Figs. 6-9 — CAS heatmaps, MC-WH", /*cas_maps=*/true,
+      {{"lazy_layered_sg", "Fig. 6 lazy map/SG"},
+       {"layered_map_sg", "Fig. 7 map/SG"},
+       {"layered_map_ssg", "Fig. 8 sparse map/SG"},
+       {"skiplist", "Fig. 9 skip list"}});
+}

@@ -1,0 +1,43 @@
+// Shared driver for the heatmap figures (6-9 CAS, 14-17 reads): run the
+// MC-WH workload at the full thread count with heatmaps enabled, report the
+// per-node aggregates / locality / mean access distance, dump the full
+// T x T CSV.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
+
+namespace lsg::bench {
+
+inline int run_heatmap_figure(const std::string& figure, bool cas_maps,
+                              const std::vector<std::pair<std::string,
+                                                          std::string>>&
+                                  panels /* algorithm -> paper panel */) {
+  using namespace lsg::harness;
+  TrialConfig cfg = TrialConfig::mc();  // paper: 96-thread MC-WH
+  cfg.update_pct = 50;
+  cfg.duration_ms = bench_duration_ms();
+  cfg.collect_heatmaps = true;
+  cfg.threads = full_scale() ? 96 : env_int("LSG_HEATMAP_THREADS", 16);
+  cfg.topology = locality_topology(cfg.threads);
+  print_banner(figure, cfg);
+  for (const auto& [algo, panel] : panels) {
+    TrialConfig c = cfg;
+    c.algorithm = algo;
+    TrialResult r = run_trial(c);
+    std::printf("\n[%s] %s: %.1f ops/ms, %llu measured ops\n", panel.c_str(),
+                algo.c_str(), r.ops_per_ms,
+                static_cast<unsigned long long>(r.total_ops));
+    print_heatmap_report(algo, cas_maps, c,
+                         std::string(cas_maps ? "cas_" : "read_") + algo +
+                             "_heatmap.csv");
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace lsg::bench

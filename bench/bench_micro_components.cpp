@@ -1,0 +1,148 @@
+// google-benchmark microbenchmarks for the substrate components: hash
+// table, AVL map, std::map adapter, arena, RNG, cache model, and the
+// single-threaded op paths of the shared structures.
+#include <benchmark/benchmark.h>
+
+#include "alloc/arena.hpp"
+#include "cachesim/cache.hpp"
+#include "common/rng.hpp"
+#include "core/layered_map.hpp"
+#include "local/avl_map.hpp"
+#include "local/robin_hood.hpp"
+#include "local/std_map.hpp"
+#include "numa/pinning.hpp"
+#include "skiplist/lockfree_skiplist.hpp"
+
+namespace {
+
+void setup_registry() {
+  static bool done = [] {
+    lsg::numa::ThreadRegistry::configure(
+        lsg::numa::Topology::paper_machine());
+    lsg::stats::sync_topology();
+    return true;
+  }();
+  (void)done;
+}
+
+void BM_Xoshiro(benchmark::State& state) {
+  lsg::common::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_bounded(1 << 17));
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_RobinHoodInsertFind(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lsg::common::Xoshiro256 rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    lsg::local::RobinHoodTable<uint64_t, uint64_t> t;
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) t.insert(rng.next_bounded(n * 2), i);
+    uint64_t hits = 0;
+    for (int i = 0; i < n; ++i) {
+      hits += t.find(rng.next_bounded(n * 2)) != nullptr;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_RobinHoodInsertFind)->Arg(256)->Arg(4096);
+
+template <class M>
+void BM_LocalMapMixed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lsg::common::Xoshiro256 rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    M m;
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) m.insert(rng.next_bounded(n), i);
+    for (int i = 0; i < n; ++i) {
+      benchmark::DoNotOptimize(m.max_lower_equal(rng.next_bounded(n)));
+    }
+    for (int i = 0; i < n / 2; ++i) m.erase(rng.next_bounded(n));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_LocalMapMixed<lsg::local::AvlMap<uint64_t, uint64_t>>)
+    ->Arg(1024);
+BENCHMARK(BM_LocalMapMixed<lsg::local::StdMapAdapter<uint64_t, uint64_t>>)
+    ->Arg(1024);
+
+void BM_ArenaAllocate(benchmark::State& state) {
+  setup_registry();
+  for (auto _ : state) {
+    state.PauseTiming();
+    lsg::alloc::Arena arena;
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(arena.allocate(64, 8));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ArenaAllocate);
+
+void BM_CacheModelAccess(benchmark::State& state) {
+  lsg::cachesim::Hierarchy h;
+  lsg::common::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    h.access(rng.next_bounded(1 << 24));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheModelAccess);
+
+void BM_SkipListSingleThread(benchmark::State& state) {
+  setup_registry();
+  lsg::common::Xoshiro256 rng(11);
+  lsg::skiplist::LockFreeSkipList<uint64_t, uint64_t> s(14);
+  for (int i = 0; i < 4096; ++i) s.insert(rng.next_bounded(1 << 14), i);
+  for (auto _ : state) {
+    uint64_t k = rng.next_bounded(1 << 14);
+    switch (rng.next_bounded(4)) {
+      case 0:
+        benchmark::DoNotOptimize(s.insert(k, k));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(s.remove(k));
+        break;
+      default:
+        benchmark::DoNotOptimize(s.contains(k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipListSingleThread);
+
+void BM_LayeredSingleThread(benchmark::State& state) {
+  setup_registry();
+  lsg::core::LayeredOptions o;
+  o.num_threads = 1;
+  o.lazy = state.range(0) != 0;
+  lsg::core::LayeredMap<uint64_t, uint64_t> m(o);
+  lsg::common::Xoshiro256 rng(17);
+  for (int i = 0; i < 4096; ++i) m.insert(rng.next_bounded(1 << 14), i);
+  for (auto _ : state) {
+    uint64_t k = rng.next_bounded(1 << 14);
+    switch (rng.next_bounded(4)) {
+      case 0:
+        benchmark::DoNotOptimize(m.insert(k, k));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(m.remove(k));
+        break;
+      default:
+        benchmark::DoNotOptimize(m.contains(k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LayeredSingleThread)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Appendix (preliminary priority-queue results): throughput of the layered
+// skip-graph priority queue vs the skip-list priority queue under a mixed
+// push/pop_min workload.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/tsc.hpp"
+#include "harness/report.hpp"
+#include "numa/pinning.hpp"
+#include "pqueue/layered_pq.hpp"
+#include "pqueue/skiplist_pq.hpp"
+
+namespace {
+
+template <class Q>
+double run_pq_trial(Q& q, int threads, int duration_ms, uint64_t key_space) {
+  lsg::numa::ThreadRegistry::reset();
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+  std::atomic<bool> start{false}, stop{false};
+  std::atomic<uint64_t> ops{0};
+  std::vector<std::thread> workers;
+  for (int i = 0; i < threads; ++i) {
+    workers.emplace_back([&, i] {
+      while (lsg::numa::ThreadRegistry::registered_count() != i) {
+        std::this_thread::yield();
+      }
+      lsg::numa::ThreadRegistry::register_self();
+      lsg::stats::forget_self();
+      lsg::common::Xoshiro256 rng(i * 31 + 5);
+      // Preload a slice.
+      for (int n = 0; n < 500; ++n) q.push(rng.next_bounded(key_space), n);
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      uint64_t local = 0;
+      uint64_t k, v;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int b = 0; b < 32; ++b) {
+          if (rng.next_bounded(2) == 0) {
+            q.push(rng.next_bounded(key_space), b);
+          } else {
+            q.pop_min(k, v);
+          }
+          ++local;
+        }
+      }
+      ops.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  uint64_t t0 = lsg::common::now_ms();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  uint64_t elapsed = lsg::common::now_ms() - t0;
+  return static_cast<double>(ops.load()) / (elapsed ? elapsed : 1);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lsg::harness;
+  const int duration = bench_duration_ms();
+  const uint64_t key_space = 1 << 16;
+  std::printf(
+      "\n=== Appendix — priority queues (50%% push / 50%% deleteMin, 2^16 "
+      "priorities) ===\n");
+  std::printf("%-16s %8s %12s\n", "queue", "threads", "ops/ms");
+  for (int threads : bench_thread_counts()) {
+    {
+      lsg::numa::ThreadRegistry::reset();
+      lsg::pqueue::SkipListPQ<uint64_t, uint64_t> q(16);
+      double r = run_pq_trial(q, threads, duration, key_space);
+      std::printf("%-16s %8d %12.1f\n", "skiplist_pq", threads, r);
+    }
+    {
+      lsg::numa::ThreadRegistry::reset();
+      lsg::core::LayeredOptions o;
+      o.num_threads = threads;
+      o.lazy = true;
+      lsg::pqueue::LayeredPQ<uint64_t, uint64_t> q(o);
+      double r = run_pq_trial(q, threads, duration, key_space);
+      std::printf("%-16s %8d %12.1f\n", "layered_pq", threads, r);
+    }
+    {
+      // Relaxed consumer: pop_relaxed instead of exact deleteMin.
+      lsg::numa::ThreadRegistry::reset();
+      lsg::core::LayeredOptions o;
+      o.num_threads = threads;
+      o.lazy = true;
+      struct RelaxedView {
+        lsg::pqueue::LayeredPQ<uint64_t, uint64_t> q;
+        explicit RelaxedView(const lsg::core::LayeredOptions& o) : q(o) {}
+        bool push(uint64_t k, uint64_t v) { return q.push(k, v); }
+        bool pop_min(uint64_t& k, uint64_t& v) { return q.pop_relaxed(k, v); }
+      } view(o);
+      double r = run_pq_trial(view, threads, duration, key_space);
+      std::printf("%-16s %8d %12.1f\n", "layered_pq_relax", threads, r);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared driver for the throughput figures (Figs. 2-4 and 11-13): sweep
+// every plotted algorithm over the thread counts and print one row per
+// point, exactly the series the paper plots.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "harness/driver.hpp"
+#include "harness/registry.hpp"
+#include "harness/report.hpp"
+
+namespace lsg::bench {
+
+inline int run_throughput_figure(const std::string& figure,
+                                 lsg::harness::TrialConfig cfg) {
+  using namespace lsg::harness;
+  cfg.duration_ms = bench_duration_ms();
+  cfg.runs = bench_runs();
+  print_banner(figure, cfg);
+  print_throughput_header();
+  // LSG_CSV=path appends machine-readable rows for plotting scripts.
+  const char* csv_path = std::getenv("LSG_CSV");
+  std::ofstream csv;
+  if (csv_path != nullptr) {
+    bool fresh = !static_cast<bool>(std::ifstream(csv_path));
+    csv.open(csv_path, std::ios::app);
+    if (fresh) csv << "figure," << csv_header() << "\n";
+  }
+  for (const std::string& algo : figure_algorithms()) {
+    for (int threads : bench_thread_counts()) {
+      TrialConfig c = cfg;
+      c.algorithm = algo;
+      c.threads = threads;
+      TrialResult r = run_averaged(c);
+      print_throughput_row(r);
+      if (csv.is_open()) csv << figure << ',' << to_csv_row(r) << "\n";
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace lsg::bench

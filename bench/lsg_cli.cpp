@@ -1,0 +1,5 @@
+// Synchrobench-style command-line runner: any algorithm x any workload.
+// With no arguments it runs a quick default trial; see -h.
+#include "harness/cli.hpp"
+
+int main(int argc, char** argv) { return lsg::harness::run_cli(argc, argv); }

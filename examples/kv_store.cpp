@@ -1,0 +1,137 @@
+// kv_store: an in-memory key-value cache scenario — the workload class the
+// paper's introduction motivates (concurrent maps inside data-intensive
+// applications on NUMA machines).
+//
+// A pool of server threads handles GET/PUT/DEL requests with a skewed key
+// distribution (80/20 hot set) against a lazy layered skip graph, then
+// prints a service report with per-operation latency percentiles and the
+// NUMA locality achieved.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/tsc.hpp"
+#include "core/layered_map.hpp"
+#include "numa/pinning.hpp"
+#include "stats/counters.hpp"
+
+namespace {
+
+constexpr int kServers = 8;
+constexpr uint64_t kKeySpace = 1 << 16;
+constexpr uint64_t kHotSpace = kKeySpace / 50;  // 2% of keys take 80% of hits
+constexpr int kRequestsPerServer = 30000;
+
+struct ServerStats {
+  uint64_t gets = 0, hits = 0, puts = 0, dels = 0;
+  std::vector<uint64_t> latencies_ns;
+};
+
+uint64_t pick_key(lsg::common::Xoshiro256& rng) {
+  return rng.percent_chance(80) ? rng.next_bounded(kHotSpace)
+                                : rng.next_bounded(kKeySpace);
+}
+
+}  // namespace
+
+int main() {
+  // A 2-socket machine sized so the 8 servers span both sockets (on the
+  // 96-hw-thread paper topology all 8 would pin to socket 0 and the
+  // locality report would be trivially 100%).
+  lsg::numa::ThreadRegistry::configure(
+      lsg::numa::Topology::uniform(2, 2, 2, 10, 21));
+  lsg::numa::ThreadRegistry::reset();
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+
+  lsg::core::LayeredOptions opts;
+  opts.num_threads = kServers;
+  opts.lazy = true;
+  lsg::core::LayeredMap<uint64_t, uint64_t> store(opts);
+
+  std::vector<ServerStats> stats(kServers);
+  std::vector<std::thread> servers;
+  // Private turn counter: the main thread already holds a registry id from
+  // constructing the store, so workers cannot gate on the global count.
+  std::atomic<int> turn{0};
+  std::atomic<int> ready{0};
+  for (int s = 0; s < kServers; ++s) {
+    servers.emplace_back([&, s] {
+      while (turn.load(std::memory_order_acquire) != s) {
+        std::this_thread::yield();
+      }
+      lsg::numa::ThreadRegistry::register_self();
+      turn.store(s + 1, std::memory_order_release);
+      store.thread_init();
+      ready.fetch_add(1);
+      while (ready.load() != kServers) std::this_thread::yield();
+
+      lsg::common::Xoshiro256 rng(s * 1000 + 7);
+      ServerStats& st = stats[s];
+      st.latencies_ns.reserve(kRequestsPerServer);
+      for (int i = 0; i < kRequestsPerServer; ++i) {
+        uint64_t key = pick_key(rng);
+        uint64_t t0 = lsg::common::now_us();
+        uint32_t dice = static_cast<uint32_t>(rng.next_bounded(100));
+        if (dice < 70) {  // GET
+          uint64_t v;
+          ++st.gets;
+          if (store.get(key, v)) ++st.hits;
+        } else if (dice < 95) {  // PUT (insert or refresh)
+          ++st.puts;
+          if (!store.insert(key, key ^ 0xfeed)) {
+            store.remove(key);
+            store.insert(key, key ^ 0xfeed);
+          }
+        } else {  // DEL
+          ++st.dels;
+          store.remove(key);
+        }
+        st.latencies_ns.push_back((lsg::common::now_us() - t0) * 1000);
+      }
+    });
+  }
+  for (auto& t : servers) t.join();
+
+  ServerStats total;
+  std::vector<uint64_t> all_lat;
+  for (auto& st : stats) {
+    total.gets += st.gets;
+    total.hits += st.hits;
+    total.puts += st.puts;
+    total.dels += st.dels;
+    all_lat.insert(all_lat.end(), st.latencies_ns.begin(),
+                   st.latencies_ns.end());
+  }
+  std::sort(all_lat.begin(), all_lat.end());
+  auto pct = [&](double p) {
+    return all_lat.empty()
+               ? 0ull
+               : all_lat[static_cast<size_t>(p * (all_lat.size() - 1))];
+  };
+  auto counters = lsg::stats::total();
+  double locality =
+      static_cast<double>(counters.local_reads) /
+      std::max<uint64_t>(1, counters.local_reads + counters.remote_reads);
+
+  std::printf("kv_store service report (%d servers, %d requests each)\n",
+              kServers, kRequestsPerServer);
+  std::printf("  GET: %llu (hit rate %.1f%%)  PUT: %llu  DEL: %llu\n",
+              static_cast<unsigned long long>(total.gets),
+              100.0 * total.hits / std::max<uint64_t>(1, total.gets),
+              static_cast<unsigned long long>(total.puts),
+              static_cast<unsigned long long>(total.dels));
+  std::printf("  latency p50/p99/p999: %llu / %llu / %llu ns\n",
+              static_cast<unsigned long long>(pct(0.50)),
+              static_cast<unsigned long long>(pct(0.99)),
+              static_cast<unsigned long long>(pct(0.999)));
+  std::printf("  shared-structure read locality: %.1f%% (simulated 2-node "
+              "topology)\n",
+              100.0 * locality);
+  std::printf("  store size at shutdown: %zu keys\n",
+              store.abstract_set().size());
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "alloc/arena.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lsg::alloc {
+
+void* Arena::allocate(size_t bytes, size_t align) {
+  int tid = lsg::numa::ThreadRegistry::current();
+  ThreadSlot& slot = slots_[tid].value;
+  auto fits = [&](Chunk* c) -> void* {
+    if (!c) return nullptr;
+    // Align on the absolute address (chunk bases are only 16-aligned).
+    uintptr_t base = reinterpret_cast<uintptr_t>(c->mem.get());
+    uintptr_t p = (base + c->used + align - 1) & ~(uintptr_t{align} - 1);
+    if (p + bytes > base + c->cap) return nullptr;
+    c->used = p + bytes - base;
+    return reinterpret_cast<void*>(p);
+  };
+  if (void* p = fits(slot.current)) return p;
+  slot.current = new_chunk(std::max(bytes + align, chunk_bytes_));
+  void* p = fits(slot.current);
+  return p;  // freshly sized chunk always fits
+}
+
+Arena::Chunk* Arena::new_chunk(size_t min_bytes) {
+  auto chunk = std::make_unique<Chunk>();
+  chunk->cap = min_bytes;
+  chunk->mem = std::make_unique<std::byte[]>(min_bytes);
+  Chunk* raw = chunk.get();
+  std::lock_guard lock(mutex_);
+  chunks_.push_back(std::move(chunk));
+  return raw;
+}
+
+void Arena::register_destructor(void* obj, Dtor dtor) {
+  std::lock_guard lock(mutex_);
+  dtors_.emplace_back(obj, dtor);
+}
+
+void Arena::release_all() {
+  std::lock_guard lock(mutex_);
+  // Destroy in reverse construction order.
+  for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) {
+    it->second(it->first);
+  }
+  dtors_.clear();
+  chunks_.clear();
+  for (auto& slot : slots_) slot.value.current = nullptr;
+}
+
+size_t Arena::chunks_allocated() const {
+  std::lock_guard lock(mutex_);
+  return chunks_.size();
+}
+
+size_t Arena::bytes_allocated() const {
+  std::lock_guard lock(mutex_);
+  size_t sum = 0;
+  for (const auto& c : chunks_) sum += c->used;
+  return sum;
+}
+
+}  // namespace lsg::alloc

@@ -1,0 +1,70 @@
+#include "alloc/epoch.hpp"
+
+namespace lsg::alloc {
+
+EpochReclaimer::~EpochReclaimer() { drain_all(); }
+
+void EpochReclaimer::enter() {
+  ThreadState& st = self();
+  if (st.depth++ == 0) {
+    // Announce the current epoch with a seq_cst store so that a later
+    // advance attempt cannot miss us.
+    st.announced.store(global_epoch_.load(std::memory_order_acquire),
+                       std::memory_order_seq_cst);
+  }
+}
+
+void EpochReclaimer::exit() {
+  ThreadState& st = self();
+  if (--st.depth == 0) {
+    st.announced.store(kIdle, std::memory_order_release);
+  }
+}
+
+void EpochReclaimer::retire(void* obj, void (*deleter)(void*)) {
+  ThreadState& st = self();
+  uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  st.limbo[e % kEpochs].push_back(Retired{obj, deleter});
+  if (++st.since_scan >= kScanPeriod) {
+    st.since_scan = 0;
+    try_reclaim();
+  }
+}
+
+void EpochReclaimer::try_reclaim() {
+  uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  int registered = lsg::numa::ThreadRegistry::registered_count();
+  for (int t = 0; t < registered; ++t) {
+    uint64_t a = threads_[t].value.announced.load(std::memory_order_seq_cst);
+    if (a != kIdle && a != e) return;  // someone still in an older epoch
+  }
+  if (!global_epoch_.compare_exchange_strong(e, e + 1,
+                                             std::memory_order_acq_rel)) {
+    return;  // someone else advanced; they (or a later call) will free
+  }
+  // Epoch advanced from e to e+1: anything retired in epoch e-1 can no
+  // longer be observed (observers are in e or e+1). Free our own slot.
+  ThreadState& st = self();
+  auto& bucket = st.limbo[(e + kEpochs - 1) % kEpochs];
+  for (const Retired& r : bucket) r.deleter(r.obj);
+  bucket.clear();
+}
+
+void EpochReclaimer::drain_all() {
+  for (auto& padded : threads_) {
+    for (auto& bucket : padded.value.limbo) {
+      for (const Retired& r : bucket) r.deleter(r.obj);
+      bucket.clear();
+    }
+  }
+}
+
+size_t EpochReclaimer::pending() const {
+  size_t n = 0;
+  for (const auto& padded : threads_) {
+    for (const auto& bucket : padded.value.limbo) n += bucket.size();
+  }
+  return n;
+}
+
+}  // namespace lsg::alloc

@@ -1,0 +1,94 @@
+// Epoch-based memory reclamation.
+//
+// The shared structures in this repo follow the paper's trial-scoped
+// allocation (arena, bulk free), but a production deployment with
+// steady-state churn needs safe reclamation. This module provides the
+// classic three-epoch scheme:
+//   - readers enter a critical region (Guard) and announce the global epoch;
+//   - retired objects are placed on the retiring thread's limbo list for the
+//     current epoch;
+//   - the global epoch advances only when every thread inside a critical
+//     region has announced the current epoch; objects retired two epochs ago
+//     are then safe to free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/padding.hpp"
+#include "numa/pinning.hpp"
+
+namespace lsg::alloc {
+
+class EpochReclaimer {
+ public:
+  EpochReclaimer() = default;
+  ~EpochReclaimer();
+
+  EpochReclaimer(const EpochReclaimer&) = delete;
+  EpochReclaimer& operator=(const EpochReclaimer&) = delete;
+
+  /// RAII critical region. All shared-pointer dereferences must happen
+  /// inside a Guard for retired memory to stay alive.
+  class Guard {
+   public:
+    explicit Guard(EpochReclaimer& r) : r_(r) { r_.enter(); }
+    ~Guard() { r_.exit(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    EpochReclaimer& r_;
+  };
+
+  void enter();
+  void exit();
+
+  /// Schedule deletion once no critical region can still observe the object.
+  void retire(void* obj, void (*deleter)(void*));
+
+  template <class T>
+  void retire(T* obj) {
+    retire(obj, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Try to advance the epoch and free quiescent garbage; called
+  /// automatically every kScanPeriod retirements.
+  void try_reclaim();
+
+  /// Free everything unconditionally. Only call when no thread can touch
+  /// retired objects (quiescence by external means, e.g. joined workers).
+  void drain_all();
+
+  uint64_t epoch() const { return global_epoch_.load(std::memory_order_acquire); }
+  size_t pending() const;
+
+  static constexpr int kEpochs = 3;
+  static constexpr uint32_t kScanPeriod = 64;
+
+ private:
+  struct Retired {
+    void* obj;
+    void (*deleter)(void*);
+  };
+
+  struct ThreadState {
+    // Epoch announced while in a critical region; kIdle when outside.
+    std::atomic<uint64_t> announced{kIdle};
+    uint32_t depth = 0;  // nested guards
+    uint32_t since_scan = 0;
+    std::vector<Retired> limbo[kEpochs];
+  };
+
+  static constexpr uint64_t kIdle = ~uint64_t{0};
+
+  ThreadState& self() { return threads_[lsg::numa::ThreadRegistry::current()].value; }
+
+  std::atomic<uint64_t> global_epoch_{1};
+  std::array<lsg::common::Padded<ThreadState>, lsg::numa::kMaxThreads>
+      threads_{};
+};
+
+}  // namespace lsg::alloc

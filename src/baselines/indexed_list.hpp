@@ -1,0 +1,162 @@
+// Background-maintained index over a lock-free bottom list — the common
+// architecture of the three comparator skip lists the paper measures
+// against (Synchrobench's rotating [13], nohotspot [10] and numask [11]).
+//
+// All three publications share one key idea: operations never restructure
+// the index on the critical path. The dataset lives in a lock-free
+// bottom-level list; an acceleration index above it is adapted *off the
+// critical path* (No-Hotspot: deferred adaptation by a maintenance thread;
+// Rotating: cache-contiguous array "wheels"; NUMASK: per-NUMA-zone index
+// replicas built from zone-local memory). We re-implement that shared
+// architecture here and instantiate it three ways in nohotspot.hpp /
+// rotating.hpp / numask.hpp. These are clean-room approximations intended
+// as throughput comparators — see DESIGN.md §3 for the fidelity argument.
+//
+// Index snapshots are immutable once published; readers pin them with an
+// epoch guard, and the maintenance thread retires superseded snapshots
+// through the epoch reclaimer.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "alloc/epoch.hpp"
+#include "numa/pinning.hpp"
+#include "skiplist/lockfree_list.hpp"
+
+namespace lsg::baselines {
+
+template <class K, class V>
+class IndexedList {
+ public:
+  using List = lsg::skiplist::LockFreeList<K, V>;
+  using Node = typename List::Node;
+
+  struct Options {
+    /// Keep every 2^sample_shift-th live element in the index.
+    unsigned sample_shift = 3;
+    /// Index rebuild cadence for the maintenance thread.
+    std::chrono::microseconds rebuild_interval{2000};
+    /// Number of index replicas (NUMASK: one per NUMA zone; others: 1).
+    int zones = 1;
+  };
+
+  explicit IndexedList(Options opts) : opts_(opts) {
+    if (opts_.zones < 1) opts_.zones = 1;
+    if (opts_.zones > kMaxZones) opts_.zones = kMaxZones;
+    for (auto& slot : index_) slot.store(nullptr, std::memory_order_relaxed);
+    maintenance_ = std::jthread([this](std::stop_token st) { maintain(st); });
+  }
+
+  ~IndexedList() {
+    maintenance_.request_stop();
+    maintenance_.join();
+    for (auto& slot : index_) {
+      delete slot.load(std::memory_order_acquire);
+      slot.store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  IndexedList(const IndexedList&) = delete;
+  IndexedList& operator=(const IndexedList&) = delete;
+
+  bool insert(const K& key, const V& value) {
+    lsg::alloc::EpochReclaimer::Guard g(reclaimer_);
+    return list_.insert(key, value, start_for(key));
+  }
+
+  bool remove(const K& key) {
+    lsg::alloc::EpochReclaimer::Guard g(reclaimer_);
+    return list_.remove(key, start_for(key));
+  }
+
+  bool contains(const K& key) {
+    lsg::alloc::EpochReclaimer::Guard g(reclaimer_);
+    return list_.contains(key, start_for(key));
+  }
+
+  std::vector<K> keys() { return list_.keys(); }
+
+  /// Number of rebuilds performed so far (tests / diagnostics).
+  uint64_t rebuilds() const {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
+
+  size_t index_size(int zone = 0) const {
+    const Index* idx = index_[zone].load(std::memory_order_acquire);
+    return idx ? idx->entries.size() : 0;
+  }
+
+ private:
+  struct Index {
+    std::vector<std::pair<K, Node*>> entries;  // sorted by key
+
+    /// Node with the greatest indexed key strictly below `key` (strict so a
+    /// re-inserted equal key is still reached by forward traversal).
+    Node* start_for(const K& key) const {
+      size_t lo = 0, hi = entries.size();
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (entries[mid].first < key) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo == 0 ? nullptr : entries[lo - 1].second;
+    }
+  };
+
+  Node* start_for(const K& key) {
+    int zone = opts_.zones <= 1
+                   ? 0
+                   : lsg::numa::ThreadRegistry::node_of(
+                         lsg::numa::ThreadRegistry::current()) %
+                         opts_.zones;
+    const Index* idx = index_[zone].load(std::memory_order_acquire);
+    return idx ? idx->start_for(key) : nullptr;
+  }
+
+  void maintain(std::stop_token st) {
+    lsg::numa::ThreadRegistry::register_self();
+    while (!st.stop_requested()) {
+      rebuild();
+      std::this_thread::sleep_for(opts_.rebuild_interval);
+    }
+  }
+
+  void rebuild() {
+    // One pass over the live bottom list, sampling every 2^shift-th node.
+    auto fresh = std::make_unique<Index>();
+    uint64_t i = 0;
+    const uint64_t mask = (uint64_t{1} << opts_.sample_shift) - 1;
+    list_.for_each_node([&](Node* n) {
+      if ((i++ & mask) == 0) fresh->entries.emplace_back(n->key, n);
+    });
+    // Publish the snapshot to every zone. (In real NUMASK each zone's
+    // helper builds its replica from zone-local memory; with our logical
+    // topology the replica content is what matters for the comparison.)
+    for (int z = 0; z < opts_.zones; ++z) {
+      Index* pub =
+          (z == opts_.zones - 1) ? fresh.release() : new Index(*fresh);
+      Index* old = index_[z].exchange(pub, std::memory_order_acq_rel);
+      if (old) reclaimer_.retire(old);
+    }
+    rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static constexpr int kMaxZones = 8;
+
+  Options opts_;
+  List list_;
+  lsg::alloc::EpochReclaimer reclaimer_;
+  std::array<std::atomic<Index*>, kMaxZones> index_;
+  std::atomic<uint64_t> rebuilds_{0};
+  std::jthread maintenance_;
+};
+
+}  // namespace lsg::baselines

@@ -1,0 +1,26 @@
+// No-Hotspot skip list re-implementation (Crain, Gramoli & Raynal, ICDCS'13,
+// paper ref [10]).
+//
+// Design idea captured: operations touch only the bottom-level list; all
+// index ("tower") adaptation is deferred to a dedicated maintenance thread,
+// eliminating the contention hot spot at the top of classic skip lists.
+// Our index is a sampled snapshot rebuilt off the critical path (the
+// original raises/lowers towers incrementally; the hot-path property —
+// no structural CAS by application threads — is identical).
+#pragma once
+
+#include "baselines/indexed_list.hpp"
+
+namespace lsg::baselines {
+
+template <class K, class V>
+class NoHotspotSkipList : public IndexedList<K, V> {
+ public:
+  NoHotspotSkipList()
+      : IndexedList<K, V>(typename IndexedList<K, V>::Options{
+            .sample_shift = 3,
+            .rebuild_interval = std::chrono::microseconds(2000),
+            .zones = 1}) {}
+};
+
+}  // namespace lsg::baselines

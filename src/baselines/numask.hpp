@@ -1,0 +1,27 @@
+// NUMASK re-implementation (Daly, Hassan, Spear & Palmieri, DISC'18,
+// paper ref [11]).
+//
+// Design idea captured: the data layer (bottom list) is shared, while the
+// skip-list index layers are REPLICATED per NUMA zone so that index
+// traversals stay within the reader's zone; per-zone helper threads keep
+// the replicas in sync off the critical path. Each application thread
+// consults the replica of the NUMA zone it is pinned to.
+#pragma once
+
+#include "baselines/indexed_list.hpp"
+#include "numa/pinning.hpp"
+
+namespace lsg::baselines {
+
+template <class K, class V>
+class NumaskSkipList : public IndexedList<K, V> {
+ public:
+  NumaskSkipList()
+      : IndexedList<K, V>(typename IndexedList<K, V>::Options{
+            .sample_shift = 3,
+            .rebuild_interval = std::chrono::microseconds(2000),
+            .zones =
+                lsg::numa::ThreadRegistry::topology().num_sockets()}) {}
+};
+
+}  // namespace lsg::baselines

@@ -1,0 +1,26 @@
+// Rotating skip list re-implementation (Dick, Fekete & Gramoli, CCPE'17,
+// paper ref [13]).
+//
+// Design idea captured: the index is kept in contiguous arrays ("wheels")
+// rather than pointer towers, trading pointer-chasing for cache-friendly
+// scans, with a background thread rotating/rebuilding the arrays. Our
+// index is a dense (every element) sorted array over the live bottom list,
+// searched by binary search — the cache-contiguity property that gives the
+// rotating skip list its edge — rebuilt by the maintenance thread.
+#pragma once
+
+#include "baselines/indexed_list.hpp"
+
+namespace lsg::baselines {
+
+template <class K, class V>
+class RotatingSkipList : public IndexedList<K, V> {
+ public:
+  RotatingSkipList()
+      : IndexedList<K, V>(typename IndexedList<K, V>::Options{
+            .sample_shift = 0,  // dense wheel
+            .rebuild_interval = std::chrono::microseconds(2000),
+            .zones = 1}) {}
+};
+
+}  // namespace lsg::baselines

@@ -1,0 +1,142 @@
+#include "cachesim/cache.hpp"
+
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "stats/counters.hpp"
+
+namespace lsg::cachesim {
+
+CacheLevel::CacheLevel(uint64_t size_bytes, unsigned ways, unsigned line_bytes)
+    : ways_(ways), line_bytes_(line_bytes) {
+  if (ways == 0 || line_bytes == 0 || !lsg::common::is_pow2(line_bytes)) {
+    throw std::invalid_argument("bad cache geometry");
+  }
+  uint64_t lines = size_bytes / line_bytes;
+  if (lines < ways) lines = ways;
+  num_sets_ = static_cast<unsigned>(
+      lsg::common::next_pow2(lines / ways));
+  line_shift_ = lsg::common::floor_log2(line_bytes);
+  sets_.resize(static_cast<size_t>(num_sets_) * ways_);
+}
+
+bool CacheLevel::access(uint64_t addr) {
+  uint64_t line = addr >> line_shift_;
+  unsigned set = static_cast<unsigned>(line & (num_sets_ - 1));
+  uint64_t tag = line >> lsg::common::floor_log2(num_sets_);
+  Way* base = &sets_[static_cast<size_t>(set) * ways_];
+  ++stamp_;
+  for (unsigned w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = stamp_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: evict the first invalid way, else the least-recently-used one.
+  Way* victim = base;
+  for (unsigned w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  ++misses_;
+  return false;
+}
+
+void CacheLevel::flush() {
+  for (auto& w : sets_) w.valid = false;
+}
+
+Hierarchy::Hierarchy()
+    : Hierarchy(CacheLevel(32 * 1024, 8, 64), CacheLevel(1024 * 1024, 16, 64),
+                CacheLevel(1408 * 1024, 11, 64)) {}
+
+Hierarchy::Hierarchy(CacheLevel l1, CacheLevel l2, CacheLevel l3)
+    : l1_(std::move(l1)), l2_(std::move(l2)), l3_(std::move(l3)) {}
+
+void Hierarchy::access(uint64_t addr) {
+  ++stats_.accesses;
+  if (l1_.access(addr)) return;
+  ++stats_.l1_misses;
+  if (l2_.access(addr)) return;
+  ++stats_.l2_misses;
+  if (l3_.access(addr)) return;
+  ++stats_.l3_misses;
+}
+
+void Hierarchy::reset_stats() {
+  stats_ = HierarchyStats{};
+  l1_.reset_stats();
+  l2_.reset_stats();
+  l3_.reset_stats();
+}
+
+void Hierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+  l3_.flush();
+}
+
+namespace {
+
+std::mutex g_registry_mutex;
+std::vector<std::unique_ptr<Hierarchy>>& registry() {
+  static std::vector<std::unique_ptr<Hierarchy>> r;
+  return r;
+}
+
+thread_local Hierarchy* t_hierarchy = nullptr;
+
+void trace_hook(const void* addr) {
+  if (addr == nullptr) return;
+  if (t_hierarchy == nullptr) {
+    auto h = std::make_unique<Hierarchy>();
+    t_hierarchy = h.get();
+    std::lock_guard lock(g_registry_mutex);
+    registry().push_back(std::move(h));
+  }
+  t_hierarchy->access(addr);
+}
+
+}  // namespace
+
+void ThreadLocalHierarchies::install() {
+  lsg::stats::detail::g_trace.store(&trace_hook, std::memory_order_release);
+}
+
+void ThreadLocalHierarchies::uninstall() {
+  lsg::stats::detail::g_trace.store(nullptr, std::memory_order_release);
+}
+
+HierarchyStats ThreadLocalHierarchies::aggregate() {
+  std::lock_guard lock(g_registry_mutex);
+  HierarchyStats sum;
+  for (const auto& h : registry()) {
+    sum.accesses += h->stats().accesses;
+    sum.l1_misses += h->stats().l1_misses;
+    sum.l2_misses += h->stats().l2_misses;
+    sum.l3_misses += h->stats().l3_misses;
+  }
+  return sum;
+}
+
+void ThreadLocalHierarchies::reset() {
+  std::lock_guard lock(g_registry_mutex);
+  for (auto& h : registry()) {
+    h->reset_stats();
+    h->flush();
+  }
+}
+
+}  // namespace lsg::cachesim

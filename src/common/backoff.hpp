@@ -1,0 +1,37 @@
+// Bounded exponential backoff for CAS retry loops.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace lsg::common {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  explicit Backoff(uint32_t max_spins = 1024) : max_(max_spins) {}
+
+  void pause() {
+    for (uint32_t i = 0; i < cur_; ++i) cpu_relax();
+    if (cur_ < max_) cur_ *= 2;
+  }
+
+  void reset() { cur_ = 1; }
+
+ private:
+  uint32_t cur_ = 1;
+  uint32_t max_;
+};
+
+}  // namespace lsg::common

@@ -1,0 +1,56 @@
+// Bit-manipulation helpers shared across the library.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace lsg::common {
+
+/// ceil(log2(x)) for x >= 1. Returns 0 for x == 1.
+constexpr unsigned ceil_log2(uint64_t x) {
+  if (x <= 1) return 0;
+  return 64u - static_cast<unsigned>(std::countl_zero(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned floor_log2(uint64_t x) {
+  return 63u - static_cast<unsigned>(std::countl_zero(x | 1));
+}
+
+/// Reverse the lowest `bits` bits of `v` (the rest are discarded).
+///
+/// Used by the membership-vector scheme: bit-reversing a distance-ordered
+/// thread id makes nearby threads share the *longest* membership-vector
+/// suffixes, hence the most skip-graph lists.
+constexpr uint32_t bit_reverse(uint32_t v, unsigned bits) {
+  uint32_t out = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    out = (out << 1) | ((v >> i) & 1u);
+  }
+  return out;
+}
+
+/// Lowest `n` bits of `v` — the length-n suffix of a membership vector,
+/// which is the label of the level-n list the vector belongs to.
+constexpr uint32_t suffix(uint32_t v, unsigned n) {
+  return n >= 32 ? v : (v & ((1u << n) - 1u));
+}
+
+/// Length of the common suffix of `a` and `b`, looking at up to `bits` bits.
+/// Two threads share the level-i linked list iff common_suffix_len >= i.
+constexpr unsigned common_suffix_len(uint32_t a, uint32_t b, unsigned bits) {
+  unsigned n = 0;
+  while (n < bits && ((a ^ b) & (1u << n)) == 0) ++n;
+  return n;
+}
+
+/// True iff x is a power of two (x > 0).
+constexpr bool is_pow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x.
+constexpr uint64_t next_pow2(uint64_t x) {
+  if (x <= 1) return 1;
+  return uint64_t{1} << ceil_log2(x);
+}
+
+}  // namespace lsg::common

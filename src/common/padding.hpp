@@ -1,0 +1,23 @@
+// Cache-line padding to keep per-thread hot state from false sharing.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace lsg::common {
+
+// Fixed rather than std::hardware_destructive_interference_size: the value
+// participates in ABI-visible layouts and 64 is right for every x86/ARM
+// server this targets.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Value padded out to a full cache line.
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+  char pad_[(sizeof(T) % kCacheLine) == 0
+                ? kCacheLine
+                : kCacheLine - (sizeof(T) % kCacheLine)]{};
+};
+
+}  // namespace lsg::common

@@ -1,0 +1,78 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// The evaluation harness (like Synchrobench's) needs a per-thread generator
+// that is cheap enough not to perturb measurements and seedable for
+// reproducible trials. xoshiro256** seeded through splitmix64.
+#pragma once
+
+#include <cstdint>
+
+namespace lsg::common {
+
+/// splitmix64 step; used for seeding and as a standalone mixer.
+constexpr uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — public-domain generator by Blackman & Vigna.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(uint64_t seed = 0x853c49e6748fea9bull) {
+    uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  constexpr uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). Bound must be > 0. Uses the multiply-shift
+  /// reduction (Lemire); slight modulo bias is irrelevant at our bounds.
+  constexpr uint64_t next_bounded(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli with probability percent/100.
+  constexpr bool percent_chance(uint32_t percent) {
+    return next_bounded(100) < percent;
+  }
+
+  /// Geometric level draw: returns number of consecutive 'heads' with
+  /// p = 1/2, capped at `max_level`. This is the classic skip-list tower
+  /// height generator (0-based: result 0 means bottom level only).
+  constexpr unsigned geometric_level(unsigned max_level) {
+    unsigned lvl = 0;
+    uint64_t r = next();
+    while (lvl < max_level && (r & 1)) {
+      ++lvl;
+      r >>= 1;
+      if (r == 0) r = next();
+    }
+    return lvl;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4]{};
+};
+
+}  // namespace lsg::common

@@ -1,0 +1,32 @@
+// Tiny test-and-test-and-set spinlock (per-node locks for the lock-based
+// skip list baseline).
+#pragma once
+
+#include <atomic>
+
+#include "common/backoff.hpp"
+
+namespace lsg::common {
+
+class SpinLock {
+ public:
+  void lock() {
+    Backoff bo(256);
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) bo.pause();
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace lsg::common

@@ -1,0 +1,56 @@
+// Tagged pointer words: the two low bits of every shared-node reference
+// carry the paper's "marked" and "valid" flags.
+//
+// Layout (node alignment >= 8 guarantees the low 3 bits are free):
+//   bit 0 — MARK:    set => the node owning this reference is logically
+//                    removed at this level and the reference is immutable.
+//   bit 1 — INVALID: set => the node is absent from the abstract set but
+//                    physical unlinking has not started (lazy variant only;
+//                    meaningful on next[0]).
+//
+// The paper's accessors map as:
+//   getMark(i)                 -> TaggedPtr::mark(raw)
+//   getValid(i)                -> !TaggedPtr::invalid(raw)
+//   getMarkValid(i)            -> {mark(raw), !invalid(raw)}
+//   casMark / casValid /
+//   casMarkValid               -> flag-preserving CAS loops in SgNode
+#pragma once
+
+#include <cstdint>
+
+namespace lsg::common {
+
+template <class Node>
+struct TaggedPtr {
+  static constexpr uintptr_t kMark = 0x1;
+  static constexpr uintptr_t kInvalid = 0x2;
+  static constexpr uintptr_t kFlagMask = 0x3;
+
+  static uintptr_t pack(const Node* p, bool marked = false,
+                        bool invalid = false) {
+    return reinterpret_cast<uintptr_t>(p) | (marked ? kMark : 0) |
+           (invalid ? kInvalid : 0);
+  }
+
+  static Node* ptr(uintptr_t raw) {
+    return reinterpret_cast<Node*>(raw & ~kFlagMask);
+  }
+
+  static bool mark(uintptr_t raw) { return (raw & kMark) != 0; }
+  static bool invalid(uintptr_t raw) { return (raw & kInvalid) != 0; }
+  static bool valid(uintptr_t raw) { return (raw & kInvalid) == 0; }
+  static uintptr_t flags(uintptr_t raw) { return raw & kFlagMask; }
+
+  /// Same flags, different pointer — used by the relink CAS, which must
+  /// preserve the predecessor's own flag bits while swinging the pointer.
+  static uintptr_t with_ptr(uintptr_t raw, const Node* p) {
+    return reinterpret_cast<uintptr_t>(p) | (raw & kFlagMask);
+  }
+
+  /// Same pointer, different flags — used by casMarkValid and friends.
+  static uintptr_t with_flags(uintptr_t raw, bool marked, bool invalid) {
+    return (raw & ~kFlagMask) | (marked ? kMark : 0) | (invalid ? kInvalid : 0);
+  }
+};
+
+}  // namespace lsg::common

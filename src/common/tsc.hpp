@@ -1,0 +1,43 @@
+// Cheap timestamp source used for commission periods (paper §4: a node is a
+// candidate for physical removal only after ~350000*T cycles of existence).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace lsg::common {
+
+/// Monotonic cycle-ish counter. On x86 this is rdtsc (the paper's unit);
+/// elsewhere we fall back to steady_clock nanoseconds, which is the same
+/// order of magnitude on ~GHz machines.
+inline uint64_t timestamp() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Wall-clock milliseconds, for trial timing.
+inline uint64_t now_ms() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+inline uint64_t now_us() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace lsg::common

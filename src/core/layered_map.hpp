@@ -1,0 +1,407 @@
+// The layered structure (paper's primary contribution).
+//
+// A LayeredMap is T thread-local, sequential local structures (an ordered
+// map plus a robin-hood hash table per thread) layered over one shared
+// skip-graph variant. Local structures map keys inserted by their owning
+// thread to shared nodes; they are used to
+//   (a) linearize operations without touching the shared structure at all
+//       when the key is found locally (the hashtable fast path), and
+//   (b) "jump" into the shared structure near where an operation will
+//       complete (getStart / updateStart, Algs. 4 and 9), which is what
+//       raises NUMA locality.
+//
+// The shared structure is partitioned: every operation by thread t works
+// inside t's associated skip list L_t, selected by t's membership vector
+// (numa/membership.hpp), so at most T/2^i threads ever touch a level-i list.
+//
+// Template parameter LocalMap selects the user-provided sequential map
+// (local::StdMapAdapter — the paper's std::map — or local::AvlMap); it must
+// provide insert/erase/find/max_lower_equal and backward-navigable
+// iterators.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include "local/robin_hood.hpp"
+#include "local/std_map.hpp"
+#include "numa/membership.hpp"
+#include "numa/pinning.hpp"
+#include "skipgraph/skip_graph.hpp"
+#include "stats/counters.hpp"
+
+namespace lsg::core {
+
+struct LayeredOptions {
+  int num_threads = 1;
+  lsg::numa::MembershipPolicy policy =
+      lsg::numa::MembershipPolicy::kNumaAware;
+  bool lazy = false;    // valid-bit protocol + commission periods
+  bool sparse = false;  // sparse skip graph (layered_map_ssg)
+  /// kAutoLevel: MaxLevel = ceil(log2 T) - 1 (the partitioning scheme);
+  /// 0 yields the layered-linked-list variant (layered_map_ll).
+  unsigned max_level = kAutoLevel;
+  /// 0 => the paper's default of 350000 * T cycles (lazy variant only).
+  uint64_t commission_cycles = 0;
+  /// Ablation switch: consult the per-thread hashtable before searching.
+  bool use_hashtable = true;
+  /// Heterogeneous-workload extension (paper p. 10: "searching (read-only)
+  /// from another thread's local structure"): threads publish their latest
+  /// fully-inserted top-level node in a per-thread hint slot; a thread
+  /// whose own local structure yields no usable start borrows the best
+  /// preceding hint instead of falling back to the head. Shared-node
+  /// pointers are always safe to traverse, so this is the race-free
+  /// realization of that sketch.
+  bool use_neighbor_hints = false;
+
+  static constexpr unsigned kAutoLevel = 0xffffffffu;
+};
+
+template <class K, class V,
+          class LocalMap =
+              lsg::local::StdMapAdapter<K, lsg::skipgraph::SgNode<K, V>*>>
+class LayeredMap {
+ public:
+  using SG = lsg::skipgraph::SkipGraph<K, V>;
+  using Node = typename SG::Node;
+  using LocalIter = typename LocalMap::iterator;
+
+  explicit LayeredMap(const LayeredOptions& opts)
+      : opts_(opts),
+        assigner_(lsg::numa::ThreadRegistry::topology(), opts.num_threads,
+                  opts.policy,
+                  opts.max_level == LayeredOptions::kAutoLevel
+                      ? lsg::numa::MembershipAssigner::kNoOverride
+                      : opts.max_level),
+        sg_(make_sg_config(opts, assigner_.max_level())) {}
+
+  unsigned max_level() const { return sg_.max_level(); }
+  SG& shared_structure() { return sg_; }
+  const lsg::numa::MembershipAssigner& memberships() const {
+    return assigner_;
+  }
+
+  /// Pre-register the calling thread (optional; first access registers).
+  void thread_init() { (void)local_state(); }
+
+  // --- Alg. 1 ---------------------------------------------------------------
+  bool insert(const K& key, const V& value) {
+    LocalState& ls = local_state();
+    bool ret = false;
+    if (Node* result = fast_find(ls, key)) {
+      if (opts_.lazy) {
+        if (sg_.insert_helper(result, ret, &value)) {
+          lsg::stats::op_done();
+          return ret;
+        }
+      } else if (!result->get_mark(0)) {
+        lsg::stats::op_done();
+        return false;  // duplicate
+      }
+      // The node is marked: physically clean the local association.
+      erase_local(ls, key);
+    }
+    LocalIter it = get_start(ls, key);
+    Node* start = it.valid() ? it.value() : nullptr;
+    auto refresh = [&]() -> Node* {
+      it = update_start(ls, it);
+      return it.valid() ? it.value() : nullptr;
+    };
+    Node* fresh = nullptr;
+    if (opts_.lazy) {
+      if (start == nullptr) start = borrow_hint(ls, key);
+      ret = sg_.lazy_insert(key, value, membership(ls), start, refresh,
+                            &fresh);
+      // Lazy + sparse: only full-height nodes are deferred via getStart;
+      // shorter towers would never be completed, so finish them eagerly.
+      if (fresh != nullptr && fresh->height > 0 &&
+          fresh->height < sg_.max_level()) {
+        // refresh() re-derives an own-membership start: a borrowed hint
+        // must not seed upper-level splices.
+        sg_.finish_insert(fresh, refresh(), refresh);
+      }
+    } else {
+      ret = sg_.insert_nonlazy(key, value, membership(ls), start, refresh,
+                               &fresh);
+    }
+    if (fresh != nullptr && fresh->height == sg_.max_level()) {
+      // Only elements that reach the top level enter the local structures
+      // (paper §2, sparse skip graph discussion).
+      ls.map.insert(key, fresh);
+      if (opts_.use_hashtable) ls.table.insert(key, fresh);
+      if (opts_.use_neighbor_hints) {
+        hints_[ls.tid].value.store(fresh, std::memory_order_release);
+      }
+    }
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  // --- Alg. 11 ---------------------------------------------------------------
+  bool remove(const K& key) {
+    LocalState& ls = local_state();
+    if (Node* result = fast_find(ls, key)) {
+      if (opts_.lazy) {
+        bool ret;
+        if (sg_.remove_helper(result, ret)) {
+          lsg::stats::op_done();
+          return ret;
+        }
+        erase_local(ls, key);
+      } else {
+        if (!result->get_mark(0) && sg_.mark_node(result)) {
+          lsg::stats::op_done();
+          return true;
+        }
+        erase_local(ls, key);  // marked: clean up and fall through
+      }
+    }
+    LocalIter it = get_start(ls, key);
+    Node* start = it.valid() ? it.value() : nullptr;
+    if (start == nullptr) start = borrow_hint(ls, key);
+    bool ret;
+    if (opts_.lazy) {
+      auto refresh = [&]() -> Node* {
+        it = update_start(ls, it);
+        return it.valid() ? it.value() : nullptr;
+      };
+      ret = sg_.lazy_remove(key, membership(ls), start, refresh);
+    } else {
+      ret = sg_.remove_nonlazy(key, membership(ls), start);
+    }
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  // --- Alg. 6 ---------------------------------------------------------------
+  bool contains(const K& key) {
+    LocalState& ls = local_state();
+    if (Node* result = fast_find(ls, key)) {
+      if (!result->get_mark(0)) {
+        auto [mk, valid] = result->mark_valid0();
+        lsg::stats::op_done();
+        return !mk && valid;  // (C-i)
+      }
+      erase_local(ls, key);
+    }
+    LocalIter it = get_start(ls, key);
+    Node* start = it.valid() ? it.value() : nullptr;
+    if (start == nullptr) start = borrow_hint(ls, key);
+    bool ret = sg_.contains_from(key, membership(ls), start);
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  /// Value lookup (library extension beyond the paper's set interface):
+  /// returns true and copies the value when the key is present.
+  bool get(const K& key, V& out) {
+    LocalState& ls = local_state();
+    if (Node* result = fast_find(ls, key)) {
+      auto [mk, valid] = result->mark_valid0();
+      if (!mk && valid) {
+        out = result->load_value();
+        lsg::stats::op_done();
+        return true;
+      }
+      if (result->get_mark(0)) erase_local(ls, key);
+      if (!mk && !valid) {
+        lsg::stats::op_done();
+        return false;
+      }
+    }
+    LocalIter it = get_start(ls, key);
+    Node* start = it.valid() ? it.value() : nullptr;
+    if (start == nullptr) start = borrow_hint(ls, key);
+    Node* found = sg_.retire_search(key, membership(ls), start);
+    lsg::stats::op_done();
+    if (found == nullptr) return false;
+    auto [mk, valid] = found->mark_valid0();
+    if (mk || !valid) return false;
+    out = found->load_value();
+    return true;
+  }
+
+  /// Range scan: invoke fn(key, value) for every element in [lo, hi].
+  /// Weakly consistent (see SkipGraph::for_each_in_range): concurrent
+  /// updates may or may not be reflected, but elements present throughout
+  /// the scan are reported exactly once.
+  template <class Fn>
+  void for_each_range(const K& lo, const K& hi, Fn&& fn) {
+    LocalState& ls = local_state();
+    LocalIter it = get_start(ls, lo);
+    Node* start = it.valid() ? it.value() : nullptr;
+    if (start == nullptr) start = borrow_hint(ls, lo);
+    // The start node is exclusive in the scan; when the caller's own local
+    // structure maps `lo` itself, report it here (there is at most one
+    // unmarked node per key, so the walk cannot report a second copy).
+    if (start != nullptr && start->key == lo && !(hi < lo)) {
+      auto [mk, valid] = start->mark_valid0();
+      if (!mk && valid) fn(start->key, start->load_value());
+    }
+    sg_.for_each_in_range(lo, hi, membership(ls), start, fn);
+    lsg::stats::op_done();
+  }
+
+  /// Number of elements currently in [lo, hi] (weakly consistent).
+  size_t count_range(const K& lo, const K& hi) {
+    size_t n = 0;
+    for_each_range(lo, hi, [&n](const K&, const V&) { ++n; });
+    return n;
+  }
+
+  /// Abstract set contents; quiescent callers only.
+  std::vector<K> abstract_set() { return sg_.abstract_set(); }
+
+  /// Local-structure sizes of the calling thread (diagnostics/tests).
+  size_t local_map_size() { return local_state().map.size(); }
+  size_t local_table_size() { return local_state().table.size(); }
+
+ private:
+  struct LocalState {
+    LocalMap map;
+    lsg::local::RobinHoodTable<K, Node*> table;
+    uint32_t membership = 0;
+    int tid = 0;
+  };
+
+  static lsg::skipgraph::SgConfig make_sg_config(const LayeredOptions& o,
+                                                 unsigned max_level) {
+    lsg::skipgraph::SgConfig cfg;
+    cfg.max_level = max_level;
+    cfg.sparse = o.sparse;
+    cfg.lazy = o.lazy;
+    cfg.commission_period =
+        o.lazy ? (o.commission_cycles != 0
+                      ? o.commission_cycles
+                      : uint64_t{350000} *
+                            static_cast<uint64_t>(o.num_threads))
+               : 0;
+    return cfg;
+  }
+
+  LocalState& local_state() {
+    int tid = lsg::numa::ThreadRegistry::current();
+    auto& slot = locals_[tid];
+    if (!slot) {
+      slot = std::make_unique<LocalState>();
+      slot->membership = assigner_.vector_of(tid);
+      slot->tid = tid;
+    }
+    return *slot;
+  }
+
+  uint32_t membership(LocalState& ls) const { return ls.membership; }
+
+  Node* fast_find(LocalState& ls, const K& key) {
+    if (opts_.use_hashtable) {
+      Node** p = ls.table.find(key);
+      return p ? *p : nullptr;
+    }
+    LocalIter it = ls.map.find(key);
+    return it.valid() ? it.value() : nullptr;
+  }
+
+  void erase_local(LocalState& ls, const K& key) {
+    ls.map.erase(key);
+    if (opts_.use_hashtable) ls.table.erase(key);
+  }
+
+  /// Alg. 4 (getStart): the closest preceding usable shared node referenced
+  /// by the local structure; completes deferred insertions it encounters
+  /// and prunes associations to marked nodes.
+  LocalIter get_start(LocalState& ls, const K& key) {
+    LocalIter it = ls.map.max_lower_equal(key);
+    while (it.valid()) {
+      Node* n = it.value();
+      lsg::stats::read_access(n->owner, n);
+      if (!n->get_mark(0) || !n->get_mark(n->height)) {
+        if (!n->inserted.load(std::memory_order_acquire)) {
+          LocalIter fstart = update_start(ls, it.prev());
+          Node* fnode = fstart.valid() ? fstart.value() : nullptr;
+          auto refresh = [&]() -> Node* {
+            fstart = update_start(ls, fstart);
+            return fstart.valid() ? fstart.value() : nullptr;
+          };
+          if (sg_.finish_insert(n, fnode, refresh)) {
+            return it;  // node has just been fully inserted
+          }
+          // Marked before all levels linked: prune and keep walking back.
+          LocalIter prev = it.prev();
+          K doomed = it.key();
+          erase_local(ls, doomed);
+          it = prev;
+          continue;
+        }
+        return it;  // node already fully inserted
+      }
+      LocalIter prev = it.prev();
+      K doomed = it.key();
+      erase_local(ls, doomed);
+      it = prev;
+    }
+    return it;  // invalid: search starts at the head
+  }
+
+  /// Alg. 9 (updateStart): like getStart but never finishes insertions —
+  /// it skips not-fully-inserted nodes and prunes marked ones.
+  LocalIter update_start(LocalState& ls, LocalIter it) {
+    while (it.valid()) {
+      Node* n = it.value();
+      lsg::stats::read_access(n->owner, n);
+      if (!n->get_mark(0) || !n->get_mark(n->height)) {
+        if (n->inserted.load(std::memory_order_acquire)) return it;
+        it = it.prev();  // ignore in-flight insertions
+        continue;
+      }
+      LocalIter prev = it.prev();
+      K doomed = it.key();
+      erase_local(ls, doomed);
+      it = prev;
+    }
+    return it;
+  }
+
+  /// Best borrowed start for `key`: the published hint with the largest
+  /// key <= `key` among fully-inserted, unmarked top-level nodes, preferring
+  /// hints from threads on the caller's own NUMA node. Returns nullptr when
+  /// hints are disabled or nothing usable is published. Only used where the
+  /// search result feeds level-0 work or pure reads — a foreign-membership
+  /// start must never seed a full-height splice.
+  Node* borrow_hint(LocalState& ls, const K& key) {
+    if (!opts_.use_neighbor_hints) return nullptr;
+    const int my_node = lsg::numa::ThreadRegistry::node_of(ls.tid);
+    Node* best = nullptr;
+    bool best_local = false;
+    const int n = opts_.num_threads < lsg::numa::kMaxThreads
+                      ? opts_.num_threads
+                      : lsg::numa::kMaxThreads;
+    for (int t = 0; t < n; ++t) {
+      Node* h = hints_[t].value.load(std::memory_order_acquire);
+      // Strictly preceding only: starting AT an equal-key node would hide
+      // it from the search and let an insert create a duplicate.
+      if (h == nullptr || !(h->key < key) || h->get_mark(0) ||
+          !h->inserted.load(std::memory_order_acquire)) {
+        continue;
+      }
+      bool local = lsg::numa::ThreadRegistry::node_of(t) == my_node;
+      if (best == nullptr || (local && !best_local) ||
+          (local == best_local && best->key < h->key)) {
+        best = h;
+        best_local = local;
+      }
+    }
+    if (best != nullptr) lsg::stats::read_access(best->owner, best);
+    return best;
+  }
+
+  LayeredOptions opts_;
+  lsg::numa::MembershipAssigner assigner_;
+  SG sg_;
+  std::array<std::unique_ptr<LocalState>, lsg::numa::kMaxThreads> locals_{};
+  std::array<lsg::common::Padded<std::atomic<Node*>>, lsg::numa::kMaxThreads>
+      hints_{};
+};
+
+}  // namespace lsg::core

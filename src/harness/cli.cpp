@@ -1,0 +1,190 @@
+#include "harness/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "harness/driver.hpp"
+#include "harness/registry.hpp"
+#include "harness/report.hpp"
+#include "stats/heatmap.hpp"
+
+namespace lsg::harness {
+namespace {
+
+/// Accepts "1024" or "2^10".
+bool parse_range(const std::string& s, uint64_t& out) {
+  if (s.rfind("2^", 0) == 0) {
+    int exp = std::atoi(s.c_str() + 2);
+    if (exp < 0 || exp > 40) return false;
+    out = uint64_t{1} << exp;
+    return true;
+  }
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v == 0) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "lsg_cli — run one algorithm/workload configuration\n"
+      "  -a NAME   algorithm (see -l)            [layered_map_sg]\n"
+      "  -t N      threads                       [4]\n"
+      "  -d MS     duration per run, ms          [200]\n"
+      "  -r N      key range (int or 2^x)        [2^14]\n"
+      "  -u PCT    requested update percentage   [50]\n"
+      "  -i PCT    initial fill, % of range      [20]\n"
+      "  -s SEED   rng seed                      [42]\n"
+      "  -n N      runs to average               [1]\n"
+      "  -H        collect + print heatmaps\n"
+      "  -L        print locality metrics\n"
+      "  --csv F   append a CSV row per trial to F\n"
+      "  -l        list algorithms\n"
+      "  -h        this help\n";
+}
+
+CliOptions parse_cli(int argc, const char* const* argv) {
+  CliOptions o;
+  o.cfg.threads = 4;
+  o.cfg.duration_ms = 200;
+  auto need = [&](int i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      o.help = true;
+    } else if (arg == "-l" || arg == "--list") {
+      o.list_algorithms = true;
+    } else if (arg == "-H") {
+      o.cfg.collect_heatmaps = true;
+    } else if (arg == "-L") {
+      o.locality_report = true;
+    } else if (arg == "-a") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "-a requires an algorithm name";
+        return o;
+      }
+      o.cfg.algorithm = v;
+    } else if (arg == "--csv") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--csv requires a path";
+        return o;
+      }
+      o.csv_path = v;
+    } else if (arg == "-t" || arg == "-d" || arg == "-u" || arg == "-i" ||
+               arg == "-s" || arg == "-n" || arg == "-r") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = arg + " requires a value";
+        return o;
+      }
+      if (arg == "-r") {
+        uint64_t range = 0;
+        if (!parse_range(v, range)) {
+          o.error = "bad key range: " + std::string(v);
+          return o;
+        }
+        o.cfg.key_space = range;
+        continue;
+      }
+      long n = std::strtol(v, nullptr, 10);
+      if (arg == "-t") {
+        if (n < 1 || n > 255) {
+          o.error = "threads must be in [1, 255]";
+          return o;
+        }
+        o.cfg.threads = static_cast<int>(n);
+      } else if (arg == "-d") {
+        if (n < 1) {
+          o.error = "duration must be positive";
+          return o;
+        }
+        o.cfg.duration_ms = static_cast<int>(n);
+      } else if (arg == "-u") {
+        if (n < 0 || n > 100) {
+          o.error = "update percentage must be in [0, 100]";
+          return o;
+        }
+        o.cfg.update_pct = static_cast<int>(n);
+      } else if (arg == "-i") {
+        if (n < 0 || n > 100) {
+          o.error = "initial fill must be in [0, 100]";
+          return o;
+        }
+        o.cfg.preload_fraction = n / 100.0;
+      } else if (arg == "-s") {
+        o.cfg.seed = static_cast<uint64_t>(n);
+      } else {  // -n
+        if (n < 1) {
+          o.error = "runs must be positive";
+          return o;
+        }
+        o.cfg.runs = static_cast<int>(n);
+      }
+    } else {
+      o.error = "unknown flag: " + arg;
+      return o;
+    }
+  }
+  return o;
+}
+
+int run_cli(int argc, const char* const* argv) {
+  CliOptions o = parse_cli(argc, argv);
+  if (!o.error.empty()) {
+    std::fprintf(stderr, "error: %s\n%s", o.error.c_str(),
+                 cli_usage().c_str());
+    return 2;
+  }
+  if (o.help) {
+    std::printf("%s", cli_usage().c_str());
+    return 0;
+  }
+  if (o.list_algorithms) {
+    for (const auto& a : algorithms()) {
+      std::printf("%-20s %s\n", a.name.c_str(), a.description.c_str());
+    }
+    return 0;
+  }
+  // Validate the algorithm before burning a trial.
+  bool known = false;
+  for (const auto& a : algorithms()) known = known || a.name == o.cfg.algorithm;
+  if (!known) {
+    std::fprintf(stderr, "error: unknown algorithm '%s' (use -l)\n",
+                 o.cfg.algorithm.c_str());
+    return 2;
+  }
+  o.cfg.topology = locality_topology(o.cfg.threads);
+  print_banner("lsg_cli", o.cfg);
+  TrialResult r = run_averaged(o.cfg);
+  print_throughput_header();
+  print_throughput_row(r);
+  if (o.locality_report) {
+    print_locality_header();
+    print_locality_row(r);
+  }
+  if (o.cfg.collect_heatmaps) {
+    print_heatmap_report(o.cfg.algorithm, /*cas_map=*/true, o.cfg);
+    print_heatmap_report(o.cfg.algorithm, /*cas_map=*/false, o.cfg);
+  }
+  if (!o.csv_path.empty()) {
+    bool fresh = !static_cast<bool>(std::ifstream(o.csv_path));
+    std::ofstream out(o.csv_path, std::ios::app);
+    if (fresh) out << csv_header() << "\n";
+    out << to_csv_row(r) << "\n";
+    std::printf("appended CSV row to %s\n", o.csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace lsg::harness

@@ -1,0 +1,41 @@
+// Command-line front end (Synchrobench-style flags) for running any
+// registered algorithm under any workload. Parsing lives in the library so
+// it is unit-testable; the binary is bench/lsg_cli.cpp.
+#pragma once
+
+#include <string>
+
+#include "harness/workload.hpp"
+
+namespace lsg::harness {
+
+struct CliOptions {
+  TrialConfig cfg;
+  bool list_algorithms = false;
+  bool help = false;
+  bool locality_report = false;  // print the Tbl.-1-style metrics too
+  std::string csv_path;          // append result rows to this CSV
+  std::string error;             // non-empty => parse failure
+};
+
+/// Flags (Synchrobench-compatible where applicable):
+///   -a NAME   algorithm (default layered_map_sg); -l lists all
+///   -t N      threads
+///   -d MS     duration of each run in milliseconds
+///   -r N      key range (accepts plain integers or 2^x)
+///   -u PCT    requested update percentage
+///   -i PCT    initial fill as a percentage of the key range
+///   -s SEED   RNG seed
+///   -n N      number of runs to average
+///   -H        collect and print heatmaps
+///   -L        print locality metrics (local/remote reads & CAS, CAS rate)
+///   --csv F   append a CSV row per trial to file F
+///   -l        list algorithms;  -h  help
+CliOptions parse_cli(int argc, const char* const* argv);
+
+std::string cli_usage();
+
+/// Entry point used by the lsg_cli binary; returns the process exit code.
+int run_cli(int argc, const char* const* argv);
+
+}  // namespace lsg::harness

@@ -1,0 +1,221 @@
+#include "harness/driver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/tsc.hpp"
+#include "harness/registry.hpp"
+#include "numa/pinning.hpp"
+#include "stats/heatmap.hpp"
+
+namespace lsg::harness {
+namespace {
+
+struct WorkerTally {
+  uint64_t ops = 0;
+  uint64_t succ_inserts = 0;
+  uint64_t succ_removes = 0;
+  uint64_t attempted_updates = 0;
+  uint64_t contains_ops = 0;
+};
+
+}  // namespace
+
+TrialResult run_trial(const TrialConfig& cfg) {
+  return run_trial(cfg,
+                   [](const TrialConfig& c) { return make_map(c.algorithm, c); });
+}
+
+TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
+  using clock = std::chrono::steady_clock;
+
+  lsg::stats::disable_heatmaps();
+  lsg::numa::ThreadRegistry::reset();
+  lsg::numa::ThreadRegistry::configure(cfg.topology);
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+
+  const int T = cfg.threads;
+  std::atomic<IMap*> shared_map{nullptr};
+  std::atomic<int> ready{0};
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> preload_done{0};
+  std::atomic<uint64_t> preload_count{0};
+  const uint64_t preload_target = static_cast<uint64_t>(
+      static_cast<double>(cfg.key_space) * cfg.preload_fraction);
+
+  std::vector<WorkerTally> tallies(T);
+  std::vector<std::thread> workers;
+  workers.reserve(T);
+
+  for (int i = 0; i < T; ++i) {
+    workers.emplace_back([&, i] {
+      // Register in spawn order so logical ids follow the pinning order
+      // (sockets are filled before spilling to the next, paper §5).
+      while (lsg::numa::ThreadRegistry::registered_count() != i) {
+        std::this_thread::yield();
+      }
+      lsg::numa::ThreadRegistry::register_self();
+      lsg::stats::forget_self();
+      lsg::numa::ThreadRegistry::pin_self_if_possible();
+      ready.fetch_add(1);
+
+      IMap* map = nullptr;
+      while ((map = shared_map.load(std::memory_order_acquire)) == nullptr) {
+        std::this_thread::yield();
+      }
+      map->thread_init();
+
+      // Preload phase: each worker owns an equal share of the preloaded
+      // population (a per-thread quota, not a shared counter: on machines
+      // with fewer cores than workers a shared counter lets the first
+      // scheduled worker insert everything, leaving the other local
+      // structures empty — unlike the paper's parallel preload).
+      ThreadWorkload preload_wl(cfg, /*thread_id=*/i + 4096);
+      const uint64_t quota =
+          preload_target / T +
+          (static_cast<uint64_t>(i) < preload_target % T ? 1 : 0);
+      uint64_t mine = 0;
+      while (mine < quota) {
+        uint64_t k = preload_wl.random_key();
+        if (map->insert(k, k)) {
+          ++mine;
+          preload_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      preload_done.fetch_add(1);
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+
+      ThreadWorkload wl(cfg, i);
+      WorkerTally t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (int batch = 0; batch < 32; ++batch) {
+          ThreadWorkload::Op op = wl.next();
+          bool ok = false;
+          switch (op.kind) {
+            case ThreadWorkload::Kind::kInsert:
+              ok = map->insert(op.key, op.key);
+              ++t.attempted_updates;
+              if (ok) ++t.succ_inserts;
+              break;
+            case ThreadWorkload::Kind::kRemove:
+              ok = map->remove(op.key);
+              ++t.attempted_updates;
+              if (ok) ++t.succ_removes;
+              break;
+            case ThreadWorkload::Kind::kContains:
+              ok = map->contains(op.key);
+              ++t.contains_ops;
+              break;
+          }
+          wl.report(op, ok);
+          ++t.ops;
+        }
+      }
+      tallies[i] = t;
+    });
+  }
+
+  // Wait for all workers to hold their ids, then build the structure (the
+  // constructing thread deliberately registers after the workers so worker
+  // ids are 0..T-1, matching the pinning and heatmap conventions).
+  while (ready.load() != T) std::this_thread::yield();
+  std::unique_ptr<IMap> map = factory(cfg);
+  shared_map.store(map.get(), std::memory_order_release);
+
+  while (preload_done.load() != T) std::this_thread::yield();
+
+  // Measured phase starts with clean counters (the paper measures after
+  // preloading).
+  lsg::stats::reset();
+  if (cfg.collect_heatmaps) lsg::stats::enable_heatmaps(T);
+
+  auto t0 = clock::now();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  auto t1 = clock::now();
+
+  TrialResult r;
+  r.algorithm = cfg.algorithm;
+  r.threads = T;
+  r.measured_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count());
+  if (r.measured_ms == 0) r.measured_ms = 1;
+  for (const auto& t : tallies) {
+    r.total_ops += t.ops;
+    r.succ_inserts += t.succ_inserts;
+    r.succ_removes += t.succ_removes;
+    r.attempted_updates += t.attempted_updates;
+    r.contains_ops += t.contains_ops;
+  }
+  r.ops_per_ms = static_cast<double>(r.total_ops) / r.measured_ms;
+  r.effective_update_pct =
+      r.total_ops == 0
+          ? 0
+          : 100.0 * static_cast<double>(r.succ_inserts + r.succ_removes) /
+                static_cast<double>(r.total_ops);
+  r.counters = lsg::stats::total();
+  const double ops = r.total_ops == 0 ? 1.0 : static_cast<double>(r.total_ops);
+  r.local_reads_per_op = r.counters.local_reads / ops;
+  r.remote_reads_per_op = r.counters.remote_reads / ops;
+  r.local_cas_per_op = r.counters.local_cas / ops;
+  r.remote_cas_per_op = r.counters.remote_cas / ops;
+  r.cas_success_rate = r.counters.cas_success_rate();
+  r.nodes_per_op = r.counters.nodes_traversed / ops;
+
+  // The map (and any maintenance threads) dies here, before the next trial
+  // resets the registry.
+  return r;
+}
+
+TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
+  TrialResult avg;
+  if (runs.empty()) return avg;
+  avg = runs.front();
+  if (runs.size() == 1) return avg;
+  auto n = static_cast<double>(runs.size());
+  avg.total_ops = 0;
+  avg.ops_per_ms = 0;
+  avg.effective_update_pct = 0;
+  avg.local_reads_per_op = avg.remote_reads_per_op = 0;
+  avg.local_cas_per_op = avg.remote_cas_per_op = 0;
+  avg.cas_success_rate = 0;
+  avg.nodes_per_op = 0;
+  for (const auto& r : runs) {
+    avg.total_ops += r.total_ops;
+    avg.ops_per_ms += r.ops_per_ms / n;
+    avg.effective_update_pct += r.effective_update_pct / n;
+    avg.local_reads_per_op += r.local_reads_per_op / n;
+    avg.remote_reads_per_op += r.remote_reads_per_op / n;
+    avg.local_cas_per_op += r.local_cas_per_op / n;
+    avg.remote_cas_per_op += r.remote_cas_per_op / n;
+    avg.cas_success_rate += r.cas_success_rate / n;
+    avg.nodes_per_op += r.nodes_per_op / n;
+  }
+  return avg;
+}
+
+TrialResult run_averaged(const TrialConfig& cfg) {
+  return run_averaged(cfg, [](const TrialConfig& c) {
+    return make_map(c.algorithm, c);
+  });
+}
+
+TrialResult run_averaged(const TrialConfig& cfg, const MapFactory& factory) {
+  std::vector<TrialResult> runs;
+  TrialConfig one = cfg;
+  for (int i = 0; i < cfg.runs; ++i) {
+    one.seed = cfg.seed + static_cast<uint64_t>(i) * 7919;
+    runs.push_back(run_trial(one, factory));
+  }
+  return TrialResult::average(runs);
+}
+
+}  // namespace lsg::harness

@@ -1,0 +1,61 @@
+// Trial execution engine (re-implementation of Synchrobench's measurement
+// procedure, paper §5): spawn T pinned workers, preload the structure to
+// the configured fraction, run a timed mixed workload, and collect both
+// throughput and the instrumentation counters the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/imap.hpp"
+#include "harness/workload.hpp"
+#include "stats/counters.hpp"
+
+namespace lsg::harness {
+
+struct TrialResult {
+  std::string algorithm;
+  int threads = 0;
+  uint64_t measured_ms = 0;
+
+  uint64_t total_ops = 0;
+  uint64_t succ_inserts = 0;
+  uint64_t succ_removes = 0;
+  uint64_t attempted_updates = 0;
+  uint64_t contains_ops = 0;
+
+  double ops_per_ms = 0;
+  double effective_update_pct = 0;  // successful updates / total ops
+
+  lsg::stats::ThreadCounters counters;  // measured phase only
+  double local_reads_per_op = 0;
+  double remote_reads_per_op = 0;
+  double local_cas_per_op = 0;   // maintenance CAS
+  double remote_cas_per_op = 0;  // maintenance CAS
+  double cas_success_rate = 1.0;
+  double nodes_per_op = 0;       // Fig. 5 metric
+
+  /// Merge-average of several runs (throughput & ratios averaged; counters
+  /// summed).
+  static TrialResult average(const std::vector<TrialResult>& runs);
+};
+
+using MapFactory = std::function<std::unique_ptr<IMap>(const TrialConfig&)>;
+
+/// Run one trial with cfg.algorithm resolved through the registry.
+/// Heatmaps (when cfg.collect_heatmaps) remain available via
+/// stats::read_heatmap()/cas_heatmap() until the next trial starts.
+TrialResult run_trial(const TrialConfig& cfg);
+
+/// Run one trial over a caller-provided structure factory (ablations and
+/// custom configurations not in the registry).
+TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory);
+
+/// Run cfg.runs trials and average (the paper averages 5 runs).
+TrialResult run_averaged(const TrialConfig& cfg);
+TrialResult run_averaged(const TrialConfig& cfg, const MapFactory& factory);
+
+}  // namespace lsg::harness

@@ -1,0 +1,53 @@
+// Uniform map interface used by the measurement harness and benches so the
+// paper's full algorithm roster can be driven by one loop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace lsg::harness {
+
+using Key = uint64_t;
+using Value = uint64_t;
+
+class IMap {
+ public:
+  virtual ~IMap() = default;
+  virtual bool insert(Key key, Value value) = 0;
+  virtual bool remove(Key key) = 0;
+  virtual bool contains(Key key) = 0;
+  /// Called once per worker before the measured phase.
+  virtual void thread_init() {}
+  virtual const std::string& name() const = 0;
+};
+
+/// Adapts any map-shaped class (insert/remove/contains) to IMap.
+template <class M>
+class MapAdapter final : public IMap {
+ public:
+  template <class... Args>
+  explicit MapAdapter(std::string name, Args&&... args)
+      : name_(std::move(name)), impl_(std::forward<Args>(args)...) {}
+
+  bool insert(Key key, Value value) override { return impl_.insert(key, value); }
+  bool remove(Key key) override { return impl_.remove(key); }
+  bool contains(Key key) override { return impl_.contains(key); }
+
+  void thread_init() override {
+    if constexpr (requires(M& m) { m.thread_init(); }) {
+      impl_.thread_init();
+    }
+  }
+
+  const std::string& name() const override { return name_; }
+
+  M& impl() { return impl_; }
+
+ private:
+  std::string name_;
+  M impl_;
+};
+
+}  // namespace lsg::harness

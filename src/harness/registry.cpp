@@ -1,0 +1,181 @@
+#include "harness/registry.hpp"
+
+#include <stdexcept>
+
+#include "baselines/nohotspot.hpp"
+#include "baselines/numask.hpp"
+#include "baselines/rotating.hpp"
+#include "common/bits.hpp"
+#include "core/layered_map.hpp"
+#include "local/avl_map.hpp"
+#include "skipgraph/skip_graph_map.hpp"
+#include "skiplist/lockfree_list.hpp"
+#include "skiplist/lockfree_skiplist.hpp"
+#include "skiplist/locked_skiplist.hpp"
+
+namespace lsg::harness {
+namespace {
+
+using lsg::core::LayeredMap;
+using lsg::core::LayeredOptions;
+using Node = lsg::skipgraph::SgNode<Key, Value>;
+using AvlLocal = lsg::local::AvlMap<Key, Node*>;
+
+LayeredOptions layered_base(const TrialConfig& cfg) {
+  LayeredOptions o;
+  o.num_threads = cfg.threads;
+  o.policy = lsg::numa::MembershipPolicy::kNumaAware;
+  return o;
+}
+
+/// Baseline skip lists follow the paper's sizing: max level x for a 2^x
+/// key space.
+unsigned baseline_level(const TrialConfig& cfg) {
+  unsigned lvl = lsg::common::ceil_log2(cfg.key_space);
+  return lvl >= lsg::skipgraph::kMaxLevels ? lsg::skipgraph::kMaxLevels - 1
+                                           : lvl;
+}
+
+/// A bottom-list-only wrapper (no index) for the lockfreelist entry.
+class ListMap {
+ public:
+  bool insert(Key k, Value v) { return list_.insert(k, v); }
+  bool remove(Key k) { return list_.remove(k); }
+  bool contains(Key k) { return list_.contains(k); }
+
+ private:
+  lsg::skiplist::LockFreeList<Key, Value> list_;
+};
+
+std::vector<AlgoInfo> build() {
+  std::vector<AlgoInfo> v;
+  auto add = [&](std::string name, std::string desc, auto factory) {
+    v.push_back(AlgoInfo{std::move(name), std::move(desc), factory});
+  };
+
+  add("layered_map_sg", "std::map layered over a regular skip graph",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        return std::make_unique<MapAdapter<LayeredMap<Key, Value>>>(
+            "layered_map_sg", layered_base(cfg));
+      });
+  add("lazy_layered_sg", "lazy variant of layered_map_sg",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        LayeredOptions o = layered_base(cfg);
+        o.lazy = true;
+        return std::make_unique<MapAdapter<LayeredMap<Key, Value>>>(
+            "lazy_layered_sg", o);
+      });
+  add("layered_map_ssg", "std::map layered over a sparse skip graph",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        LayeredOptions o = layered_base(cfg);
+        o.sparse = true;
+        return std::make_unique<MapAdapter<LayeredMap<Key, Value>>>(
+            "layered_map_ssg", o);
+      });
+  add("layered_map_ll", "std::map layered over a linked list (MaxLevel 0)",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        LayeredOptions o = layered_base(cfg);
+        o.max_level = 0;
+        return std::make_unique<MapAdapter<LayeredMap<Key, Value>>>(
+            "layered_map_ll", o);
+      });
+  add("layered_map_sl", "std::map layered over one shared skip list",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        LayeredOptions o = layered_base(cfg);
+        o.policy = lsg::numa::MembershipPolicy::kAllZero;
+        return std::make_unique<MapAdapter<LayeredMap<Key, Value>>>(
+            "layered_map_sl", o);
+      });
+  add("layered_hints",
+      "extension: lazy layered SG + neighbor start hints (paper p. 10)",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        LayeredOptions o = layered_base(cfg);
+        o.lazy = true;
+        o.use_neighbor_hints = true;
+        return std::make_unique<MapAdapter<LayeredMap<Key, Value>>>(
+            "layered_hints", o);
+      });
+  add("layered_avl_sg",
+      "library extension: our AVL map as the local structure",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        return std::make_unique<
+            MapAdapter<LayeredMap<Key, Value, AvlLocal>>>("layered_avl_sg",
+                                                          layered_base(cfg));
+      });
+  add("skipgraph", "skip graph without layering (head-started searches)",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        return std::make_unique<
+            MapAdapter<lsg::skipgraph::SkipGraphMap<Key, Value>>>(
+            "skipgraph", baseline_level(cfg));
+      });
+  add("skiplist", "lock-free skip list with the relink optimization",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        return std::make_unique<
+            MapAdapter<lsg::skiplist::LockFreeSkipList<Key, Value>>>(
+            "skiplist", baseline_level(cfg), /*relink=*/true);
+      });
+  add("skiplist_norelink", "ablation: relink optimization disabled",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        return std::make_unique<
+            MapAdapter<lsg::skiplist::LockFreeSkipList<Key, Value>>>(
+            "skiplist_norelink", baseline_level(cfg), /*relink=*/false);
+      });
+  add("lockedskiplist", "lazy lock-based skip list",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        return std::make_unique<
+            MapAdapter<lsg::skiplist::LockedSkipList<Key, Value>>>(
+            "lockedskiplist", baseline_level(cfg));
+      });
+  add("lockfreelist", "Harris linked list (no index)",
+      [](const TrialConfig&) -> std::unique_ptr<IMap> {
+        return std::make_unique<MapAdapter<ListMap>>("lockfreelist");
+      });
+  add("nohotspot", "No-Hotspot skip list re-implementation [10]",
+      [](const TrialConfig&) -> std::unique_ptr<IMap> {
+        return std::make_unique<
+            MapAdapter<lsg::baselines::NoHotspotSkipList<Key, Value>>>(
+            "nohotspot");
+      });
+  add("rotating", "Rotating skip list re-implementation [13]",
+      [](const TrialConfig&) -> std::unique_ptr<IMap> {
+        return std::make_unique<
+            MapAdapter<lsg::baselines::RotatingSkipList<Key, Value>>>(
+            "rotating");
+      });
+  add("numask", "NUMASK re-implementation [11]",
+      [](const TrialConfig&) -> std::unique_ptr<IMap> {
+        return std::make_unique<
+            MapAdapter<lsg::baselines::NumaskSkipList<Key, Value>>>("numask");
+      });
+  return v;
+}
+
+}  // namespace
+
+const std::vector<AlgoInfo>& algorithms() {
+  static const std::vector<AlgoInfo> v = build();
+  return v;
+}
+
+std::unique_ptr<IMap> make_map(const std::string& name,
+                               const TrialConfig& cfg) {
+  for (const auto& a : algorithms()) {
+    if (a.name == name) return a.make(cfg);
+  }
+  throw std::out_of_range("unknown algorithm: " + name);
+}
+
+std::vector<std::string> algorithm_names() {
+  std::vector<std::string> out;
+  for (const auto& a : algorithms()) out.push_back(a.name);
+  return out;
+}
+
+std::vector<std::string> figure_algorithms() {
+  return {"layered_map_sg", "lazy_layered_sg", "layered_map_ssg",
+          "layered_map_ll", "layered_map_sl",  "skipgraph",
+          "skiplist",       "lockedskiplist",  "nohotspot",
+          "rotating",       "numask"};
+}
+
+}  // namespace lsg::harness

@@ -1,0 +1,33 @@
+// Algorithm registry: maps the paper's algorithm names (graph legends of
+// Figs. 2-4/11-13) to factories over the uniform IMap interface.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/imap.hpp"
+#include "harness/workload.hpp"
+
+namespace lsg::harness {
+
+struct AlgoInfo {
+  std::string name;
+  std::string description;
+  std::function<std::unique_ptr<IMap>(const TrialConfig&)> make;
+};
+
+/// Every registered algorithm, in the paper's presentation order.
+const std::vector<AlgoInfo>& algorithms();
+
+/// Factory lookup; throws std::out_of_range for unknown names.
+std::unique_ptr<IMap> make_map(const std::string& name,
+                               const TrialConfig& cfg);
+
+std::vector<std::string> algorithm_names();
+
+/// The subset the paper plots in the throughput figures.
+std::vector<std::string> figure_algorithms();
+
+}  // namespace lsg::harness

@@ -1,0 +1,191 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/bits.hpp"
+#include "numa/pinning.hpp"
+#include "stats/heatmap.hpp"
+
+namespace lsg::harness {
+
+void print_banner(const std::string& experiment, const TrialConfig& cfg) {
+  std::printf(
+      "\n=== %s ===\nkey space 2^%u | requested updates %d%% | preload "
+      "%.1f%% | %d ms/run x %d run(s) | topology: %s\n",
+      experiment.c_str(),
+      static_cast<unsigned>(
+          lsg::common::ceil_log2(cfg.key_space == 0 ? 1 : cfg.key_space)),
+      cfg.update_pct, cfg.preload_fraction * 100.0, cfg.duration_ms, cfg.runs,
+      cfg.topology.describe().c_str());
+}
+
+void print_throughput_header() {
+  std::printf("%-18s %8s %12s %10s %12s\n", "algorithm", "threads", "ops/ms",
+              "eff.upd%", "nodes/op");
+}
+
+void print_throughput_row(const TrialResult& r) {
+  std::printf("%-18s %8d %12.1f %10.2f %12.2f\n", r.algorithm.c_str(),
+              r.threads, r.ops_per_ms, r.effective_update_pct, r.nodes_per_op);
+}
+
+void print_locality_header() {
+  std::printf("%-18s %10s %11s %11s %12s %9s\n", "algorithm", "l.reads/op",
+              "r.reads/op", "l.CAS/op", "r.CAS/op", "CAS succ");
+}
+
+void print_locality_row(const TrialResult& r) {
+  std::printf("%-18s %10.3f %11.3f %11.4f %12.4f %9.3f\n", r.algorithm.c_str(),
+              r.local_reads_per_op, r.remote_reads_per_op, r.local_cas_per_op,
+              r.remote_cas_per_op, r.cas_success_rate);
+}
+
+void print_nodes_per_search_header() {
+  std::printf("%-18s %8s %14s\n", "algorithm", "threads", "nodes/op");
+}
+
+void print_nodes_per_search_row(const TrialResult& r) {
+  std::printf("%-18s %8d %14.2f\n", r.algorithm.c_str(), r.threads,
+              r.nodes_per_op);
+}
+
+void print_heatmap_report(const std::string& title, bool cas_map,
+                          const TrialConfig& cfg,
+                          const std::string& csv_path) {
+  const lsg::stats::Heatmap* h =
+      cas_map ? lsg::stats::cas_heatmap() : lsg::stats::read_heatmap();
+  if (h == nullptr) {
+    std::printf("  (heatmaps were not enabled)\n");
+    return;
+  }
+  std::vector<int> node_of(h->size());
+  for (int t = 0; t < h->size(); ++t) {
+    node_of[t] = lsg::numa::ThreadRegistry::node_of(t);
+  }
+  const int sockets = cfg.topology.num_sockets();
+  std::vector<std::vector<int>> dist(sockets, std::vector<int>(sockets));
+  for (int a = 0; a < sockets; ++a) {
+    for (int b = 0; b < sockets; ++b) {
+      dist[a][b] = cfg.topology.node_distance(a, b);
+    }
+  }
+  std::printf("--- %s heatmap: %s ---\n", cas_map ? "CAS" : "read",
+              title.c_str());
+  std::printf("  total accesses: %llu | NUMA locality: %.3f | mean access "
+              "distance: %.2f\n",
+              static_cast<unsigned long long>(h->total()),
+              h->locality(node_of), h->mean_access_distance(node_of, dist));
+  auto agg = h->by_node(node_of, sockets);
+  std::printf("  node-aggregated matrix (row = accessing node, col = owner "
+              "node):\n");
+  for (int a = 0; a < sockets; ++a) {
+    std::printf("   ");
+    for (int b = 0; b < sockets; ++b) {
+      std::printf(" %12llu", static_cast<unsigned long long>(agg[a][b]));
+    }
+    std::printf("\n");
+  }
+  std::printf("%s", h->to_ascii(32).c_str());
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    out << h->to_csv();
+    std::printf("  full matrix written to %s\n", csv_path.c_str());
+  }
+}
+
+bool full_scale() {
+  const char* v = std::getenv("LSG_FULL");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+std::vector<int> bench_thread_counts() {
+  if (const char* v = std::getenv("LSG_THREADS")) {
+    std::vector<int> out;
+    int cur = 0;
+    bool have = false;
+    for (const char* p = v;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        cur = cur * 10 + (*p - '0');
+        have = true;
+      } else {
+        if (have) out.push_back(cur);
+        cur = 0;
+        have = false;
+        if (*p == '\0') break;
+      }
+    }
+    if (!out.empty()) return out;
+  }
+  if (full_scale()) return {2, 4, 8, 16, 32, 48, 64, 96};
+  return {2, 4, 8};
+}
+
+int bench_duration_ms() {
+  return env_int("LSG_DURATION_MS", full_scale() ? 10000 : 120);
+}
+
+int bench_runs() { return env_int("LSG_RUNS", full_scale() ? 5 : 1); }
+
+std::string csv_header() {
+  return "algorithm,threads,measured_ms,total_ops,ops_per_ms,"
+         "effective_update_pct,succ_inserts,succ_removes,contains_ops,"
+         "local_reads_per_op,remote_reads_per_op,local_cas_per_op,"
+         "remote_cas_per_op,cas_success_rate,nodes_per_op";
+}
+
+std::string to_csv_row(const TrialResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%s,%d,%llu,%llu,%.3f,%.4f,%llu,%llu,%llu,%.4f,%.4f,%.5f,"
+                "%.5f,%.5f,%.3f",
+                r.algorithm.c_str(), r.threads,
+                static_cast<unsigned long long>(r.measured_ms),
+                static_cast<unsigned long long>(r.total_ops), r.ops_per_ms,
+                r.effective_update_pct,
+                static_cast<unsigned long long>(r.succ_inserts),
+                static_cast<unsigned long long>(r.succ_removes),
+                static_cast<unsigned long long>(r.contains_ops),
+                r.local_reads_per_op, r.remote_reads_per_op,
+                r.local_cas_per_op, r.remote_cas_per_op, r.cas_success_rate,
+                r.nodes_per_op);
+  return buf;
+}
+
+std::string to_json(const TrialResult& r) {
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"algorithm\":\"%s\",\"threads\":%d,\"measured_ms\":%llu,"
+      "\"total_ops\":%llu,\"ops_per_ms\":%.3f,"
+      "\"effective_update_pct\":%.4f,\"succ_inserts\":%llu,"
+      "\"succ_removes\":%llu,\"contains_ops\":%llu,"
+      "\"local_reads_per_op\":%.4f,\"remote_reads_per_op\":%.4f,"
+      "\"local_cas_per_op\":%.5f,\"remote_cas_per_op\":%.5f,"
+      "\"cas_success_rate\":%.5f,\"nodes_per_op\":%.3f}",
+      r.algorithm.c_str(), r.threads,
+      static_cast<unsigned long long>(r.measured_ms),
+      static_cast<unsigned long long>(r.total_ops), r.ops_per_ms,
+      r.effective_update_pct, static_cast<unsigned long long>(r.succ_inserts),
+      static_cast<unsigned long long>(r.succ_removes),
+      static_cast<unsigned long long>(r.contains_ops), r.local_reads_per_op,
+      r.remote_reads_per_op, r.local_cas_per_op, r.remote_cas_per_op,
+      r.cas_success_rate, r.nodes_per_op);
+  return buf;
+}
+
+lsg::numa::Topology locality_topology(int threads) {
+  if (threads >= 96) return lsg::numa::Topology::paper_machine();
+  int cores = std::max(1, (threads + 3) / 4);
+  return lsg::numa::Topology::uniform(2, cores, 2, 10, 21);
+}
+
+}  // namespace lsg::harness

@@ -1,0 +1,52 @@
+// Console/CSV reporting helpers shared by the figure benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/driver.hpp"
+
+namespace lsg::harness {
+
+/// "fig2_hc_wh"-style banner with the workload parameters.
+void print_banner(const std::string& experiment, const TrialConfig& cfg);
+
+/// Throughput table (Figs. 2-4, 11-13): one row per (algorithm, threads).
+void print_throughput_header();
+void print_throughput_row(const TrialResult& r);
+
+/// Locality metrics table (Tbl. 1 layout).
+void print_locality_header();
+void print_locality_row(const TrialResult& r);
+
+/// Fig. 5 layout: average shared nodes traversed per operation.
+void print_nodes_per_search_header();
+void print_nodes_per_search_row(const TrialResult& r);
+
+/// Heatmap report: per-NUMA-node aggregate matrix, overall locality ratio,
+/// mean access distance, and an ASCII rendering; optionally dumps the full
+/// T x T matrix to `csv_path`.
+void print_heatmap_report(const std::string& title, bool cas_map,
+                          const TrialConfig& cfg,
+                          const std::string& csv_path = "");
+
+/// Scale helpers shared by benches: honor LSG_FULL=1 (paper-scale runs),
+/// LSG_DURATION_MS, LSG_RUNS and LSG_THREADS (comma list) overrides.
+bool full_scale();
+int env_int(const char* name, int fallback);
+std::vector<int> bench_thread_counts();
+int bench_duration_ms();
+int bench_runs();
+
+/// Machine-readable exports.
+std::string csv_header();
+std::string to_csv_row(const TrialResult& r);
+std::string to_json(const TrialResult& r);
+
+/// Topology for locality-sensitive experiments: the paper machine when the
+/// thread count fills it meaningfully, otherwise a 2-socket machine sized
+/// so `threads` spans both sockets (locality metrics are vacuous when every
+/// thread lands on socket 0).
+lsg::numa::Topology locality_topology(int threads);
+
+}  // namespace lsg::harness

@@ -1,0 +1,4 @@
+#include "harness/workload.hpp"
+
+// TrialConfig and ThreadWorkload are header-only; this TU anchors the
+// library and hosts nothing else at present.

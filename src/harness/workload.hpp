@@ -1,0 +1,99 @@
+// Synchrobench-style workload description and per-thread operation stream
+// (paper §5, "Experiment setup": Synchrobench testing procedure with -f 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "numa/topology.hpp"
+
+namespace lsg::harness {
+
+struct TrialConfig {
+  std::string algorithm = "layered_map_sg";
+  int threads = 4;
+  int duration_ms = 100;
+  /// Size of the key universe. Paper: HC = 2^8, MC = 2^14, LC = 2^17.
+  uint64_t key_space = uint64_t{1} << 14;
+  /// Requested percentage of update operations. Paper: WH = 50, RH = 20.
+  int update_pct = 50;
+  /// Structures are preloaded to this fraction of key_space before
+  /// measuring. Paper: 20% (2.5% for LC).
+  double preload_fraction = 0.2;
+  uint64_t seed = 42;
+  /// Record T x T read/CAS heatmaps during the measured phase.
+  bool collect_heatmaps = false;
+  /// Average over this many runs (paper: 5).
+  int runs = 1;
+  lsg::numa::Topology topology = lsg::numa::Topology::paper_machine();
+
+  /// Paper's contention shorthands.
+  static TrialConfig hc() {
+    TrialConfig c;
+    c.key_space = uint64_t{1} << 8;
+    return c;
+  }
+  static TrialConfig mc() {
+    TrialConfig c;
+    c.key_space = uint64_t{1} << 14;
+    return c;
+  }
+  static TrialConfig lc() {
+    TrialConfig c;
+    c.key_space = uint64_t{1} << 17;
+    c.preload_fraction = 0.025;
+    return c;
+  }
+};
+
+/// Per-thread operation stream implementing Synchrobench's "effective
+/// update" mode (-f 1): update slots alternate between inserting a fresh
+/// random key and removing the key from the thread's last successful
+/// insert, so the requested update ratio is met by *successful* updates as
+/// closely as the key space allows, and the structure size stays stable.
+class ThreadWorkload {
+ public:
+  enum class Kind : uint8_t { kInsert, kRemove, kContains };
+
+  struct Op {
+    Kind kind;
+    uint64_t key;
+  };
+
+  ThreadWorkload(const TrialConfig& cfg, int thread_id)
+      : key_space_(cfg.key_space),
+        update_pct_(static_cast<uint32_t>(cfg.update_pct)),
+        rng_(cfg.seed ^ (0x9e3779b97f4a7c15ull * (thread_id + 1))) {}
+
+  Op next() {
+    if (rng_.percent_chance(update_pct_)) {
+      if (pending_remove_) {
+        pending_remove_ = false;
+        return Op{Kind::kRemove, last_inserted_};
+      }
+      return Op{Kind::kInsert, random_key()};
+    }
+    return Op{Kind::kContains, random_key()};
+  }
+
+  /// Feed back the outcome so the insert/remove alternation tracks
+  /// *successful* inserts only.
+  void report(const Op& op, bool success) {
+    if (op.kind == Kind::kInsert && success) {
+      last_inserted_ = op.key;
+      pending_remove_ = true;
+    }
+  }
+
+  uint64_t random_key() { return rng_.next_bounded(key_space_); }
+
+ private:
+  uint64_t key_space_;
+  uint32_t update_pct_;
+  lsg::common::Xoshiro256 rng_;
+  bool pending_remove_ = false;
+  uint64_t last_inserted_ = 0;
+};
+
+}  // namespace lsg::harness

@@ -1,0 +1,299 @@
+// Sequential AVL-tree ordered map with backward-navigable iterators.
+//
+// The paper's local structures are "any user-provided, sequential map
+// supporting backward traversals" (they use std::map). This is our own such
+// map: it demonstrates the pluggability of the layered design (see
+// local/std_map.hpp for the std::map adapter) and provides the exact
+// operations the layered algorithms need:
+//   - max_lower_equal(k): greatest element with key <= k (Alg. 4 line 1)
+//   - iterator::prev():   backward traversal (Alg. 4 line 18)
+//   - erase(k) that does not disturb iterators to *other* elements.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace lsg::local {
+
+template <class K, class V, class Compare = std::less<K>>
+class AvlMap {
+  struct Node {
+    K key;
+    V value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    Node* parent = nullptr;
+    int height = 1;
+
+    Node(const K& k, const V& v) : key(k), value(v) {}
+  };
+
+ public:
+  class iterator {
+   public:
+    iterator() = default;
+
+    bool valid() const { return node_ != nullptr; }
+    const K& key() const { return node_->key; }
+    V& value() const { return node_->value; }
+
+    /// In-order predecessor; invalid iterator when at the minimum.
+    iterator prev() const { return iterator(AvlMap::predecessor(node_)); }
+    /// In-order successor.
+    iterator next() const { return iterator(AvlMap::successor(node_)); }
+
+    bool operator==(const iterator&) const = default;
+
+   private:
+    friend class AvlMap;
+    explicit iterator(Node* n) : node_(n) {}
+    Node* node_ = nullptr;
+  };
+
+  AvlMap() = default;
+  AvlMap(const AvlMap&) = delete;
+  AvlMap& operator=(const AvlMap&) = delete;
+  AvlMap(AvlMap&& o) noexcept : root_(o.root_), size_(o.size_) {
+    o.root_ = nullptr;
+    o.size_ = 0;
+  }
+  ~AvlMap() { clear(); }
+
+  /// Insert or overwrite. Returns (iterator to element, inserted?).
+  std::pair<iterator, bool> insert(const K& key, const V& value) {
+    if (!root_) {
+      root_ = new Node(key, value);
+      size_ = 1;
+      return {iterator(root_), true};
+    }
+    Node* cur = root_;
+    while (true) {
+      if (cmp_(key, cur->key)) {
+        if (!cur->left) {
+          cur->left = new Node(key, value);
+          cur->left->parent = cur;
+          ++size_;
+          rebalance_up(cur);
+          return {iterator(find_node(key)), true};
+        }
+        cur = cur->left;
+      } else if (cmp_(cur->key, key)) {
+        if (!cur->right) {
+          cur->right = new Node(key, value);
+          cur->right->parent = cur;
+          ++size_;
+          rebalance_up(cur);
+          return {iterator(find_node(key)), true};
+        }
+        cur = cur->right;
+      } else {
+        cur->value = value;
+        return {iterator(cur), false};
+      }
+    }
+  }
+
+  bool erase(const K& key) {
+    Node* n = find_node(key);
+    if (!n) return false;
+    erase_node(n);
+    --size_;
+    return true;
+  }
+
+  iterator find(const K& key) const { return iterator(find_node(key)); }
+
+  bool contains(const K& key) const { return find_node(key) != nullptr; }
+
+  /// Greatest element with key <= `key`; invalid iterator if none.
+  iterator max_lower_equal(const K& key) const {
+    Node* cur = root_;
+    Node* best = nullptr;
+    while (cur) {
+      if (cmp_(key, cur->key)) {
+        cur = cur->left;
+      } else {
+        best = cur;  // cur->key <= key
+        cur = cur->right;
+      }
+    }
+    return iterator(best);
+  }
+
+  iterator begin() const { return iterator(min_node(root_)); }
+  iterator last() const { return iterator(max_node(root_)); }
+  iterator end() const { return iterator(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    destroy(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  /// AVL invariant check (tests): returns true when every node's balance
+  /// factor is in {-1, 0, 1}, heights are consistent, parent links are
+  /// correct and in-order keys are strictly ascending.
+  bool check_invariants() const {
+    bool ok = true;
+    check(root_, nullptr, ok);
+    if (!ok) return false;
+    Node* prev = nullptr;
+    for (Node* n = min_node(root_); n; n = successor(n)) {
+      if (prev && !cmp_(prev->key, n->key)) return false;
+      prev = n;
+    }
+    return true;
+  }
+
+ private:
+  static int h(Node* n) { return n ? n->height : 0; }
+  static int balance(Node* n) { return h(n->left) - h(n->right); }
+  static void update(Node* n) {
+    n->height = 1 + (h(n->left) > h(n->right) ? h(n->left) : h(n->right));
+  }
+
+  void replace_child(Node* parent, Node* old_child, Node* new_child) {
+    if (!parent) {
+      root_ = new_child;
+    } else if (parent->left == old_child) {
+      parent->left = new_child;
+    } else {
+      parent->right = new_child;
+    }
+    if (new_child) new_child->parent = parent;
+  }
+
+  Node* rotate_left(Node* x) {
+    Node* y = x->right;
+    replace_child(x->parent, x, y);
+    x->right = y->left;
+    if (y->left) y->left->parent = x;
+    y->left = x;
+    x->parent = y;
+    update(x);
+    update(y);
+    return y;
+  }
+
+  Node* rotate_right(Node* x) {
+    Node* y = x->left;
+    replace_child(x->parent, x, y);
+    x->left = y->right;
+    if (y->right) y->right->parent = x;
+    y->right = x;
+    x->parent = y;
+    update(x);
+    update(y);
+    return y;
+  }
+
+  void rebalance_up(Node* n) {
+    while (n) {
+      update(n);
+      int b = balance(n);
+      if (b > 1) {
+        if (balance(n->left) < 0) rotate_left(n->left);
+        n = rotate_right(n);
+      } else if (b < -1) {
+        if (balance(n->right) > 0) rotate_right(n->right);
+        n = rotate_left(n);
+      }
+      n = n->parent;
+    }
+  }
+
+  Node* find_node(const K& key) const {
+    Node* cur = root_;
+    while (cur) {
+      if (cmp_(key, cur->key)) {
+        cur = cur->left;
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right;
+      } else {
+        return cur;
+      }
+    }
+    return nullptr;
+  }
+
+  static Node* min_node(Node* n) {
+    if (!n) return nullptr;
+    while (n->left) n = n->left;
+    return n;
+  }
+
+  static Node* max_node(Node* n) {
+    if (!n) return nullptr;
+    while (n->right) n = n->right;
+    return n;
+  }
+
+  static Node* successor(Node* n) {
+    if (!n) return nullptr;
+    if (n->right) return min_node(n->right);
+    Node* p = n->parent;
+    while (p && p->right == n) {
+      n = p;
+      p = p->parent;
+    }
+    return p;
+  }
+
+  static Node* predecessor(Node* n) {
+    if (!n) return nullptr;
+    if (n->left) return max_node(n->left);
+    Node* p = n->parent;
+    while (p && p->left == n) {
+      n = p;
+      p = p->parent;
+    }
+    return p;
+  }
+
+  void erase_node(Node* n) {
+    if (n->left && n->right) {
+      // Two children: move the successor's payload into n, then delete the
+      // successor node (which has at most one child). Other elements'
+      // iterators stay valid; iterators to the *successor element* now live
+      // in n — callers of the layered map never hold those across erase.
+      Node* s = min_node(n->right);
+      n->key = s->key;
+      n->value = s->value;
+      n = s;
+    }
+    Node* child = n->left ? n->left : n->right;
+    Node* parent = n->parent;
+    replace_child(parent, n, child);
+    delete n;
+    if (parent) rebalance_up(parent);
+  }
+
+  static void destroy(Node* n) {
+    if (!n) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  static int check(Node* n, Node* expected_parent, bool& ok) {
+    if (!n) return 0;
+    if (n->parent != expected_parent) ok = false;
+    int lh = check(n->left, n, ok);
+    int rh = check(n->right, n, ok);
+    int real = 1 + (lh > rh ? lh : rh);
+    if (n->height != real) ok = false;
+    if (lh - rh > 1 || rh - lh > 1) ok = false;
+    return real;
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Compare cmp_{};
+};
+
+}  // namespace lsg::local

@@ -1,0 +1,180 @@
+// Open-addressing robin-hood hash table.
+//
+// The paper pairs each thread's local map with "a fast hashtable [4]"
+// (martinus/robin-hood-hashing) consulted before the slower ordered map.
+// This is our own robin-hood table: linear probing where an inserting entry
+// displaces any resident entry that is closer to its home bucket ("rich"),
+// keeping probe-length variance low; deletion uses backward shifting so no
+// tombstones accumulate.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+
+namespace lsg::local {
+
+/// Default hash: splitmix64 finalizer over std::hash, which protects the
+/// power-of-two bucket masking from weak identity hashes of integers.
+template <class K>
+struct MixedHash {
+  std::size_t operator()(const K& k) const {
+    uint64_t x = static_cast<uint64_t>(std::hash<K>{}(k));
+    return static_cast<std::size_t>(lsg::common::splitmix64(x));
+  }
+};
+
+template <class K, class V, class Hash = MixedHash<K>>
+class RobinHoodTable {
+ public:
+  explicit RobinHoodTable(std::size_t initial_capacity = 16) {
+    cap_ = lsg::common::next_pow2(initial_capacity < 4 ? 4 : initial_capacity);
+    slots_.resize(cap_);
+  }
+
+  /// Insert or overwrite; returns true when the key was new.
+  bool insert(const K& key, const V& value) {
+    if ((size_ + 1) * 4 > cap_ * 3) grow();
+    return insert_no_grow(key, value);
+  }
+
+  /// Pointer to the mapped value, or nullptr.
+  V* find(const K& key) {
+    std::size_t idx = home(key);
+    uint32_t dib = 1;
+    while (true) {
+      Slot& s = slots_[idx];
+      if (s.dib == 0 || s.dib < dib) return nullptr;  // would have displaced
+      if (s.dib == dib && s.key == key) return &s.value;
+      idx = (idx + 1) & (cap_ - 1);
+      ++dib;
+    }
+  }
+
+  const V* find(const K& key) const {
+    return const_cast<RobinHoodTable*>(this)->find(key);
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// Backward-shift deletion; returns whether the key was present.
+  bool erase(const K& key) {
+    std::size_t idx = home(key);
+    uint32_t dib = 1;
+    while (true) {
+      Slot& s = slots_[idx];
+      if (s.dib == 0 || s.dib < dib) return false;
+      if (s.dib == dib && s.key == key) break;
+      idx = (idx + 1) & (cap_ - 1);
+      ++dib;
+    }
+    // Shift the following cluster back until an empty slot or an entry
+    // already at its home bucket.
+    std::size_t cur = idx;
+    while (true) {
+      std::size_t nxt = (cur + 1) & (cap_ - 1);
+      Slot& moved = slots_[nxt];
+      if (moved.dib <= 1) {
+        slots_[cur] = Slot{};
+        break;
+      }
+      slots_[cur] = moved;
+      slots_[cur].dib -= 1;
+      cur = nxt;
+    }
+    --size_;
+    return true;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+  double load_factor() const {
+    return static_cast<double>(size_) / static_cast<double>(cap_);
+  }
+
+  void clear() {
+    for (auto& s : slots_) s = Slot{};
+    size_ = 0;
+  }
+
+  /// Longest probe sequence currently in the table (tests / diagnostics).
+  uint32_t max_probe_length() const {
+    uint32_t m = 0;
+    for (const auto& s : slots_)
+      if (s.dib > m) m = s.dib;
+    return m;
+  }
+
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& s : slots_) {
+      if (s.dib != 0) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    K key{};
+    V value{};
+    uint32_t dib = 0;  // distance-from-home + 1; 0 == empty
+  };
+
+  std::size_t home(const K& key) const { return hash_(key) & (cap_ - 1); }
+
+  bool insert_no_grow(K key, V value) {
+    std::size_t idx = home(key);
+    uint32_t dib = 1;
+    bool inserted_new = true;
+    bool counted = false;
+    while (true) {
+      Slot& s = slots_[idx];
+      if (s.dib == 0) {
+        s.key = std::move(key);
+        s.value = std::move(value);
+        s.dib = dib;
+        if (!counted) ++size_;
+        return inserted_new;
+      }
+      if (!counted && s.dib == dib && s.key == key) {
+        s.value = std::move(value);
+        return false;
+      }
+      if (s.dib < dib) {
+        // Rob the rich: the resident is closer to home than we are.
+        std::swap(key, s.key);
+        std::swap(value, s.value);
+        std::swap(dib, s.dib);
+        if (!counted) {
+          ++size_;
+          counted = true;
+        }
+      }
+      idx = (idx + 1) & (cap_ - 1);
+      ++dib;
+    }
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    cap_ *= 2;
+    slots_.assign(cap_, Slot{});
+    size_ = 0;
+    for (auto& s : old) {
+      if (s.dib != 0) insert_no_grow(std::move(s.key), std::move(s.value));
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t cap_ = 0;
+  std::size_t size_ = 0;
+  [[no_unique_address]] Hash hash_{};
+};
+
+}  // namespace lsg::local

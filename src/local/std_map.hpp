@@ -1,0 +1,91 @@
+// std::map adapter exposing the local-structure interface (the paper's
+// actual local structure). Interchangeable with local::AvlMap through the
+// LayeredMap's LocalMap template parameter.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <utility>
+
+namespace lsg::local {
+
+template <class K, class V, class Compare = std::less<K>>
+class StdMapAdapter {
+  using Impl = std::map<K, V, Compare>;
+
+ public:
+  class iterator {
+   public:
+    iterator() = default;
+
+    bool valid() const { return owner_ != nullptr && it_ != owner_->end(); }
+    const K& key() const { return it_->first; }
+    V value() const { return it_->second; }
+
+    iterator prev() const {
+      if (!valid() || it_ == owner_->begin()) return iterator{};
+      auto copy = it_;
+      return iterator(owner_, --copy);
+    }
+
+    iterator next() const {
+      if (!valid()) return iterator{};
+      auto copy = it_;
+      ++copy;
+      return copy == owner_->end() ? iterator{} : iterator(owner_, copy);
+    }
+
+    bool operator==(const iterator& o) const {
+      if (owner_ == nullptr || o.owner_ == nullptr) return owner_ == o.owner_;
+      return it_ == o.it_;
+    }
+
+   private:
+    friend class StdMapAdapter;
+    iterator(const Impl* owner, typename Impl::const_iterator it)
+        : owner_(owner), it_(it) {}
+    const Impl* owner_ = nullptr;
+    typename Impl::const_iterator it_{};
+  };
+
+  std::pair<iterator, bool> insert(const K& key, const V& value) {
+    auto [it, inserted] = map_.insert_or_assign(key, value);
+    return {iterator(&map_, it), inserted};
+  }
+
+  bool erase(const K& key) { return map_.erase(key) > 0; }
+
+  iterator find(const K& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? iterator{} : iterator(&map_, it);
+  }
+
+  bool contains(const K& key) const { return map_.count(key) > 0; }
+
+  iterator max_lower_equal(const K& key) const {
+    auto it = map_.upper_bound(key);
+    if (it == map_.begin()) return iterator{};
+    return iterator(&map_, --it);
+  }
+
+  iterator begin() const {
+    return map_.empty() ? iterator{} : iterator(&map_, map_.begin());
+  }
+  iterator last() const {
+    return map_.empty() ? iterator{} : iterator(&map_, std::prev(map_.end()));
+  }
+  iterator end() const { return iterator{}; }
+
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void clear() { map_.clear(); }
+  bool check_invariants() const { return true; }
+
+ private:
+  Impl map_;
+
+  // Non-const access for value() through const_iterator is unnecessary: V is
+  // a pointer type in the layered structure, so values are copied out.
+};
+
+}  // namespace lsg::local

@@ -1,0 +1,50 @@
+#include "numa/membership.hpp"
+
+#include "common/bits.hpp"
+
+namespace lsg::numa {
+
+unsigned max_level_for_threads(int num_threads) {
+  if (num_threads <= 2) return 0;
+  unsigned cl = lsg::common::ceil_log2(static_cast<uint64_t>(num_threads));
+  return cl == 0 ? 0 : cl - 1;
+}
+
+MembershipAssigner::MembershipAssigner(const Topology& topo, int num_threads,
+                                       MembershipPolicy policy,
+                                       unsigned max_level_override)
+    : max_level_(max_level_override != kNoOverride
+                     ? max_level_override
+                     : max_level_for_threads(num_threads)),
+      policy_(policy) {
+  if (num_threads < 1) num_threads = 1;
+  vectors_.resize(static_cast<size_t>(num_threads), 0);
+  switch (policy_) {
+    case MembershipPolicy::kAllZero:
+      break;  // all vectors 0: one associated skip list for everyone
+    case MembershipPolicy::kThreadSuffix:
+      for (int t = 0; t < num_threads; ++t) {
+        vectors_[t] = lsg::common::suffix(static_cast<uint32_t>(t), max_level_);
+      }
+      break;
+    case MembershipPolicy::kNumaAware: {
+      // distance_renumbering()[t] is the proximity-ordered rank of logical
+      // thread t. Scale the rank into [0, 2^MaxLevel) so its HIGH bits carry
+      // the coarse position (socket first, then core group), then
+      // bit-reverse: the coarse bits land in the membership vector's low
+      // bits — the level-1 lists split exactly along the NUMA boundary and
+      // nearby threads share the longest suffixes (most lists).
+      std::vector<int> renum = topo.distance_renumbering(num_threads);
+      const uint64_t buckets = uint64_t{1} << max_level_;
+      for (int t = 0; t < num_threads; ++t) {
+        uint64_t rank = static_cast<uint64_t>(renum[t % renum.size()]);
+        uint32_t scaled = static_cast<uint32_t>(
+            rank * buckets / static_cast<uint64_t>(num_threads));
+        vectors_[t] = lsg::common::bit_reverse(scaled, max_level_);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace lsg::numa

@@ -1,0 +1,54 @@
+// Membership-vector generation (paper §2 "Flatness and Partitioning" and §5
+// "Membership Vectors").
+//
+// Every thread owns a MaxLevel-bit membership vector M whose length-i
+// suffixes name the level-i linked lists the thread operates in. Two threads
+// share the level-i list iff their vectors agree on the last i bits, so the
+// longer the common suffix, the more lists (and memory) two threads share.
+//
+// The NUMA-aware scheme renumbers threads so that close threads get close
+// ids, then bit-reverses the id: consecutive ids then share the longest
+// suffixes. With 2 sockets, the top half / bottom half of the id space
+// (i.e. the two sockets) split exactly at the level-1 lists "0" and "1".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numa/topology.hpp"
+
+namespace lsg::numa {
+
+enum class MembershipPolicy {
+  kNumaAware,   // distance renumbering + bit reversal (the paper's scheme)
+  kThreadSuffix,  // raw thread-id suffix (paper's "as simple as" strawman)
+  kAllZero,     // every thread in the same skip list (layered_map_sl)
+};
+
+/// MaxLevel for T threads: ceil(log2 T) - 1, floored at 0 (paper §2).
+unsigned max_level_for_threads(int num_threads);
+
+class MembershipAssigner {
+ public:
+  MembershipAssigner(const Topology& topo, int num_threads,
+                     MembershipPolicy policy,
+                     unsigned max_level_override = kNoOverride);
+
+  /// Membership vector for a logical thread id (only low max_level() bits
+  /// are meaningful).
+  uint32_t vector_of(int logical_thread) const {
+    return vectors_[static_cast<size_t>(logical_thread) % vectors_.size()];
+  }
+
+  unsigned max_level() const { return max_level_; }
+  MembershipPolicy policy() const { return policy_; }
+
+  static constexpr unsigned kNoOverride = 0xffffffffu;
+
+ private:
+  unsigned max_level_;
+  MembershipPolicy policy_;
+  std::vector<uint32_t> vectors_;
+};
+
+}  // namespace lsg::numa

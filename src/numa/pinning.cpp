@@ -1,0 +1,92 @@
+#include "numa/pinning.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace lsg::numa {
+namespace {
+
+struct RegistryState {
+  Topology topo = Topology::paper_machine();
+  std::vector<int> pin_order = topo.pin_order();
+  std::atomic<int> next_id{0};
+};
+
+RegistryState& state() {
+  static RegistryState s;
+  return s;
+}
+
+std::mutex& config_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+thread_local int tls_id = -1;
+
+}  // namespace
+
+void ThreadRegistry::configure(const Topology& topo) {
+  std::lock_guard lock(config_mutex());
+  state().topo = topo;
+  state().pin_order = topo.pin_order();
+  state().next_id.store(0, std::memory_order_relaxed);
+}
+
+const Topology& ThreadRegistry::topology() { return state().topo; }
+
+int ThreadRegistry::register_self() {
+  if (tls_id >= 0) return tls_id;
+  int id = state().next_id.fetch_add(1, std::memory_order_relaxed);
+  if (id >= kMaxThreads) {
+    throw std::runtime_error("ThreadRegistry: too many threads");
+  }
+  tls_id = id;
+  return id;
+}
+
+int ThreadRegistry::current() { return register_self(); }
+
+void ThreadRegistry::unregister_self() { tls_id = -1; }
+
+void ThreadRegistry::reset() {
+  state().next_id.store(0, std::memory_order_relaxed);
+  tls_id = -1;
+}
+
+int ThreadRegistry::registered_count() {
+  return state().next_id.load(std::memory_order_relaxed);
+}
+
+int ThreadRegistry::hw_thread_of(int logical_id) {
+  const auto& pins = state().pin_order;
+  return pins[static_cast<size_t>(logical_id) % pins.size()];
+}
+
+int ThreadRegistry::node_of(int logical_id) {
+  return state().topo.hw_thread(hw_thread_of(logical_id)).socket;
+}
+
+bool ThreadRegistry::pin_self_if_possible() {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  int target = hw_thread_of(current());
+  if (hw == 0 || static_cast<unsigned>(target) >= hw) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(target, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace lsg::numa

@@ -1,0 +1,54 @@
+// Thread registry and (simulated) pinning.
+//
+// Every worker thread registers itself to obtain a small dense logical id
+// (0..T-1) and a hardware-thread assignment from the active topology's pin
+// order. On Linux with enough CPUs we additionally apply a real CPU
+// affinity; on machines smaller than the simulated topology (e.g. CI
+// containers) the assignment stays logical, which is all the locality
+// instrumentation needs.
+#pragma once
+
+#include <cstdint>
+
+#include "numa/topology.hpp"
+
+namespace lsg::numa {
+
+inline constexpr int kMaxThreads = 256;
+
+class ThreadRegistry {
+ public:
+  /// Process-wide registry bound to a topology. Re-configuring resets all
+  /// registrations; only call between trials, with no worker threads live.
+  static void configure(const Topology& topo);
+
+  static const Topology& topology();
+
+  /// Register the calling thread; idempotent. Returns its logical id.
+  static int register_self();
+
+  /// Logical id of the calling thread; registers it on first use.
+  static int current();
+
+  /// Forget the calling thread's registration (the id is NOT recycled;
+  /// use reset() between trials).
+  static void unregister_self();
+
+  /// Reset all ids. No worker threads may be live.
+  static void reset();
+
+  static int registered_count();
+
+  /// NUMA node the given logical thread is pinned to.
+  static int node_of(int logical_id);
+
+  /// Hardware thread the given logical thread is pinned to.
+  static int hw_thread_of(int logical_id);
+
+  /// Attempt a real OS affinity pin for the calling thread (no-op when the
+  /// host has fewer CPUs than the simulated topology). Returns whether a
+  /// real pin was applied.
+  static bool pin_self_if_possible();
+};
+
+}  // namespace lsg::numa

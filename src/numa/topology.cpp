@@ -1,0 +1,133 @@
+#include "numa/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace lsg::numa {
+
+Topology::Topology(int sockets, int cores_per_socket, int smt,
+                   std::vector<std::vector<int>> distances)
+    : sockets_(sockets),
+      cores_per_socket_(cores_per_socket),
+      smt_(smt),
+      distances_(std::move(distances)) {
+  if (sockets <= 0 || cores_per_socket <= 0 || smt <= 0) {
+    throw std::invalid_argument("topology dimensions must be positive");
+  }
+  if (static_cast<int>(distances_.size()) != sockets) {
+    throw std::invalid_argument("distance matrix must be sockets x sockets");
+  }
+  for (const auto& row : distances_) {
+    if (static_cast<int>(row.size()) != sockets) {
+      throw std::invalid_argument("distance matrix must be sockets x sockets");
+    }
+  }
+  build_threads();
+}
+
+Topology::Topology(int sockets, int cores_per_socket, int smt,
+                   int local_distance, int remote_distance)
+    : Topology(sockets, cores_per_socket, smt, [&] {
+        std::vector<std::vector<int>> d(
+            sockets, std::vector<int>(sockets, remote_distance));
+        for (int i = 0; i < sockets; ++i) d[i][i] = local_distance;
+        return d;
+      }()) {}
+
+void Topology::build_threads() {
+  // Hardware-thread ids are assigned socket-major, core-major, SMT-minor so
+  // that id order already reflects physical proximity. Real machines number
+  // cpus differently (often SMT lanes offset by num_cores); the pinning
+  // layer only ever uses our logical ids, so the convention is internal.
+  hw_threads_.clear();
+  int id = 0;
+  for (int s = 0; s < sockets_; ++s) {
+    for (int c = 0; c < cores_per_socket_; ++c) {
+      for (int t = 0; t < smt_; ++t) {
+        hw_threads_.push_back(HwThread{id++, s * cores_per_socket_ + c, s, t});
+      }
+    }
+  }
+}
+
+int Topology::hw_thread_distance(int a, int b) const {
+  const HwThread& ta = hw_thread(a);
+  const HwThread& tb = hw_thread(b);
+  // Scale so that NUMA distance dominates core distance dominates SMT:
+  // same hw thread -> 0; same core -> 1; same socket -> 2 + |core delta|;
+  // different sockets -> a band above all intra-socket distances,
+  // proportional to the numactl distance.
+  if (a == b) return 0;
+  if (ta.core == tb.core) return 1;
+  if (ta.socket == tb.socket) {
+    return 2 + std::abs(ta.core - tb.core);
+  }
+  const int intra_band = 2 + cores_per_socket_;
+  return intra_band * node_distance(ta.socket, tb.socket);
+}
+
+std::vector<int> Topology::pin_order() const {
+  // Socket-major, then core, then SMT lane — which is exactly the id order
+  // build_threads() produces. Kept as an explicit sort over (socket, core,
+  // smt_lane) in case custom topologies reorder ids some day.
+  std::vector<int> order(hw_threads_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const HwThread& ta = hw_thread(a);
+    const HwThread& tb = hw_thread(b);
+    if (ta.socket != tb.socket) return ta.socket < tb.socket;
+    if (ta.smt_lane != tb.smt_lane) return ta.smt_lane < tb.smt_lane;
+    return ta.core < tb.core;
+  });
+  return order;
+}
+
+std::vector<int> Topology::distance_renumbering(int n) const {
+  // Greedy chain: start from hw thread 0's logical slot, repeatedly append
+  // the nearest unvisited pinned thread. With the socket-filling pin order
+  // and monotone distances this yields 0,1,2,... but it is derived from the
+  // distance function so irregular topologies still get a proximity-sorted
+  // numbering (paper: "the larger the absolute difference between thread
+  // identifiers, the larger the physical distance").
+  std::vector<int> pins = pin_order();
+  if (n > static_cast<int>(pins.size())) n = static_cast<int>(pins.size());
+  std::vector<int> rank(n, 0);
+  std::vector<bool> used(n, false);
+  int current = 0;
+  used[0] = true;
+  rank[0] = 0;
+  for (int step = 1; step < n; ++step) {
+    int best = -1;
+    int best_d = 0;
+    for (int cand = 0; cand < n; ++cand) {
+      if (used[cand]) continue;
+      int d = hw_thread_distance(pins[current], pins[cand]);
+      if (best < 0 || d < best_d || (d == best_d && cand < best)) {
+        best = cand;
+        best_d = d;
+      }
+    }
+    used[best] = true;
+    rank[best] = step;
+    current = best;
+  }
+  return rank;
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << sockets_ << " socket(s) x " << cores_per_socket_ << " core(s) x "
+     << smt_ << " SMT = " << num_hw_threads() << " hw threads; distances:";
+  for (int i = 0; i < sockets_; ++i) {
+    os << " [";
+    for (int j = 0; j < sockets_; ++j) {
+      os << distances_[i][j] << (j + 1 < sockets_ ? " " : "");
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace lsg::numa

@@ -1,0 +1,96 @@
+// Simulated NUMA topology.
+//
+// The paper evaluates on a 2-socket Xeon 8275CL (2 NUMA nodes, 24 cores and
+// 48 hardware threads per socket, numactl distances 10 intra / 21 inter).
+// This module models such a machine: hardware threads are enumerated, mapped
+// to cores and NUMA nodes, and a distance function is exposed.
+//
+// The model is sufficient for the paper's locality experiments because those
+// are *structural*: they count accesses between (allocating thread, accessing
+// thread) pairs, which depend only on the algorithms and on which node each
+// thread is assigned to — not on physical silicon. See DESIGN.md §3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsg::numa {
+
+struct HwThread {
+  int id;        // hardware thread id (os cpu number)
+  int core;      // physical core id
+  int socket;    // NUMA node / socket id
+  int smt_lane;  // 0 = first hyperthread on the core, 1 = second, ...
+};
+
+/// A machine description: sockets x cores_per_socket x smt_per_core hardware
+/// threads plus an inter-node distance matrix (numactl convention: diagonal
+/// is local distance, typically 10).
+class Topology {
+ public:
+  /// The paper's evaluation machine.
+  static Topology paper_machine() { return Topology(2, 24, 2, 10, 21); }
+
+  /// Small topologies for tests.
+  static Topology uniform(int sockets, int cores_per_socket, int smt,
+                          int local_distance = 10, int remote_distance = 21) {
+    return Topology(sockets, cores_per_socket, smt, local_distance,
+                    remote_distance);
+  }
+
+  /// Fully custom distance matrix (must be sockets x sockets).
+  Topology(int sockets, int cores_per_socket, int smt,
+           std::vector<std::vector<int>> distances);
+
+  Topology(int sockets, int cores_per_socket, int smt, int local_distance,
+           int remote_distance);
+
+  int num_sockets() const { return sockets_; }
+  int cores_per_socket() const { return cores_per_socket_; }
+  int smt_per_core() const { return smt_; }
+  int num_hw_threads() const { return static_cast<int>(hw_threads_.size()); }
+  int num_cores() const { return sockets_ * cores_per_socket_; }
+
+  const HwThread& hw_thread(int id) const { return hw_threads_.at(id); }
+  const std::vector<HwThread>& hw_threads() const { return hw_threads_; }
+
+  /// numactl-style distance between two NUMA nodes.
+  int node_distance(int socket_a, int socket_b) const {
+    return distances_.at(socket_a).at(socket_b);
+  }
+
+  /// Composite distance between two hardware threads, used to order threads
+  /// for membership-vector assignment. Lexicographic: NUMA node distance,
+  /// then core collocation, then SMT collocation (paper §5, "Membership
+  /// Vectors": "We consider NUMA domains, core collocation, and
+  /// hardware-thread collocation").
+  int hw_thread_distance(int a, int b) const;
+
+  /// The order in which the harness fills hardware threads when pinning
+  /// logical threads: fill a socket completely before moving to the next
+  /// (paper §5: "we fill a socket before adding threads to another socket"),
+  /// cores first, SMT lanes second.
+  std::vector<int> pin_order() const;
+
+  /// Proximity rank of each of `n` logical threads (pinned per pin_order):
+  /// result[t] is the new id of logical thread t, assigned so that the
+  /// larger |rank_i - rank_j|, the larger the physical distance — the
+  /// paper's /proc/cpuinfo renumbering step. With socket-filling pin order
+  /// this is the identity on the ids we generate, but it is computed from
+  /// distances so custom topologies also work.
+  std::vector<int> distance_renumbering(int n) const;
+
+  std::string describe() const;
+
+ private:
+  void build_threads();
+
+  int sockets_;
+  int cores_per_socket_;
+  int smt_;
+  std::vector<std::vector<int>> distances_;
+  std::vector<HwThread> hw_threads_;
+};
+
+}  // namespace lsg::numa

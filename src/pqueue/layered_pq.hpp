@@ -1,0 +1,56 @@
+// Layered skip-graph priority queue (the paper's future-work extension,
+// §6 / App. "preliminary priority queue results").
+//
+// push() is a layered insert — it enjoys the local-structure jump and the
+// partitioning scheme exactly like map inserts. pop_min() claims the head
+// of the shared bottom-level list (all elements live there regardless of
+// membership), using the lazy valid-bit protocol so physical unlinking
+// stays off the critical path under the commission policy.
+#pragma once
+
+#include "core/layered_map.hpp"
+
+namespace lsg::pqueue {
+
+template <class K, class V,
+          class LocalMap =
+              lsg::local::StdMapAdapter<K, lsg::skipgraph::SgNode<K, V>*>>
+class LayeredPQ {
+ public:
+  explicit LayeredPQ(const lsg::core::LayeredOptions& opts) : map_(opts) {}
+
+  bool push(const K& priority, const V& value) {
+    return map_.insert(priority, value);
+  }
+
+  bool pop_min(K& priority, V& value) {
+    return map_.shared_structure().pop_min(priority, value);
+  }
+
+  /// Relaxed deleteMin: returns an element near the minimum (SprayList-like
+  /// semantics, see SkipGraph::pop_near_min). Far less head contention with
+  /// many consumers; emptiness detection stays exact via the fallback.
+  bool pop_relaxed(K& priority, V& value, unsigned spray_width = 4) {
+    thread_local lsg::common::Xoshiro256 rng(
+        0x5e7a ^ (static_cast<uint64_t>(
+                      lsg::numa::ThreadRegistry::current())
+                  << 18));
+    return map_.shared_structure().pop_near_min(priority, value, rng, 0,
+                                                spray_width);
+  }
+
+  bool contains(const K& priority) { return map_.contains(priority); }
+
+  std::vector<K> drain_keys() {
+    std::vector<K> out;
+    K k;
+    V v;
+    while (pop_min(k, v)) out.push_back(k);
+    return out;
+  }
+
+ private:
+  lsg::core::LayeredMap<K, V, LocalMap> map_;
+};
+
+}  // namespace lsg::pqueue

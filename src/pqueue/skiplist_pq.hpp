@@ -1,0 +1,40 @@
+// Skip-list-based concurrent priority queue (Shavit & Lotan style, paper
+// refs [32]/[8]) — baseline for the layered priority queue.
+//
+// Keys are priorities (unique); deleteMin logically deletes the first live
+// bottom-level node and physically cleans it up with a search pass.
+#pragma once
+
+#include "skiplist/lockfree_skiplist.hpp"
+
+namespace lsg::pqueue {
+
+template <class K, class V>
+class SkipListPQ {
+ public:
+  /// max_level sized for the expected capacity (2^max_level elements).
+  explicit SkipListPQ(unsigned max_level) : list_(max_level) {}
+
+  /// False when the priority is already enqueued.
+  bool push(const K& priority, const V& value) {
+    return list_.insert(priority, value);
+  }
+
+  /// False when empty.
+  bool pop_min(K& priority, V& value) { return list_.pop_min(priority, value); }
+
+  bool contains(const K& priority) { return list_.contains(priority); }
+
+  std::vector<K> drain_keys() {
+    std::vector<K> out;
+    K k;
+    V v;
+    while (list_.pop_min(k, v)) out.push_back(k);
+    return out;
+  }
+
+ private:
+  lsg::skiplist::LockFreeSkipList<K, V> list_;
+};
+
+}  // namespace lsg::pqueue

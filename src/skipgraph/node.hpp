@@ -1,0 +1,193 @@
+// Shared node of the skip graph (paper §4, "General implementation
+// concepts").
+//
+// Each shared node s carries an array of references s.next[i], one per level
+// it belongs to. Every reference word packs a MARK bit and an INVALID bit in
+// its low bits (common/tagged_ptr.hpp):
+//   - unmarked+valid   node: present in the abstract set;
+//   - unmarked+invalid node: logically deleted, physical unlink not started
+//     (lazy variant only);
+//   - marked           node: physical unlink may proceed; marked references
+//     are immutable, which is what makes the single-CAS relink of whole
+//     marked chains safe (paper App. C).
+//
+// Nodes are variable-height: `height` is the 0-based top level, and the
+// next[] array lives in trailing storage so sparse-skip-graph nodes (mostly
+// height 0) stay small.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "alloc/arena.hpp"
+#include "common/tagged_ptr.hpp"
+#include "common/tsc.hpp"
+#include "numa/pinning.hpp"
+#include "stats/counters.hpp"
+
+namespace lsg::skipgraph {
+
+inline constexpr unsigned kMaxLevels = 20;
+
+template <class K, class V>
+struct SgNode {
+  using TP = lsg::common::TaggedPtr<SgNode>;
+
+  K key{};
+  V value{};
+  uint32_t membership = 0;  // inherited from the inserting thread
+  uint16_t owner = 0;       // logical thread id of the allocating thread
+  uint8_t height = 0;       // 0-based top level; next[0..height] are live
+  bool is_tail = false;
+  uint64_t alloc_ts = 0;    // commission-period reference point
+  std::atomic<bool> inserted{false};  // all levels linked?
+
+  std::atomic<uintptr_t>* next_array() {
+    return reinterpret_cast<std::atomic<uintptr_t>*>(this + 1);
+  }
+  const std::atomic<uintptr_t>* next_array() const {
+    return reinterpret_cast<const std::atomic<uintptr_t>*>(this + 1);
+  }
+
+  /// Allocate a node with storage for height+1 next references, all
+  /// initialized to `init_next` (typically the tail, unmarked+valid).
+  static SgNode* create(lsg::alloc::Arena& arena, const K& key, const V& value,
+                        uint32_t membership, unsigned height,
+                        SgNode* init_next) {
+    SgNode* n = arena.create_with_trailing<SgNode>(
+        (height + 1) * sizeof(std::atomic<uintptr_t>));
+    n->key = key;
+    n->value = value;
+    n->membership = membership;
+    n->owner = static_cast<uint16_t>(lsg::numa::ThreadRegistry::current());
+    n->height = static_cast<uint8_t>(height);
+    n->alloc_ts = lsg::common::timestamp();
+    for (unsigned i = 0; i <= height; ++i) {
+      ::new (&n->next_array()[i]) std::atomic<uintptr_t>(TP::pack(init_next));
+    }
+    return n;
+  }
+
+  // --- value access --------------------------------------------------------
+  // Reviving an invalid node (lazy insert over a logically-deleted key)
+  // must publish the new value before the valid-bit flip. For small
+  // trivially-copyable V the store/load pair is atomic (atomic_ref);
+  // otherwise it is plain and concurrent same-key revivals race on the
+  // value (each thread mostly revives its own keys, so this is rare).
+
+  static constexpr bool kAtomicValue =
+      std::is_trivially_copyable_v<V> && sizeof(V) <= sizeof(void*) &&
+      alignof(V) >= sizeof(V);
+
+  void store_value(const V& v) {
+    if constexpr (kAtomicValue) {
+      std::atomic_ref<V>(value).store(v, std::memory_order_release);
+    } else {
+      value = v;
+    }
+  }
+
+  V load_value() {
+    if constexpr (kAtomicValue) {
+      return std::atomic_ref<V>(value).load(std::memory_order_acquire);
+    } else {
+      return value;
+    }
+  }
+
+  // --- raw reference access ---------------------------------------------
+
+  uintptr_t next_raw(unsigned level) const {
+    return next_array()[level].load(std::memory_order_acquire);
+  }
+
+  SgNode* next_ptr(unsigned level) const { return TP::ptr(next_raw(level)); }
+
+  std::atomic<uintptr_t>* slot(unsigned level) { return &next_array()[level]; }
+
+  void set_next_relaxed(unsigned level, uintptr_t raw) {
+    next_array()[level].store(raw, std::memory_order_relaxed);
+  }
+
+  // --- flag accessors (paper: getMark / getValid / getMarkValid) ---------
+
+  bool get_mark(unsigned level) const { return TP::mark(next_raw(level)); }
+
+  bool get_valid0() const { return TP::valid(next_raw(0)); }
+
+  /// (marked, valid) of next[0], read atomically as one word.
+  std::pair<bool, bool> mark_valid0() const {
+    uintptr_t raw = next_raw(0);
+    return {TP::mark(raw), TP::valid(raw)};
+  }
+
+  // --- instrumented CAS family --------------------------------------------
+  // Every physical CAS is recorded as a maintenance CAS against this node's
+  // owner unless `self_insert` marks it as an operation on a node the caller
+  // is itself inserting (excluded per the paper's counting rule).
+
+  /// Plain CAS on next[level]. `expected` is updated on failure.
+  bool cas_next(unsigned level, uintptr_t& expected, uintptr_t desired,
+                bool self_insert = false) {
+    bool ok = next_array()[level].compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel,
+        std::memory_order_acquire);
+    lsg::stats::cas_access(owner, ok, self_insert);
+    return ok;
+  }
+
+  /// casMarkValid on next[0]: succeeds iff the flag pair transitions from
+  /// (exp_mark, exp_valid) to (new_mark, new_valid); retries pointer-part
+  /// changes, fails definitively once the flags differ from the expectation.
+  bool cas_mark_valid0(bool exp_mark, bool exp_valid, bool new_mark,
+                       bool new_valid) {
+    uintptr_t raw = next_raw(0);
+    while (true) {
+      if (TP::mark(raw) != exp_mark || TP::valid(raw) != exp_valid) {
+        lsg::stats::cas_access(owner, false);
+        return false;
+      }
+      uintptr_t want = TP::with_flags(raw, new_mark, !new_valid);
+      if (next_array()[0].compare_exchange_weak(raw, want,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+        lsg::stats::cas_access(owner, true);
+        return true;
+      }
+      // raw reloaded by the failed CAS; loop re-checks the flags.
+    }
+  }
+
+  /// Set the MARK bit of next[level] (preserving pointer and valid bits).
+  /// Returns false iff the mark was already set.
+  bool try_mark(unsigned level) {
+    uintptr_t raw = next_raw(level);
+    while (true) {
+      if (TP::mark(raw)) return false;
+      uintptr_t want = raw | TP::kMark;
+      if (next_array()[level].compare_exchange_weak(
+              raw, want, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        lsg::stats::cas_access(owner, true);
+        return true;
+      }
+      lsg::stats::cas_access(owner, false);
+    }
+  }
+};
+
+/// Instrumented CAS on an arbitrary reference slot (head-array slots are
+/// attributed to thread 0, mirroring the paper's convention for Fig. 8).
+template <class K, class V>
+bool cas_slot(std::atomic<uintptr_t>* slot, uintptr_t& expected,
+              uintptr_t desired, int owner_tid, bool self_insert = false) {
+  bool ok = slot->compare_exchange_strong(expected, desired,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  lsg::stats::cas_access(owner_tid, ok, self_insert);
+  return ok;
+}
+
+}  // namespace lsg::skipgraph

@@ -1,0 +1,627 @@
+// The shared structure: a height-constrained skip graph (paper §2, §4).
+//
+// Level i consists of 2^i singly-linked lists; the level-i list an element
+// belongs to is named by the length-i suffix of its membership vector. The
+// structure is a set of skip lists sharing their bottom levels, so a search
+// can start from ANY node at that node's top level and proceed as an
+// ordinary skip-list search within the node's skip list.
+//
+// Two protocols are provided, selected by Config::lazy:
+//  - lazy (paper's lazy layered skip graph): logical state is the VALID bit
+//    of next[0]; removal invalidates, insertion can revive; invalid nodes
+//    are marked for physical unlink only after a commission period
+//    (check_retire/retire, Algs. 14/15); upper-level linking is deferred to
+//    finish_insert (Alg. 10) and physical unlinks happen only when an
+//    inserting node substitutes a chain of marked references (relink
+//    optimization, p. 6);
+//  - non-lazy: textbook mark-based logical deletion at all levels, eager
+//    full-height insertion, searches splice marked chains out (with the
+//    relink optimization unless disabled for ablation).
+//
+// ABA safety: shared nodes are arena-allocated and never reused during the
+// structure's lifetime (paper allocates the same way), so a reference word
+// can never be recycled into a bit-identical but semantically different
+// value.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "common/tsc.hpp"
+#include "skipgraph/node.hpp"
+#include "stats/counters.hpp"
+
+namespace lsg::skipgraph {
+
+struct SgConfig {
+  unsigned max_level = 0;          // MaxLevel (0-based top level)
+  bool sparse = false;             // sparse skip graph heights (paper §2/App. A)
+  bool lazy = true;                // valid-bit protocol + commission periods
+  uint64_t commission_period = 0;  // cycles; 0 disables retiring via searches
+  bool relink = true;              // chain splice vs. per-node splice (ablation)
+};
+
+template <class K, class V>
+class SkipGraph {
+ public:
+  using Node = SgNode<K, V>;
+  using TP = typename Node::TP;
+
+  explicit SkipGraph(SgConfig cfg) : cfg_(cfg) {
+    if (cfg_.max_level >= kMaxLevels) {
+      throw std::invalid_argument("max_level too large");
+    }
+    tail_ = Node::create(arena_, K{}, V{}, 0, cfg_.max_level, nullptr);
+    tail_->is_tail = true;
+    tail_->inserted.store(true, std::memory_order_relaxed);
+    const size_t slots = (size_t{2} << cfg_.max_level) - 1;
+    heads_ = std::make_unique<std::atomic<uintptr_t>[]>(slots);
+    for (size_t i = 0; i < slots; ++i) {
+      heads_[i].store(TP::pack(tail_), std::memory_order_relaxed);
+    }
+  }
+
+  SkipGraph(const SkipGraph&) = delete;
+  SkipGraph& operator=(const SkipGraph&) = delete;
+
+  unsigned max_level() const { return cfg_.max_level; }
+  const SgConfig& config() const { return cfg_; }
+  Node* tail() const { return tail_; }
+
+  /// Head-array slot for the level-`level` list containing membership
+  /// vector `m` (label = length-`level` suffix of m).
+  std::atomic<uintptr_t>* head_slot(unsigned level, uint32_t m) {
+    return &heads_[(size_t{1} << level) - 1 + lsg::common::suffix(m, level)];
+  }
+
+  /// Tower height for a fresh node: MaxLevel in a regular skip graph,
+  /// geometric (expectation 1/2^i to reach level i) in a sparse one.
+  unsigned height_for_insert() {
+    if (!cfg_.sparse) return cfg_.max_level;
+    thread_local lsg::common::Xoshiro256 rng(
+        0x5eedc0de ^ (static_cast<uint64_t>(
+                          lsg::numa::ThreadRegistry::current())
+                      << 32));
+    return rng.geometric_level(cfg_.max_level);
+  }
+
+  // --- searches -----------------------------------------------------------
+
+  struct SearchResult {
+    std::atomic<uintptr_t>* pred_slot[kMaxLevels];  // word holding middle
+    int pred_owner[kMaxLevels];                     // for instrumentation
+    uintptr_t middle[kMaxLevels];                   // raw value read from slot
+    Node* succ[kMaxLevels];                         // first live node >= key
+  };
+
+  /// Alg. 5 (lazyRelinkSearch): per level, find the live predecessor slot,
+  /// the raw value it held (middle), and the first live node with key >=
+  /// `key` (succ), skipping — and possibly retiring — dead nodes. Returns
+  /// true iff succ[0] is an unmarked node with the goal key.
+  bool lazy_relink_search(const K& key, uint32_t m, Node* start,
+                          SearchResult& out) {
+    lsg::stats::search_begin();
+    Node* prev = start;
+    const unsigned top = start ? start->height : cfg_.max_level;
+    for (int level = static_cast<int>(top); level >= 0; --level) {
+      std::atomic<uintptr_t>* slot =
+          prev ? prev->slot(level) : head_slot(level, m);
+      int slot_owner = prev ? prev->owner : 0;
+      uintptr_t original;
+      Node* cur = load_live(slot, slot_owner, level, original);
+      while (!cur->is_tail && cur->key < key) {
+        prev = cur;
+        slot = prev->slot(level);
+        slot_owner = prev->owner;
+        cur = load_live(slot, slot_owner, level, original);
+      }
+      out.pred_slot[level] = slot;
+      out.pred_owner[level] = slot_owner;
+      out.middle[level] = original;
+      out.succ[level] = cur;
+    }
+    Node* s0 = out.succ[0];
+    return !s0->is_tail && s0->key == key && !s0->get_mark(0);
+  }
+
+  /// Alg. 8 (retireSearch): like lazy_relink_search but without tracking
+  /// predecessors; returns the first unmarked node with the goal key seen
+  /// at any level, or nullptr when no such node exists.
+  Node* retire_search(const K& key, uint32_t m, Node* start) {
+    lsg::stats::search_begin();
+    Node* prev = start;
+    const unsigned top = start ? start->height : cfg_.max_level;
+    for (int level = static_cast<int>(top); level >= 0; --level) {
+      std::atomic<uintptr_t>* slot =
+          prev ? prev->slot(level) : head_slot(level, m);
+      int slot_owner = prev ? prev->owner : 0;
+      uintptr_t original;
+      Node* cur = load_live(slot, slot_owner, level, original);
+      while (!cur->is_tail && cur->key < key) {
+        prev = cur;
+        slot = prev->slot(level);
+        slot_owner = prev->owner;
+        cur = load_live(slot, slot_owner, level, original);
+      }
+      if (!cur->is_tail && cur->key == key && !cur->get_mark(0)) {
+        return cur;
+      }
+    }
+    return nullptr;
+  }
+
+  // --- lazy-protocol linearization helpers (Algs. 2 and 12) ---------------
+
+  /// Alg. 2: try to linearize an insert on an existing node with the key.
+  /// Returns true when the operation finished (result = success flag);
+  /// false when the node got marked and the caller must clean its local
+  /// structure and fall back to lazy_insert. When `value` is given, a
+  /// successful revival publishes it before the valid-bit flip (see
+  /// SgNode::store_value for the concurrent-revival caveat).
+  bool insert_helper(Node* n, bool& result, const V* value = nullptr) {
+    while (true) {
+      if (n->get_mark(0)) return false;
+      auto [mk, valid] = n->mark_valid0();
+      if (mk) continue;  // just marked; next iteration returns false
+      if (valid) {
+        result = false;  // duplicate (I-i)
+        return true;
+      }
+      if (value != nullptr) n->store_value(*value);
+      if (n->cas_mark_valid0(/*exp_mark=*/false, /*exp_valid=*/false,
+                             /*new_mark=*/false, /*new_valid=*/true)) {
+        result = true;  // revived an invalid node (I-ii)
+        return true;
+      }
+    }
+  }
+
+  /// Alg. 12: mirror of insert_helper for removals.
+  bool remove_helper(Node* n, bool& result) {
+    while (true) {
+      if (n->get_mark(0)) return false;
+      auto [mk, valid] = n->mark_valid0();
+      if (mk) continue;
+      if (!valid) {
+        result = false;  // already logically deleted (R-i)
+        return true;
+      }
+      if (n->cas_mark_valid0(false, true, false, false)) {
+        result = true;  // (R-ii)
+        return true;
+      }
+    }
+  }
+
+  // --- lazy entry points ---------------------------------------------------
+
+  /// Alg. 3 (lazyInsert). Links a new node in the level-0 list only (upper
+  /// levels are completed lazily by finish_insert). `refresh` re-derives the
+  /// search start after a failed CAS (Alg. 9 at the layered level; returns
+  /// nullptr to restart from the head). On return, *out_new_node is the
+  /// freshly linked node (nullptr when the insert linearized on an existing
+  /// node) and the return value is the insert's success.
+  template <class Refresh>
+  bool lazy_insert(const K& key, const V& value, uint32_t m, Node* start,
+                   Refresh&& refresh, Node** out_new_node) {
+    *out_new_node = nullptr;
+    Node* to_insert = nullptr;
+    SearchResult res;
+    while (true) {
+      if (lazy_relink_search(key, m, start, res)) {
+        bool rv = false;
+        if (insert_helper(res.succ[0], rv, &value)) return rv;  // (I-i)/(I-ii)
+        continue;  // (I-iii) succ became marked: retry the search
+      }
+      if (to_insert == nullptr) {
+        to_insert = Node::create(arena_, key, value, m, height_for_insert(),
+                                 tail_);
+      }
+      to_insert->set_next_relaxed(0, TP::pack(res.succ[0]));
+      uintptr_t mid = res.middle[0];
+      if (TP::mark(mid)) {  // predecessor died under us
+        start = refresh();
+        continue;
+      }
+      if (cas_slot<K, V>(res.pred_slot[0], mid, TP::with_ptr(mid, to_insert),
+                         res.pred_owner[0])) {
+        *out_new_node = to_insert;  // (I-iv-a); linearized at the CAS
+        if (to_insert->height == 0) {
+          to_insert->inserted.store(true, std::memory_order_release);
+        }
+        return true;
+      }
+      start = refresh();  // Alg. 3 line 15
+    }
+  }
+
+  /// Alg. 10 (finishInsert): link `n` at levels 1..n->height within its
+  /// skip list. Returns false (and flags n inserted) when n gets marked
+  /// while linking. `seed` optionally reuses a search that already located
+  /// n's predecessors (the non-lazy insert path).
+  template <class Refresh>
+  bool finish_insert(Node* n, Node* start, Refresh&& refresh,
+                     const SearchResult* seed = nullptr) {
+    const K key = n->key;
+    SearchResult res;
+    bool have = false;
+    if (seed != nullptr) {
+      res = *seed;
+      have = true;
+    }
+    unsigned level = 1;
+    while (level <= n->height) {
+      if (!have) {
+        if (!lazy_relink_search(key, n->membership, start, res) ||
+            res.succ[0] != n) {
+          // n became unreachable/marked before we linked everything.
+          n->inserted.store(true, std::memory_order_release);
+          return false;
+        }
+      }
+      have = false;
+      // Point n->next[level] at the successor for this level.
+      uintptr_t old = n->next_raw(level);
+      while (TP::ptr(old) != res.succ[level]) {
+        if (TP::mark(old)) {  // marked while linking: abort (Alg. 10 l.10)
+          n->inserted.store(true, std::memory_order_release);
+          return false;
+        }
+        if (n->cas_next(level, old, TP::pack(res.succ[level]),
+                        /*self_insert=*/true)) {
+          break;
+        }
+      }
+      // Splice n into the level: pred.next[level]: middle -> n.
+      uintptr_t mid = res.middle[level];
+      if (TP::ptr(mid) == n) {  // already spliced at this level
+        ++level;
+        continue;
+      }
+      if (!TP::mark(mid) &&
+          cas_slot<K, V>(res.pred_slot[level], mid, TP::with_ptr(mid, n),
+                         res.pred_owner[level])) {
+        ++level;
+        continue;
+      }
+      // CAS failed (or predecessor died): re-search and retry this level.
+      start = refresh();
+    }
+    n->inserted.store(true, std::memory_order_release);
+    return true;
+  }
+
+  /// Alg. 13 (lazyRemove).
+  template <class Refresh>
+  bool lazy_remove(const K& key, uint32_t m, Node* start, Refresh&& refresh) {
+    while (true) {
+      Node* found = retire_search(key, m, start);
+      if (found == nullptr) return false;  // (R-iv)
+      bool rv = false;
+      if (remove_helper(found, rv)) return rv;  // (R-iii)
+      start = refresh();
+    }
+  }
+
+  /// Alg. 7 (SG::contains body after getStart).
+  bool contains_from(const K& key, uint32_t m, Node* start) {
+    Node* found = retire_search(key, m, start);
+    if (found == nullptr) return false;  // (C-ii)
+    auto [mk, valid] = found->mark_valid0();
+    return !mk && valid;  // (C-iii); non-lazy nodes are always valid
+  }
+
+  // --- non-lazy entry points ----------------------------------------------
+
+  /// Eager insert: link at level 0, then immediately complete all upper
+  /// levels. Fails (returns false) when an unmarked node with the key
+  /// already exists.
+  template <class Refresh>
+  bool insert_nonlazy(const K& key, const V& value, uint32_t m, Node* start,
+                      Refresh&& refresh, Node** out_new_node) {
+    *out_new_node = nullptr;
+    Node* to_insert = nullptr;
+    SearchResult res;
+    while (true) {
+      if (lazy_relink_search(key, m, start, res)) return false;  // duplicate
+      if (to_insert == nullptr) {
+        to_insert = Node::create(arena_, key, value, m, height_for_insert(),
+                                 tail_);
+      }
+      to_insert->set_next_relaxed(0, TP::pack(res.succ[0]));
+      uintptr_t mid = res.middle[0];
+      if (TP::mark(mid)) {
+        start = refresh();
+        continue;
+      }
+      if (cas_slot<K, V>(res.pred_slot[0], mid, TP::with_ptr(mid, to_insert),
+                         res.pred_owner[0])) {
+        *out_new_node = to_insert;
+        if (to_insert->height > 0) {
+          finish_insert(to_insert, start, refresh, &res);
+        } else {
+          to_insert->inserted.store(true, std::memory_order_release);
+        }
+        return true;
+      }
+      start = refresh();
+    }
+  }
+
+  /// Eager remove: mark next[0] (the logical deletion), then mark all upper
+  /// levels top-down; physical splicing happens in later searches.
+  bool remove_nonlazy(const K& key, uint32_t m, Node* start) {
+    Node* found = retire_search(key, m, start);
+    if (found == nullptr) return false;
+    // try_mark(0) is the logical deletion; losing the race means another
+    // remover deleted the key first and our removal fails (linearized at
+    // the instant the key became absent, inside our operation window).
+    return mark_node(found);
+  }
+
+  /// Directly mark a node found through a local fast path (non-lazy remove
+  /// fast path). Returns false when someone else marked it first.
+  bool mark_node(Node* n) {
+    if (!n->try_mark(0)) return false;
+    for (int lvl = n->height; lvl >= 1; --lvl) n->try_mark(lvl);
+    return true;
+  }
+
+  /// Range scan [lo, hi]: descends to the bottom list near `lo` and walks
+  /// it, invoking fn(key, value) for every present element (unmarked and
+  /// valid). Weakly consistent like most concurrent-map iterations:
+  /// elements inserted or removed during the scan may or may not appear,
+  /// but every element present for the scan's whole duration is reported
+  /// exactly once and no absent-throughout element is ever reported.
+  template <class Fn>
+  void for_each_in_range(const K& lo, const K& hi, uint32_t m, Node* start,
+                         Fn&& fn) {
+    lsg::stats::search_begin();
+    Node* prev = start;
+    const unsigned top = start ? start->height : cfg_.max_level;
+    std::atomic<uintptr_t>* slot = nullptr;
+    int slot_owner = 0;
+    uintptr_t original;
+    Node* cur = nullptr;
+    for (int level = static_cast<int>(top); level >= 0; --level) {
+      slot = prev ? prev->slot(level) : head_slot(level, m);
+      slot_owner = prev ? prev->owner : 0;
+      cur = load_live(slot, slot_owner, level, original);
+      while (!cur->is_tail && cur->key < lo) {
+        prev = cur;
+        slot = prev->slot(level);
+        slot_owner = prev->owner;
+        cur = load_live(slot, slot_owner, level, original);
+      }
+    }
+    // Walk the bottom list raw (no cleanup): report live elements in
+    // [lo, hi]. Marked/invalid nodes are skipped, not reported.
+    while (cur != nullptr && !cur->is_tail && !(hi < cur->key)) {
+      auto [mk, valid] = cur->mark_valid0();
+      if (!mk && valid && !(cur->key < lo)) {
+        fn(cur->key, cur->load_value());
+      }
+      lsg::stats::node_visited();
+      lsg::stats::read_access(cur->owner, cur);
+      cur = cur->next_ptr(0);
+    }
+  }
+
+  /// deleteMin for the priority-queue extension (paper §6 future work /
+  /// appendix): claim the first live bottom-level node. Lazy protocol
+  /// invalidates (physical unlink follows the commission policy); non-lazy
+  /// marks the whole tower.
+  bool pop_min(K& out_key, V& out_value) {
+    while (true) {
+      uintptr_t raw = head_slot(0, 0)->load(std::memory_order_acquire);
+      Node* n = TP::ptr(raw);
+      bool claimed = false;
+      while (!n->is_tail) {
+        auto [mk, valid] = n->mark_valid0();
+        if (!mk && valid) {
+          bool won = cfg_.lazy
+                         ? n->cas_mark_valid0(false, true, false, false)
+                         : mark_node(n);
+          if (won) {
+            out_key = n->key;
+            out_value = n->load_value();
+            if (cfg_.lazy) retire(n);  // claimed: no revival to preserve
+            cleanup_head_prefix(n);
+            claimed = true;
+          }
+          break;  // won: done; lost: rescan from the head
+        }
+        n = n->next_ptr(0);
+      }
+      if (claimed) return true;
+      if (n->is_tail) return false;
+    }
+  }
+
+  /// Splice marked prefixes off the head lists a just-claimed node belongs
+  /// to — keeps deleteMin from rescanning an ever-growing dead prefix
+  /// (consumers pop from the front, so the relink-on-insert policy alone
+  /// never cleans there). Cost: one slot per level of the claimed node.
+  void cleanup_head_prefix(const Node* claimed) {
+    for (unsigned level = 0; level <= claimed->height; ++level) {
+      std::atomic<uintptr_t>* hs = head_slot(level, claimed->membership);
+      uintptr_t raw = hs->load(std::memory_order_acquire);
+      Node* live = TP::ptr(raw);
+      while (!live->is_tail && live->get_mark(level)) {
+        live = live->next_ptr(level);
+      }
+      if (live != TP::ptr(raw)) {
+        cas_slot<K, V>(hs, raw, TP::with_ptr(raw, live), 0);
+      }
+    }
+  }
+
+  /// Relaxed deleteMin (SprayList-style, paper refs [3]/[36]): a random
+  /// descent from the head claims an element *near* the minimum instead of
+  /// fighting every other consumer for the exact head. At each level the
+  /// walk takes a uniform number of hops before descending; at the bottom
+  /// it claims the first claimable node in a short window, falling back to
+  /// the exact pop_min when the window is exhausted (so emptiness is still
+  /// precise). Expected rank of the popped element is O(spray_width *
+  /// MaxLevel) — a quality/contention trade-off knob.
+  template <class Rng>
+  bool pop_near_min(K& out_key, V& out_value, Rng& rng, uint32_t m,
+                    unsigned spray_width = 4) {
+    Node* prev = nullptr;
+    for (int level = static_cast<int>(cfg_.max_level); level >= 0; --level) {
+      unsigned hops = static_cast<unsigned>(rng.next_bounded(spray_width + 1));
+      Node* cur =
+          TP::ptr((prev ? prev->slot(level) : head_slot(level, m))
+                      ->load(std::memory_order_acquire));
+      while (hops > 0 && !cur->is_tail) {
+        prev = cur;
+        cur = cur->next_ptr(level);
+        --hops;
+      }
+    }
+    // Claim window at the bottom level.
+    Node* cur = prev == nullptr
+                    ? TP::ptr(head_slot(0, m)->load(std::memory_order_acquire))
+                    : prev;
+    for (unsigned tries = 0; tries < 4 * (spray_width + 1) && !cur->is_tail;
+         ++tries) {
+      auto [mk, valid] = cur->mark_valid0();
+      if (!mk && valid) {
+        bool won = cfg_.lazy ? cur->cas_mark_valid0(false, true, false, false)
+                             : mark_node(cur);
+        if (won) {
+          out_key = cur->key;
+          out_value = cur->load_value();
+          if (cfg_.lazy) retire(cur);
+          cleanup_head_prefix(cur);
+          return true;
+        }
+      }
+      cur = cur->next_ptr(0);
+    }
+    return pop_min(out_key, out_value);  // precise fallback (and emptiness)
+  }
+
+  // --- retiring (Algs. 14/15) ----------------------------------------------
+
+  /// Alg. 14: returns true iff `n` was retired (marked) by this call — the
+  /// caller should then treat it as dead.
+  bool check_retire(Node* n) {
+    if (!cfg_.lazy || cfg_.commission_period == 0) return false;
+    auto [mk, valid] = n->mark_valid0();
+    if (mk || valid) return false;
+    if (lsg::common::timestamp() - n->alloc_ts <= cfg_.commission_period) {
+      return false;
+    }
+    return retire(n);
+  }
+
+  /// Alg. 15: atomically transition (unmarked, invalid) -> (marked,
+  /// invalid) at level 0, then mark all upper levels.
+  bool retire(Node* n) {
+    if (!n->cas_mark_valid0(/*exp_mark=*/false, /*exp_valid=*/false,
+                            /*new_mark=*/true, /*new_valid=*/false)) {
+      return false;
+    }
+    for (int lvl = n->height; lvl >= 1; --lvl) n->try_mark(lvl);
+    return true;
+  }
+
+  // --- introspection (tests, structure dumps) ------------------------------
+
+  struct LevelEntry {
+    K key;
+    bool marked;
+    bool valid;
+    uint32_t membership;
+    unsigned height;
+  };
+
+  /// Raw walk of the level-`level` list labeled by membership `m` (no
+  /// cleanup, no skipping). Only meaningful when quiescent.
+  std::vector<LevelEntry> snapshot_level(unsigned level, uint32_t m) {
+    std::vector<LevelEntry> out;
+    uintptr_t raw = head_slot(level, m)->load(std::memory_order_acquire);
+    for (Node* n = TP::ptr(raw); !n->is_tail; n = n->next_ptr(level)) {
+      out.push_back(LevelEntry{n->key, n->get_mark(level), n->get_valid0(),
+                               n->membership, n->height});
+    }
+    return out;
+  }
+
+  /// Unmarked, valid keys in the bottom list — the abstract set contents
+  /// (quiescent only).
+  std::vector<K> abstract_set() {
+    std::vector<K> out;
+    uintptr_t raw = head_slot(0, 0)->load(std::memory_order_acquire);
+    for (Node* n = TP::ptr(raw); !n->is_tail; n = n->next_ptr(0)) {
+      auto [mk, valid] = n->mark_valid0();
+      if (!mk && valid) out.push_back(n->key);
+    }
+    return out;
+  }
+
+  size_t arena_bytes() const { return arena_.bytes_allocated(); }
+
+ private:
+  /// Read `slot`, skipping (and possibly unlinking / retiring) dead nodes;
+  /// returns the first live node and the raw value actually stored in the
+  /// slot (`original`, the paper's originalCurrent / middle).
+  Node* load_live(std::atomic<uintptr_t>* slot, int slot_owner, unsigned level,
+                  uintptr_t& original) {
+    lsg::stats::read_access(slot_owner, slot);
+    while (true) {
+      original = slot->load(std::memory_order_acquire);
+      Node* cur = TP::ptr(original);
+      bool chain = false;
+      while (!cur->is_tail && (cur->get_mark(0) || check_retire(cur))) {
+        lsg::stats::node_visited();
+        lsg::stats::read_access(cur->owner, cur);
+        if (!cfg_.lazy && !cfg_.relink) {
+          // Ablation: per-node splice (textbook). One CAS per dead node.
+          uintptr_t nxt = cur->next_raw(level);
+          uintptr_t want = TP::with_ptr(original, TP::ptr(nxt));
+          if (!TP::mark(original) &&
+              cas_slot<K, V>(slot, original, want, slot_owner)) {
+            original = want;
+            cur = TP::ptr(nxt);
+            continue;
+          }
+          break;  // re-read the slot from scratch
+        }
+        cur = cur->next_ptr(level);
+        chain = true;
+      }
+      if (!cur->is_tail && (cur->get_mark(0))) continue;  // splice retry path
+      if (chain && !cfg_.lazy && cfg_.relink && !TP::mark(original)) {
+        // Non-lazy relink: substitute the whole marked chain in one CAS.
+        // (In the lazy protocol chains are substituted only by inserting
+        // nodes — paper's laziness rule (iii) — so we leave them.)
+        uintptr_t want = TP::with_ptr(original, cur);
+        if (cas_slot<K, V>(slot, original, want, slot_owner)) {
+          original = want;
+        }
+        // On failure keep the observed chain view; correctness is
+        // unaffected (someone else changed the slot; they cleaned or
+        // inserted).
+      }
+      if (!cur->is_tail) {
+        lsg::stats::node_visited();
+        lsg::stats::read_access(cur->owner, cur);
+      }
+      return cur;
+    }
+  }
+
+  SgConfig cfg_;
+  lsg::alloc::Arena arena_;
+  Node* tail_ = nullptr;
+  std::unique_ptr<std::atomic<uintptr_t>[]> heads_;
+};
+
+}  // namespace lsg::skipgraph

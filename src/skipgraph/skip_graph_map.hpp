@@ -1,0 +1,91 @@
+// Non-layered skip graph map — the paper's "skip graph without layering"
+// analysis baseline.
+//
+// This is the original Aspnes–Shah flavor: every element draws its own
+// random membership vector, all nodes reach the structure's full height
+// (MaxLevel = x for a 2^x key space, per the paper's baseline convention),
+// and every search starts from the head array. Its poor relative
+// performance (paper §5: "the poor performance of non-layered skip graphs
+// also reflects a higher number of required CAS operations for insertion")
+// is what motivates the layered design.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "numa/pinning.hpp"
+#include "skipgraph/skip_graph.hpp"
+
+namespace lsg::skipgraph {
+
+template <class K, class V>
+class SkipGraphMap {
+ public:
+  using SG = SkipGraph<K, V>;
+  using Node = typename SG::Node;
+
+  explicit SkipGraphMap(unsigned max_level, bool lazy = false)
+      : sg_(SgConfig{.max_level = max_level,
+                     .sparse = false,
+                     .lazy = lazy,
+                     .commission_period = 0,
+                     .relink = true}) {}
+
+  bool insert(const K& key, const V& value) {
+    Node* fresh = nullptr;
+    bool ret;
+    auto head = [] { return static_cast<Node*>(nullptr); };
+    uint32_t m = random_membership();
+    if (sg_.config().lazy) {
+      ret = sg_.lazy_insert(key, value, m, nullptr, head, &fresh);
+      if (fresh) sg_.finish_insert(fresh, nullptr, head);
+    } else {
+      ret = sg_.insert_nonlazy(key, value, m, nullptr, head, &fresh);
+    }
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  bool remove(const K& key) {
+    bool ret;
+    if (sg_.config().lazy) {
+      auto head = [] { return static_cast<Node*>(nullptr); };
+      ret = sg_.lazy_remove(key, thread_membership(), nullptr, head);
+    } else {
+      ret = sg_.remove_nonlazy(key, thread_membership(), nullptr);
+    }
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  bool contains(const K& key) {
+    bool ret = sg_.contains_from(key, thread_membership(), nullptr);
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  SG& shared_structure() { return sg_; }
+  std::vector<K> keys() { return sg_.abstract_set(); }
+
+ private:
+  uint32_t random_membership() { return static_cast<uint32_t>(rng().next()); }
+
+  /// Searches may descend through any skip list; each thread keeps a fixed
+  /// random one so its traversal path is stable.
+  uint32_t thread_membership() {
+    thread_local uint32_t m = static_cast<uint32_t>(rng().next());
+    return m;
+  }
+
+  static lsg::common::Xoshiro256& rng() {
+    thread_local lsg::common::Xoshiro256 r(
+        0x96aF ^ (static_cast<uint64_t>(
+                      lsg::numa::ThreadRegistry::current())
+                  << 16));
+    return r;
+  }
+
+  SG sg_;
+};
+
+}  // namespace lsg::skipgraph

@@ -1,0 +1,245 @@
+// Lazy lock-based skip list (Herlihy & Shavit, ch. 14) — the paper's
+// "locked skip list" analysis baseline, expected to shine in low-contention
+// scenarios (paper §5, LC-WH discussion).
+//
+// Optimistic traversal without locks; insert/remove lock the affected
+// predecessors, validate, and apply. Logical deletion is the `marked` flag;
+// `fully_linked` publishes completely linked towers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "common/rng.hpp"
+#include "common/spinlock.hpp"
+#include "numa/pinning.hpp"
+#include "skipgraph/node.hpp"  // kMaxLevels
+#include "stats/counters.hpp"
+
+namespace lsg::skiplist {
+
+template <class K, class V>
+class LockedSkipList {
+ public:
+  static constexpr unsigned kMaxHeight = lsg::skipgraph::kMaxLevels;
+
+  explicit LockedSkipList(unsigned max_level) : max_level_(max_level) {
+    if (max_level >= kMaxHeight) throw std::invalid_argument("level too high");
+    head_ = Node::create(arena_, K{}, V{}, max_level);
+    head_->is_head = true;
+    tail_ = Node::create(arena_, K{}, V{}, max_level);
+    tail_->is_tail = true;
+    tail_->fully_linked.store(true, std::memory_order_relaxed);
+    head_->fully_linked.store(true, std::memory_order_relaxed);
+    for (unsigned i = 0; i <= max_level; ++i) {
+      head_->next[i].store(tail_, std::memory_order_relaxed);
+    }
+  }
+
+  LockedSkipList(const LockedSkipList&) = delete;
+  LockedSkipList& operator=(const LockedSkipList&) = delete;
+
+  bool insert(const K& key, const V& value) {
+    unsigned top = random_height();
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    while (true) {
+      int found = find(key, preds, succs);
+      if (found != -1) {
+        Node* f = succs[found];
+        if (!f->marked.load(std::memory_order_acquire)) {
+          // Wait for the in-flight insert to complete, then report dup.
+          while (!f->fully_linked.load(std::memory_order_acquire)) {
+            lsg::common::cpu_relax();
+          }
+          return false;
+        }
+        continue;  // marked: retry until physically removed
+      }
+      // Lock predecessors bottom-up and validate.
+      unsigned locked_to = 0;
+      bool valid = true;
+      Node* last_locked = nullptr;
+      for (unsigned lvl = 0; valid && lvl <= top; ++lvl) {
+        Node* pred = preds[lvl];
+        if (pred != last_locked) {  // avoid double-locking the same node
+          pred->lock.lock();
+          last_locked = pred;
+        }
+        locked_to = lvl;
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                !succs[lvl]->marked.load(std::memory_order_acquire) &&
+                pred->next[lvl].load(std::memory_order_acquire) == succs[lvl];
+      }
+      if (!valid) {
+        unlock_range(preds, locked_to);
+        continue;
+      }
+      Node* fresh = Node::create(arena_, key, value, top);
+      for (unsigned lvl = 0; lvl <= top; ++lvl) {
+        fresh->next[lvl].store(succs[lvl], std::memory_order_relaxed);
+      }
+      for (unsigned lvl = 0; lvl <= top; ++lvl) {
+        preds[lvl]->next[lvl].store(fresh, std::memory_order_release);
+      }
+      fresh->fully_linked.store(true, std::memory_order_release);
+      unlock_range(preds, locked_to);
+      return true;
+    }
+  }
+
+  bool remove(const K& key) {
+    Node* victim = nullptr;
+    bool is_marked = false;
+    unsigned top = 0;
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    while (true) {
+      int found = find(key, preds, succs);
+      if (!is_marked) {
+        if (found == -1) return false;
+        victim = succs[found];
+        if (!(victim->fully_linked.load(std::memory_order_acquire) &&
+              victim->top == static_cast<unsigned>(found) &&
+              !victim->marked.load(std::memory_order_acquire))) {
+          return false;
+        }
+        top = victim->top;
+        victim->lock.lock();
+        if (victim->marked.load(std::memory_order_acquire)) {
+          victim->lock.unlock();
+          return false;  // someone else won
+        }
+        victim->marked.store(true, std::memory_order_release);
+        is_marked = true;
+      }
+      // Lock predecessors and validate they still point at the victim.
+      unsigned locked_to = 0;
+      bool valid = true;
+      Node* last_locked = nullptr;
+      for (unsigned lvl = 0; valid && lvl <= top; ++lvl) {
+        Node* pred = preds[lvl];
+        if (pred != last_locked) {
+          pred->lock.lock();
+          last_locked = pred;
+        }
+        locked_to = lvl;
+        valid = !pred->marked.load(std::memory_order_acquire) &&
+                pred->next[lvl].load(std::memory_order_acquire) == victim;
+      }
+      if (!valid) {
+        unlock_range(preds, locked_to);
+        continue;  // re-find and retry the unlink
+      }
+      for (int lvl = static_cast<int>(top); lvl >= 0; --lvl) {
+        preds[lvl]->next[lvl].store(
+            victim->next[lvl].load(std::memory_order_acquire),
+            std::memory_order_release);
+      }
+      victim->lock.unlock();
+      unlock_range(preds, locked_to);
+      return true;
+    }
+  }
+
+  bool contains(const K& key) {
+    Node* preds[kMaxHeight];
+    Node* succs[kMaxHeight];
+    int found = find(key, preds, succs);
+    return found != -1 &&
+           succs[found]->fully_linked.load(std::memory_order_acquire) &&
+           !succs[found]->marked.load(std::memory_order_acquire);
+  }
+
+  std::vector<K> keys() {
+    std::vector<K> out;
+    for (Node* n = head_->next[0].load(std::memory_order_acquire);
+         !n->is_tail; n = n->next[0].load(std::memory_order_acquire)) {
+      if (!n->marked.load(std::memory_order_acquire) &&
+          n->fully_linked.load(std::memory_order_acquire)) {
+        out.push_back(n->key);
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Node {
+    K key{};
+    V value{};
+    uint16_t owner = 0;
+    unsigned top = 0;
+    bool is_head = false;
+    bool is_tail = false;
+    std::atomic<bool> marked{false};
+    std::atomic<bool> fully_linked{false};
+    lsg::common::SpinLock lock;
+    std::atomic<Node*> next[kMaxHeight];
+
+    static Node* create(lsg::alloc::Arena& arena, const K& key, const V& value,
+                        unsigned top) {
+      Node* n = arena.create<Node>();
+      n->key = key;
+      n->value = value;
+      n->top = top;
+      n->owner =
+          static_cast<uint16_t>(lsg::numa::ThreadRegistry::current());
+      return n;
+    }
+  };
+
+  /// True when `n` precedes `key` in order (head < keys < tail).
+  static bool before(const Node* n, const K& key) {
+    if (n->is_head) return true;
+    if (n->is_tail) return false;
+    return n->key < key;
+  }
+
+  int find(const K& key, Node** preds, Node** succs) {
+    lsg::stats::search_begin();
+    int found = -1;
+    Node* pred = head_;
+    for (int lvl = static_cast<int>(max_level_); lvl >= 0; --lvl) {
+      Node* curr = pred->next[lvl].load(std::memory_order_acquire);
+      while (before(curr, key)) {
+        lsg::stats::node_visited();
+        lsg::stats::read_access(curr->owner, curr);
+        pred = curr;
+        curr = pred->next[lvl].load(std::memory_order_acquire);
+      }
+      if (found == -1 && !curr->is_tail && curr->key == key) found = lvl;
+      preds[lvl] = pred;
+      succs[lvl] = curr;
+    }
+    return found;
+  }
+
+  void unlock_range(Node** preds, unsigned locked_to) {
+    Node* last = nullptr;
+    for (unsigned lvl = 0; lvl <= locked_to; ++lvl) {
+      if (preds[lvl] != last) {
+        preds[lvl]->lock.unlock();
+        last = preds[lvl];
+      }
+    }
+  }
+
+  unsigned random_height() {
+    thread_local lsg::common::Xoshiro256 rng(
+        0x10cced ^ (static_cast<uint64_t>(
+                        lsg::numa::ThreadRegistry::current())
+                    << 20));
+    return rng.geometric_level(max_level_);
+  }
+
+  unsigned max_level_;
+  lsg::alloc::Arena arena_;
+  Node* head_ = nullptr;
+  Node* tail_ = nullptr;
+};
+
+}  // namespace lsg::skiplist

@@ -1,0 +1,210 @@
+// Lock-free singly-linked sorted list (Harris-style) with the paper's
+// relink optimization: chains of marked references are replaced with a
+// single CAS instead of one CAS per node.
+//
+// Used standalone as the layered_map_ll analysis baseline's substrate, as
+// the data layer of the comparator re-implementations (No-Hotspot /
+// Rotating / NUMASK, src/baselines/), and as the smallest test vehicle for
+// the marked-reference protocol.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "common/tagged_ptr.hpp"
+#include "numa/pinning.hpp"
+#include "skipgraph/node.hpp"  // cas_slot
+#include "stats/counters.hpp"
+
+namespace lsg::skiplist {
+
+template <class K, class V>
+class LockFreeList {
+ public:
+  struct Node {
+    using TP = lsg::common::TaggedPtr<Node>;
+    K key{};
+    V value{};
+    uint16_t owner = 0;
+    bool is_tail = false;
+    std::atomic<uintptr_t> next{0};
+
+    static Node* create(lsg::alloc::Arena& arena, const K& key, const V& value,
+                        Node* nxt) {
+      Node* n = arena.create<Node>();
+      n->key = key;
+      n->value = value;
+      n->owner =
+          static_cast<uint16_t>(lsg::numa::ThreadRegistry::current());
+      n->next.store(TP::pack(nxt), std::memory_order_relaxed);
+      return n;
+    }
+
+    bool marked() const {
+      return TP::mark(next.load(std::memory_order_acquire));
+    }
+  };
+
+  using TP = typename Node::TP;
+
+  explicit LockFreeList(bool relink = true) : relink_(relink) {
+    tail_ = Node::create(arena_, K{}, V{}, nullptr);
+    tail_->is_tail = true;
+    head_.store(TP::pack(tail_), std::memory_order_relaxed);
+  }
+
+  LockFreeList(const LockFreeList&) = delete;
+  LockFreeList& operator=(const LockFreeList&) = delete;
+
+  struct Window {
+    std::atomic<uintptr_t>* pred_slot;
+    int pred_owner;
+    uintptr_t middle;  // raw value read from pred_slot
+    Node* curr;        // first live node with key >= target
+  };
+
+  /// Position the window at `key`, starting from `start` (or the head).
+  /// Splices marked chains out along the way.
+  Window find(const K& key, Node* start = nullptr) {
+    lsg::stats::search_begin();
+    while (true) {
+      // A stale index may hand us a marked start; a marked node can never
+      // serve as predecessor (its reference is immutable), so fall back to
+      // the head rather than spinning on a dead window.
+      if (start != nullptr && start->marked()) start = nullptr;
+      std::atomic<uintptr_t>* slot = start ? &start->next : &head_;
+      int slot_owner = start ? start->owner : 0;
+      uintptr_t raw = slot->load(std::memory_order_acquire);
+      lsg::stats::read_access(slot_owner, slot);
+      Node* curr = TP::ptr(raw);
+      while (true) {
+        // Skip (and splice) a marked chain.
+        Node* live = curr;
+        bool chain = false;
+        while (!live->is_tail && live->marked()) {
+          lsg::stats::node_visited();
+          lsg::stats::read_access(live->owner, live);
+          live = TP::ptr(live->next.load(std::memory_order_acquire));
+          chain = true;
+          if (!relink_) break;  // splice one node at a time
+        }
+        if (chain) {
+          if (TP::mark(raw)) break;  // pred died: restart from scratch
+          uintptr_t want = TP::with_ptr(raw, live);
+          if (!lsg::skipgraph::cas_slot<K, V>(slot, raw, want, slot_owner)) {
+            break;  // slot changed under us: restart
+          }
+          raw = want;
+          curr = live;
+          continue;
+        }
+        if (curr->is_tail || !(curr->key < key)) {
+          if (TP::mark(raw)) break;  // pred died after we stepped onto it
+          return Window{slot, slot_owner, raw, curr};
+        }
+        lsg::stats::node_visited();
+        lsg::stats::read_access(curr->owner, curr);
+        slot = &curr->next;
+        slot_owner = curr->owner;
+        raw = slot->load(std::memory_order_acquire);
+        curr = TP::ptr(raw);
+      }
+      start = nullptr;  // restart conservatively from the head
+    }
+  }
+
+  bool insert(const K& key, const V& value, Node* start = nullptr,
+              Node** out_node = nullptr) {
+    Node* fresh = nullptr;
+    while (true) {
+      Window w = find(key, start);
+      if (!w.curr->is_tail && w.curr->key == key) return false;
+      if (!fresh) fresh = Node::create(arena_, key, value, w.curr);
+      fresh->next.store(TP::pack(w.curr), std::memory_order_relaxed);
+      uintptr_t mid = w.middle;
+      if (TP::mark(mid)) continue;
+      if (lsg::skipgraph::cas_slot<K, V>(w.pred_slot, mid,
+                                         TP::with_ptr(mid, fresh),
+                                         w.pred_owner)) {
+        if (out_node) *out_node = fresh;
+        return true;
+      }
+    }
+  }
+
+  bool remove(const K& key, Node* start = nullptr) {
+    while (true) {
+      Window w = find(key, start);
+      if (w.curr->is_tail || !(w.curr->key == key)) return false;
+      uintptr_t raw = w.curr->next.load(std::memory_order_acquire);
+      while (!TP::mark(raw)) {
+        if (w.curr->next.compare_exchange_weak(raw, raw | TP::kMark,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+          lsg::stats::cas_access(w.curr->owner, true);
+          find(key, start);  // physical cleanup pass
+          return true;
+        }
+        lsg::stats::cas_access(w.curr->owner, false);
+      }
+      // Already marked: removed by someone else; retry locates a newer copy
+      // or reports absence.
+      start = nullptr;
+    }
+  }
+
+  bool contains(const K& key, Node* start = nullptr) {
+    // A marked start may be physically unlinked already; its frozen next
+    // chain predates recent insertions, so it cannot anchor this search.
+    // (A LIVE start that gets marked mid-traversal is fine: relinks only
+    // ever remove marked nodes, so its suffix keeps every live node.)
+    if (start != nullptr && start->marked()) start = nullptr;
+    std::atomic<uintptr_t>* slot = start ? &start->next : &head_;
+    Node* curr = TP::ptr(slot->load(std::memory_order_acquire));
+    lsg::stats::read_access(start ? start->owner : 0, slot);
+    while (!curr->is_tail && curr->key < key) {
+      lsg::stats::node_visited();
+      lsg::stats::read_access(curr->owner, curr);
+      curr = TP::ptr(curr->next.load(std::memory_order_acquire));
+    }
+    return !curr->is_tail && curr->key == key && !curr->marked();
+  }
+
+  /// Quiescent snapshot of live keys.
+  std::vector<K> keys() {
+    std::vector<K> out;
+    for (Node* n = TP::ptr(head_.load(std::memory_order_acquire));
+         !n->is_tail; n = TP::ptr(n->next.load(std::memory_order_acquire))) {
+      if (!n->marked()) out.push_back(n->key);
+    }
+    return out;
+  }
+
+  /// First live node (for index builders); nullptr when empty.
+  Node* first() {
+    Node* n = TP::ptr(head_.load(std::memory_order_acquire));
+    while (!n->is_tail && n->marked()) {
+      n = TP::ptr(n->next.load(std::memory_order_acquire));
+    }
+    return n->is_tail ? nullptr : n;
+  }
+
+  /// Walk live nodes (quiescent or tolerating a racy view).
+  template <class Fn>
+  void for_each_node(Fn&& fn) {
+    for (Node* n = TP::ptr(head_.load(std::memory_order_acquire));
+         !n->is_tail; n = TP::ptr(n->next.load(std::memory_order_acquire))) {
+      if (!n->marked()) fn(n);
+    }
+  }
+
+ private:
+  bool relink_;
+  lsg::alloc::Arena arena_;
+  Node* tail_ = nullptr;
+  std::atomic<uintptr_t> head_{0};
+};
+
+}  // namespace lsg::skiplist

@@ -1,0 +1,304 @@
+// Lock-free skip list ("a concurrent skip list as in [21], but including
+// our relink optimization", paper §5) — the paper's main baseline.
+//
+// Towers have geometric heights; deletion marks the tower's references
+// top-down and linearizes on the level-0 mark; searches splice marked
+// chains out with a single CAS per chain (relink) or one CAS per node when
+// the optimization is disabled (ablation).
+//
+// Also provides pop_min() (Lotan–Shavit style) so the skip-list priority
+// queue baseline (src/pqueue/) can reuse it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "common/rng.hpp"
+#include "common/tagged_ptr.hpp"
+#include "numa/pinning.hpp"
+#include "skipgraph/node.hpp"  // kMaxLevels, cas_slot
+#include "stats/counters.hpp"
+
+namespace lsg::skiplist {
+
+template <class K, class V>
+class LockFreeSkipList {
+ public:
+  static constexpr unsigned kMaxHeight = lsg::skipgraph::kMaxLevels;
+
+  struct Node {
+    using TP = lsg::common::TaggedPtr<Node>;
+    K key{};
+    V value{};
+    uint16_t owner = 0;
+    uint8_t top = 0;  // 0-based top level
+    bool is_tail = false;
+
+    std::atomic<uintptr_t>* next_array() {
+      return reinterpret_cast<std::atomic<uintptr_t>*>(this + 1);
+    }
+    uintptr_t next_raw(unsigned lvl) const {
+      return reinterpret_cast<const std::atomic<uintptr_t>*>(this + 1)[lvl]
+          .load(std::memory_order_acquire);
+    }
+    Node* next_ptr(unsigned lvl) const { return TP::ptr(next_raw(lvl)); }
+    std::atomic<uintptr_t>* slot(unsigned lvl) { return &next_array()[lvl]; }
+    bool get_mark(unsigned lvl) const { return TP::mark(next_raw(lvl)); }
+
+    bool try_mark(unsigned lvl) {
+      uintptr_t raw = next_raw(lvl);
+      while (true) {
+        if (TP::mark(raw)) return false;
+        if (next_array()[lvl].compare_exchange_weak(
+                raw, raw | TP::kMark, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          lsg::stats::cas_access(owner, true);
+          return true;
+        }
+        lsg::stats::cas_access(owner, false);
+      }
+    }
+
+    static Node* create(lsg::alloc::Arena& arena, const K& key, const V& value,
+                        unsigned top, Node* init_next) {
+      Node* n = arena.create_with_trailing<Node>(
+          (top + 1) * sizeof(std::atomic<uintptr_t>));
+      n->key = key;
+      n->value = value;
+      n->owner =
+          static_cast<uint16_t>(lsg::numa::ThreadRegistry::current());
+      n->top = static_cast<uint8_t>(top);
+      for (unsigned i = 0; i <= top; ++i) {
+        ::new (&n->next_array()[i]) std::atomic<uintptr_t>(TP::pack(init_next));
+      }
+      return n;
+    }
+  };
+
+  using TP = typename Node::TP;
+
+  /// max_level follows the paper's convention: x for a key space of 2^x.
+  explicit LockFreeSkipList(unsigned max_level, bool relink = true)
+      : max_level_(max_level), relink_(relink) {
+    if (max_level >= kMaxHeight) throw std::invalid_argument("level too high");
+    tail_ = Node::create(arena_, K{}, V{}, max_level, nullptr);
+    tail_->is_tail = true;
+    heads_ = std::make_unique<std::atomic<uintptr_t>[]>(max_level + 1);
+    for (unsigned i = 0; i <= max_level; ++i) {
+      heads_[i].store(TP::pack(tail_), std::memory_order_relaxed);
+    }
+  }
+
+  LockFreeSkipList(const LockFreeSkipList&) = delete;
+  LockFreeSkipList& operator=(const LockFreeSkipList&) = delete;
+
+  unsigned max_level() const { return max_level_; }
+
+  bool insert(const K& key, const V& value) {
+    Find f;
+    Node* fresh = nullptr;
+    unsigned height = random_height();
+    while (true) {
+      if (find(key, f)) return false;  // present
+      if (!fresh) fresh = Node::create(arena_, key, value, height, tail_);
+      fresh->next_array()[0].store(TP::pack(f.succ[0]),
+                                   std::memory_order_relaxed);
+      uintptr_t mid = f.middle[0];
+      if (TP::mark(mid)) continue;
+      if (!lsg::skipgraph::cas_slot<K, V>(f.pred_slot[0], mid,
+                                          TP::with_ptr(mid, fresh),
+                                          f.pred_owner[0])) {
+        continue;
+      }
+      // Link upper levels.
+      for (unsigned lvl = 1; lvl <= height;) {
+        uintptr_t old = fresh->next_raw(lvl);
+        bool dead = false;
+        while (TP::ptr(old) != f.succ[lvl]) {
+          if (TP::mark(old)) {
+            dead = true;  // removed while linking; abandon upper levels
+            break;
+          }
+          if (fresh->next_array()[lvl].compare_exchange_weak(
+                  old, TP::pack(f.succ[lvl]), std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            break;
+          }
+        }
+        if (dead) break;
+        uintptr_t m = f.middle[lvl];
+        if (TP::ptr(m) == fresh) {
+          ++lvl;
+          continue;
+        }
+        if (!TP::mark(m) &&
+            lsg::skipgraph::cas_slot<K, V>(f.pred_slot[lvl], m,
+                                           TP::with_ptr(m, fresh),
+                                           f.pred_owner[lvl])) {
+          ++lvl;
+          continue;
+        }
+        if (!find(key, f) || f.succ[0] != fresh) break;  // re-search
+      }
+      return true;
+    }
+  }
+
+  bool remove(const K& key) {
+    Find f;
+    while (true) {
+      if (!find(key, f)) return false;
+      Node* victim = f.succ[0];
+      for (int lvl = victim->top; lvl >= 1; --lvl) victim->try_mark(lvl);
+      if (victim->try_mark(0)) {
+        find(key, f);  // physical cleanup pass
+        return true;
+      }
+      // Level-0 mark lost: someone else removed it first.
+      return false;
+    }
+  }
+
+  bool contains(const K& key) {
+    lsg::stats::search_begin();
+    std::atomic<uintptr_t>* slot = &heads_[max_level_];
+    Node* prev = nullptr;
+    for (int lvl = static_cast<int>(max_level_); lvl >= 0; --lvl) {
+      slot = prev ? prev->slot(lvl) : &heads_[lvl];
+      Node* curr = TP::ptr(slot->load(std::memory_order_acquire));
+      while (!curr->is_tail && (curr->key < key || curr->get_mark(0))) {
+        lsg::stats::node_visited();
+        lsg::stats::read_access(curr->owner, curr);
+        if (!(curr->key < key) && curr->get_mark(0)) {
+          curr = curr->next_ptr(lvl);
+          continue;
+        }
+        prev = curr;
+        curr = curr->next_ptr(lvl);
+      }
+      if (!curr->is_tail && curr->key == key && !curr->get_mark(0)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Lotan–Shavit deleteMin: mark the first live bottom-level node.
+  /// Returns false when empty; otherwise copies the minimum into out_key.
+  bool pop_min(K& out_key, V& out_value) {
+    while (true) {
+      Node* curr = TP::ptr(heads_[0].load(std::memory_order_acquire));
+      while (!curr->is_tail && curr->get_mark(0)) {
+        curr = curr->next_ptr(0);
+      }
+      if (curr->is_tail) return false;
+      for (int lvl = curr->top; lvl >= 1; --lvl) curr->try_mark(lvl);
+      if (curr->try_mark(0)) {
+        out_key = curr->key;
+        out_value = curr->value;
+        Find f;
+        find(curr->key, f);  // physical cleanup
+        return true;
+      }
+      // Someone else claimed it; rescan.
+    }
+  }
+
+  std::vector<K> keys() {
+    std::vector<K> out;
+    for (Node* n = TP::ptr(heads_[0].load(std::memory_order_acquire));
+         !n->is_tail; n = n->next_ptr(0)) {
+      if (!n->get_mark(0)) out.push_back(n->key);
+    }
+    return out;
+  }
+
+  /// Level-`lvl` key sequence including marked flags (tests; quiescent).
+  std::vector<std::pair<K, bool>> snapshot_level(unsigned lvl) {
+    std::vector<std::pair<K, bool>> out;
+    for (Node* n = TP::ptr(heads_[lvl].load(std::memory_order_acquire));
+         !n->is_tail; n = n->next_ptr(lvl)) {
+      out.emplace_back(n->key, n->get_mark(lvl));
+    }
+    return out;
+  }
+
+ private:
+  struct Find {
+    std::atomic<uintptr_t>* pred_slot[kMaxHeight];
+    int pred_owner[kMaxHeight];
+    uintptr_t middle[kMaxHeight];
+    Node* succ[kMaxHeight];
+  };
+
+  unsigned random_height() {
+    thread_local lsg::common::Xoshiro256 rng(
+        0x51a9 ^ (static_cast<uint64_t>(
+                      lsg::numa::ThreadRegistry::current())
+                  << 24));
+    return rng.geometric_level(max_level_);
+  }
+
+  /// Positions pred/middle/succ at every level, splicing marked chains.
+  /// Returns true iff succ[0] is a live node holding `key`.
+  bool find(const K& key, Find& f) {
+    lsg::stats::search_begin();
+  retry:
+    Node* prev = nullptr;
+    for (int lvl = static_cast<int>(max_level_); lvl >= 0; --lvl) {
+      std::atomic<uintptr_t>* slot = prev ? prev->slot(lvl) : &heads_[lvl];
+      int slot_owner = prev ? prev->owner : 0;
+      uintptr_t raw = slot->load(std::memory_order_acquire);
+      lsg::stats::read_access(slot_owner, slot);
+      while (true) {
+        Node* curr = TP::ptr(raw);
+        // Splice out any marked chain starting at curr.
+        Node* live = curr;
+        bool chain = false;
+        while (!live->is_tail && live->get_mark(lvl)) {
+          lsg::stats::node_visited();
+          lsg::stats::read_access(live->owner, live);
+          live = live->next_ptr(lvl);
+          chain = true;
+          if (!relink_) break;
+        }
+        if (chain) {
+          if (TP::mark(raw)) goto retry;  // pred marked: restart search
+          uintptr_t want = TP::with_ptr(raw, live);
+          if (!lsg::skipgraph::cas_slot<K, V>(slot, raw, want, slot_owner)) {
+            goto retry;
+          }
+          raw = want;
+          continue;
+        }
+        if (curr->is_tail || !(curr->key < key)) {
+          f.pred_slot[lvl] = slot;
+          f.pred_owner[lvl] = slot_owner;
+          f.middle[lvl] = raw;
+          f.succ[lvl] = curr;
+          break;
+        }
+        lsg::stats::node_visited();
+        lsg::stats::read_access(curr->owner, curr);
+        prev = curr;
+        slot = &curr->next_array()[lvl];
+        slot_owner = curr->owner;
+        raw = slot->load(std::memory_order_acquire);
+      }
+    }
+    Node* s = f.succ[0];
+    return !s->is_tail && s->key == key && !s->get_mark(0);
+  }
+
+  unsigned max_level_;
+  bool relink_;
+  lsg::alloc::Arena arena_;
+  Node* tail_ = nullptr;
+  std::unique_ptr<std::atomic<uintptr_t>[]> heads_;
+};
+
+}  // namespace lsg::skiplist

@@ -1,0 +1,44 @@
+#include "stats/counters.hpp"
+
+#include "stats/heatmap.hpp"
+
+namespace lsg::stats {
+
+void sync_topology() {
+  for (int t = 0; t < lsg::numa::kMaxThreads; ++t) {
+    detail::g_node_of[t] =
+        static_cast<int8_t>(lsg::numa::ThreadRegistry::node_of(t));
+  }
+  detail::tls.tid = -1;
+}
+
+void reset() {
+  for (auto& slot : detail::g_counters) slot.value = ThreadCounters{};
+  if (auto* h = read_heatmap()) h->clear();
+  if (auto* h = cas_heatmap()) h->clear();
+}
+
+ThreadCounters total() {
+  ThreadCounters sum;
+  for (const auto& slot : detail::g_counters) sum += slot.value;
+  return sum;
+}
+
+ThreadCounters of_thread(int tid) { return detail::g_counters[tid].value; }
+
+namespace detail {
+
+void heatmap_read(int me, int owner) {
+  if (auto* h = lsg::stats::read_heatmap()) {
+    if (me < h->size() && owner < h->size()) h->inc(me, owner);
+  }
+}
+
+void heatmap_cas(int me, int owner) {
+  if (auto* h = lsg::stats::cas_heatmap()) {
+    if (me < h->size() && owner < h->size()) h->inc(me, owner);
+  }
+}
+
+}  // namespace detail
+}  // namespace lsg::stats

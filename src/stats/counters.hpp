@@ -1,0 +1,156 @@
+// Access instrumentation (paper §5, item #2).
+//
+// The paper instruments node access functions manually to count, per thread:
+//   - local vs remote reads            (Tbl. 1 rows 1-2, Figs. 14-17)
+//   - local vs remote maintenance CAS  (Tbl. 1 rows 3-4, Figs. 6-9)
+//   - CAS success rate                 (Tbl. 1 row 5)
+//   - shared nodes traversed / search  (Fig. 5)
+// "Local" means the accessed node was allocated by a thread pinned to the
+// same NUMA node as the accessing thread. Accesses to the node a thread is
+// itself inserting are excluded (they would artificially inflate locality).
+//
+// Hot-path cost: one TLS lookup plus two or three plain (non-atomic)
+// increments on cache-line-padded per-thread slots.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/padding.hpp"
+#include "numa/pinning.hpp"
+
+namespace lsg::stats {
+
+struct ThreadCounters {
+  uint64_t local_reads = 0;
+  uint64_t remote_reads = 0;
+  uint64_t local_cas = 0;        // maintenance CAS attempts on local nodes
+  uint64_t remote_cas = 0;       // ... on remote nodes
+  uint64_t cas_success = 0;      // maintenance CAS outcomes
+  uint64_t cas_failure = 0;
+  uint64_t nodes_traversed = 0;  // shared nodes visited during searches
+  uint64_t searches = 0;
+  uint64_t operations = 0;       // completed map operations
+
+  ThreadCounters& operator+=(const ThreadCounters& o) {
+    local_reads += o.local_reads;
+    remote_reads += o.remote_reads;
+    local_cas += o.local_cas;
+    remote_cas += o.remote_cas;
+    cas_success += o.cas_success;
+    cas_failure += o.cas_failure;
+    nodes_traversed += o.nodes_traversed;
+    searches += o.searches;
+    operations += o.operations;
+    return *this;
+  }
+
+  double cas_success_rate() const {
+    uint64_t att = cas_success + cas_failure;
+    return att == 0 ? 1.0 : static_cast<double>(cas_success) / att;
+  }
+};
+
+namespace detail {
+
+inline std::array<lsg::common::Padded<ThreadCounters>, lsg::numa::kMaxThreads>
+    g_counters{};
+
+/// NUMA node per logical thread id, precomputed so the hot path avoids
+/// Topology lookups. Refreshed by sync_topology().
+inline std::array<int8_t, lsg::numa::kMaxThreads> g_node_of{};
+
+inline std::atomic<bool> g_heatmaps_enabled{false};
+
+/// Optional per-access trace hook (installed by the cache-model bench).
+using TraceFn = void (*)(const void* addr);
+inline std::atomic<TraceFn> g_trace{nullptr};
+
+struct Tls {
+  int tid = -1;
+  int8_t node = 0;
+};
+inline thread_local Tls tls;
+
+inline Tls& self() {
+  if (tls.tid < 0) {
+    tls.tid = lsg::numa::ThreadRegistry::current();
+    tls.node = g_node_of[tls.tid];
+  }
+  return tls;
+}
+
+void heatmap_read(int me, int owner);
+void heatmap_cas(int me, int owner);
+
+}  // namespace detail
+
+/// Recompute the thread->node table from the active topology and forget the
+/// calling thread's cached identity. Call after ThreadRegistry::configure.
+void sync_topology();
+
+/// Zero all counters (heatmaps too, if enabled). Not thread-safe with
+/// concurrent workers.
+void reset();
+
+/// Forget the calling thread's cached identity (call when a thread's logical
+/// id may have been recycled between trials).
+inline void forget_self() { detail::tls.tid = -1; }
+
+/// Sum of all per-thread counters.
+ThreadCounters total();
+
+ThreadCounters of_thread(int tid);
+
+/// --- hot-path recording functions -------------------------------------
+
+/// A read of a shared node allocated by `owner_tid`.
+inline void read_access(int owner_tid, const void* addr = nullptr) {
+  detail::Tls& me = detail::self();
+  ThreadCounters& c = detail::g_counters[me.tid].value;
+  if (detail::g_node_of[owner_tid] == me.node) {
+    ++c.local_reads;
+  } else {
+    ++c.remote_reads;
+  }
+  if (detail::g_heatmaps_enabled.load(std::memory_order_relaxed)) {
+    detail::heatmap_read(me.tid, owner_tid);
+  }
+  if (auto* fn = detail::g_trace.load(std::memory_order_relaxed)) {
+    fn(addr);
+  }
+}
+
+/// A maintenance CAS targeting a node allocated by `owner_tid`.
+/// `on_inserting_node` excludes CASes a thread performs on the node it is
+/// itself inserting (per the paper's counting rule).
+inline void cas_access(int owner_tid, bool success,
+                       bool on_inserting_node = false) {
+  if (on_inserting_node) return;
+  detail::Tls& me = detail::self();
+  ThreadCounters& c = detail::g_counters[me.tid].value;
+  if (detail::g_node_of[owner_tid] == me.node) {
+    ++c.local_cas;
+  } else {
+    ++c.remote_cas;
+  }
+  if (success) {
+    ++c.cas_success;
+  } else {
+    ++c.cas_failure;
+  }
+  if (detail::g_heatmaps_enabled.load(std::memory_order_relaxed)) {
+    detail::heatmap_cas(me.tid, owner_tid);
+  }
+}
+
+inline void search_begin() { ++detail::g_counters[detail::self().tid].value.searches; }
+
+inline void node_visited() {
+  ++detail::g_counters[detail::self().tid].value.nodes_traversed;
+}
+
+inline void op_done() { ++detail::g_counters[detail::self().tid].value.operations; }
+
+}  // namespace lsg::stats

@@ -1,0 +1,122 @@
+#include "stats/heatmap.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <sstream>
+
+#include "stats/counters.hpp"
+
+namespace lsg::stats {
+namespace {
+
+std::unique_ptr<Heatmap> g_reads;
+std::unique_ptr<Heatmap> g_cas;
+
+}  // namespace
+
+uint64_t Heatmap::total() const {
+  return std::accumulate(cells_.begin(), cells_.end(), uint64_t{0});
+}
+
+double Heatmap::locality(const std::vector<int>& node_of_thread) const {
+  uint64_t local = 0, all = 0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      uint64_t v = at(i, j);
+      all += v;
+      if (node_of_thread[i] == node_of_thread[j]) local += v;
+    }
+  }
+  return all == 0 ? 1.0 : static_cast<double>(local) / all;
+}
+
+double Heatmap::mean_access_distance(
+    const std::vector<int>& node_of_thread,
+    const std::vector<std::vector<int>>& dist) const {
+  double weighted = 0;
+  uint64_t all = 0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      uint64_t v = at(i, j);
+      all += v;
+      weighted += static_cast<double>(v) *
+                  dist[node_of_thread[i]][node_of_thread[j]];
+    }
+  }
+  return all == 0 ? 0.0 : weighted / static_cast<double>(all);
+}
+
+std::vector<std::vector<uint64_t>> Heatmap::by_node(
+    const std::vector<int>& node_of_thread, int num_nodes) const {
+  std::vector<std::vector<uint64_t>> agg(
+      num_nodes, std::vector<uint64_t>(num_nodes, 0));
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      agg[node_of_thread[i]][node_of_thread[j]] += at(i, j);
+    }
+  }
+  return agg;
+}
+
+std::string Heatmap::to_csv() const {
+  std::ostringstream os;
+  os << "thread";
+  for (int j = 0; j < n_; ++j) os << "," << j;
+  os << "\n";
+  for (int i = 0; i < n_; ++i) {
+    os << i;
+    for (int j = 0; j < n_; ++j) os << "," << at(i, j);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string Heatmap::to_ascii(int max_dim) const {
+  static const char kShades[] = " .:-=+*#%@";
+  const int dim = std::min(n_, max_dim);
+  const int bucket = (n_ + dim - 1) / dim;
+  std::vector<std::vector<uint64_t>> coarse(dim, std::vector<uint64_t>(dim, 0));
+  uint64_t maxv = 0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      auto& cell = coarse[i / bucket][j / bucket];
+      cell += at(i, j);
+    }
+  }
+  for (auto& row : coarse)
+    for (auto v : row) maxv = std::max(maxv, v);
+  std::ostringstream os;
+  for (int i = 0; i < dim; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      int shade =
+          maxv == 0
+              ? 0
+              : static_cast<int>((coarse[i][j] * 9 + maxv - 1) / maxv);
+      os << kShades[std::min(shade, 9)];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void enable_heatmaps(int num_threads) {
+  g_reads = std::make_unique<Heatmap>(num_threads);
+  g_cas = std::make_unique<Heatmap>(num_threads);
+  detail::g_heatmaps_enabled.store(true, std::memory_order_release);
+}
+
+void disable_heatmaps() {
+  detail::g_heatmaps_enabled.store(false, std::memory_order_release);
+  g_reads.reset();
+  g_cas.reset();
+}
+
+bool heatmaps_enabled() {
+  return detail::g_heatmaps_enabled.load(std::memory_order_acquire);
+}
+
+Heatmap* read_heatmap() { return g_reads.get(); }
+Heatmap* cas_heatmap() { return g_cas.get(); }
+
+}  // namespace lsg::stats

@@ -1,0 +1,63 @@
+// T x T access heatmaps (paper Figs. 6-9 and 14-17).
+//
+// Cell (i, j) counts operations performed by thread i on nodes allocated by
+// thread j. Each thread only ever writes its own row, so cells are plain
+// uint64_t with no synchronization on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsg::stats {
+
+class Heatmap {
+ public:
+  explicit Heatmap(int n) : n_(n), cells_(static_cast<size_t>(n) * n, 0) {}
+
+  void inc(int row, int col) {
+    cells_[static_cast<size_t>(row) * n_ + col] += 1;
+  }
+
+  uint64_t at(int row, int col) const {
+    return cells_[static_cast<size_t>(row) * n_ + col];
+  }
+
+  int size() const { return n_; }
+
+  void clear() { std::fill(cells_.begin(), cells_.end(), 0); }
+
+  uint64_t total() const;
+
+  /// Fraction of accesses landing within the same NUMA node, given a
+  /// thread->node mapping.
+  double locality(const std::vector<int>& node_of_thread) const;
+
+  /// Average numactl distance of an access, weighted by cell counts.
+  double mean_access_distance(const std::vector<int>& node_of_thread,
+                              const std::vector<std::vector<int>>& dist) const;
+
+  /// Sum of cells grouped by (node(i), node(j)) — the "macro heatmap" used
+  /// for console reporting.
+  std::vector<std::vector<uint64_t>> by_node(
+      const std::vector<int>& node_of_thread, int num_nodes) const;
+
+  /// CSV dump: header row/col are thread ids.
+  std::string to_csv() const;
+
+  /// Coarse ASCII rendering (shade by magnitude), for console inspection.
+  std::string to_ascii(int max_dim = 48) const;
+
+ private:
+  int n_;
+  std::vector<uint64_t> cells_;
+};
+
+/// Global read/CAS heatmaps toggled around a trial.
+void enable_heatmaps(int num_threads);
+void disable_heatmaps();
+bool heatmaps_enabled();
+Heatmap* read_heatmap();
+Heatmap* cas_heatmap();
+
+}  // namespace lsg::stats

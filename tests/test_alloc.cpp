@@ -1,0 +1,234 @@
+// Tests for the arena allocator (ownership/chunking semantics) and the
+// epoch-based reclaimer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "alloc/epoch.hpp"
+#include "numa/pinning.hpp"
+
+namespace {
+
+using lsg::alloc::Arena;
+using lsg::alloc::EpochReclaimer;
+
+struct Fixture : ::testing::Test {
+  void SetUp() override {
+    lsg::numa::ThreadRegistry::configure(
+        lsg::numa::Topology::paper_machine());
+    lsg::numa::ThreadRegistry::reset();
+  }
+};
+
+using ArenaTest = Fixture;
+using EpochTest = Fixture;
+
+TEST_F(ArenaTest, AllocatesAlignedDistinctBlocks) {
+  Arena arena(4096);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.allocate(24, 8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    std::memset(p, 0xAB, 24);  // must be writable
+    ptrs.push_back(p);
+  }
+  std::sort(ptrs.begin(), ptrs.end());
+  EXPECT_EQ(std::unique(ptrs.begin(), ptrs.end()), ptrs.end());
+}
+
+TEST_F(ArenaTest, HonorsLargeAlignment) {
+  Arena arena(4096);
+  (void)arena.allocate(1, 1);
+  void* p = arena.allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+}
+
+TEST_F(ArenaTest, GrowsChunksOnDemand) {
+  Arena arena(256);
+  EXPECT_EQ(arena.chunks_allocated(), 0u);
+  (void)arena.allocate(200, 8);
+  EXPECT_EQ(arena.chunks_allocated(), 1u);
+  (void)arena.allocate(200, 8);  // does not fit the first chunk
+  EXPECT_EQ(arena.chunks_allocated(), 2u);
+}
+
+TEST_F(ArenaTest, OversizedAllocationGetsOwnChunk) {
+  Arena arena(128);
+  void* p = arena.allocate(10000, 8);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0, 10000);
+  EXPECT_GE(arena.bytes_allocated(), 10000u);
+}
+
+TEST_F(ArenaTest, CreateConstructsObjects) {
+  Arena arena;
+  struct Pt {
+    int x, y;
+  };
+  Pt* p = arena.create<Pt>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST_F(ArenaTest, RunsDestructorsOnRelease) {
+  static std::atomic<int> live{0};
+  struct Counted {
+    Counted() { live.fetch_add(1); }
+    ~Counted() { live.fetch_sub(1); }
+  };
+  {
+    Arena arena;
+    for (int i = 0; i < 10; ++i) arena.create<Counted>();
+    EXPECT_EQ(live.load(), 10);
+  }
+  EXPECT_EQ(live.load(), 0);
+}
+
+TEST_F(ArenaTest, TrailingStorageIsUsable) {
+  Arena arena;
+  struct Head {
+    uint64_t h;
+  };
+  Head* h = arena.create_with_trailing<Head>(64, Head{7});
+  auto* trailing = reinterpret_cast<unsigned char*>(h + 1);
+  std::memset(trailing, 0xCD, 64);
+  EXPECT_EQ(h->h, 7u);
+  EXPECT_EQ(trailing[63], 0xCD);
+}
+
+TEST_F(ArenaTest, ConcurrentThreadsGetPrivateChunks) {
+  Arena arena(1 << 16);
+  constexpr int kThreads = 4, kAllocs = 5000;
+  std::vector<std::vector<void*>> per_thread(kThreads);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      lsg::numa::ThreadRegistry::register_self();
+      for (int i = 0; i < kAllocs; ++i) {
+        void* p = arena.allocate(32, 8);
+        *static_cast<uint64_t*>(p) = (uint64_t)t << 32 | i;
+        per_thread[t].push_back(p);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // No overlap and all values intact (no cross-thread corruption).
+  std::vector<void*> all;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kAllocs; ++i) {
+      EXPECT_EQ(*static_cast<uint64_t*>(per_thread[t][i]),
+                (uint64_t)t << 32 | i);
+      all.push_back(per_thread[t][i]);
+    }
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+}
+
+TEST_F(EpochTest, RetireDefersUntilQuiescent) {
+  EpochReclaimer r;
+  static std::atomic<int> freed{0};
+  freed = 0;
+  struct Obj {
+    ~Obj() { freed.fetch_add(1); }
+  };
+  r.enter();
+  r.retire(new Obj());
+  // We are inside a critical region; nothing can be freed yet regardless of
+  // how often reclamation runs.
+  for (int i = 0; i < 10; ++i) r.try_reclaim();
+  EXPECT_EQ(freed.load(), 0);
+  r.exit();
+  // Now epochs can advance; after enough scans the object must be freed.
+  for (int i = 0; i < 10; ++i) r.try_reclaim();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST_F(EpochTest, DrainAllFreesEverything) {
+  static std::atomic<int> freed{0};
+  freed = 0;
+  struct Obj {
+    ~Obj() { freed.fetch_add(1); }
+  };
+  {
+    EpochReclaimer r;
+    for (int i = 0; i < 25; ++i) r.retire(new Obj());
+  }  // destructor drains
+  EXPECT_EQ(freed.load(), 25);
+}
+
+TEST_F(EpochTest, NestedGuardsBoundEpochAdvance) {
+  // A pinned reader announced epoch e0; the global epoch can advance at
+  // most once past it (to e0+1) until the reader exits — that one-step
+  // bound is exactly what makes two-epoch-old garbage safe to free.
+  EpochReclaimer r;
+  uint64_t e0 = r.epoch();
+  {
+    EpochReclaimer::Guard g1(r);
+    {
+      EpochReclaimer::Guard g2(r);
+      for (int i = 0; i < 5; ++i) r.try_reclaim();
+      EXPECT_LE(r.epoch(), e0 + 1);
+    }
+    for (int i = 0; i < 5; ++i) r.try_reclaim();
+    EXPECT_LE(r.epoch(), e0 + 1);  // nested exit must not unpin
+  }
+  for (int i = 0; i < 5; ++i) r.try_reclaim();
+  EXPECT_GT(r.epoch(), e0 + 1);  // unpinned: advances freely
+}
+
+TEST_F(EpochTest, ConcurrentRetireAndReadStress) {
+  // Readers follow an atomic pointer under a guard while a writer keeps
+  // swapping + retiring it. No use-after-free (checked via a magic value).
+  EpochReclaimer r;
+  struct Obj {
+    uint64_t magic = 0xfeedfacecafebeef;
+    ~Obj() { magic = 0xdeaddeadd; }
+  };
+  std::atomic<Obj*> shared{new Obj()};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      lsg::numa::ThreadRegistry::register_self();
+      while (!stop.load(std::memory_order_relaxed)) {
+        EpochReclaimer::Guard g(r);
+        Obj* o = shared.load(std::memory_order_acquire);
+        ASSERT_EQ(o->magic, 0xfeedfacecafebeefull);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread writer([&] {
+    lsg::numa::ThreadRegistry::register_self();
+    for (int i = 0; i < 3000; ++i) {
+      Obj* fresh = new Obj();
+      Obj* old = shared.exchange(fresh, std::memory_order_acq_rel);
+      r.retire(old);
+    }
+    stop.store(true);
+  });
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_GT(reads.load(), 0u);
+  r.retire(shared.load());
+}
+
+TEST_F(EpochTest, PendingCountTracksLimbo) {
+  EpochReclaimer r;
+  EXPECT_EQ(r.pending(), 0u);
+  r.retire(new int(1));
+  r.retire(new int(2));
+  EXPECT_GE(r.pending(), 1u);
+  r.drain_all();
+  EXPECT_EQ(r.pending(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Tests specific to the comparator re-implementations: index snapshots,
+// background maintenance liveness, zone replication.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <chrono>
+#include <thread>
+
+#include "baselines/nohotspot.hpp"
+#include "baselines/numask.hpp"
+#include "baselines/rotating.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using lsg::test::RegistryFixture;
+using lsg::test::run_threads;
+
+struct BaselinesTest : RegistryFixture {};
+
+template <class S>
+void wait_for_rebuilds(S& s, uint64_t target) {
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (s.rebuilds() < target &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(s.rebuilds(), target);
+}
+
+TEST_F(BaselinesTest, MaintenanceThreadRunsAndIndexes) {
+  lsg::baselines::NoHotspotSkipList<uint64_t, uint64_t> s;
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(s.insert(k, k));
+  wait_for_rebuilds(s, 3);
+  // Sampled index: roughly every 8th element.
+  size_t idx = s.index_size();
+  EXPECT_GT(idx, 1000u / 16);
+  EXPECT_LT(idx, 1000u / 4);
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(s.contains(k)) << k;
+}
+
+TEST_F(BaselinesTest, RotatingKeepsDenseIndex) {
+  lsg::baselines::RotatingSkipList<uint64_t, uint64_t> s;
+  for (uint64_t k = 0; k < 500; ++k) ASSERT_TRUE(s.insert(k, k));
+  wait_for_rebuilds(s, 3);
+  EXPECT_NEAR(static_cast<double>(s.index_size()), 500.0, 50.0);
+}
+
+TEST_F(BaselinesTest, NumaskReplicatesPerZone) {
+  lsg::baselines::NumaskSkipList<uint64_t, uint64_t> s;
+  for (uint64_t k = 0; k < 800; ++k) ASSERT_TRUE(s.insert(k, k));
+  wait_for_rebuilds(s, 3);
+  EXPECT_GT(s.index_size(0), 0u);
+  EXPECT_GT(s.index_size(1), 0u);  // paper machine has two zones
+}
+
+TEST_F(BaselinesTest, StaleIndexAfterRemovalsStaysCorrect) {
+  lsg::baselines::RotatingSkipList<uint64_t, uint64_t> s;
+  for (uint64_t k = 0; k < 400; ++k) ASSERT_TRUE(s.insert(k, k));
+  wait_for_rebuilds(s, 2);
+  // Remove many keys; until the next rebuild the index still references
+  // dead nodes — operations must remain correct through them.
+  for (uint64_t k = 0; k < 400; k += 2) ASSERT_TRUE(s.remove(k));
+  for (uint64_t k = 0; k < 400; ++k) {
+    ASSERT_EQ(s.contains(k), k % 2 == 1) << k;
+  }
+  // Reinsert through stale hints.
+  for (uint64_t k = 0; k < 400; k += 4) ASSERT_TRUE(s.insert(k, k));
+  for (uint64_t k = 0; k < 400; k += 4) ASSERT_TRUE(s.contains(k));
+}
+
+TEST_F(BaselinesTest, ConcurrentChurnUnderMaintenance) {
+  lsg::baselines::NumaskSkipList<uint64_t, uint64_t> s;
+  constexpr uint64_t kSpace = 128;
+  std::array<std::atomic<int>, kSpace> net{};
+  // The maintenance thread holds a live id: do not reset the registry.
+  run_threads(4, [&](int t) {
+    lsg::common::Xoshiro256 rng(t * 91 + 17);
+    for (int i = 0; i < 4000; ++i) {
+      uint64_t k = rng.next_bounded(kSpace);
+      if (rng.next_bounded(2) == 0) {
+        if (s.insert(k, k)) net[k].fetch_add(1);
+      } else {
+        if (s.remove(k)) net[k].fetch_sub(1);
+      }
+    }
+  }, /*reset_registry=*/false);
+  for (uint64_t k = 0; k < kSpace; ++k) {
+    int n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << k;
+    EXPECT_EQ(s.contains(k), n == 1) << k;
+  }
+}
+
+TEST_F(BaselinesTest, DestructionStopsMaintenanceCleanly) {
+  for (int i = 0; i < 5; ++i) {
+    lsg::baselines::NoHotspotSkipList<uint64_t, uint64_t> s;
+    s.insert(i, i);
+  }  // destructor joins the jthread each iteration
+  SUCCEED();
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Tests for the set-associative cache model used as the PAPI substitute
+// (paper Tbl. 2).
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "common/rng.hpp"
+#include "numa/pinning.hpp"
+#include "stats/counters.hpp"
+
+namespace {
+
+using lsg::cachesim::CacheLevel;
+using lsg::cachesim::Hierarchy;
+
+TEST(CacheLevel, GeometryDerivation) {
+  CacheLevel c(32 * 1024, 8, 64);  // 32 KiB, 8-way, 64B lines
+  EXPECT_EQ(c.num_sets(), 64u);
+  EXPECT_EQ(c.ways(), 8u);
+}
+
+TEST(CacheLevel, RejectsBadGeometry) {
+  EXPECT_THROW(CacheLevel(1024, 0, 64), std::invalid_argument);
+  EXPECT_THROW(CacheLevel(1024, 4, 48), std::invalid_argument);  // not pow2
+}
+
+TEST(CacheLevel, ColdMissThenHit) {
+  CacheLevel c(1024, 2, 64);
+  EXPECT_FALSE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1000));
+  EXPECT_TRUE(c.access(0x1004));  // same line
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(CacheLevel, LruEvictionWithinSet) {
+  // 2-way cache: three lines mapping to the same set evict the LRU one.
+  CacheLevel c(1024, 2, 64);  // 8 sets
+  const uint64_t set_stride = 64 * c.num_sets();
+  uint64_t a = 0, b = set_stride, d = 2 * set_stride;
+  EXPECT_FALSE(c.access(a));
+  EXPECT_FALSE(c.access(b));
+  EXPECT_TRUE(c.access(a));   // a is now MRU
+  EXPECT_FALSE(c.access(d));  // evicts b (LRU)
+  EXPECT_TRUE(c.access(a));
+  EXPECT_FALSE(c.access(b));  // b was evicted
+}
+
+TEST(CacheLevel, FlushEmptiesCache) {
+  CacheLevel c(1024, 2, 64);
+  c.access(0x40);
+  c.flush();
+  EXPECT_FALSE(c.access(0x40));
+}
+
+TEST(CacheLevel, SequentialScanFitsWhenSmallEnough) {
+  CacheLevel c(4096, 4, 64);  // holds 64 lines
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t line = 0; line < 32; ++line) c.access(line * 64);
+  }
+  EXPECT_EQ(c.misses(), 32u);  // only cold misses
+  EXPECT_EQ(c.hits(), 32u);
+}
+
+TEST(Hierarchy, MissesPropagateDownward) {
+  Hierarchy h(CacheLevel(128, 2, 64),   // tiny L1: 2 lines
+              CacheLevel(1024, 2, 64),  // L2: 16 lines
+              CacheLevel(65536, 4, 64));
+  // Touch 8 distinct lines twice: first pass misses L1 (and mostly L2/L3
+  // cold), second pass hits L2 for lines evicted from the 2-line L1.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t line = 0; line < 8; ++line) h.access(line * 64);
+  }
+  const auto& s = h.stats();
+  EXPECT_EQ(s.accesses, 16u);
+  EXPECT_EQ(s.l3_misses, 8u);              // only cold misses reach L3
+  EXPECT_GT(s.l1_misses, s.l2_misses);     // L1 thrashes, L2 absorbs
+  EXPECT_EQ(s.l2_misses, 8u);              // second pass hits L2
+}
+
+TEST(Hierarchy, WorkingSetLargerThanL1ProducesMoreL1Misses) {
+  Hierarchy small_ws;  // default Xeon-ish geometry
+  Hierarchy large_ws;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (uint64_t i = 0; i < 128; ++i) small_ws.access(i * 64);
+    for (uint64_t i = 0; i < 4096; ++i) large_ws.access(i * 64);
+  }
+  double small_rate = static_cast<double>(small_ws.stats().l1_misses) /
+                      small_ws.stats().accesses;
+  double large_rate = static_cast<double>(large_ws.stats().l1_misses) /
+                      large_ws.stats().accesses;
+  EXPECT_LT(small_rate, large_rate);
+}
+
+TEST(Hierarchy, PointerChaseVsSequentialShape) {
+  // The property Tbl. 2 relies on: scattered pointer-chasing (skip list
+  // towers) misses more than denser layouts.
+  Hierarchy seq, scattered;
+  lsg::common::Xoshiro256 rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    seq.access(static_cast<uint64_t>(i % 512) * 64);
+    scattered.access((rng.next_bounded(1 << 20)) * 64);
+  }
+  EXPECT_LT(seq.stats().l1_misses, scattered.stats().l1_misses);
+}
+
+TEST(Hierarchy, ResetStats) {
+  Hierarchy h;
+  h.access(0x1234);
+  h.reset_stats();
+  EXPECT_EQ(h.stats().accesses, 0u);
+  EXPECT_EQ(h.stats().l1_misses, 0u);
+}
+
+TEST(ThreadLocalHierarchies, HooksIntoStats) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  lsg::stats::sync_topology();
+  lsg::cachesim::ThreadLocalHierarchies::reset();
+  lsg::cachesim::ThreadLocalHierarchies::install();
+  int dummy[64];
+  for (int i = 0; i < 64; ++i) lsg::stats::read_access(0, &dummy[i]);
+  lsg::cachesim::ThreadLocalHierarchies::uninstall();
+  auto agg = lsg::cachesim::ThreadLocalHierarchies::aggregate();
+  EXPECT_EQ(agg.accesses, 64u);
+  EXPECT_GT(agg.l1_misses, 0u);
+  lsg::cachesim::ThreadLocalHierarchies::reset();
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// Unit tests for src/common: bit helpers, RNG, tagged pointers, backoff,
+// padding, timestamps.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "common/backoff.hpp"
+#include "common/bits.hpp"
+#include "common/padding.hpp"
+#include "common/rng.hpp"
+#include "common/spinlock.hpp"
+#include "common/tagged_ptr.hpp"
+#include "common/tsc.hpp"
+
+namespace {
+
+using namespace lsg::common;
+
+TEST(Bits, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(96), 7u);
+  EXPECT_EQ(ceil_log2(1ull << 17), 17u);
+  EXPECT_EQ(ceil_log2((1ull << 17) + 1), 18u);
+}
+
+TEST(Bits, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(1025), 10u);
+}
+
+TEST(Bits, BitReverse) {
+  EXPECT_EQ(bit_reverse(0b000, 3), 0b000u);
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b010, 3), 0b010u);
+  EXPECT_EQ(bit_reverse(0b011, 3), 0b110u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  // Reversing twice is the identity.
+  for (uint32_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(bit_reverse(bit_reverse(v, 6), 6), v);
+  }
+}
+
+TEST(Bits, SuffixAndCommonSuffix) {
+  EXPECT_EQ(suffix(0b10110, 3), 0b110u);
+  EXPECT_EQ(suffix(0b10110, 0), 0u);
+  EXPECT_EQ(common_suffix_len(0b1010, 0b0010, 4), 3u);
+  EXPECT_EQ(common_suffix_len(0b1010, 0b1010, 4), 4u);
+  EXPECT_EQ(common_suffix_len(0b0001, 0b0000, 4), 0u);
+}
+
+TEST(Bits, BitReversedIdsEncodeProximityInSuffixes) {
+  // The membership property the NUMA-aware scheme relies on: after bit
+  // reversal, ids in opposite halves of the space (different sockets) never
+  // share a suffix bit, and nearby ids share far more suffix bits on
+  // average than distant ones.
+  const unsigned bits = 6;
+  double near_sum = 0, far_sum = 0;
+  int n = 0;
+  for (uint32_t t = 0; t + 1 < 64; ++t) {
+    near_sum += common_suffix_len(bit_reverse(t, bits),
+                                  bit_reverse(t + 1, bits), bits);
+    far_sum += common_suffix_len(bit_reverse(t, bits),
+                                 bit_reverse(t ^ 32, bits), bits);
+    // Opposite halves (t ^ 32 flips the top bit == suffix bit 0): always
+    // split at level 1.
+    EXPECT_EQ(common_suffix_len(bit_reverse(t, bits),
+                                bit_reverse(t ^ 32, bits), bits),
+              0u)
+        << t;
+    ++n;
+  }
+  EXPECT_GT(near_sum / n, 4.0);  // adjacent ids share ~5 levels on average
+  EXPECT_EQ(far_sum, 0.0);
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(96));
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(64), 64u);
+  EXPECT_EQ(next_pow2(65), 128u);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Xoshiro256 a2(7), c2(8);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, BoundedStaysInBounds) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Xoshiro256 rng(5);
+  constexpr int kBuckets = 8;
+  int counts[kBuckets] = {};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.next_bounded(kBuckets)]++;
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.15) << b;
+  }
+}
+
+TEST(Rng, GeometricLevelDistribution) {
+  Xoshiro256 rng(99);
+  constexpr int kDraws = 100000;
+  int at_least[8] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    unsigned lvl = rng.geometric_level(7);
+    ASSERT_LE(lvl, 7u);
+    for (unsigned l = 0; l <= lvl; ++l) ++at_least[l];
+  }
+  // P(level >= i) ~ 1/2^i.
+  for (int i = 1; i <= 5; ++i) {
+    double expected = kDraws / static_cast<double>(1 << i);
+    EXPECT_NEAR(at_least[i], expected, expected * 0.2) << i;
+  }
+}
+
+TEST(Rng, PercentChanceMatchesRate) {
+  Xoshiro256 rng(4242);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.percent_chance(20) ? 1 : 0;
+  EXPECT_NEAR(hits, kDraws / 5, kDraws / 5 * 0.1);
+}
+
+struct Dummy {
+  int x;
+};
+
+TEST(TaggedPtr, PackUnpackRoundTrip) {
+  using TP = TaggedPtr<Dummy>;
+  alignas(8) Dummy d{42};
+  for (bool m : {false, true}) {
+    for (bool inv : {false, true}) {
+      uintptr_t raw = TP::pack(&d, m, inv);
+      EXPECT_EQ(TP::ptr(raw), &d);
+      EXPECT_EQ(TP::mark(raw), m);
+      EXPECT_EQ(TP::invalid(raw), inv);
+      EXPECT_EQ(TP::valid(raw), !inv);
+    }
+  }
+}
+
+TEST(TaggedPtr, WithPtrPreservesFlags) {
+  using TP = TaggedPtr<Dummy>;
+  alignas(8) Dummy a{1}, b{2};
+  uintptr_t raw = TP::pack(&a, true, true);
+  uintptr_t moved = TP::with_ptr(raw, &b);
+  EXPECT_EQ(TP::ptr(moved), &b);
+  EXPECT_TRUE(TP::mark(moved));
+  EXPECT_TRUE(TP::invalid(moved));
+}
+
+TEST(TaggedPtr, WithFlagsPreservesPtr) {
+  using TP = TaggedPtr<Dummy>;
+  alignas(8) Dummy a{1};
+  uintptr_t raw = TP::pack(&a, false, false);
+  uintptr_t flagged = TP::with_flags(raw, true, false);
+  EXPECT_EQ(TP::ptr(flagged), &a);
+  EXPECT_TRUE(TP::mark(flagged));
+  EXPECT_FALSE(TP::invalid(flagged));
+}
+
+TEST(Timestamp, Monotonicish) {
+  uint64_t a = timestamp();
+  for (volatile int i = 0; i < 10000; ++i) {
+  }
+  uint64_t b = timestamp();
+  EXPECT_GT(b, a);
+}
+
+TEST(Padding, SizeIsCacheLineMultiple) {
+  EXPECT_EQ(sizeof(Padded<int>) % kCacheLine, 0u);
+  EXPECT_EQ(sizeof(Padded<char[130]>) % kCacheLine, 0u);
+  EXPECT_GE(alignof(Padded<int>), kCacheLine);
+}
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  constexpr int kThreads = 4, kIters = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        ++counter;
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Backoff, PausesWithoutHanging) {
+  Backoff bo(64);
+  for (int i = 0; i < 20; ++i) bo.pause();
+  bo.reset();
+  bo.pause();
+  SUCCEED();
+}
+
+}  // namespace

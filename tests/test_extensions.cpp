@@ -1,0 +1,263 @@
+// Tests for the library extensions: range scans, neighbor start hints
+// (paper p. 10 heterogeneous workloads), the CLI parser, and the
+// machine-readable exports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/layered_map.hpp"
+#include "harness/cli.hpp"
+#include "harness/report.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using lsg::core::LayeredMap;
+using lsg::core::LayeredOptions;
+using lsg::test::RegistryFixture;
+using lsg::test::run_threads;
+using Map = LayeredMap<uint64_t, uint64_t>;
+
+LayeredOptions opts(int threads, bool lazy = true, bool hints = false) {
+  LayeredOptions o;
+  o.num_threads = threads;
+  o.lazy = lazy;
+  o.use_neighbor_hints = hints;
+  return o;
+}
+
+struct RangeTest : RegistryFixture {};
+struct HintsTest : RegistryFixture {};
+
+TEST_F(RangeTest, ScanReturnsExactlyTheRange) {
+  Map m(opts(4));
+  for (uint64_t k = 0; k < 100; k += 2) ASSERT_TRUE(m.insert(k, k * 10));
+  std::vector<uint64_t> keys;
+  m.for_each_range(10, 20, [&](uint64_t k, uint64_t v) {
+    EXPECT_EQ(v, k * 10);
+    keys.push_back(k);
+  });
+  EXPECT_EQ(keys, (std::vector<uint64_t>{10, 12, 14, 16, 18, 20}));
+}
+
+TEST_F(RangeTest, InclusiveBoundsAndOwnStartNode) {
+  // lo present and owned by the caller: get_start returns the node for lo
+  // itself; it must still be reported exactly once.
+  Map m(opts(4));
+  for (uint64_t k : {5u, 7u, 9u}) ASSERT_TRUE(m.insert(k, k));
+  std::vector<uint64_t> keys;
+  m.for_each_range(5, 9, [&](uint64_t k, uint64_t) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<uint64_t>{5, 7, 9}));
+}
+
+TEST_F(RangeTest, SkipsDeletedElements) {
+  Map m(opts(4));
+  for (uint64_t k = 0; k < 30; ++k) ASSERT_TRUE(m.insert(k, k));
+  for (uint64_t k = 0; k < 30; k += 3) ASSERT_TRUE(m.remove(k));
+  EXPECT_EQ(m.count_range(0, 29), 20u);
+  std::vector<uint64_t> keys;
+  m.for_each_range(0, 29, [&](uint64_t k, uint64_t) { keys.push_back(k); });
+  for (uint64_t k : keys) EXPECT_NE(k % 3, 0u) << k;
+}
+
+TEST_F(RangeTest, EmptyAndDegenerateRanges) {
+  Map m(opts(4));
+  EXPECT_EQ(m.count_range(0, 1000), 0u);  // empty map
+  ASSERT_TRUE(m.insert(50, 1));
+  EXPECT_EQ(m.count_range(0, 49), 0u);
+  EXPECT_EQ(m.count_range(51, 100), 0u);
+  EXPECT_EQ(m.count_range(50, 50), 1u);  // single-point range
+  EXPECT_EQ(m.count_range(49, 51), 1u);
+}
+
+TEST_F(RangeTest, CrossThreadScanSeesAllOwners) {
+  Map m(opts(4));
+  run_threads(4, [&](int t) {
+    m.thread_init();
+    for (uint64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(m.insert(t * 100 + i, t));
+    }
+  });
+  // A fresh thread (empty local structure) scans everything.
+  EXPECT_EQ(m.count_range(0, 399), 400u);
+  EXPECT_EQ(m.count_range(150, 249), 100u);
+}
+
+TEST_F(RangeTest, ConcurrentScanNeverReportsPhantoms) {
+  Map m(opts(4));
+  constexpr uint64_t kStable = 200;
+  // Stable even keys; odd keys churn concurrently.
+  for (uint64_t k = 0; k < kStable; k += 2) ASSERT_TRUE(m.insert(k, 7));
+  std::atomic<bool> stop{false};
+  run_threads(4, [&](int t) {
+    m.thread_init();
+    if (t == 0) {
+      for (int scan = 0; scan < 50; ++scan) {
+        std::set<uint64_t> seen;
+        m.for_each_range(0, kStable - 1, [&](uint64_t k, uint64_t) {
+          // exactly-once
+          ASSERT_TRUE(seen.insert(k).second) << k;
+        });
+        // Every stable element must be present in every scan.
+        for (uint64_t k = 0; k < kStable; k += 2) {
+          ASSERT_TRUE(seen.count(k)) << k;
+        }
+      }
+      stop.store(true);
+    } else {
+      lsg::common::Xoshiro256 rng(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t k = rng.next_bounded(kStable / 2) * 2 + 1;  // odd keys only
+        if (rng.next_bounded(2)) {
+          m.insert(k, 1);
+        } else {
+          m.remove(k);
+        }
+      }
+    }
+  });
+}
+
+TEST_F(HintsTest, CorrectnessUnderChurnWithHints) {
+  Map m(opts(8, /*lazy=*/true, /*hints=*/true));
+  constexpr uint64_t kSpace = 128;
+  std::array<std::atomic<int>, kSpace> net{};
+  run_threads(8, [&](int t) {
+    m.thread_init();
+    lsg::common::Xoshiro256 rng(t * 31 + 9);
+    for (int i = 0; i < 4000; ++i) {
+      uint64_t k = rng.next_bounded(kSpace);
+      switch (rng.next_bounded(3)) {
+        case 0:
+          if (m.insert(k, k)) net[k].fetch_add(1);
+          break;
+        case 1:
+          if (m.remove(k)) net[k].fetch_sub(1);
+          break;
+        default:
+          (void)m.contains(k);
+      }
+    }
+  });
+  std::set<uint64_t> final_keys;
+  for (auto k : m.abstract_set()) final_keys.insert(k);
+  for (uint64_t k = 0; k < kSpace; ++k) {
+    int n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << k;
+    EXPECT_EQ(final_keys.count(k), static_cast<size_t>(n)) << k;
+  }
+}
+
+TEST_F(HintsTest, NoDuplicateFromEqualKeyHint) {
+  // Regression guard for the strict-precedence rule: thread A publishes a
+  // hint for key 50; thread B (empty local structure) inserts 50 — the
+  // search must find A's node rather than insert a duplicate.
+  Map m(opts(2, /*lazy=*/true, /*hints=*/true));
+  run_threads(2, [&](int t) {
+    m.thread_init();
+    if (t == 0) {
+      ASSERT_TRUE(m.insert(50, 1));
+    }
+  });
+  run_threads(2, [&](int t) {
+    if (t == 1) {
+      EXPECT_FALSE(m.insert(50, 2));  // duplicate
+      EXPECT_TRUE(m.contains(50));
+    }
+  });
+  EXPECT_EQ(m.abstract_set().size(), 1u);
+}
+
+TEST(Cli, ParsesAllFlags) {
+  const char* argv[] = {"lsg_cli", "-a",    "skiplist", "-t",   "12",
+                        "-d",      "345",   "-r",       "2^16", "-u",
+                        "20",      "-i",    "5",        "-s",   "99",
+                        "-n",      "3",     "-H",       "-L",   "--csv",
+                        "/tmp/x.csv"};
+  auto o = lsg::harness::parse_cli(21, argv);
+  ASSERT_TRUE(o.error.empty()) << o.error;
+  EXPECT_EQ(o.cfg.algorithm, "skiplist");
+  EXPECT_EQ(o.cfg.threads, 12);
+  EXPECT_EQ(o.cfg.duration_ms, 345);
+  EXPECT_EQ(o.cfg.key_space, 1u << 16);
+  EXPECT_EQ(o.cfg.update_pct, 20);
+  EXPECT_DOUBLE_EQ(o.cfg.preload_fraction, 0.05);
+  EXPECT_EQ(o.cfg.seed, 99u);
+  EXPECT_EQ(o.cfg.runs, 3);
+  EXPECT_TRUE(o.cfg.collect_heatmaps);
+  EXPECT_TRUE(o.locality_report);
+  EXPECT_EQ(o.csv_path, "/tmp/x.csv");
+}
+
+TEST(Cli, PlainIntegerRange) {
+  const char* argv[] = {"lsg_cli", "-r", "1000"};
+  auto o = lsg::harness::parse_cli(3, argv);
+  ASSERT_TRUE(o.error.empty());
+  EXPECT_EQ(o.cfg.key_space, 1000u);
+}
+
+TEST(Cli, RejectsBadInput) {
+  {
+    const char* argv[] = {"lsg_cli", "-t", "0"};
+    EXPECT_FALSE(lsg::harness::parse_cli(3, argv).error.empty());
+  }
+  {
+    const char* argv[] = {"lsg_cli", "-r", "2^50"};
+    EXPECT_FALSE(lsg::harness::parse_cli(3, argv).error.empty());
+  }
+  {
+    const char* argv[] = {"lsg_cli", "-u", "150"};
+    EXPECT_FALSE(lsg::harness::parse_cli(3, argv).error.empty());
+  }
+  {
+    const char* argv[] = {"lsg_cli", "--nope"};
+    EXPECT_FALSE(lsg::harness::parse_cli(2, argv).error.empty());
+  }
+  {
+    const char* argv[] = {"lsg_cli", "-a"};
+    EXPECT_FALSE(lsg::harness::parse_cli(2, argv).error.empty());
+  }
+}
+
+TEST(Cli, HelpAndList) {
+  const char* argv[] = {"lsg_cli", "-h", "-l"};
+  auto o = lsg::harness::parse_cli(3, argv);
+  EXPECT_TRUE(o.help);
+  EXPECT_TRUE(o.list_algorithms);
+  EXPECT_FALSE(lsg::harness::cli_usage().empty());
+}
+
+TEST(Export, CsvRowMatchesHeaderArity) {
+  lsg::harness::TrialResult r;
+  r.algorithm = "x";
+  r.threads = 3;
+  r.ops_per_ms = 1.5;
+  std::string header = lsg::harness::csv_header();
+  std::string row = lsg::harness::to_csv_row(r);
+  auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(row));
+  EXPECT_EQ(row.rfind("x,3,", 0), 0u);
+}
+
+TEST(Export, JsonHasAllFields) {
+  lsg::harness::TrialResult r;
+  r.algorithm = "lazy_layered_sg";
+  r.threads = 96;
+  r.cas_success_rate = 0.99;
+  std::string j = lsg::harness::to_json(r);
+  for (const char* field :
+       {"\"algorithm\"", "\"threads\"", "\"ops_per_ms\"",
+        "\"cas_success_rate\"", "\"nodes_per_op\"", "\"remote_cas_per_op\""}) {
+    EXPECT_NE(j.find(field), std::string::npos) << field;
+  }
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Sequential tests for the layered structure (paper Algs. 1/4/6/9/11):
+// local-structure bookkeeping, fast paths, lazy deferred insertion, sparse
+// local sparsification, and configuration variants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/layered_map.hpp"
+#include "local/avl_map.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using lsg::core::LayeredMap;
+using lsg::core::LayeredOptions;
+using lsg::test::RegistryFixture;
+using Map = LayeredMap<uint64_t, uint64_t>;
+using Node = Map::Node;
+using AvlLocal = lsg::local::AvlMap<uint64_t, Node*>;
+
+struct LayeredTest : RegistryFixture {};
+
+LayeredOptions opts(int threads, bool lazy = false, bool sparse = false) {
+  LayeredOptions o;
+  o.num_threads = threads;
+  o.lazy = lazy;
+  o.sparse = sparse;
+  return o;
+}
+
+TEST_F(LayeredTest, BasicInsertContainsRemove) {
+  Map m(opts(4));
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_TRUE(m.insert(7, 70));
+  EXPECT_FALSE(m.insert(7, 71));  // duplicate
+  EXPECT_TRUE(m.contains(7));
+  EXPECT_TRUE(m.remove(7));
+  EXPECT_FALSE(m.remove(7));
+  EXPECT_FALSE(m.contains(7));
+}
+
+TEST_F(LayeredTest, GetReturnsValue) {
+  Map m(opts(4));
+  ASSERT_TRUE(m.insert(5, 55));
+  uint64_t v = 0;
+  EXPECT_TRUE(m.get(5, v));
+  EXPECT_EQ(v, 55u);
+  EXPECT_FALSE(m.get(6, v));
+  ASSERT_TRUE(m.remove(5));
+  EXPECT_FALSE(m.get(5, v));
+}
+
+TEST_F(LayeredTest, LocalStructuresTrackOwnInserts) {
+  Map m(opts(4));
+  for (uint64_t k = 0; k < 50; ++k) ASSERT_TRUE(m.insert(k, k));
+  // Regular (non-sparse) skip graph: every inserted node reaches the top
+  // level, so every insert lands in the local structures.
+  EXPECT_EQ(m.local_map_size(), 50u);
+  EXPECT_EQ(m.local_table_size(), 50u);
+}
+
+TEST_F(LayeredTest, RemoveKeepsLocalMappingUntilDetection) {
+  // Lazy protocol: a removal invalidates the shared node but the local
+  // association survives so a later insert can revive it via the fast path.
+  Map m(opts(4, /*lazy=*/true));
+  ASSERT_TRUE(m.insert(3, 30));
+  ASSERT_TRUE(m.remove(3));
+  EXPECT_EQ(m.local_map_size(), 1u);  // still mapped
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_TRUE(m.insert(3, 31));  // revive through the hashtable fast path
+  EXPECT_TRUE(m.contains(3));
+  EXPECT_EQ(m.local_map_size(), 1u);
+}
+
+TEST_F(LayeredTest, MarkedNodeCleanedFromLocalStructures) {
+  // An invalid node past its commission period is retired by the first
+  // search that hops over it; the local mapping is then physically cleaned
+  // the next time the owner touches it through the fast path.
+  LayeredOptions o = opts(4, /*lazy=*/true);
+  o.commission_cycles = 1;  // retire invalid nodes immediately
+  Map m(o);
+  ASSERT_TRUE(m.insert(3, 30));
+  ASSERT_TRUE(m.insert(5, 50));
+  ASSERT_TRUE(m.remove(3));
+  EXPECT_EQ(m.local_map_size(), 2u);  // association still present
+  for (volatile int i = 0; i < 1000; ++i) {
+  }
+  EXPECT_FALSE(m.contains(2));  // search hops over node 3 and retires it
+  EXPECT_FALSE(m.contains(3));  // fast path detects the mark, cleans up
+  EXPECT_EQ(m.local_map_size(), 1u);
+  EXPECT_EQ(m.local_table_size(), 1u);
+}
+
+TEST_F(LayeredTest, NonLazyRemoveMarksAndLocalCleanupOnNextTouch) {
+  Map m(opts(4, /*lazy=*/false));
+  ASSERT_TRUE(m.insert(3, 30));
+  ASSERT_TRUE(m.remove(3));       // marks the node (fast path)
+  EXPECT_FALSE(m.contains(3));    // detection erases the local mapping
+  EXPECT_EQ(m.local_map_size(), 0u);
+  EXPECT_EQ(m.local_table_size(), 0u);
+  EXPECT_TRUE(m.insert(3, 31));   // fresh node
+  EXPECT_TRUE(m.contains(3));
+}
+
+TEST_F(LayeredTest, SparseKeepsLocalStructuresSparse) {
+  Map m(opts(4, /*lazy=*/false, /*sparse=*/true));
+  const int kN = 2000;
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.insert(k, k));
+  // Only full-height towers enter the local structures; with MaxLevel 1
+  // (4 threads) that's ~ half the inserts... with MaxLevel = ceil(log2 4)-1
+  // = 1, P(top) = 1/2.
+  EXPECT_EQ(m.max_level(), 1u);
+  EXPECT_LT(m.local_map_size(), kN * 0.6);
+  EXPECT_GT(m.local_map_size(), kN * 0.4);
+  // All keys remain reachable through the shared structure.
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.contains(k)) << k;
+}
+
+TEST_F(LayeredTest, LinkedListVariantMaxLevelZero) {
+  LayeredOptions o = opts(8);
+  o.max_level = 0;
+  Map m(o);
+  EXPECT_EQ(m.max_level(), 0u);
+  for (uint64_t k = 0; k < 200; ++k) ASSERT_TRUE(m.insert(k, k));
+  for (uint64_t k = 0; k < 200; k += 2) ASSERT_TRUE(m.remove(k));
+  for (uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(m.contains(k), k % 2 == 1);
+  }
+}
+
+TEST_F(LayeredTest, SingleSkipListVariantAllZeroMembership) {
+  LayeredOptions o = opts(8);
+  o.policy = lsg::numa::MembershipPolicy::kAllZero;
+  Map m(o);
+  EXPECT_EQ(m.memberships().vector_of(0), m.memberships().vector_of(7));
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(m.insert(k, k));
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(m.contains(k));
+}
+
+TEST_F(LayeredTest, MaxLevelFollowsThreadCount) {
+  EXPECT_EQ(Map(opts(2)).max_level(), 0u);
+  EXPECT_EQ(Map(opts(4)).max_level(), 1u);
+  EXPECT_EQ(Map(opts(16)).max_level(), 3u);
+  EXPECT_EQ(Map(opts(96)).max_level(), 6u);
+}
+
+TEST_F(LayeredTest, HashtableDisabledStillCorrect) {
+  LayeredOptions o = opts(4, /*lazy=*/true);
+  o.use_hashtable = false;
+  Map m(o);
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(m.insert(k, k));
+  for (uint64_t k = 0; k < 100; k += 3) ASSERT_TRUE(m.remove(k));
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(m.contains(k), k % 3 != 0) << k;
+  }
+}
+
+TEST_F(LayeredTest, AvlLocalStructureWorks) {
+  LayeredMap<uint64_t, uint64_t, AvlLocal> m(opts(4, /*lazy=*/true));
+  for (uint64_t k = 0; k < 300; ++k) ASSERT_TRUE(m.insert(k * 3, k));
+  for (uint64_t k = 0; k < 300; k += 2) ASSERT_TRUE(m.remove(k * 3));
+  for (uint64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(m.contains(k * 3), k % 2 == 1) << k;
+  }
+  uint64_t v;
+  ASSERT_TRUE(m.get(3 * 51, v));
+  EXPECT_EQ(v, 51u);
+}
+
+TEST_F(LayeredTest, LazyDeferredInsertCompletesViaGetStart) {
+  // A lazy insert links only level 0; a subsequent operation whose getStart
+  // walks over the mapping must call finishInsert and link all levels.
+  Map m(opts(4, /*lazy=*/true));
+  ASSERT_TRUE(m.insert(10, 1));
+  auto& sg = m.shared_structure();
+  EXPECT_EQ(sg.snapshot_level(1, 0).size() + sg.snapshot_level(1, 1).size(),
+            0u);
+  // The next insert of a LARGER key uses getStart -> max_lower_equal(…) ->
+  // the node for 10 -> finish_insert(10).
+  ASSERT_TRUE(m.insert(20, 2));
+  size_t level1 =
+      sg.snapshot_level(1, 0).size() + sg.snapshot_level(1, 1).size();
+  EXPECT_GE(level1, 1u);  // 10 is now linked at level 1
+  EXPECT_TRUE(m.contains(10));
+  EXPECT_TRUE(m.contains(20));
+}
+
+TEST_F(LayeredTest, ManyKeysSequentialSoak) {
+  Map m(opts(4, /*lazy=*/true));
+  lsg::common::Xoshiro256 rng(2024);
+  std::set<uint64_t> ref;
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t k = rng.next_bounded(1 << 10);
+    switch (rng.next_bounded(3)) {
+      case 0:
+        ASSERT_EQ(m.insert(k, k), ref.insert(k).second) << i;
+        break;
+      case 1:
+        ASSERT_EQ(m.remove(k), ref.erase(k) > 0) << i;
+        break;
+      default:
+        ASSERT_EQ(m.contains(k), ref.count(k) > 0) << i;
+    }
+  }
+  auto snapshot = m.abstract_set();
+  EXPECT_EQ(snapshot.size(), ref.size());
+  EXPECT_TRUE(std::equal(snapshot.begin(), snapshot.end(), ref.begin()));
+}
+
+}  // namespace

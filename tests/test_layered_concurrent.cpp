@@ -1,0 +1,200 @@
+// Concurrent stress tests for the layered structure across its
+// configuration space: lazy/non-lazy, sparse, linked-list and single-list
+// variants, NUMA-aware memberships, commission periods.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/layered_map.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using lsg::core::LayeredMap;
+using lsg::core::LayeredOptions;
+using lsg::test::RegistryFixture;
+using lsg::test::run_threads;
+using Map = LayeredMap<uint64_t, uint64_t>;
+
+struct Variant {
+  std::string name;
+  int threads;
+  bool lazy;
+  bool sparse;
+  unsigned max_level;  // kAutoLevel or explicit
+  lsg::numa::MembershipPolicy policy;
+  uint64_t commission;
+};
+
+LayeredOptions to_opts(const Variant& v) {
+  LayeredOptions o;
+  o.num_threads = v.threads;
+  o.lazy = v.lazy;
+  o.sparse = v.sparse;
+  o.max_level = v.max_level;
+  o.policy = v.policy;
+  o.commission_cycles = v.commission;
+  return o;
+}
+
+class LayeredConcurrent : public RegistryFixture,
+                          public ::testing::WithParamInterface<Variant> {};
+
+TEST_P(LayeredConcurrent, DisjointKeyRangesAllSurvive) {
+  Map m(to_opts(GetParam()));
+  const int T = GetParam().threads;
+  constexpr uint64_t kPer = 400;
+  run_threads(T, [&](int t) {
+    m.thread_init();
+    for (uint64_t i = 0; i < kPer; ++i) {
+      ASSERT_TRUE(m.insert(t * kPer + i, i));
+    }
+    for (uint64_t i = 1; i < kPer; i += 2) {
+      ASSERT_TRUE(m.remove(t * kPer + i));
+    }
+    for (uint64_t i = 0; i < kPer; ++i) {
+      ASSERT_EQ(m.contains(t * kPer + i), i % 2 == 0) << i;
+    }
+  });
+  auto final_set = m.abstract_set();
+  EXPECT_EQ(final_set.size(), T * kPer / 2);
+  EXPECT_TRUE(std::is_sorted(final_set.begin(), final_set.end()));
+}
+
+TEST_P(LayeredConcurrent, ContendedChurnNetConsistent) {
+  Map m(to_opts(GetParam()));
+  const int T = GetParam().threads;
+  constexpr uint64_t kSpace = 128;
+  std::array<std::atomic<int>, kSpace> net{};
+  run_threads(T, [&](int t) {
+    m.thread_init();
+    lsg::common::Xoshiro256 rng(t * 137 + 11);
+    for (int i = 0; i < 4000; ++i) {
+      uint64_t k = rng.next_bounded(kSpace);
+      switch (rng.next_bounded(4)) {
+        case 0:
+        case 1:
+          if (m.insert(k, k)) net[k].fetch_add(1);
+          break;
+        case 2:
+          if (m.remove(k)) net[k].fetch_sub(1);
+          break;
+        default:
+          (void)m.contains(k);
+      }
+    }
+  });
+  std::set<uint64_t> final_keys;
+  for (auto k : m.abstract_set()) final_keys.insert(k);
+  for (uint64_t k = 0; k < kSpace; ++k) {
+    int n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << "key " << k << " net " << n;
+    EXPECT_EQ(final_keys.count(k), static_cast<size_t>(n)) << k;
+  }
+}
+
+TEST_P(LayeredConcurrent, SingleHotKeyLinearizes) {
+  Map m(to_opts(GetParam()));
+  const int T = GetParam().threads;
+  std::atomic<int> net{0};
+  run_threads(T, [&](int t) {
+    m.thread_init();
+    lsg::common::Xoshiro256 rng(t + 5);
+    for (int i = 0; i < 2500; ++i) {
+      if (rng.next_bounded(2) == 0) {
+        if (m.insert(99, t)) net.fetch_add(1);
+      } else {
+        if (m.remove(99)) net.fetch_sub(1);
+      }
+    }
+  });
+  int n = net.load();
+  ASSERT_TRUE(n == 0 || n == 1) << n;
+  EXPECT_EQ(m.contains(99), n == 1);
+}
+
+TEST_P(LayeredConcurrent, InsertersVsRemoversConverge) {
+  Map m(to_opts(GetParam()));
+  const int T = std::max(2, GetParam().threads);
+  constexpr uint64_t kSpace = 256;
+  // Half the threads only insert, half only remove; afterwards every key's
+  // membership must equal net successful operations.
+  std::array<std::atomic<int>, kSpace> net{};
+  run_threads(T, [&](int t) {
+    m.thread_init();
+    lsg::common::Xoshiro256 rng(t * 3 + 1);
+    for (int i = 0; i < 3000; ++i) {
+      uint64_t k = rng.next_bounded(kSpace);
+      if (t % 2 == 0) {
+        if (m.insert(k, k)) net[k].fetch_add(1);
+      } else {
+        if (m.remove(k)) net[k].fetch_sub(1);
+      }
+    }
+  });
+  std::set<uint64_t> final_keys;
+  for (auto k : m.abstract_set()) final_keys.insert(k);
+  for (uint64_t k = 0; k < kSpace; ++k) {
+    int n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << k;
+    EXPECT_EQ(final_keys.count(k), static_cast<size_t>(n)) << k;
+  }
+}
+
+TEST_P(LayeredConcurrent, CrossThreadVisibility) {
+  // Keys inserted by one thread must be visible to all others (they are
+  // *not* in the readers' local structures, forcing shared-structure
+  // searches).
+  Map m(to_opts(GetParam()));
+  const int T = GetParam().threads;
+  constexpr uint64_t kN = 300;
+  std::atomic<int> phase{0};
+  run_threads(T, [&](int t) {
+    m.thread_init();
+    if (t == 0) {
+      for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.insert(k * 7, k));
+      phase.store(1, std::memory_order_release);
+    } else {
+      while (phase.load(std::memory_order_acquire) == 0) {
+        std::this_thread::yield();
+      }
+      for (uint64_t k = 0; k < kN; ++k) {
+        ASSERT_TRUE(m.contains(k * 7)) << k;
+      }
+      ASSERT_FALSE(m.contains(kN * 7 + 1));
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, LayeredConcurrent,
+    ::testing::Values(
+        Variant{"nonlazy_sg_4t", 4, false, false, LayeredOptions::kAutoLevel,
+                lsg::numa::MembershipPolicy::kNumaAware, 0},
+        Variant{"nonlazy_sg_8t", 8, false, false, LayeredOptions::kAutoLevel,
+                lsg::numa::MembershipPolicy::kNumaAware, 0},
+        Variant{"lazy_sg_4t", 4, true, false, LayeredOptions::kAutoLevel,
+                lsg::numa::MembershipPolicy::kNumaAware, 0},
+        Variant{"lazy_sg_8t", 8, true, false, LayeredOptions::kAutoLevel,
+                lsg::numa::MembershipPolicy::kNumaAware, 0},
+        Variant{"lazy_sg_8t_fastretire", 8, true, false,
+                LayeredOptions::kAutoLevel,
+                lsg::numa::MembershipPolicy::kNumaAware, 1},
+        Variant{"sparse_sg_8t", 8, false, true, LayeredOptions::kAutoLevel,
+                lsg::numa::MembershipPolicy::kNumaAware, 0},
+        Variant{"lazy_sparse_4t", 4, true, true, LayeredOptions::kAutoLevel,
+                lsg::numa::MembershipPolicy::kNumaAware, 0},
+        Variant{"linkedlist_4t", 4, false, false, 0,
+                lsg::numa::MembershipPolicy::kNumaAware, 0},
+        Variant{"single_sl_8t", 8, false, false, LayeredOptions::kAutoLevel,
+                lsg::numa::MembershipPolicy::kAllZero, 0},
+        Variant{"suffix_policy_8t", 8, true, false,
+                LayeredOptions::kAutoLevel,
+                lsg::numa::MembershipPolicy::kThreadSuffix, 0}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace

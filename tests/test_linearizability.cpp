@@ -1,0 +1,221 @@
+// Linearizability checking for single-key histories (Wing & Gong style).
+//
+// Worker threads hammer ONE key with insert/remove/contains, recording
+// invocation/response timestamps. The checker then searches for a legal
+// linear order: an operation may be linearized next only if no other
+// pending operation already *responded* before it was *invoked* (real-time
+// order), and its result must match sequential set semantics. This is the
+// strongest correctness property the paper claims ("non-blocking,
+// linearizable structures"), verified directly on real executions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/tsc.hpp"
+#include "harness/registry.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using lsg::test::run_threads;
+
+enum class OpKind : uint8_t { kInsert, kRemove, kContains };
+
+struct OpRec {
+  OpKind kind;
+  bool result;
+  uint64_t start;
+  uint64_t end;
+};
+
+class LinearizabilityChecker {
+ public:
+  explicit LinearizabilityChecker(std::vector<OpRec> ops)
+      : ops_(std::move(ops)), done_(ops_.size(), false) {}
+
+  /// True if a valid linearization exists; `inconclusive` is set when the
+  /// search budget ran out before a verdict (treat as pass-with-warning).
+  bool check(bool& inconclusive) {
+    steps_ = 0;
+    inconclusive_ = false;
+    bool ok = dfs(/*state=*/false, /*remaining=*/ops_.size());
+    inconclusive = inconclusive_;
+    return ok || inconclusive_;
+  }
+
+  static constexpr uint64_t kBudget = 20'000'000;
+
+ private:
+  bool fits(const OpRec& o, bool state, bool& next_state) const {
+    switch (o.kind) {
+      case OpKind::kInsert:
+        if (o.result != !state) return false;
+        next_state = true;
+        return true;
+      case OpKind::kRemove:
+        if (o.result != state) return false;
+        next_state = false;
+        return true;
+      case OpKind::kContains:
+        if (o.result != state) return false;
+        next_state = state;
+        return true;
+    }
+    return false;
+  }
+
+  bool dfs(bool state, size_t remaining) {
+    if (remaining == 0) return true;
+    if (++steps_ > kBudget) {
+      inconclusive_ = true;
+      return false;
+    }
+    // Real-time constraint: an op is available iff no undone op responded
+    // before it was invoked, i.e. its start <= min end among undone ops.
+    uint64_t min_end = ~uint64_t{0};
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (!done_[i] && ops_[i].end < min_end) min_end = ops_[i].end;
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (done_[i] || ops_[i].start > min_end) continue;
+      bool next_state = state;
+      if (!fits(ops_[i], state, next_state)) continue;
+      done_[i] = true;
+      if (dfs(next_state, remaining - 1)) return true;
+      done_[i] = false;
+      if (inconclusive_) return false;
+    }
+    return false;
+  }
+
+  std::vector<OpRec> ops_;
+  std::vector<char> done_;
+  uint64_t steps_ = 0;
+  bool inconclusive_ = false;
+};
+
+// --- checker self-tests on hand-built histories --------------------------
+
+TEST(Checker, AcceptsSequentialHistory) {
+  std::vector<OpRec> h{
+      {OpKind::kContains, false, 0, 1}, {OpKind::kInsert, true, 2, 3},
+      {OpKind::kContains, true, 4, 5},  {OpKind::kInsert, false, 6, 7},
+      {OpKind::kRemove, true, 8, 9},    {OpKind::kRemove, false, 10, 11},
+  };
+  bool inconclusive = false;
+  EXPECT_TRUE(LinearizabilityChecker(h).check(inconclusive));
+  EXPECT_FALSE(inconclusive);
+}
+
+TEST(Checker, RejectsImpossibleSequentialHistory) {
+  // contains(true) before anything was ever inserted.
+  std::vector<OpRec> h{
+      {OpKind::kContains, true, 0, 1},
+      {OpKind::kInsert, true, 2, 3},
+  };
+  bool inconclusive = false;
+  EXPECT_FALSE(LinearizabilityChecker(h).check(inconclusive));
+}
+
+TEST(Checker, AcceptsOverlapReordering) {
+  // insert and contains overlap: contains may linearize after the insert
+  // even though it was invoked first.
+  std::vector<OpRec> h{
+      {OpKind::kContains, true, 0, 10},
+      {OpKind::kInsert, true, 1, 5},
+  };
+  bool inconclusive = false;
+  EXPECT_TRUE(LinearizabilityChecker(h).check(inconclusive));
+}
+
+TEST(Checker, RespectsRealTimeOrder) {
+  // insert completed strictly before contains started: contains MUST see it.
+  std::vector<OpRec> h{
+      {OpKind::kInsert, true, 0, 1},
+      {OpKind::kContains, false, 2, 3},
+  };
+  bool inconclusive = false;
+  EXPECT_FALSE(LinearizabilityChecker(h).check(inconclusive));
+}
+
+TEST(Checker, RejectsDoubleWin) {
+  // Two concurrent removes both succeeding after one insert.
+  std::vector<OpRec> h{
+      {OpKind::kInsert, true, 0, 1},
+      {OpKind::kRemove, true, 2, 6},
+      {OpKind::kRemove, true, 3, 7},
+  };
+  bool inconclusive = false;
+  EXPECT_FALSE(LinearizabilityChecker(h).check(inconclusive));
+}
+
+// --- real executions over every core algorithm ---------------------------
+
+class SingleKeyLinearizable
+    : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    lsg::numa::ThreadRegistry::configure(
+        lsg::numa::Topology::paper_machine());
+    lsg::numa::ThreadRegistry::reset();
+    lsg::stats::sync_topology();
+  }
+};
+
+TEST_P(SingleKeyLinearizable, HotKeyHistories) {
+  using namespace lsg::harness;
+  TrialConfig cfg;
+  cfg.threads = 4;
+  cfg.key_space = 1 << 8;
+  auto map = make_map(GetParam(), cfg);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 250;
+  constexpr uint64_t kKey = 42;
+  std::vector<std::vector<OpRec>> logs(kThreads);
+  run_threads(kThreads, [&](int t) {
+    map->thread_init();
+    lsg::common::Xoshiro256 rng(t * 7919 + 1);
+    auto& log = logs[t];
+    log.reserve(kOpsPerThread);
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      OpRec rec{};
+      rec.kind = static_cast<OpKind>(rng.next_bounded(3));
+      rec.start = lsg::common::timestamp();
+      switch (rec.kind) {
+        case OpKind::kInsert:
+          rec.result = map->insert(kKey, t);
+          break;
+        case OpKind::kRemove:
+          rec.result = map->remove(kKey);
+          break;
+        case OpKind::kContains:
+          rec.result = map->contains(kKey);
+          break;
+      }
+      rec.end = lsg::common::timestamp();
+      log.push_back(rec);
+    }
+  }, /*reset_registry=*/false);
+  std::vector<OpRec> all;
+  for (auto& log : logs) all.insert(all.end(), log.begin(), log.end());
+  bool inconclusive = false;
+  bool ok = LinearizabilityChecker(all).check(inconclusive);
+  EXPECT_TRUE(ok) << GetParam() << ": no valid linearization for "
+                  << all.size() << " ops";
+  if (inconclusive) {
+    GTEST_LOG_(WARNING) << GetParam()
+                        << ": checker budget exhausted (inconclusive)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, SingleKeyLinearizable,
+    ::testing::Values("layered_map_sg", "lazy_layered_sg", "layered_map_ssg",
+                      "layered_hints", "skiplist", "skipgraph",
+                      "lockedskiplist", "lockfreelist", "nohotspot",
+                      "numask"),
+    [](const auto& info) { return info.param; });
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Tests for the Harris-style lock-free list and its relink optimization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "common/rng.hpp"
+#include "skiplist/lockfree_list.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using List = lsg::skiplist::LockFreeList<uint64_t, uint64_t>;
+using lsg::test::RegistryFixture;
+using lsg::test::run_threads;
+
+struct LockFreeListTest : RegistryFixture {};
+
+TEST_F(LockFreeListTest, SequentialBasics) {
+  List l;
+  EXPECT_FALSE(l.contains(5));
+  EXPECT_TRUE(l.insert(5, 50));
+  EXPECT_FALSE(l.insert(5, 51));
+  EXPECT_TRUE(l.contains(5));
+  EXPECT_TRUE(l.insert(3, 30));
+  EXPECT_TRUE(l.insert(7, 70));
+  EXPECT_EQ(l.keys(), (std::vector<uint64_t>{3, 5, 7}));
+  EXPECT_TRUE(l.remove(5));
+  EXPECT_FALSE(l.remove(5));
+  EXPECT_FALSE(l.contains(5));
+  EXPECT_EQ(l.keys(), (std::vector<uint64_t>{3, 7}));
+}
+
+TEST_F(LockFreeListTest, ReinsertAfterRemove) {
+  List l;
+  EXPECT_TRUE(l.insert(9, 1));
+  EXPECT_TRUE(l.remove(9));
+  EXPECT_TRUE(l.insert(9, 2));
+  EXPECT_TRUE(l.contains(9));
+  EXPECT_EQ(l.keys(), (std::vector<uint64_t>{9}));
+}
+
+TEST_F(LockFreeListTest, StartHintAcceleratesButStaysCorrect) {
+  List l;
+  typename List::Node* mid = nullptr;
+  for (uint64_t k = 0; k < 100; k += 2) {
+    typename List::Node* n = nullptr;
+    l.insert(k, k, nullptr, &n);
+    if (k == 50) mid = n;
+  }
+  ASSERT_NE(mid, nullptr);
+  // Search with a hint at 50 for keys beyond it.
+  EXPECT_TRUE(l.contains(98, mid));
+  EXPECT_FALSE(l.contains(99, mid));
+  EXPECT_TRUE(l.insert(75, 75, mid));
+  EXPECT_TRUE(l.contains(75));
+  EXPECT_FALSE(l.remove(77, mid));  // absent key
+  EXPECT_TRUE(l.remove(98, mid));
+  EXPECT_FALSE(l.contains(98));
+}
+
+TEST_F(LockFreeListTest, MarkedStartHintFallsBackToHead) {
+  List l;
+  typename List::Node* n = nullptr;
+  l.insert(10, 10, nullptr, &n);
+  l.insert(20, 20);
+  ASSERT_TRUE(l.remove(10));  // n is now marked
+  // Using the dead node as a hint must still work.
+  EXPECT_TRUE(l.contains(20, n));
+  EXPECT_TRUE(l.insert(15, 15, n));
+  EXPECT_EQ(l.keys(), (std::vector<uint64_t>{15, 20}));
+}
+
+TEST_F(LockFreeListTest, WindowFindsBoundaries) {
+  List l;
+  for (uint64_t k : {10u, 20u, 30u}) l.insert(k, k);
+  auto w = l.find(20);
+  EXPECT_EQ(w.curr->key, 20u);
+  w = l.find(25);
+  EXPECT_EQ(w.curr->key, 30u);
+  w = l.find(35);
+  EXPECT_TRUE(w.curr->is_tail);
+  w = l.find(5);
+  EXPECT_EQ(w.curr->key, 10u);
+}
+
+class ListConcurrent : public RegistryFixture,
+                       public ::testing::WithParamInterface<int> {};
+
+TEST_P(ListConcurrent, DisjointInsertsAllSurvive) {
+  const int T = GetParam();
+  List l;
+  constexpr uint64_t kPer = 300;
+  run_threads(T, [&](int t) {
+    for (uint64_t i = 0; i < kPer; ++i) {
+      ASSERT_TRUE(l.insert(t * kPer + i, i));
+    }
+  });
+  auto keys = l.keys();
+  EXPECT_EQ(keys.size(), T * kPer);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_P(ListConcurrent, ContendedSameKeyInsertExactlyOneWins) {
+  const int T = GetParam();
+  List l;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> wins{0};
+    run_threads(T, [&](int) {
+      if (l.insert(round, 1)) wins.fetch_add(1);
+    });
+    EXPECT_EQ(wins.load(), 1) << round;
+  }
+}
+
+TEST_P(ListConcurrent, ContendedRemoveExactlyOneWins) {
+  const int T = GetParam();
+  List l;
+  for (int round = 0; round < 50; ++round) {
+    l.insert(round, 1);
+    std::atomic<int> wins{0};
+    run_threads(T, [&](int) {
+      if (l.remove(round)) wins.fetch_add(1);
+    });
+    EXPECT_EQ(wins.load(), 1) << round;
+    EXPECT_FALSE(l.contains(round));
+  }
+}
+
+TEST_P(ListConcurrent, MixedChurnKeepsAbstractSetConsistent) {
+  const int T = GetParam();
+  List l;
+  constexpr uint64_t kSpace = 64;
+  // Net effect tracked per key with atomic counters: inserts - removes
+  // successful must equal final membership.
+  std::array<std::atomic<int>, kSpace> net{};
+  run_threads(T, [&](int t) {
+    lsg::common::Xoshiro256 rng(t * 77 + 1);
+    for (int i = 0; i < 4000; ++i) {
+      uint64_t k = rng.next_bounded(kSpace);
+      if (rng.next_bounded(2) == 0) {
+        if (l.insert(k, k)) net[k].fetch_add(1);
+      } else {
+        if (l.remove(k)) net[k].fetch_sub(1);
+      }
+    }
+  });
+  std::set<uint64_t> final_keys;
+  for (auto k : l.keys()) final_keys.insert(k);
+  for (uint64_t k = 0; k < kSpace; ++k) {
+    int n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << k;
+    EXPECT_EQ(final_keys.count(k), static_cast<size_t>(n)) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ListConcurrent, ::testing::Values(2, 4, 8));
+
+}  // namespace

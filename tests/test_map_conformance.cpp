@@ -1,0 +1,120 @@
+// Conformance suite: every algorithm in the registry must implement the
+// same abstract map semantics. Runs sequential semantics checks and a
+// multi-threaded consistency check against each registered implementation.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/rng.hpp"
+#include "harness/registry.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace lsg::harness;
+using lsg::test::run_threads;
+
+class Conformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    lsg::numa::ThreadRegistry::configure(
+        lsg::numa::Topology::paper_machine());
+    lsg::numa::ThreadRegistry::reset();
+    lsg::stats::sync_topology();
+    lsg::stats::reset();
+    cfg_.algorithm = GetParam();
+    cfg_.threads = 4;
+    cfg_.key_space = 1 << 12;
+    map_ = make_map(GetParam(), cfg_);
+  }
+
+  void TearDown() override { map_.reset(); }
+
+  TrialConfig cfg_;
+  std::unique_ptr<IMap> map_;
+};
+
+TEST_P(Conformance, EmptyMapBehaviour) {
+  EXPECT_FALSE(map_->contains(1));
+  EXPECT_FALSE(map_->remove(1));
+}
+
+TEST_P(Conformance, InsertThenContains) {
+  EXPECT_TRUE(map_->insert(10, 100));
+  EXPECT_TRUE(map_->contains(10));
+  EXPECT_FALSE(map_->contains(11));
+}
+
+TEST_P(Conformance, DuplicateInsertFails) {
+  EXPECT_TRUE(map_->insert(10, 100));
+  EXPECT_FALSE(map_->insert(10, 200));
+}
+
+TEST_P(Conformance, RemoveRoundTrip) {
+  EXPECT_TRUE(map_->insert(10, 100));
+  EXPECT_TRUE(map_->remove(10));
+  EXPECT_FALSE(map_->remove(10));
+  EXPECT_FALSE(map_->contains(10));
+  EXPECT_TRUE(map_->insert(10, 101));  // reinsert after remove
+  EXPECT_TRUE(map_->contains(10));
+}
+
+TEST_P(Conformance, BoundaryKeys) {
+  EXPECT_TRUE(map_->insert(0, 1));
+  EXPECT_TRUE(map_->contains(0));
+  uint64_t big = cfg_.key_space - 1;
+  EXPECT_TRUE(map_->insert(big, 1));
+  EXPECT_TRUE(map_->contains(big));
+  EXPECT_TRUE(map_->remove(0));
+  EXPECT_FALSE(map_->contains(0));
+  EXPECT_TRUE(map_->contains(big));
+}
+
+TEST_P(Conformance, SequentialRandomizedAgainstStdSet) {
+  lsg::common::Xoshiro256 rng(0xC0FFEE);
+  std::set<uint64_t> ref;
+  for (int i = 0; i < 15000; ++i) {
+    uint64_t k = rng.next_bounded(512);
+    switch (rng.next_bounded(3)) {
+      case 0:
+        ASSERT_EQ(map_->insert(k, k), ref.insert(k).second) << i;
+        break;
+      case 1:
+        ASSERT_EQ(map_->remove(k), ref.erase(k) > 0) << i;
+        break;
+      default:
+        ASSERT_EQ(map_->contains(k), ref.count(k) > 0) << i;
+    }
+  }
+}
+
+TEST_P(Conformance, ConcurrentNetConsistency) {
+  constexpr uint64_t kSpace = 64;
+  std::array<std::atomic<int>, kSpace> net{};
+  IMap* map = map_.get();
+  // Baseline maps own live maintenance threads: keep their ids intact.
+  run_threads(4, [&](int t) {
+    map->thread_init();
+    lsg::common::Xoshiro256 rng(t * 17 + 29);
+    for (int i = 0; i < 3000; ++i) {
+      uint64_t k = rng.next_bounded(kSpace);
+      if (rng.next_bounded(2) == 0) {
+        if (map->insert(k, k)) net[k].fetch_add(1);
+      } else {
+        if (map->remove(k)) net[k].fetch_sub(1);
+      }
+    }
+  }, /*reset_registry=*/false);
+  for (uint64_t k = 0; k < kSpace; ++k) {
+    int n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << "key " << k;
+    EXPECT_EQ(map->contains(k), n == 1) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, Conformance,
+                         ::testing::ValuesIn(algorithm_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace

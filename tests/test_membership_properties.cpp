@@ -1,0 +1,165 @@
+// Parameterized property sweeps for the partitioning scheme — the paper's
+// central locality mechanism. These run across many thread counts and
+// topologies, checking the properties the evaluation depends on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bits.hpp"
+#include "numa/membership.hpp"
+#include "numa/pinning.hpp"
+#include "numa/topology.hpp"
+
+namespace {
+
+using namespace lsg::numa;
+using lsg::common::common_suffix_len;
+using lsg::common::suffix;
+
+class MembershipSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MembershipSweep, PartitionBoundHoldsForAllLevels) {
+  // At most ceil(T / 2^i) threads operate in any level-i list (paper §2).
+  const int T = GetParam();
+  Topology topo = Topology::paper_machine();
+  MembershipAssigner a(topo, T, MembershipPolicy::kNumaAware);
+  for (unsigned lvl = 0; lvl <= a.max_level(); ++lvl) {
+    std::map<uint32_t, int> per_list;
+    for (int t = 0; t < T; ++t) {
+      per_list[suffix(a.vector_of(t), lvl)]++;
+    }
+    const int bound = (T + (1 << lvl) - 1) >> lvl;  // ceil(T / 2^lvl)
+    for (auto& [label, count] : per_list) {
+      EXPECT_LE(count, bound) << "T=" << T << " level=" << lvl;
+    }
+  }
+}
+
+TEST_P(MembershipSweep, TopLevelListsNearlyPrivate) {
+  // At the top level at most 2 threads share a list (T/2^MaxLevel <= 2 by
+  // the MaxLevel formula).
+  const int T = GetParam();
+  Topology topo = Topology::paper_machine();
+  MembershipAssigner a(topo, T, MembershipPolicy::kNumaAware);
+  std::map<uint32_t, int> per_list;
+  for (int t = 0; t < T; ++t) {
+    per_list[suffix(a.vector_of(t), a.max_level())]++;
+  }
+  for (auto& [label, count] : per_list) {
+    EXPECT_LE(count, 2) << "T=" << T;
+  }
+}
+
+TEST_P(MembershipSweep, SocketsNeverShareAboveLevelZero) {
+  // Cross-socket thread pairs share only the level-0 list. This exact
+  // alignment requires population-BALANCED sockets: the scaled-rank scheme
+  // preserves the paper's T/2^i per-list balance bound, so with an
+  // unbalanced split (e.g. 48+16 threads) the level-1 boundary cannot sit
+  // exactly on the socket boundary — sharing is then merely graded (see
+  // SharedLevelsDecreaseWithDistance).
+  const int T = GetParam();
+  if (T <= 48) GTEST_SKIP() << "single socket at this thread count";
+  if (T != 96) GTEST_SKIP() << "sockets unbalanced at this thread count";
+  Topology topo = Topology::paper_machine();
+  MembershipAssigner a(topo, T, MembershipPolicy::kNumaAware);
+  for (int i = 0; i < 48 && i < T; i += 7) {
+    for (int j = 48; j < T; j += 7) {
+      EXPECT_EQ(common_suffix_len(a.vector_of(i), a.vector_of(j),
+                                  a.max_level()),
+                0u)
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST_P(MembershipSweep, SharedLevelsDecreaseWithDistance) {
+  // Averaged over pairs: same-core pairs share at least as many levels as
+  // same-socket pairs, which share more than cross-socket pairs.
+  const int T = GetParam();
+  if (T <= 48) GTEST_SKIP();
+  Topology topo = Topology::paper_machine();
+  ThreadRegistry::configure(topo);  // hw_thread_of consults the registry
+  MembershipAssigner a(topo, T, MembershipPolicy::kNumaAware);
+  const unsigned ml = a.max_level();
+  double same_core = 0, same_socket = 0, cross = 0;
+  int n_core = 0, n_socket = 0, n_cross = 0;
+  // All pairs: same-core pairs are (i, i+24) under the SMT-last pin order,
+  // so strided sampling would miss them entirely.
+  for (int i = 0; i + 1 < T; ++i) {
+    for (int j = i + 1; j < T; ++j) {
+      unsigned shared = common_suffix_len(a.vector_of(i), a.vector_of(j), ml);
+      int hi = lsg::numa::ThreadRegistry::hw_thread_of(i);
+      int hj = lsg::numa::ThreadRegistry::hw_thread_of(j);
+      const auto& ti = topo.hw_thread(hi);
+      const auto& tj = topo.hw_thread(hj);
+      if (ti.core == tj.core) {
+        same_core += shared;
+        ++n_core;
+      } else if (ti.socket == tj.socket) {
+        same_socket += shared;
+        ++n_socket;
+      } else {
+        cross += shared;
+        ++n_cross;
+      }
+    }
+  }
+  ASSERT_GT(n_core, 0);
+  ASSERT_GT(n_socket, 0);
+  ASSERT_GT(n_cross, 0);
+  EXPECT_GE(same_core / n_core, same_socket / n_socket);
+  EXPECT_GT(same_socket / n_socket, cross / n_cross);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, MembershipSweep,
+                         ::testing::Values(2, 3, 4, 8, 12, 16, 24, 32, 48,
+                                           64, 96));
+
+class TopologySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TopologySweep, PinOrderCoversAllHwThreads) {
+  auto [sockets, cores, smt] = GetParam();
+  Topology t = Topology::uniform(sockets, cores, smt);
+  auto order = t.pin_order();
+  std::set<int> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), static_cast<size_t>(t.num_hw_threads()));
+  // Socket-filling: the first cores*smt pins are all on socket 0.
+  for (int i = 0; i < cores * smt; ++i) {
+    EXPECT_EQ(t.hw_thread(order[i]).socket, 0) << i;
+  }
+}
+
+TEST_P(TopologySweep, RenumberingIsBijective) {
+  auto [sockets, cores, smt] = GetParam();
+  Topology t = Topology::uniform(sockets, cores, smt);
+  int n = t.num_hw_threads();
+  auto rank = t.distance_renumbering(n);
+  std::set<int> seen(rank.begin(), rank.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), n);
+}
+
+TEST_P(TopologySweep, MembershipLevelOneSplitsBySocketWhenBalanced) {
+  auto [sockets, cores, smt] = GetParam();
+  if (sockets != 2) GTEST_SKIP();
+  Topology t = Topology::uniform(2, cores, smt);
+  int T = t.num_hw_threads();
+  MembershipAssigner a(t, T, MembershipPolicy::kNumaAware);
+  if (a.max_level() == 0) GTEST_SKIP();
+  std::set<uint32_t> s0, s1;
+  for (int i = 0; i < T; ++i) {
+    (i < T / 2 ? s0 : s1).insert(a.vector_of(i) & 1u);
+  }
+  EXPECT_EQ(s0.size(), 1u);
+  EXPECT_EQ(s1.size(), 1u);
+  EXPECT_NE(*s0.begin(), *s1.begin());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopologySweep,
+    ::testing::Values(std::make_tuple(2, 24, 2), std::make_tuple(2, 4, 2),
+                      std::make_tuple(4, 8, 2), std::make_tuple(1, 8, 1),
+                      std::make_tuple(2, 2, 1), std::make_tuple(8, 2, 2)));
+
+}  // namespace

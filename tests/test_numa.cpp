@@ -1,0 +1,213 @@
+// Tests for the simulated NUMA substrate: topology geometry, distances,
+// pin order, renumbering, registry, and membership vectors.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/bits.hpp"
+#include "numa/membership.hpp"
+#include "numa/pinning.hpp"
+#include "numa/topology.hpp"
+
+namespace {
+
+using namespace lsg::numa;
+
+TEST(Topology, PaperMachineGeometry) {
+  Topology t = Topology::paper_machine();
+  EXPECT_EQ(t.num_sockets(), 2);
+  EXPECT_EQ(t.cores_per_socket(), 24);
+  EXPECT_EQ(t.smt_per_core(), 2);
+  EXPECT_EQ(t.num_hw_threads(), 96);
+  EXPECT_EQ(t.node_distance(0, 0), 10);
+  EXPECT_EQ(t.node_distance(0, 1), 21);
+  EXPECT_EQ(t.node_distance(1, 0), 21);
+}
+
+TEST(Topology, RejectsBadArguments) {
+  EXPECT_THROW(Topology(0, 4, 1, 10, 21), std::invalid_argument);
+  EXPECT_THROW(Topology(2, 0, 1, 10, 21), std::invalid_argument);
+  std::vector<std::vector<int>> bad{{10}};
+  EXPECT_THROW(Topology(2, 4, 1, bad), std::invalid_argument);
+}
+
+TEST(Topology, HwThreadAttributes) {
+  Topology t = Topology::uniform(2, 4, 2);
+  EXPECT_EQ(t.num_hw_threads(), 16);
+  // Socket-major enumeration: first 8 threads on socket 0.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(t.hw_thread(i).socket, 0) << i;
+  for (int i = 8; i < 16; ++i) EXPECT_EQ(t.hw_thread(i).socket, 1) << i;
+  // SMT lanes alternate within a core.
+  EXPECT_EQ(t.hw_thread(0).core, t.hw_thread(1).core);
+  EXPECT_NE(t.hw_thread(0).smt_lane, t.hw_thread(1).smt_lane);
+}
+
+TEST(Topology, DistanceOrdering) {
+  Topology t = Topology::uniform(2, 4, 2);
+  int same_thread = t.hw_thread_distance(0, 0);
+  int same_core = t.hw_thread_distance(0, 1);
+  int same_socket = t.hw_thread_distance(0, 2);
+  int cross_socket = t.hw_thread_distance(0, 8);
+  EXPECT_EQ(same_thread, 0);
+  EXPECT_LT(same_core, same_socket);
+  EXPECT_LT(same_socket, cross_socket);
+}
+
+TEST(Topology, DistanceSymmetryAcrossSockets) {
+  Topology t = Topology::paper_machine();
+  EXPECT_EQ(t.hw_thread_distance(0, 50), t.hw_thread_distance(50, 0));
+}
+
+TEST(Topology, PinOrderFillsSocketFirst) {
+  Topology t = Topology::uniform(2, 4, 2);
+  auto order = t.pin_order();
+  ASSERT_EQ(order.size(), 16u);
+  // The first 8 pins land on socket 0 (fill a socket before spilling).
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(t.hw_thread(order[i]).socket, 0) << i;
+  }
+  // Within a socket, distinct cores are used before second SMT lanes.
+  std::set<int> first_four_cores;
+  for (int i = 0; i < 4; ++i) first_four_cores.insert(t.hw_thread(order[i]).core);
+  EXPECT_EQ(first_four_cores.size(), 4u);
+}
+
+TEST(Topology, RenumberingIsPermutation) {
+  Topology t = Topology::paper_machine();
+  auto rank = t.distance_renumbering(96);
+  std::set<int> seen(rank.begin(), rank.end());
+  EXPECT_EQ(seen.size(), 96u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 95);
+}
+
+TEST(Topology, RenumberingKeepsSocketsContiguous) {
+  Topology t = Topology::uniform(2, 4, 2);
+  auto rank = t.distance_renumbering(16);
+  // All socket-0 threads must occupy one contiguous rank range.
+  int max_rank_s0 = -1, min_rank_s1 = 1 << 30;
+  auto pins = t.pin_order();
+  for (int i = 0; i < 16; ++i) {
+    if (t.hw_thread(pins[i]).socket == 0) {
+      max_rank_s0 = std::max(max_rank_s0, rank[i]);
+    } else {
+      min_rank_s1 = std::min(min_rank_s1, rank[i]);
+    }
+  }
+  EXPECT_LT(max_rank_s0, min_rank_s1);
+}
+
+TEST(MaxLevel, MatchesPaperFormula) {
+  // MaxLevel = ceil(log2 T) - 1.
+  EXPECT_EQ(max_level_for_threads(2), 0u);
+  EXPECT_EQ(max_level_for_threads(4), 1u);
+  EXPECT_EQ(max_level_for_threads(8), 2u);
+  EXPECT_EQ(max_level_for_threads(96), 6u);
+  EXPECT_EQ(max_level_for_threads(1), 0u);
+}
+
+TEST(Membership, AllZeroPolicy) {
+  Topology t = Topology::paper_machine();
+  MembershipAssigner a(t, 16, MembershipPolicy::kAllZero);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.vector_of(i), 0u);
+}
+
+TEST(Membership, ThreadSuffixPolicy) {
+  Topology t = Topology::paper_machine();
+  MembershipAssigner a(t, 16, MembershipPolicy::kThreadSuffix);
+  EXPECT_EQ(a.max_level(), 3u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.vector_of(i), lsg::common::suffix(i, 3));
+  }
+}
+
+TEST(Membership, NumaAwareCloserThreadsShareMoreLists) {
+  Topology t = Topology::uniform(2, 8, 2);  // 32 hw threads
+  const int T = 32;
+  MembershipAssigner a(t, T, MembershipPolicy::kNumaAware);
+  const unsigned ml = a.max_level();
+  ASSERT_EQ(ml, 4u);
+  // Same-core threads (0,1) share more levels than same-socket (0,2),
+  // which share more than cross-socket (0,16).
+  auto shared_levels = [&](int x, int y) {
+    return lsg::common::common_suffix_len(a.vector_of(x), a.vector_of(y), ml);
+  };
+  EXPECT_GT(shared_levels(0, 1), shared_levels(0, 3));
+  EXPECT_GT(shared_levels(0, 3), shared_levels(0, 16));
+  EXPECT_EQ(shared_levels(0, 16), 0u);  // different sockets split at level 1
+}
+
+TEST(Membership, NumaAwareSocketSplitsAtLevelOne) {
+  Topology t = Topology::paper_machine();
+  const int T = 96;
+  MembershipAssigner a(t, T, MembershipPolicy::kNumaAware);
+  // Socket 0 threads all get suffix bit 0, socket 1 all get bit 1 (or vice
+  // versa): the level-1 lists partition exactly along the NUMA boundary.
+  std::set<uint32_t> socket0_bits, socket1_bits;
+  for (int i = 0; i < T; ++i) {
+    uint32_t bit = a.vector_of(i) & 1u;
+    if (i < 48) {
+      socket0_bits.insert(bit);
+    } else {
+      socket1_bits.insert(bit);
+    }
+  }
+  EXPECT_EQ(socket0_bits.size(), 1u);
+  EXPECT_EQ(socket1_bits.size(), 1u);
+  EXPECT_NE(*socket0_bits.begin(), *socket1_bits.begin());
+}
+
+TEST(Membership, MaxLevelOverride) {
+  Topology t = Topology::paper_machine();
+  MembershipAssigner a(t, 64, MembershipPolicy::kNumaAware, 0);
+  EXPECT_EQ(a.max_level(), 0u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.vector_of(i), 0u);
+}
+
+TEST(Membership, PartitionBalance) {
+  // At most ceil(T / 2^i) threads per level-i list for the NUMA-aware
+  // scheme with a power-of-two thread count.
+  Topology t = Topology::paper_machine();
+  const int T = 64;
+  MembershipAssigner a(t, T, MembershipPolicy::kNumaAware);
+  const unsigned ml = a.max_level();  // 5
+  for (unsigned lvl = 1; lvl <= ml; ++lvl) {
+    std::map<uint32_t, int> count;
+    for (int i = 0; i < T; ++i) {
+      count[lsg::common::suffix(a.vector_of(i), lvl)]++;
+    }
+    for (auto& [label, c] : count) {
+      EXPECT_LE(c, T >> lvl) << "level " << lvl << " label " << label;
+    }
+  }
+}
+
+TEST(Registry, RegistersAndResets) {
+  ThreadRegistry::configure(Topology::paper_machine());
+  ThreadRegistry::reset();
+  EXPECT_EQ(ThreadRegistry::registered_count(), 0);
+  int id = ThreadRegistry::current();
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(ThreadRegistry::current(), 0);  // idempotent
+  EXPECT_EQ(ThreadRegistry::registered_count(), 1);
+  std::thread t([&] { EXPECT_EQ(ThreadRegistry::current(), 1); });
+  t.join();
+  ThreadRegistry::reset();
+  EXPECT_EQ(ThreadRegistry::registered_count(), 0);
+  EXPECT_EQ(ThreadRegistry::current(), 0);
+}
+
+TEST(Registry, NodeOfFollowsPinOrder) {
+  ThreadRegistry::configure(Topology::paper_machine());
+  ThreadRegistry::reset();
+  // Pin order fills socket 0 (48 hw threads) first.
+  for (int i = 0; i < 48; ++i) EXPECT_EQ(ThreadRegistry::node_of(i), 0) << i;
+  for (int i = 48; i < 96; ++i) EXPECT_EQ(ThreadRegistry::node_of(i), 1) << i;
+  // Beyond 96 logical threads the assignment wraps.
+  EXPECT_EQ(ThreadRegistry::node_of(96), 0);
+}
+
+}  // namespace

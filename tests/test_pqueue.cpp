@@ -1,0 +1,184 @@
+// Tests for the priority-queue extension: skip-list PQ baseline and the
+// layered skip-graph PQ.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "pqueue/layered_pq.hpp"
+#include "pqueue/skiplist_pq.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using lsg::test::RegistryFixture;
+using lsg::test::run_threads;
+using SlPQ = lsg::pqueue::SkipListPQ<uint64_t, uint64_t>;
+using LayPQ = lsg::pqueue::LayeredPQ<uint64_t, uint64_t>;
+
+lsg::core::LayeredOptions pq_opts(int threads, bool lazy = true) {
+  lsg::core::LayeredOptions o;
+  o.num_threads = threads;
+  o.lazy = lazy;
+  return o;
+}
+
+struct PQTest : RegistryFixture {};
+
+TEST_F(PQTest, SkipListPQOrdering) {
+  SlPQ q(8);
+  for (uint64_t k : {50u, 10u, 30u, 20u, 40u}) ASSERT_TRUE(q.push(k, k * 2));
+  EXPECT_FALSE(q.push(10, 0));  // duplicate priority
+  uint64_t k, v;
+  ASSERT_TRUE(q.pop_min(k, v));
+  EXPECT_EQ(k, 10u);
+  EXPECT_EQ(v, 20u);
+  EXPECT_EQ(q.drain_keys(), (std::vector<uint64_t>{20, 30, 40, 50}));
+  EXPECT_FALSE(q.pop_min(k, v));
+}
+
+TEST_F(PQTest, LayeredPQOrdering) {
+  LayPQ q(pq_opts(4));
+  for (uint64_t k : {5u, 1u, 3u, 2u, 4u}) ASSERT_TRUE(q.push(k, k + 100));
+  EXPECT_FALSE(q.push(3, 0));
+  EXPECT_TRUE(q.contains(3));
+  uint64_t k, v;
+  ASSERT_TRUE(q.pop_min(k, v));
+  EXPECT_EQ(k, 1u);
+  EXPECT_EQ(v, 101u);
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_EQ(q.drain_keys(), (std::vector<uint64_t>{2, 3, 4, 5}));
+}
+
+TEST_F(PQTest, LayeredPQPushAfterPopReusesPriority) {
+  LayPQ q(pq_opts(4));
+  ASSERT_TRUE(q.push(7, 1));
+  uint64_t k, v;
+  ASSERT_TRUE(q.pop_min(k, v));
+  ASSERT_TRUE(q.push(7, 2));  // revived or re-inserted
+  ASSERT_TRUE(q.pop_min(k, v));
+  EXPECT_EQ(k, 7u);
+  EXPECT_EQ(v, 2u);
+}
+
+template <class Q>
+void concurrent_pq_check(Q& q, int T) {
+  constexpr uint64_t kN = 1200;
+  // Preload with distinct priorities, then T threads drain concurrently.
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(q.push(k, k));
+  std::vector<std::vector<uint64_t>> popped(T);
+  run_threads(T, [&](int t) {
+    uint64_t k, v;
+    while (q.pop_min(k, v)) popped[t].push_back(k);
+  });
+  std::set<uint64_t> all;
+  size_t count = 0;
+  for (auto& vec : popped) {
+    EXPECT_TRUE(std::is_sorted(vec.begin(), vec.end()));
+    for (auto k : vec) {
+      all.insert(k);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, kN);
+  EXPECT_EQ(all.size(), kN);
+}
+
+class PQConcurrent : public RegistryFixture,
+                     public ::testing::WithParamInterface<int> {};
+
+TEST_P(PQConcurrent, SkipListPQDrainNoDupNoLoss) {
+  SlPQ q(11);
+  concurrent_pq_check(q, GetParam());
+}
+
+TEST_P(PQConcurrent, LayeredPQDrainNoDupNoLoss) {
+  LayPQ q(pq_opts(GetParam()));
+  concurrent_pq_check(q, GetParam());
+}
+
+TEST_P(PQConcurrent, MixedPushPopStaysConsistent) {
+  LayPQ q(pq_opts(GetParam()));
+  const int T = GetParam();
+  std::atomic<uint64_t> pushed{0}, popped{0};
+  run_threads(T, [&](int t) {
+    lsg::common::Xoshiro256 rng(t * 7 + 2);
+    uint64_t k, v;
+    for (int i = 0; i < 3000; ++i) {
+      if (rng.next_bounded(2) == 0) {
+        if (q.push(rng.next_bounded(1 << 16), t)) {
+          pushed.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (q.pop_min(k, v)) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  // Drain the remainder; total popped must equal total pushed.
+  uint64_t k, v;
+  uint64_t rest = 0;
+  while (q.pop_min(k, v)) ++rest;
+  EXPECT_EQ(pushed.load(), popped.load() + rest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PQConcurrent, ::testing::Values(2, 4, 8));
+
+TEST_F(PQTest, RelaxedPopReturnsLiveElements) {
+  LayPQ q(pq_opts(4));
+  std::set<uint64_t> pushed;
+  for (uint64_t k = 0; k < 500; ++k) {
+    q.push(k * 2, k);
+    pushed.insert(k * 2);
+  }
+  uint64_t k, v;
+  std::set<uint64_t> popped;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(q.pop_relaxed(k, v));
+    EXPECT_TRUE(pushed.count(k)) << k;
+    EXPECT_TRUE(popped.insert(k).second) << k;  // exactly-once
+  }
+  EXPECT_FALSE(q.pop_relaxed(k, v));  // drained (exact emptiness)
+}
+
+TEST_F(PQTest, RelaxedPopStaysNearMin) {
+  // Quality property: on a quiescent 2^12-element queue the popped rank is
+  // bounded by the spray reach, far from uniform sampling.
+  LayPQ q(pq_opts(16));  // MaxLevel 3
+  constexpr uint64_t kN = 4096;
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(q.push(k, k));
+  uint64_t worst = 0;
+  uint64_t k, v;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(q.pop_relaxed(k, v, /*spray_width=*/4));
+    worst = std::max(worst, k);
+  }
+  // 64 pops consume at most ranks ~[0, 64 + reach]; the spray reach per pop
+  // is <= (MaxLevel+1)*width + claim window. Anything near uniform (~kN/2)
+  // fails decisively.
+  EXPECT_LT(worst, 400u) << worst;
+}
+
+TEST_P(PQConcurrent, RelaxedDrainNoDupNoLoss) {
+  LayPQ q(pq_opts(GetParam()));
+  constexpr uint64_t kN = 1200;
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(q.push(k, k));
+  const int T = GetParam();
+  std::vector<std::vector<uint64_t>> popped(T);
+  run_threads(T, [&](int t) {
+    uint64_t k, v;
+    while (q.pop_relaxed(k, v)) popped[t].push_back(k);
+  });
+  std::set<uint64_t> all;
+  size_t count = 0;
+  for (auto& vec : popped) {
+    for (auto k : vec) {
+      all.insert(k);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, kN);
+  EXPECT_EQ(all.size(), kN);
+}
+
+}  // namespace

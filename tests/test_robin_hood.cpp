@@ -1,0 +1,148 @@
+// Tests for the robin-hood open-addressing hash table (the per-thread fast
+// path of the local structures).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "local/robin_hood.hpp"
+
+namespace {
+
+using lsg::local::RobinHoodTable;
+
+TEST(RobinHood, InsertFindErase) {
+  RobinHoodTable<uint64_t, int> t;
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_TRUE(t.insert(2, 20));
+  EXPECT_FALSE(t.insert(1, 11));  // overwrite
+  ASSERT_NE(t.find(1), nullptr);
+  EXPECT_EQ(*t.find(1), 11);
+  EXPECT_EQ(*t.find(2), 20);
+  EXPECT_EQ(t.find(3), nullptr);
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.find(1), nullptr);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RobinHood, SizeTracksInsertEraseOverwrite) {
+  RobinHoodTable<int, int> t;
+  EXPECT_TRUE(t.empty());
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(t.insert(i, i));
+  EXPECT_EQ(t.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(t.insert(i, -i));  // overwrites
+  EXPECT_EQ(t.size(), 50u);
+  for (int i = 0; i < 25; ++i) EXPECT_TRUE(t.erase(i));
+  EXPECT_EQ(t.size(), 25u);
+}
+
+TEST(RobinHood, GrowsAndRetainsEntries) {
+  RobinHoodTable<int, int> t(4);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(t.insert(i, i * 3));
+  EXPECT_GE(t.capacity(), 1024u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(t.find(i), nullptr) << i;
+    EXPECT_EQ(*t.find(i), i * 3);
+  }
+  EXPECT_LE(t.load_factor(), 0.75 + 1e-9);
+}
+
+TEST(RobinHood, BackwardShiftDeletionKeepsClusterReachable) {
+  // Force a collision cluster with a degenerate hash, then delete from the
+  // middle and verify the rest of the cluster is still found.
+  struct BadHash {
+    size_t operator()(int) const { return 0; }
+  };
+  RobinHoodTable<int, int, BadHash> t(16);
+  for (int i = 0; i < 8; ++i) t.insert(i, i);
+  EXPECT_TRUE(t.erase(3));
+  for (int i = 0; i < 8; ++i) {
+    if (i == 3) {
+      EXPECT_EQ(t.find(i), nullptr);
+    } else {
+      ASSERT_NE(t.find(i), nullptr) << i;
+      EXPECT_EQ(*t.find(i), i);
+    }
+  }
+  // After backward shifting nothing is farther from home than before.
+  EXPECT_LE(t.max_probe_length(), 8u);
+}
+
+TEST(RobinHood, ClearEmptiesTable) {
+  RobinHoodTable<int, int> t;
+  for (int i = 0; i < 100; ++i) t.insert(i, i);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.find(i), nullptr);
+  EXPECT_TRUE(t.insert(7, 7));
+}
+
+TEST(RobinHood, ForEachVisitsAllLiveEntries) {
+  RobinHoodTable<int, int> t;
+  for (int i = 0; i < 64; ++i) t.insert(i, i * 2);
+  for (int i = 0; i < 64; i += 2) t.erase(i);
+  int count = 0;
+  int64_t sum = 0;
+  t.for_each([&](int k, int v) {
+    EXPECT_EQ(v, k * 2);
+    EXPECT_EQ(k % 2, 1);
+    ++count;
+    sum += k;
+  });
+  EXPECT_EQ(count, 32);
+  EXPECT_EQ(sum, 32 * 32);  // sum of odd numbers < 64
+}
+
+TEST(RobinHood, StringKeys) {
+  RobinHoodTable<std::string, int> t;
+  EXPECT_TRUE(t.insert("alpha", 1));
+  EXPECT_TRUE(t.insert("beta", 2));
+  EXPECT_FALSE(t.insert("alpha", 3));
+  EXPECT_EQ(*t.find("alpha"), 3);
+  EXPECT_TRUE(t.erase("alpha"));
+  EXPECT_EQ(t.find("alpha"), nullptr);
+  EXPECT_EQ(*t.find("beta"), 2);
+}
+
+// Property test: randomized operations mirrored against
+// std::unordered_map, parameterized over seeds.
+class RobinHoodProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RobinHoodProperty, MatchesReferenceMap) {
+  lsg::common::Xoshiro256 rng(GetParam());
+  RobinHoodTable<uint64_t, uint64_t> t;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  for (int step = 0; step < 20000; ++step) {
+    uint64_t k = rng.next_bounded(512);
+    switch (rng.next_bounded(3)) {
+      case 0: {
+        uint64_t v = rng.next();
+        bool fresh = t.insert(k, v);
+        bool ref_fresh = ref.insert_or_assign(k, v).second;
+        ASSERT_EQ(fresh, ref_fresh) << "step " << step;
+        break;
+      }
+      case 1: {
+        ASSERT_EQ(t.erase(k), ref.erase(k) > 0) << "step " << step;
+        break;
+      }
+      default: {
+        auto it = ref.find(k);
+        uint64_t* p = t.find(k);
+        ASSERT_EQ(p != nullptr, it != ref.end()) << "step " << step;
+        if (p != nullptr) ASSERT_EQ(*p, it->second) << "step " << step;
+      }
+    }
+  }
+  ASSERT_EQ(t.size(), ref.size());
+  // Robin-hood invariant: probe lengths stay short at this load.
+  EXPECT_LE(t.max_probe_length(), 32u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobinHoodProperty,
+                         ::testing::Values(1, 2, 3, 17, 1234, 99999));
+
+}  // namespace

@@ -1,0 +1,355 @@
+// Sequential/structural tests for the skip-graph shared structure: list
+// partitioning by membership suffix, lazy valid-bit protocol, retiring,
+// relink behaviour, sparse heights.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "skipgraph/skip_graph.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using SG = lsg::skipgraph::SkipGraph<uint64_t, uint64_t>;
+using Node = SG::Node;
+using lsg::skipgraph::SgConfig;
+using lsg::test::RegistryFixture;
+
+Node* no_start() { return nullptr; }
+
+struct SkipGraphTest : RegistryFixture {};
+
+SgConfig nonlazy(unsigned ml, bool sparse = false) {
+  return SgConfig{.max_level = ml,
+                  .sparse = sparse,
+                  .lazy = false,
+                  .commission_period = 0,
+                  .relink = true};
+}
+
+SgConfig lazy_cfg(unsigned ml, uint64_t commission = 0) {
+  return SgConfig{.max_level = ml,
+                  .sparse = false,
+                  .lazy = true,
+                  .commission_period = commission,
+                  .relink = true};
+}
+
+TEST_F(SkipGraphTest, NonLazyInsertContainsRemove) {
+  SG sg(nonlazy(2));
+  Node* n = nullptr;
+  EXPECT_TRUE(sg.insert_nonlazy(10, 100, 0b01, nullptr, no_start, &n));
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(n->inserted.load());
+  EXPECT_TRUE(sg.contains_from(10, 0b01, nullptr));
+  EXPECT_TRUE(sg.contains_from(10, 0b10, nullptr));  // any membership finds it
+  EXPECT_FALSE(sg.insert_nonlazy(10, 100, 0b01, nullptr, no_start, &n));
+  EXPECT_TRUE(sg.remove_nonlazy(10, 0b01, nullptr));
+  EXPECT_FALSE(sg.remove_nonlazy(10, 0b01, nullptr));
+  EXPECT_FALSE(sg.contains_from(10, 0b01, nullptr));
+}
+
+TEST_F(SkipGraphTest, NodesAppearOnlyInMatchingSuffixLists) {
+  SG sg(nonlazy(2));
+  Node* n = nullptr;
+  // Insert keys with all four memberships.
+  for (uint64_t k = 0; k < 64; ++k) {
+    uint32_t m = static_cast<uint32_t>(k % 4);
+    ASSERT_TRUE(sg.insert_nonlazy(k, k, m, nullptr, no_start, &n));
+  }
+  // Level 0: single list with all keys, sorted.
+  auto bottom = sg.snapshot_level(0, 0);
+  EXPECT_EQ(bottom.size(), 64u);
+  // Level 1: two lists partitioned by the last membership bit.
+  size_t level1_total = 0;
+  for (uint32_t label = 0; label < 2; ++label) {
+    auto snap = sg.snapshot_level(1, label);
+    level1_total += snap.size();
+    uint64_t prev = 0;
+    bool first = true;
+    for (auto& e : snap) {
+      EXPECT_EQ(lsg::common::suffix(e.membership, 1), label);
+      if (!first) EXPECT_LT(prev, e.key);
+      prev = e.key;
+      first = false;
+    }
+  }
+  EXPECT_EQ(level1_total, 64u);
+  // Level 2: four lists partitioned by the 2-bit suffix.
+  size_t level2_total = 0;
+  for (uint32_t label = 0; label < 4; ++label) {
+    auto snap = sg.snapshot_level(2, label);
+    level2_total += snap.size();
+    for (auto& e : snap) {
+      EXPECT_EQ(lsg::common::suffix(e.membership, 2), label);
+      EXPECT_EQ(e.membership, label);  // we inserted with m = k%4
+    }
+    EXPECT_EQ(snap.size(), 16u) << label;
+  }
+  EXPECT_EQ(level2_total, 64u);
+}
+
+TEST_F(SkipGraphTest, SearchFromNodeStartsWithinItsSkipList) {
+  SG sg(nonlazy(2));
+  Node* start = nullptr;
+  for (uint64_t k = 0; k < 100; k += 2) {
+    Node* n = nullptr;
+    ASSERT_TRUE(sg.insert_nonlazy(k, k, 0b11, nullptr, no_start, &n));
+    if (k == 40) start = n;
+  }
+  ASSERT_NE(start, nullptr);
+  // Searching for keys beyond the start node via its skip list.
+  EXPECT_TRUE(sg.contains_from(80, 0b11, start));
+  EXPECT_FALSE(sg.contains_from(81, 0b11, start));
+  Node* found = sg.retire_search(98, 0b11, start);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->key, 98u);
+}
+
+TEST_F(SkipGraphTest, LazyInsertLinksBottomOnly) {
+  SG sg(lazy_cfg(2));
+  Node* n = nullptr;
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  EXPECT_TRUE(sg.lazy_insert(7, 70, 0b00, nullptr, refresh, &n));
+  ASSERT_NE(n, nullptr);
+  EXPECT_FALSE(n->inserted.load());
+  EXPECT_EQ(sg.snapshot_level(0, 0).size(), 1u);
+  EXPECT_EQ(sg.snapshot_level(1, 0).size(), 0u);  // not yet linked up
+  EXPECT_TRUE(sg.contains_from(7, 0b00, nullptr));
+  // finish_insert completes the upper levels.
+  EXPECT_TRUE(sg.finish_insert(n, nullptr, refresh));
+  EXPECT_TRUE(n->inserted.load());
+  EXPECT_EQ(sg.snapshot_level(1, 0).size(), 1u);
+  EXPECT_EQ(sg.snapshot_level(2, 0).size(), 1u);
+}
+
+TEST_F(SkipGraphTest, LazyRemoveInvalidatesWithoutMarking) {
+  SG sg(lazy_cfg(1));
+  Node* n = nullptr;
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  ASSERT_TRUE(sg.lazy_insert(5, 50, 0, nullptr, refresh, &n));
+  EXPECT_TRUE(sg.lazy_remove(5, 0, nullptr, refresh));
+  auto [mk, valid] = n->mark_valid0();
+  EXPECT_FALSE(mk);      // no physical mark yet (lazy)
+  EXPECT_FALSE(valid);   // logically deleted
+  EXPECT_FALSE(sg.contains_from(5, 0, nullptr));
+  EXPECT_FALSE(sg.lazy_remove(5, 0, nullptr, refresh));  // already gone
+}
+
+TEST_F(SkipGraphTest, LazyInsertRevivesInvalidNode) {
+  SG sg(lazy_cfg(1));
+  Node* n = nullptr;
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  ASSERT_TRUE(sg.lazy_insert(5, 50, 0, nullptr, refresh, &n));
+  ASSERT_TRUE(sg.lazy_remove(5, 0, nullptr, refresh));
+  Node* again = nullptr;
+  EXPECT_TRUE(sg.lazy_insert(5, 51, 0, nullptr, refresh, &again));
+  EXPECT_EQ(again, nullptr);  // revived the existing node, no new one
+  EXPECT_TRUE(sg.contains_from(5, 0, nullptr));
+  auto [mk, valid] = n->mark_valid0();
+  EXPECT_FALSE(mk);
+  EXPECT_TRUE(valid);
+  // Duplicate insert on a live node fails.
+  EXPECT_FALSE(sg.lazy_insert(5, 52, 0, nullptr, refresh, &again));
+}
+
+TEST_F(SkipGraphTest, InsertRemoveHelpersLinearize) {
+  SG sg(lazy_cfg(1));
+  Node* n = nullptr;
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  ASSERT_TRUE(sg.lazy_insert(1, 1, 0, nullptr, refresh, &n));
+  bool result = false;
+  // Duplicate insert via helper.
+  EXPECT_TRUE(sg.insert_helper(n, result));
+  EXPECT_FALSE(result);
+  // Successful remove via helper.
+  EXPECT_TRUE(sg.remove_helper(n, result));
+  EXPECT_TRUE(result);
+  // Failed remove (already invalid).
+  EXPECT_TRUE(sg.remove_helper(n, result));
+  EXPECT_FALSE(result);
+  // Revive via helper.
+  EXPECT_TRUE(sg.insert_helper(n, result));
+  EXPECT_TRUE(result);
+}
+
+TEST_F(SkipGraphTest, HelpersFailOnMarkedNode) {
+  SG sg(lazy_cfg(1));
+  Node* n = nullptr;
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  ASSERT_TRUE(sg.lazy_insert(3, 3, 0, nullptr, refresh, &n));
+  bool scratch = false;
+  ASSERT_TRUE(sg.remove_helper(n, scratch));  // invalidate
+  ASSERT_TRUE(sg.retire(n));                  // mark
+  bool result = true;
+  EXPECT_FALSE(sg.insert_helper(n, result));
+  EXPECT_FALSE(sg.remove_helper(n, result));
+}
+
+TEST_F(SkipGraphTest, RetireRequiresInvalid) {
+  SG sg(lazy_cfg(1));
+  Node* n = nullptr;
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  ASSERT_TRUE(sg.lazy_insert(9, 9, 0, nullptr, refresh, &n));
+  EXPECT_FALSE(sg.retire(n));  // valid node cannot be retired
+  bool r;
+  sg.remove_helper(n, r);
+  EXPECT_TRUE(sg.retire(n));
+  EXPECT_TRUE(n->get_mark(0));
+  for (unsigned lvl = 1; lvl <= n->height; ++lvl) {
+    EXPECT_TRUE(n->get_mark(lvl)) << lvl;
+  }
+  EXPECT_FALSE(sg.retire(n));  // idempotent failure
+}
+
+TEST_F(SkipGraphTest, CheckRetireHonorsCommissionPeriod) {
+  // Huge commission period: invalid nodes are NOT retired by searches.
+  SG sg(lazy_cfg(1, /*commission=*/~uint64_t{0} >> 1));
+  Node* n = nullptr;
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  ASSERT_TRUE(sg.lazy_insert(4, 4, 0, nullptr, refresh, &n));
+  bool r;
+  sg.remove_helper(n, r);
+  EXPECT_FALSE(sg.check_retire(n));
+  EXPECT_FALSE(n->get_mark(0));
+  // Tiny commission period: the next check retires it.
+  SG sg2(lazy_cfg(1, /*commission=*/1));
+  Node* n2 = nullptr;
+  ASSERT_TRUE(sg2.lazy_insert(4, 4, 0, nullptr, refresh, &n2));
+  sg2.remove_helper(n2, r);
+  // Busy-wait a few cycles so the timestamp moves.
+  for (volatile int i = 0; i < 1000; ++i) {
+  }
+  EXPECT_TRUE(sg2.check_retire(n2));
+  EXPECT_TRUE(n2->get_mark(0));
+}
+
+TEST_F(SkipGraphTest, SearchRetiresExpiredInvalidNodes) {
+  SG sg(lazy_cfg(1, /*commission=*/1));
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  Node* a = nullptr;
+  Node* b = nullptr;
+  ASSERT_TRUE(sg.lazy_insert(10, 1, 0, nullptr, refresh, &a));
+  ASSERT_TRUE(sg.lazy_insert(20, 2, 0, nullptr, refresh, &b));
+  bool r;
+  sg.remove_helper(a, r);
+  for (volatile int i = 0; i < 1000; ++i) {
+  }
+  // A later search walks over `a`, sees it expired-invalid, and retires it.
+  EXPECT_FALSE(sg.contains_from(10, 0, nullptr));
+  EXPECT_TRUE(a->get_mark(0));
+}
+
+TEST_F(SkipGraphTest, RelinkSplicesMarkedChainOnInsert) {
+  SG sg(lazy_cfg(1, /*commission=*/1));
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  // Build 10,20,30; remove+retire 20; inserting 25 must splice 20 out with
+  // the same CAS that links 25.
+  Node* n20 = nullptr;
+  Node* tmp = nullptr;
+  ASSERT_TRUE(sg.lazy_insert(10, 0, 0, nullptr, refresh, &tmp));
+  ASSERT_TRUE(sg.lazy_insert(20, 0, 0, nullptr, refresh, &n20));
+  ASSERT_TRUE(sg.lazy_insert(30, 0, 0, nullptr, refresh, &tmp));
+  bool r;
+  sg.remove_helper(n20, r);
+  sg.retire(n20);
+  ASSERT_TRUE(n20->get_mark(0));
+  Node* n25 = nullptr;
+  ASSERT_TRUE(sg.lazy_insert(25, 0, 0, nullptr, refresh, &n25));
+  // The raw bottom list no longer contains 20.
+  auto bottom = sg.snapshot_level(0, 0);
+  std::vector<uint64_t> keys;
+  for (auto& e : bottom) keys.push_back(e.key);
+  EXPECT_EQ(keys, (std::vector<uint64_t>{10, 25, 30}));
+}
+
+TEST_F(SkipGraphTest, SparseHeightsGeometric) {
+  SG sg(nonlazy(6, /*sparse=*/true));
+  Node* n = nullptr;
+  std::map<unsigned, int> height_counts;
+  const int kN = 20000;
+  for (int k = 0; k < kN; ++k) {
+    ASSERT_TRUE(sg.insert_nonlazy(k, k, 0, nullptr, no_start, &n));
+    height_counts[n->height]++;
+  }
+  // P(height >= i) ~ 1/2^i.
+  int at_least_1 = 0, at_least_3 = 0;
+  for (auto& [h, c] : height_counts) {
+    if (h >= 1) at_least_1 += c;
+    if (h >= 3) at_least_3 += c;
+  }
+  EXPECT_NEAR(at_least_1, kN / 2, kN / 2 * 0.15);
+  EXPECT_NEAR(at_least_3, kN / 8, kN / 8 * 0.25);
+  // Non-sparse: all nodes reach the top.
+  SG dense(nonlazy(6, /*sparse=*/false));
+  for (int k = 0; k < 100; ++k) {
+    ASSERT_TRUE(dense.insert_nonlazy(k, k, 0, nullptr, no_start, &n));
+    EXPECT_EQ(n->height, 6u);
+  }
+}
+
+TEST_F(SkipGraphTest, SparseLevelsThinOut) {
+  SG sg(nonlazy(4, /*sparse=*/true));
+  Node* n = nullptr;
+  for (int k = 0; k < 4000; ++k) {
+    ASSERT_TRUE(sg.insert_nonlazy(k, k, static_cast<uint32_t>(k), nullptr,
+                                  no_start, &n));
+  }
+  // With random memberships + geometric heights, level-i lists hold about
+  // n / 4^i elements (partitioning x sparsity, paper §2).
+  size_t level1 = 0, level2 = 0;
+  for (uint32_t label = 0; label < 2; ++label) {
+    level1 += sg.snapshot_level(1, label).size();
+  }
+  for (uint32_t label = 0; label < 4; ++label) {
+    level2 += sg.snapshot_level(2, label).size();
+  }
+  EXPECT_NEAR(level1, 2000, 300);  // half the nodes have height >= 1
+  EXPECT_NEAR(level2, 1000, 250);
+  auto one_list = sg.snapshot_level(2, 1).size();
+  EXPECT_NEAR(one_list, 4000 / 16, 80);  // 1/4^2 per list
+}
+
+TEST_F(SkipGraphTest, AbstractSetReflectsValidity) {
+  SG sg(lazy_cfg(1));
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  Node* n = nullptr;
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(sg.lazy_insert(k, k, 0, nullptr, refresh, &n));
+  }
+  ASSERT_TRUE(sg.lazy_remove(3, 0, nullptr, refresh));
+  ASSERT_TRUE(sg.lazy_remove(7, 0, nullptr, refresh));
+  auto set = sg.abstract_set();
+  EXPECT_EQ(set.size(), 8u);
+  EXPECT_EQ(std::count(set.begin(), set.end(), 3), 0);
+  EXPECT_EQ(std::count(set.begin(), set.end(), 7), 0);
+}
+
+TEST_F(SkipGraphTest, PopMinSequential) {
+  SG sg(lazy_cfg(2));
+  auto refresh = [] { return static_cast<Node*>(nullptr); };
+  Node* n = nullptr;
+  for (uint64_t k : {30u, 10u, 20u}) {
+    ASSERT_TRUE(sg.lazy_insert(k, k * 10, k % 4, nullptr, refresh, &n));
+  }
+  uint64_t k, v;
+  ASSERT_TRUE(sg.pop_min(k, v));
+  EXPECT_EQ(k, 10u);
+  EXPECT_EQ(v, 100u);
+  ASSERT_TRUE(sg.pop_min(k, v));
+  EXPECT_EQ(k, 20u);
+  ASSERT_TRUE(sg.pop_min(k, v));
+  EXPECT_EQ(k, 30u);
+  EXPECT_FALSE(sg.pop_min(k, v));
+}
+
+TEST_F(SkipGraphTest, RejectsTooLargeLevel) {
+  EXPECT_THROW(SG sg(nonlazy(lsg::skipgraph::kMaxLevels)),
+               std::invalid_argument);
+}
+
+}  // namespace

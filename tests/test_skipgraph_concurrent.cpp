@@ -1,0 +1,238 @@
+// Concurrent stress tests for the skip-graph shared structure, covering
+// both protocols (lazy / non-lazy), sparse heights, partitioned
+// memberships, and mixed workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "common/rng.hpp"
+#include "numa/membership.hpp"
+#include "skipgraph/skip_graph.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using SG = lsg::skipgraph::SkipGraph<uint64_t, uint64_t>;
+using Node = SG::Node;
+using lsg::skipgraph::SgConfig;
+using lsg::test::RegistryFixture;
+using lsg::test::run_threads;
+
+Node* no_start() { return nullptr; }
+
+struct Params {
+  int threads;
+  bool lazy;
+  bool sparse;
+  uint64_t commission;  // only meaningful when lazy
+};
+
+class SgConcurrent : public RegistryFixture,
+                     public ::testing::WithParamInterface<Params> {
+ protected:
+  SgConfig cfg(unsigned ml) const {
+    const Params& p = GetParam();
+    return SgConfig{.max_level = ml,
+                    .sparse = p.sparse,
+                    .lazy = p.lazy,
+                    .commission_period = p.lazy ? p.commission : 0,
+                    .relink = true};
+  }
+
+  static bool do_insert(SG& sg, uint64_t k, uint32_t m) {
+    Node* fresh = nullptr;
+    if (sg.config().lazy) {
+      return sg.lazy_insert(k, k, m, nullptr, no_start, &fresh);
+    }
+    return sg.insert_nonlazy(k, k, m, nullptr, no_start, &fresh);
+  }
+
+  static bool do_remove(SG& sg, uint64_t k, uint32_t m) {
+    if (sg.config().lazy) {
+      return sg.lazy_remove(k, m, nullptr, no_start);
+    }
+    return sg.remove_nonlazy(k, m, nullptr);
+  }
+};
+
+TEST_P(SgConcurrent, DisjointInsertsAllVisible) {
+  const Params p = GetParam();
+  SG sg(cfg(3));
+  constexpr uint64_t kPer = 400;
+  run_threads(p.threads, [&](int t) {
+    uint32_t m = static_cast<uint32_t>(t);
+    for (uint64_t i = 0; i < kPer; ++i) {
+      ASSERT_TRUE(do_insert(sg, t * kPer + i, m));
+    }
+  });
+  auto set = sg.abstract_set();
+  EXPECT_EQ(set.size(), p.threads * kPer);
+  EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+}
+
+TEST_P(SgConcurrent, SameKeyInsertOneWinner) {
+  const Params p = GetParam();
+  SG sg(cfg(2));
+  for (int round = 0; round < 40; ++round) {
+    std::atomic<int> wins{0};
+    run_threads(p.threads, [&](int t) {
+      if (do_insert(sg, round, static_cast<uint32_t>(t))) wins.fetch_add(1);
+    });
+    EXPECT_EQ(wins.load(), 1) << round;
+  }
+  EXPECT_EQ(sg.abstract_set().size(), 40u);
+}
+
+TEST_P(SgConcurrent, SameKeyRemoveOneWinner) {
+  const Params p = GetParam();
+  SG sg(cfg(2));
+  for (int round = 0; round < 40; ++round) {
+    ASSERT_TRUE(do_insert(sg, round, 0));
+    std::atomic<int> wins{0};
+    run_threads(p.threads, [&](int t) {
+      if (do_remove(sg, round, static_cast<uint32_t>(t))) wins.fetch_add(1);
+    });
+    EXPECT_EQ(wins.load(), 1) << round;
+  }
+  EXPECT_TRUE(sg.abstract_set().empty());
+}
+
+TEST_P(SgConcurrent, MixedChurnNetMembershipConsistent) {
+  const Params p = GetParam();
+  SG sg(cfg(3));
+  constexpr uint64_t kSpace = 96;
+  std::array<std::atomic<int>, kSpace> net{};
+  run_threads(p.threads, [&](int t) {
+    lsg::common::Xoshiro256 rng(t * 101 + 13);
+    uint32_t m = static_cast<uint32_t>(t);
+    for (int i = 0; i < 4000; ++i) {
+      uint64_t k = rng.next_bounded(kSpace);
+      switch (rng.next_bounded(3)) {
+        case 0:
+          if (do_insert(sg, k, m)) net[k].fetch_add(1);
+          break;
+        case 1:
+          if (do_remove(sg, k, m)) net[k].fetch_sub(1);
+          break;
+        default:
+          (void)sg.contains_from(k, m, nullptr);
+      }
+    }
+  });
+  std::set<uint64_t> final_keys;
+  for (auto k : sg.abstract_set()) final_keys.insert(k);
+  for (uint64_t k = 0; k < kSpace; ++k) {
+    int n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << "key " << k;
+    EXPECT_EQ(final_keys.count(k), static_cast<size_t>(n)) << k;
+  }
+}
+
+TEST_P(SgConcurrent, InsertRemoveSameKeyPingPong) {
+  // Hammer one key from all threads: linearizability requires the final
+  // state to match the net count of successes.
+  const Params p = GetParam();
+  SG sg(cfg(2));
+  std::atomic<int> net{0};
+  run_threads(p.threads, [&](int t) {
+    lsg::common::Xoshiro256 rng(t + 999);
+    for (int i = 0; i < 3000; ++i) {
+      if (rng.next_bounded(2) == 0) {
+        if (do_insert(sg, 42, static_cast<uint32_t>(t))) net.fetch_add(1);
+      } else {
+        if (do_remove(sg, 42, static_cast<uint32_t>(t))) net.fetch_sub(1);
+      }
+    }
+  });
+  int n = net.load();
+  ASSERT_TRUE(n == 0 || n == 1) << n;
+  EXPECT_EQ(sg.contains_from(42, 0, nullptr), n == 1);
+}
+
+TEST_P(SgConcurrent, StructureIntegrityAfterChurn) {
+  const Params p = GetParam();
+  SG sg(cfg(3));
+  run_threads(p.threads, [&](int t) {
+    lsg::common::Xoshiro256 rng(t * 7 + 3);
+    uint32_t m = static_cast<uint32_t>(t);
+    for (int i = 0; i < 3000; ++i) {
+      uint64_t k = rng.next_bounded(128);
+      if (rng.next_bounded(2) == 0) {
+        do_insert(sg, k, m);
+      } else {
+        do_remove(sg, k, m);
+      }
+    }
+  });
+  // Quiescent invariants: every level list is sorted and only contains
+  // nodes whose membership suffix matches the list label.
+  for (unsigned lvl = 0; lvl <= 3; ++lvl) {
+    for (uint32_t label = 0; label < (1u << lvl); ++label) {
+      auto snap = sg.snapshot_level(lvl, label);
+      uint64_t prev = 0;
+      bool first = true;
+      for (auto& e : snap) {
+        EXPECT_EQ(lsg::common::suffix(e.membership, lvl), label)
+            << "level " << lvl;
+        if (!first) {
+          EXPECT_LE(prev, e.key) << "level " << lvl;  // dups only if marked
+        }
+        prev = e.key;
+        first = false;
+      }
+    }
+  }
+  // Every live (unmarked valid) key at an upper level must be live at
+  // level 0 too (skip lists share their bottom levels).
+  std::set<uint64_t> bottom_live;
+  for (auto k : sg.abstract_set()) bottom_live.insert(k);
+  for (uint32_t label = 0; label < 8; ++label) {
+    for (auto& e : sg.snapshot_level(3, label)) {
+      if (!e.marked && e.valid) {
+        EXPECT_TRUE(bottom_live.count(e.key)) << e.key;
+      }
+    }
+  }
+}
+
+TEST_P(SgConcurrent, ConcurrentPopMinUnique) {
+  const Params p = GetParam();
+  SG sg(cfg(3));
+  constexpr uint64_t kN = 1500;
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(do_insert(sg, k, k % 8));
+  std::vector<std::vector<uint64_t>> popped(p.threads);
+  run_threads(p.threads, [&](int t) {
+    uint64_t k, v;
+    while (sg.pop_min(k, v)) popped[t].push_back(k);
+  });
+  std::set<uint64_t> all;
+  size_t count = 0;
+  for (auto& vec : popped) {
+    EXPECT_TRUE(std::is_sorted(vec.begin(), vec.end()));
+    for (auto k : vec) {
+      all.insert(k);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, kN);
+  EXPECT_EQ(all.size(), kN);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, SgConcurrent,
+    ::testing::Values(Params{2, false, false, 0}, Params{4, false, false, 0},
+                      Params{8, false, false, 0}, Params{4, false, true, 0},
+                      Params{4, true, false, 0}, Params{8, true, false, 0},
+                      Params{4, true, false, 1},       // aggressive retiring
+                      Params{4, true, false, 100000},  // paper-ish commission
+                      Params{4, true, true, 1}),
+    [](const auto& info) {
+      const Params& p = info.param;
+      return std::to_string(p.threads) + "t_" + (p.lazy ? "lazy" : "nonlazy") +
+             (p.sparse ? "_sparse" : "") +
+             (p.lazy ? "_c" + std::to_string(p.commission) : "");
+    });
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Tests for the skip-list baselines: lock-free (with/without relink) and
+// the lazy lock-based variant, sequential and concurrent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "common/rng.hpp"
+#include "skiplist/lockfree_skiplist.hpp"
+#include "skiplist/locked_skiplist.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using LfSl = lsg::skiplist::LockFreeSkipList<uint64_t, uint64_t>;
+using LkSl = lsg::skiplist::LockedSkipList<uint64_t, uint64_t>;
+using lsg::test::RegistryFixture;
+using lsg::test::run_threads;
+
+struct SkipListTest : RegistryFixture {};
+
+TEST_F(SkipListTest, LockFreeSequentialBasics) {
+  LfSl s(8);
+  EXPECT_FALSE(s.contains(10));
+  EXPECT_TRUE(s.insert(10, 100));
+  EXPECT_FALSE(s.insert(10, 101));
+  EXPECT_TRUE(s.contains(10));
+  for (uint64_t k = 0; k < 200; k += 3) s.insert(k, k);
+  EXPECT_TRUE(s.remove(10));
+  EXPECT_FALSE(s.remove(10));
+  EXPECT_FALSE(s.contains(10));
+  auto keys = s.keys();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(std::set<uint64_t>(keys.begin(), keys.end()).size(), keys.size());
+}
+
+TEST_F(SkipListTest, LockFreeLevelsAreSubsetsOfBottom) {
+  LfSl s(6);
+  for (uint64_t k = 0; k < 500; ++k) s.insert(k, k);
+  auto bottom = s.snapshot_level(0);
+  std::set<uint64_t> bottom_keys;
+  for (auto& [k, m] : bottom) bottom_keys.insert(k);
+  for (unsigned lvl = 1; lvl <= 6; ++lvl) {
+    auto snap = s.snapshot_level(lvl);
+    uint64_t prev = 0;
+    bool first = true;
+    for (auto& [k, marked] : snap) {
+      EXPECT_TRUE(bottom_keys.count(k)) << lvl;
+      if (!first) EXPECT_LT(prev, k) << "level " << lvl << " not sorted";
+      prev = k;
+      first = false;
+    }
+    // Higher levels are sparser (statistically certain at these sizes).
+    if (lvl >= 2) {
+      EXPECT_LT(snap.size(), bottom.size());
+    }
+  }
+}
+
+TEST_F(SkipListTest, LockFreeRelinkPhysicallyUnlinks) {
+  LfSl s(6, /*relink=*/true);
+  for (uint64_t k = 0; k < 100; ++k) s.insert(k, k);
+  for (uint64_t k = 0; k < 100; k += 2) s.remove(k);
+  // Removed nodes were spliced out by the cleanup pass inside remove():
+  // the raw bottom level contains only live keys.
+  auto bottom = s.snapshot_level(0);
+  for (auto& [k, marked] : bottom) {
+    EXPECT_FALSE(marked) << k;
+    EXPECT_EQ(k % 2, 1u);
+  }
+  EXPECT_EQ(bottom.size(), 50u);
+}
+
+TEST_F(SkipListTest, NoRelinkVariantStillCorrect) {
+  LfSl s(6, /*relink=*/false);
+  for (uint64_t k = 0; k < 200; ++k) EXPECT_TRUE(s.insert(k, k));
+  for (uint64_t k = 0; k < 200; k += 2) EXPECT_TRUE(s.remove(k));
+  for (uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(s.contains(k), k % 2 == 1) << k;
+  }
+}
+
+TEST_F(SkipListTest, PopMinDrainsInOrder) {
+  LfSl s(8);
+  lsg::common::Xoshiro256 rng(5);
+  std::set<uint64_t> expect;
+  while (expect.size() < 200) {
+    uint64_t k = rng.next_bounded(100000);
+    if (s.insert(k, k)) expect.insert(k);
+  }
+  uint64_t prev = 0;
+  bool first = true;
+  uint64_t k, v;
+  size_t popped = 0;
+  while (s.pop_min(k, v)) {
+    EXPECT_TRUE(expect.count(k));
+    if (!first) EXPECT_GT(k, prev);
+    prev = k;
+    first = false;
+    ++popped;
+  }
+  EXPECT_EQ(popped, expect.size());
+  EXPECT_FALSE(s.pop_min(k, v));
+}
+
+TEST_F(SkipListTest, LockedSequentialBasics) {
+  LkSl s(8);
+  EXPECT_FALSE(s.contains(42));
+  EXPECT_TRUE(s.insert(42, 1));
+  EXPECT_FALSE(s.insert(42, 2));
+  EXPECT_TRUE(s.contains(42));
+  EXPECT_TRUE(s.remove(42));
+  EXPECT_FALSE(s.remove(42));
+  EXPECT_FALSE(s.contains(42));
+  for (uint64_t k = 0; k < 300; ++k) EXPECT_TRUE(s.insert(k, k));
+  auto keys = s.keys();
+  EXPECT_EQ(keys.size(), 300u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+template <class S>
+void churn_and_check(S& s, int T) {
+  constexpr uint64_t kSpace = 128;
+  std::array<std::atomic<int>, kSpace> net{};
+  run_threads(T, [&](int t) {
+    lsg::common::Xoshiro256 rng(t * 31 + 7);
+    for (int i = 0; i < 5000; ++i) {
+      uint64_t k = rng.next_bounded(kSpace);
+      switch (rng.next_bounded(3)) {
+        case 0:
+          if (s.insert(k, k)) net[k].fetch_add(1);
+          break;
+        case 1:
+          if (s.remove(k)) net[k].fetch_sub(1);
+          break;
+        default:
+          (void)s.contains(k);
+      }
+    }
+  });
+  std::set<uint64_t> final_keys;
+  for (auto k : s.keys()) final_keys.insert(k);
+  for (uint64_t k = 0; k < kSpace; ++k) {
+    int n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << "key " << k << " net " << n;
+    EXPECT_EQ(final_keys.count(k), static_cast<size_t>(n)) << k;
+  }
+}
+
+class SkipListConcurrent : public RegistryFixture,
+                           public ::testing::WithParamInterface<int> {};
+
+TEST_P(SkipListConcurrent, LockFreeChurn) {
+  LfSl s(7);
+  churn_and_check(s, GetParam());
+}
+
+TEST_P(SkipListConcurrent, LockFreeNoRelinkChurn) {
+  LfSl s(7, /*relink=*/false);
+  churn_and_check(s, GetParam());
+}
+
+TEST_P(SkipListConcurrent, LockedChurn) {
+  LkSl s(7);
+  churn_and_check(s, GetParam());
+}
+
+TEST_P(SkipListConcurrent, DisjointRangesNoInterference) {
+  LfSl s(10);
+  const int T = GetParam();
+  constexpr uint64_t kPer = 500;
+  run_threads(T, [&](int t) {
+    for (uint64_t i = 0; i < kPer; ++i) {
+      ASSERT_TRUE(s.insert(t * kPer + i, i));
+    }
+    for (uint64_t i = 0; i < kPer; i += 2) {
+      ASSERT_TRUE(s.remove(t * kPer + i));
+    }
+  });
+  EXPECT_EQ(s.keys().size(), T * kPer / 2);
+}
+
+TEST_P(SkipListConcurrent, ConcurrentPopMinNoDuplicates) {
+  LfSl s(10);
+  const int T = GetParam();
+  constexpr uint64_t kN = 2000;
+  for (uint64_t k = 0; k < kN; ++k) s.insert(k, k);
+  std::vector<std::vector<uint64_t>> popped(T);
+  run_threads(T, [&](int t) {
+    uint64_t k, v;
+    while (s.pop_min(k, v)) popped[t].push_back(k);
+  });
+  std::set<uint64_t> all;
+  size_t count = 0;
+  for (auto& vec : popped) {
+    // Each thread's pops are locally increasing.
+    EXPECT_TRUE(std::is_sorted(vec.begin(), vec.end()));
+    for (auto k : vec) {
+      all.insert(k);
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, kN);       // no duplicates
+  EXPECT_EQ(all.size(), kN);  // no losses
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SkipListConcurrent,
+                         ::testing::Values(2, 4, 8));
+
+}  // namespace

@@ -1,0 +1,169 @@
+// Tests for the instrumentation substrate: counters, locality attribution,
+// heatmaps, and the trace hook.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "numa/pinning.hpp"
+#include "stats/counters.hpp"
+#include "stats/heatmap.hpp"
+
+namespace {
+
+namespace stats = lsg::stats;
+using lsg::numa::ThreadRegistry;
+using lsg::numa::Topology;
+
+struct StatsTest : ::testing::Test {
+  void SetUp() override {
+    ThreadRegistry::configure(Topology::paper_machine());
+    ThreadRegistry::reset();
+    stats::sync_topology();
+    stats::disable_heatmaps();
+    stats::reset();
+  }
+};
+
+TEST_F(StatsTest, ReadsSplitByNumaNode) {
+  // Calling thread registers as 0 -> socket 0. Threads 0..47 are socket 0,
+  // 48.. are socket 1 on the paper machine.
+  stats::read_access(1);   // local (socket 0)
+  stats::read_access(47);  // local
+  stats::read_access(48);  // remote
+  stats::read_access(95);  // remote
+  auto t = stats::total();
+  EXPECT_EQ(t.local_reads, 2u);
+  EXPECT_EQ(t.remote_reads, 2u);
+}
+
+TEST_F(StatsTest, CasSplitAndSuccessRate) {
+  stats::cas_access(0, true);
+  stats::cas_access(0, false);
+  stats::cas_access(90, true);
+  auto t = stats::total();
+  EXPECT_EQ(t.local_cas, 2u);
+  EXPECT_EQ(t.remote_cas, 1u);
+  EXPECT_EQ(t.cas_success, 2u);
+  EXPECT_EQ(t.cas_failure, 1u);
+  EXPECT_NEAR(t.cas_success_rate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(StatsTest, InsertingNodeCasesAreExcluded) {
+  stats::cas_access(0, true, /*on_inserting_node=*/true);
+  auto t = stats::total();
+  EXPECT_EQ(t.local_cas + t.remote_cas, 0u);
+  EXPECT_EQ(t.cas_success + t.cas_failure, 0u);
+}
+
+TEST_F(StatsTest, ResetClears) {
+  stats::read_access(0);
+  stats::cas_access(0, true);
+  stats::op_done();
+  stats::search_begin();
+  stats::node_visited();
+  stats::reset();
+  auto t = stats::total();
+  EXPECT_EQ(t.local_reads + t.remote_reads, 0u);
+  EXPECT_EQ(t.operations, 0u);
+  EXPECT_EQ(t.searches, 0u);
+  EXPECT_EQ(t.nodes_traversed, 0u);
+}
+
+TEST_F(StatsTest, PerThreadAttribution) {
+  stats::read_access(0);
+  std::thread t([&] {
+    ThreadRegistry::register_self();
+    stats::forget_self();
+    stats::read_access(0);
+    stats::read_access(0);
+  });
+  t.join();
+  EXPECT_EQ(stats::of_thread(0).local_reads, 1u);
+  EXPECT_EQ(stats::of_thread(1).local_reads, 2u);
+}
+
+TEST_F(StatsTest, HeatmapRecordsCells) {
+  stats::enable_heatmaps(4);
+  stats::read_access(2);
+  stats::read_access(2);
+  stats::cas_access(3, true);
+  auto* rh = stats::read_heatmap();
+  auto* ch = stats::cas_heatmap();
+  ASSERT_NE(rh, nullptr);
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(rh->at(0, 2), 2u);
+  EXPECT_EQ(ch->at(0, 3), 1u);
+  EXPECT_EQ(rh->total(), 2u);
+  stats::disable_heatmaps();
+  EXPECT_EQ(stats::read_heatmap(), nullptr);
+}
+
+TEST_F(StatsTest, HeatmapIgnoresOutOfRangeThreads) {
+  stats::enable_heatmaps(2);
+  stats::read_access(5);  // owner beyond heatmap size: counters yes, map no
+  EXPECT_EQ(stats::read_heatmap()->total(), 0u);
+  EXPECT_EQ(stats::total().local_reads + stats::total().remote_reads, 1u);
+  stats::disable_heatmaps();
+}
+
+TEST(Heatmap, LocalityMetric) {
+  lsg::stats::Heatmap h(4);
+  std::vector<int> node{0, 0, 1, 1};
+  h.inc(0, 1);  // local
+  h.inc(0, 1);  // local
+  h.inc(0, 2);  // remote
+  h.inc(3, 2);  // local
+  EXPECT_DOUBLE_EQ(h.locality(node), 3.0 / 4.0);
+}
+
+TEST(Heatmap, MeanAccessDistance) {
+  lsg::stats::Heatmap h(2);
+  std::vector<int> node{0, 1};
+  std::vector<std::vector<int>> dist{{10, 21}, {21, 10}};
+  h.inc(0, 0);  // d=10
+  h.inc(0, 1);  // d=21
+  EXPECT_DOUBLE_EQ(h.mean_access_distance(node, dist), 15.5);
+}
+
+TEST(Heatmap, ByNodeAggregation) {
+  lsg::stats::Heatmap h(4);
+  std::vector<int> node{0, 0, 1, 1};
+  h.inc(0, 0);
+  h.inc(1, 2);
+  h.inc(2, 3);
+  h.inc(3, 0);
+  auto agg = h.by_node(node, 2);
+  EXPECT_EQ(agg[0][0], 1u);
+  EXPECT_EQ(agg[0][1], 1u);
+  EXPECT_EQ(agg[1][1], 1u);
+  EXPECT_EQ(agg[1][0], 1u);
+}
+
+TEST(Heatmap, CsvShape) {
+  lsg::stats::Heatmap h(2);
+  h.inc(1, 0);
+  std::string csv = h.to_csv();
+  EXPECT_NE(csv.find("thread,0,1"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,0"), std::string::npos);
+}
+
+TEST(Heatmap, AsciiNonEmpty) {
+  lsg::stats::Heatmap h(8);
+  for (int i = 0; i < 8; ++i) h.inc(i, i);
+  std::string art = h.to_ascii(8);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 8);
+  EXPECT_NE(art.find('@'), std::string::npos);  // diagonal saturates
+}
+
+TEST_F(StatsTest, TraceHookReceivesAddresses) {
+  static const void* last;
+  last = nullptr;
+  stats::detail::g_trace.store(
+      [](const void* p) { last = p; });
+  int x;
+  stats::read_access(0, &x);
+  EXPECT_EQ(last, &x);
+  stats::detail::g_trace.store(nullptr);
+}
+
+}  // namespace

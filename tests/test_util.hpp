@@ -1,0 +1,69 @@
+// Shared helpers for the concurrent-structure test suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "numa/pinning.hpp"
+#include "stats/counters.hpp"
+#include "stats/heatmap.hpp"
+
+namespace lsg::test {
+
+/// Fixture that gives every test a clean thread registry on the paper
+/// topology and clean instrumentation counters.
+struct RegistryFixture : ::testing::Test {
+  void SetUp() override {
+    lsg::numa::ThreadRegistry::configure(
+        lsg::numa::Topology::paper_machine());
+    lsg::numa::ThreadRegistry::reset();
+    lsg::stats::sync_topology();
+    lsg::stats::disable_heatmaps();
+    lsg::stats::reset();
+  }
+};
+
+/// Run `fn(thread_index)` on `threads` registered threads with a start
+/// barrier; joins before returning. Thread registration order follows the
+/// spawn index so logical ids are deterministic.
+/// `reset_registry` recycles logical ids (they are a bounded resource) and
+/// must be true for tests that call run_threads many times — but it MUST be
+/// false when live background threads (baseline maintenance) already hold
+/// ids, or fresh workers would collide with them.
+inline void run_threads(int threads, const std::function<void(int)>& fn,
+                        bool reset_registry = true) {
+  if (reset_registry) {
+    lsg::numa::ThreadRegistry::reset();
+    lsg::stats::forget_self();
+  }
+  // Sequence registration on a private turn counter (NOT the global
+  // registry count: background maintenance threads may register
+  // concurrently and would deadlock a global-count spin).
+  std::atomic<int> turn{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> ts;
+  ts.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    ts.emplace_back([&, i] {
+      while (turn.load(std::memory_order_acquire) != i) {
+        std::this_thread::yield();
+      }
+      lsg::numa::ThreadRegistry::register_self();
+      lsg::stats::forget_self();
+      turn.store(i + 1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      fn(i);
+    });
+  }
+  while (turn.load(std::memory_order_acquire) != threads) {
+    std::this_thread::yield();
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& t : ts) t.join();
+}
+
+}  // namespace lsg::test

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""ASCII-plot throughput series from the benches' LSG_CSV output.
+
+Usage:
+    LSG_CSV=fig2.csv ./build/bench/bench_fig2_hc_wh
+    tools/plot_results.py fig2.csv [--metric ops_per_ms]
+
+Renders one lane per algorithm (thread count on the x axis, bar length
+proportional to the metric), which is enough to eyeball the crossovers the
+paper's figures show without a plotting stack.
+"""
+
+import argparse
+import csv
+import sys
+from collections import defaultdict
+
+
+def load(path, metric):
+    series = defaultdict(list)  # algorithm -> [(threads, value)]
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            try:
+                series[row["algorithm"]].append(
+                    (int(row["threads"]), float(row[metric]))
+                )
+            except (KeyError, ValueError) as e:
+                sys.exit(f"bad row in {path}: {e}")
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def render(series, metric, width=60):
+    peak = max(v for pts in series.values() for _, v in pts)
+    if peak <= 0:
+        sys.exit("nothing to plot")
+    print(f"{metric} (full bar = {peak:.1f})")
+    for algo in sorted(series):
+        print(f"\n{algo}")
+        for threads, value in series[algo]:
+            bar = "#" * max(1, round(width * value / peak))
+            print(f"  {threads:>4} | {bar} {value:.1f}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("csv_path")
+    ap.add_argument("--metric", default="ops_per_ms")
+    args = ap.parse_args()
+    render(load(args.csv_path, args.metric), args.metric)
+
+
+if __name__ == "__main__":
+    main()
