@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_commission.dir/bench_ablation_commission.cpp.o"
+  "CMakeFiles/bench_ablation_commission.dir/bench_ablation_commission.cpp.o.d"
+  "bench_ablation_commission"
+  "bench_ablation_commission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_commission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hashtable.dir/bench_ablation_hashtable.cpp.o"
+  "CMakeFiles/bench_ablation_hashtable.dir/bench_ablation_hashtable.cpp.o.d"
+  "bench_ablation_hashtable"
+  "bench_ablation_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_relink.dir/bench_ablation_relink.cpp.o"
+  "CMakeFiles/bench_ablation_relink.dir/bench_ablation_relink.cpp.o.d"
+  "bench_ablation_relink"
+  "bench_ablation_relink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_relink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

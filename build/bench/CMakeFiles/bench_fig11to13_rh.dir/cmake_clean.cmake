@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11to13_rh.dir/bench_fig11to13_rh.cpp.o"
+  "CMakeFiles/bench_fig11to13_rh.dir/bench_fig11to13_rh.cpp.o.d"
+  "bench_fig11to13_rh"
+  "bench_fig11to13_rh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11to13_rh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14to17_read_heatmaps.dir/bench_fig14to17_read_heatmaps.cpp.o"
+  "CMakeFiles/bench_fig14to17_read_heatmaps.dir/bench_fig14to17_read_heatmaps.cpp.o.d"
+  "bench_fig14to17_read_heatmaps"
+  "bench_fig14to17_read_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14to17_read_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

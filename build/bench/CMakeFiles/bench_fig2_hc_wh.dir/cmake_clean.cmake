@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_hc_wh.dir/bench_fig2_hc_wh.cpp.o"
+  "CMakeFiles/bench_fig2_hc_wh.dir/bench_fig2_hc_wh.cpp.o.d"
+  "bench_fig2_hc_wh"
+  "bench_fig2_hc_wh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_hc_wh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_lc_wh.dir/bench_fig4_lc_wh.cpp.o"
+  "CMakeFiles/bench_fig4_lc_wh.dir/bench_fig4_lc_wh.cpp.o.d"
+  "bench_fig4_lc_wh"
+  "bench_fig4_lc_wh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lc_wh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

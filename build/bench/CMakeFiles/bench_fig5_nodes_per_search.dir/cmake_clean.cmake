@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_nodes_per_search.dir/bench_fig5_nodes_per_search.cpp.o"
+  "CMakeFiles/bench_fig5_nodes_per_search.dir/bench_fig5_nodes_per_search.cpp.o.d"
+  "bench_fig5_nodes_per_search"
+  "bench_fig5_nodes_per_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nodes_per_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

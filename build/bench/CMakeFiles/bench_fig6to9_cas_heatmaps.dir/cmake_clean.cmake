@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6to9_cas_heatmaps.dir/bench_fig6to9_cas_heatmaps.cpp.o"
+  "CMakeFiles/bench_fig6to9_cas_heatmaps.dir/bench_fig6to9_cas_heatmaps.cpp.o.d"
+  "bench_fig6to9_cas_heatmaps"
+  "bench_fig6to9_cas_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6to9_cas_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_locality.dir/bench_table1_locality.cpp.o"
+  "CMakeFiles/bench_table1_locality.dir/bench_table1_locality.cpp.o.d"
+  "bench_table1_locality"
+  "bench_table1_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

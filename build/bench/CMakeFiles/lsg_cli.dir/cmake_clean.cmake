@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsg_cli.dir/lsg_cli.cpp.o"
+  "CMakeFiles/lsg_cli.dir/lsg_cli.cpp.o.d"
+  "lsg_cli"
+  "lsg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

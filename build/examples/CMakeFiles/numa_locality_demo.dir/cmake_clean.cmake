@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_locality_demo.dir/numa_locality_demo.cpp.o"
+  "CMakeFiles/numa_locality_demo.dir/numa_locality_demo.cpp.o.d"
+  "numa_locality_demo"
+  "numa_locality_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_locality_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_scheduler.dir/priority_scheduler.cpp.o"
+  "CMakeFiles/priority_scheduler.dir/priority_scheduler.cpp.o.d"
+  "priority_scheduler"
+  "priority_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_dump.dir/structure_dump.cpp.o"
+  "CMakeFiles/structure_dump.dir/structure_dump.cpp.o.d"
+  "structure_dump"
+  "structure_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

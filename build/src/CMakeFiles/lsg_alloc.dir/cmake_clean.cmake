@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsg_alloc.dir/alloc/arena.cpp.o"
+  "CMakeFiles/lsg_alloc.dir/alloc/arena.cpp.o.d"
+  "CMakeFiles/lsg_alloc.dir/alloc/epoch.cpp.o"
+  "CMakeFiles/lsg_alloc.dir/alloc/epoch.cpp.o.d"
+  "liblsg_alloc.a"
+  "liblsg_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsg_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

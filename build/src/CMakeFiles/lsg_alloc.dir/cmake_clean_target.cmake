@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsg_alloc.a"
+)

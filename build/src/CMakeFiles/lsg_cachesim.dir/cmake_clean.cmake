@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsg_cachesim.dir/cachesim/cache.cpp.o"
+  "CMakeFiles/lsg_cachesim.dir/cachesim/cache.cpp.o.d"
+  "liblsg_cachesim.a"
+  "liblsg_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsg_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lsg_cachesim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/cli.cpp" "src/CMakeFiles/lsg_harness.dir/harness/cli.cpp.o" "gcc" "src/CMakeFiles/lsg_harness.dir/harness/cli.cpp.o.d"
+  "/root/repo/src/harness/driver.cpp" "src/CMakeFiles/lsg_harness.dir/harness/driver.cpp.o" "gcc" "src/CMakeFiles/lsg_harness.dir/harness/driver.cpp.o.d"
+  "/root/repo/src/harness/registry.cpp" "src/CMakeFiles/lsg_harness.dir/harness/registry.cpp.o" "gcc" "src/CMakeFiles/lsg_harness.dir/harness/registry.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/lsg_harness.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/lsg_harness.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/workload.cpp" "src/CMakeFiles/lsg_harness.dir/harness/workload.cpp.o" "gcc" "src/CMakeFiles/lsg_harness.dir/harness/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lsg_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lsg_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lsg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lsg_numa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsg_harness.dir/harness/cli.cpp.o"
+  "CMakeFiles/lsg_harness.dir/harness/cli.cpp.o.d"
+  "CMakeFiles/lsg_harness.dir/harness/driver.cpp.o"
+  "CMakeFiles/lsg_harness.dir/harness/driver.cpp.o.d"
+  "CMakeFiles/lsg_harness.dir/harness/registry.cpp.o"
+  "CMakeFiles/lsg_harness.dir/harness/registry.cpp.o.d"
+  "CMakeFiles/lsg_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/lsg_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/lsg_harness.dir/harness/workload.cpp.o"
+  "CMakeFiles/lsg_harness.dir/harness/workload.cpp.o.d"
+  "liblsg_harness.a"
+  "liblsg_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsg_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsg_numa.dir/numa/membership.cpp.o"
+  "CMakeFiles/lsg_numa.dir/numa/membership.cpp.o.d"
+  "CMakeFiles/lsg_numa.dir/numa/pinning.cpp.o"
+  "CMakeFiles/lsg_numa.dir/numa/pinning.cpp.o.d"
+  "CMakeFiles/lsg_numa.dir/numa/topology.cpp.o"
+  "CMakeFiles/lsg_numa.dir/numa/topology.cpp.o.d"
+  "liblsg_numa.a"
+  "liblsg_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsg_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

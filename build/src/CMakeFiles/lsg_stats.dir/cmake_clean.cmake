@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsg_stats.dir/stats/counters.cpp.o"
+  "CMakeFiles/lsg_stats.dir/stats/counters.cpp.o.d"
+  "CMakeFiles/lsg_stats.dir/stats/heatmap.cpp.o"
+  "CMakeFiles/lsg_stats.dir/stats/heatmap.cpp.o.d"
+  "liblsg_stats.a"
+  "liblsg_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsg_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

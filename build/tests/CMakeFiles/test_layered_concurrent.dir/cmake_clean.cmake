@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layered_concurrent.dir/test_layered_concurrent.cpp.o"
+  "CMakeFiles/test_layered_concurrent.dir/test_layered_concurrent.cpp.o.d"
+  "test_layered_concurrent"
+  "test_layered_concurrent.pdb"
+  "test_layered_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layered_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

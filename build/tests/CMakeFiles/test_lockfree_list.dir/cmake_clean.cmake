@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lockfree_list.dir/test_lockfree_list.cpp.o"
+  "CMakeFiles/test_lockfree_list.dir/test_lockfree_list.cpp.o.d"
+  "test_lockfree_list"
+  "test_lockfree_list.pdb"
+  "test_lockfree_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lockfree_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

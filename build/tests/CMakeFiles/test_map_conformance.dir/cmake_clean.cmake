@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_map_conformance.dir/test_map_conformance.cpp.o"
+  "CMakeFiles/test_map_conformance.dir/test_map_conformance.cpp.o.d"
+  "test_map_conformance"
+  "test_map_conformance.pdb"
+  "test_map_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_map_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

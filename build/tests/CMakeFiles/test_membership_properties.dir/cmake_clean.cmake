@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_membership_properties.dir/test_membership_properties.cpp.o"
+  "CMakeFiles/test_membership_properties.dir/test_membership_properties.cpp.o.d"
+  "test_membership_properties"
+  "test_membership_properties.pdb"
+  "test_membership_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_membership_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pqueue.dir/test_pqueue.cpp.o"
+  "CMakeFiles/test_pqueue.dir/test_pqueue.cpp.o.d"
+  "test_pqueue"
+  "test_pqueue.pdb"
+  "test_pqueue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_robin_hood.cpp" "tests/CMakeFiles/test_robin_hood.dir/test_robin_hood.cpp.o" "gcc" "tests/CMakeFiles/test_robin_hood.dir/test_robin_hood.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lsg_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lsg_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lsg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lsg_numa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lsg_cachesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robin_hood.dir/test_robin_hood.cpp.o"
+  "CMakeFiles/test_robin_hood.dir/test_robin_hood.cpp.o.d"
+  "test_robin_hood"
+  "test_robin_hood.pdb"
+  "test_robin_hood[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robin_hood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_robin_hood.
+# This may be replaced when dependencies are built.

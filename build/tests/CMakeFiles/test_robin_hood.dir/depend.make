@@ -1,0 +1,2 @@
+# Empty dependencies file for test_robin_hood.
+# This may be replaced when dependencies are built.

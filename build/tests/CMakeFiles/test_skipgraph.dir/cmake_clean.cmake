@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skipgraph.dir/test_skipgraph.cpp.o"
+  "CMakeFiles/test_skipgraph.dir/test_skipgraph.cpp.o.d"
+  "test_skipgraph"
+  "test_skipgraph.pdb"
+  "test_skipgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skipgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

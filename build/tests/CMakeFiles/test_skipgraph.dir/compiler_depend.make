@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_skipgraph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skipgraph_concurrent.dir/test_skipgraph_concurrent.cpp.o"
+  "CMakeFiles/test_skipgraph_concurrent.dir/test_skipgraph_concurrent.cpp.o.d"
+  "test_skipgraph_concurrent"
+  "test_skipgraph_concurrent.pdb"
+  "test_skipgraph_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skipgraph_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skiplists.dir/test_skiplists.cpp.o"
+  "CMakeFiles/test_skiplists.dir/test_skiplists.cpp.o.d"
+  "test_skiplists"
+  "test_skiplists.pdb"
+  "test_skiplists[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skiplists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_numa[1]_include.cmake")
+include("/root/repo/build/tests/test_alloc[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_cachesim[1]_include.cmake")
+include("/root/repo/build/tests/test_local_maps[1]_include.cmake")
+include("/root/repo/build/tests/test_robin_hood[1]_include.cmake")
+include("/root/repo/build/tests/test_lockfree_list[1]_include.cmake")
+include("/root/repo/build/tests/test_skiplists[1]_include.cmake")
+include("/root/repo/build/tests/test_skipgraph[1]_include.cmake")
+include("/root/repo/build/tests/test_skipgraph_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_layered[1]_include.cmake")
+include("/root/repo/build/tests/test_layered_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_map_conformance[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_pqueue[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_linearizability[1]_include.cmake")
+include("/root/repo/build/tests/test_membership_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_adversarial[1]_include.cmake")
