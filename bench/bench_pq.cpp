@@ -10,6 +10,8 @@
 #include "common/tsc.hpp"
 #include "harness/report.hpp"
 #include "numa/pinning.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "pqueue/layered_pq.hpp"
 #include "pqueue/skiplist_pq.hpp"
 
@@ -20,6 +22,9 @@ double run_pq_trial(Q& q, int threads, int duration_ms, uint64_t key_space) {
   lsg::numa::ThreadRegistry::reset();
   lsg::stats::sync_topology();
   lsg::stats::reset();
+  const bool obs_on = lsg::obs::env_enabled();
+  lsg::obs::set_enabled(false);
+  lsg::obs::reset();
   std::atomic<bool> start{false}, stop{false};
   std::atomic<uint64_t> ops{0};
   std::vector<std::thread> workers;
@@ -30,6 +35,7 @@ double run_pq_trial(Q& q, int threads, int duration_ms, uint64_t key_space) {
       }
       lsg::numa::ThreadRegistry::register_self();
       lsg::stats::forget_self();
+      lsg::obs::forget_self();
       lsg::common::Xoshiro256 rng(i * 31 + 5);
       // Preload a slice.
       for (int n = 0; n < 500; ++n) q.push(rng.next_bounded(key_space), n);
@@ -40,10 +46,13 @@ double run_pq_trial(Q& q, int threads, int duration_ms, uint64_t key_space) {
       uint64_t k, v;
       while (!stop.load(std::memory_order_relaxed)) {
         for (int b = 0; b < 32; ++b) {
+          uint64_t ts = lsg::obs::op_begin();
           if (rng.next_bounded(2) == 0) {
             q.push(rng.next_bounded(key_space), b);
+            lsg::obs::op_end(lsg::obs::Op::kPqPush, ts);
           } else {
             q.pop_min(k, v);
+            lsg::obs::op_end(lsg::obs::Op::kPqPop, ts);
           }
           ++local;
         }
@@ -51,13 +60,36 @@ double run_pq_trial(Q& q, int threads, int duration_ms, uint64_t key_space) {
       ops.fetch_add(local, std::memory_order_relaxed);
     });
   }
+  if (obs_on) lsg::obs::set_enabled(true);
   uint64_t t0 = lsg::common::now_ms();
   start.store(true, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
   stop.store(true, std::memory_order_relaxed);
   for (auto& w : workers) w.join();
   uint64_t elapsed = lsg::common::now_ms() - t0;
+  lsg::obs::set_enabled(false);
   return static_cast<double>(ops.load()) / (elapsed ? elapsed : 1);
+}
+
+/// With LSG_OBS=1, export the push/pop latency histograms recorded by the
+/// last trial and print the headline percentiles.
+void export_pq_obs(const char* queue_name, int threads) {
+  if (!lsg::obs::env_enabled()) return;
+  lsg::obs::Summary s = lsg::obs::summarize();
+  std::string dir = lsg::obs::artifact_dir();
+  if (lsg::obs::ensure_dir(dir)) {
+    std::string id = lsg::obs::next_trial_id(queue_name, threads);
+    std::string path = dir + "/" + id + "_hist.json";
+    lsg::obs::write_histograms_json(path);
+    std::printf("  telemetry: %s\n", path.c_str());
+  }
+  for (lsg::obs::Op op : {lsg::obs::Op::kPqPush, lsg::obs::Op::kPqPop}) {
+    const lsg::obs::OpSummary& o = s.ops[static_cast<size_t>(op)];
+    if (o.count == 0) continue;
+    std::printf("  %-8s p50 %.2fus  p99 %.2fus  max %.2fus (n=%llu)\n",
+                lsg::obs::op_name(op), o.p50_us, o.p99_us, o.max_us,
+                static_cast<unsigned long long>(o.count));
+  }
 }
 
 }  // namespace
@@ -76,6 +108,7 @@ int main() {
       lsg::pqueue::SkipListPQ<uint64_t, uint64_t> q(16);
       double r = run_pq_trial(q, threads, duration, key_space);
       std::printf("%-16s %8d %12.1f\n", "skiplist_pq", threads, r);
+      export_pq_obs("skiplist_pq", threads);
     }
     {
       lsg::numa::ThreadRegistry::reset();
@@ -85,6 +118,7 @@ int main() {
       lsg::pqueue::LayeredPQ<uint64_t, uint64_t> q(o);
       double r = run_pq_trial(q, threads, duration, key_space);
       std::printf("%-16s %8d %12.1f\n", "layered_pq", threads, r);
+      export_pq_obs("layered_pq", threads);
     }
     {
       // Relaxed consumer: pop_relaxed instead of exact deleteMin.
@@ -100,6 +134,7 @@ int main() {
       } view(o);
       double r = run_pq_trial(view, threads, duration, key_space);
       std::printf("%-16s %8d %12.1f\n", "layered_pq_relax", threads, r);
+      export_pq_obs("layered_pq_relax", threads);
     }
     std::fflush(stdout);
   }

@@ -32,10 +32,15 @@ int main() {
     std::printf("%-8d", threads);
     for (const char* algo : algos) {
       lsg::cachesim::ThreadLocalHierarchies::reset();
-      lsg::cachesim::ThreadLocalHierarchies::install();
       TrialConfig cfg = base;
       cfg.algorithm = algo;
       cfg.threads = threads;
+      // stats::reset() clears the trace hook at each trial phase boundary,
+      // so install at measured-phase start: preload accesses stay out of
+      // the cache model, matching the paper's measurement window.
+      cfg.on_measure_start = [] {
+        lsg::cachesim::ThreadLocalHierarchies::install();
+      };
       TrialResult r = run_trial(cfg);
       lsg::cachesim::ThreadLocalHierarchies::uninstall();
       auto agg = lsg::cachesim::ThreadLocalHierarchies::aggregate();

@@ -21,6 +21,8 @@ inline int run_throughput_figure(const std::string& figure,
   cfg.runs = bench_runs();
   print_banner(figure, cfg);
   print_throughput_header();
+  // LSG_OBS=1 makes every trial below export telemetry artifacts (latency
+  // histograms, timeline, trials.jsonl) via the driver — see EXPERIMENTS.md.
   // LSG_CSV=path appends machine-readable rows for plotting scripts.
   const char* csv_path = std::getenv("LSG_CSV");
   std::ofstream csv;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/telemetry.hpp"
+
 namespace lsg::alloc {
 
 void* Arena::allocate(size_t bytes, size_t align) {
@@ -27,6 +29,7 @@ Arena::Chunk* Arena::new_chunk(size_t min_bytes) {
   auto chunk = std::make_unique<Chunk>();
   chunk->cap = min_bytes;
   chunk->mem = std::make_unique<std::byte[]>(min_bytes);
+  lsg::obs::event(lsg::obs::Event::kChunkAlloc);
   Chunk* raw = chunk.get();
   std::lock_guard lock(mutex_);
   chunks_.push_back(std::move(chunk));

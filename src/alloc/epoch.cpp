@@ -1,5 +1,7 @@
 #include "alloc/epoch.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace lsg::alloc {
 
 EpochReclaimer::~EpochReclaimer() { drain_all(); }
@@ -25,6 +27,7 @@ void EpochReclaimer::retire(void* obj, void (*deleter)(void*)) {
   ThreadState& st = self();
   uint64_t e = global_epoch_.load(std::memory_order_acquire);
   st.limbo[e % kEpochs].push_back(Retired{obj, deleter});
+  lsg::obs::event(lsg::obs::Event::kEpochRetire);
   if (++st.since_scan >= kScanPeriod) {
     st.since_scan = 0;
     try_reclaim();
@@ -44,8 +47,12 @@ void EpochReclaimer::try_reclaim() {
   }
   // Epoch advanced from e to e+1: anything retired in epoch e-1 can no
   // longer be observed (observers are in e or e+1). Free our own slot.
+  lsg::obs::event(lsg::obs::Event::kEpochAdvance);
   ThreadState& st = self();
   auto& bucket = st.limbo[(e + kEpochs - 1) % kEpochs];
+  if (!bucket.empty()) {
+    lsg::obs::event(lsg::obs::Event::kEpochFree, bucket.size());
+  }
   for (const Retired& r : bucket) r.deleter(r.obj);
   bucket.clear();
 }
@@ -53,6 +60,9 @@ void EpochReclaimer::try_reclaim() {
 void EpochReclaimer::drain_all() {
   for (auto& padded : threads_) {
     for (auto& bucket : padded.value.limbo) {
+      if (!bucket.empty()) {
+        lsg::obs::event(lsg::obs::Event::kEpochFree, bucket.size());
+      }
       for (const Retired& r : bucket) r.deleter(r.obj);
       bucket.clear();
     }

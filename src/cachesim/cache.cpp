@@ -112,11 +112,11 @@ void trace_hook(const void* addr) {
 }  // namespace
 
 void ThreadLocalHierarchies::install() {
-  lsg::stats::detail::g_trace.store(&trace_hook, std::memory_order_release);
+  lsg::stats::set_trace_hook(&trace_hook);
 }
 
 void ThreadLocalHierarchies::uninstall() {
-  lsg::stats::detail::g_trace.store(nullptr, std::memory_order_release);
+  lsg::stats::set_trace_hook(nullptr);
 }
 
 HierarchyStats ThreadLocalHierarchies::aggregate() {

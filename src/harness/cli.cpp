@@ -3,10 +3,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "harness/driver.hpp"
+#include "obs/export.hpp"
 #include "harness/registry.hpp"
 #include "harness/report.hpp"
 #include "stats/heatmap.hpp"
@@ -45,6 +47,11 @@ std::string cli_usage() {
       "  -H        collect + print heatmaps\n"
       "  -L        print locality metrics\n"
       "  --csv F   append a CSV row per trial to F\n"
+      "  --obs            collect telemetry (latency histograms, timeline,\n"
+      "                   maintenance events; also via LSG_OBS=1)\n"
+      "  --obs-dir D      telemetry artifact dir  [LSG_OBS_DIR or obs_out]\n"
+      "  --obs-interval M timeline sample period, ms  [10]\n"
+      "  --json F         append the JSON trial record to F\n"
       "  -l        list algorithms\n"
       "  -h        this help\n";
 }
@@ -81,6 +88,34 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         return o;
       }
       o.csv_path = v;
+    } else if (arg == "--json") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--json requires a path";
+        return o;
+      }
+      o.json_path = v;
+    } else if (arg == "--obs") {
+      o.cfg.collect_obs = true;
+    } else if (arg == "--obs-dir") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--obs-dir requires a path";
+        return o;
+      }
+      o.cfg.obs_dir = v;
+    } else if (arg == "--obs-interval") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--obs-interval requires a value in ms";
+        return o;
+      }
+      long n = std::strtol(v, nullptr, 10);
+      if (n < 1) {
+        o.error = "--obs-interval must be positive";
+        return o;
+      }
+      o.cfg.obs_interval_ms = static_cast<int>(n);
     } else if (arg == "-t" || arg == "-d" || arg == "-u" || arg == "-i" ||
                arg == "-s" || arg == "-n" || arg == "-r") {
       const char* v = need(i++);
@@ -176,6 +211,17 @@ int run_cli(int argc, const char* const* argv) {
   if (o.cfg.collect_heatmaps) {
     print_heatmap_report(o.cfg.algorithm, /*cas_map=*/true, o.cfg);
     print_heatmap_report(o.cfg.algorithm, /*cas_map=*/false, o.cfg);
+  }
+  print_obs_summary(r);  // no-op unless the trial ran with telemetry
+  if (!o.json_path.empty()) {
+    auto parent = std::filesystem::path(o.json_path).parent_path();
+    if (!parent.empty()) lsg::obs::ensure_dir(parent.string());
+    if (lsg::obs::append_jsonl(o.json_path, to_json(r))) {
+      std::printf("appended JSON record to %s\n", o.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", o.json_path.c_str());
+      return 1;
+    }
   }
   if (!o.csv_path.empty()) {
     bool fresh = !static_cast<bool>(std::ifstream(o.csv_path));

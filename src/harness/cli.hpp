@@ -15,6 +15,7 @@ struct CliOptions {
   bool help = false;
   bool locality_report = false;  // print the Tbl.-1-style metrics too
   std::string csv_path;          // append result rows to this CSV
+  std::string json_path;         // append the JSON trial record here too
   std::string error;             // non-empty => parse failure
 };
 
@@ -30,6 +31,11 @@ struct CliOptions {
 ///   -H        collect and print heatmaps
 ///   -L        print locality metrics (local/remote reads & CAS, CAS rate)
 ///   --csv F   append a CSV row per trial to file F
+///   --obs            collect telemetry (same as LSG_OBS=1): latency
+///                    histograms, timeline, maintenance events + artifacts
+///   --obs-dir D      artifact directory        [LSG_OBS_DIR or obs_out]
+///   --obs-interval M timeline sample period ms [10]
+///   --json F         also append the JSON trial record to file F
 ///   -l        list algorithms;  -h  help
 CliOptions parse_cli(int argc, const char* const* argv);
 

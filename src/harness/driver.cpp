@@ -1,13 +1,18 @@
 #include "harness/driver.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/tsc.hpp"
 #include "harness/registry.hpp"
+#include "harness/report.hpp"
 #include "numa/pinning.hpp"
+#include "obs/export.hpp"
+#include "obs/timeline.hpp"
 #include "stats/heatmap.hpp"
 
 namespace lsg::harness {
@@ -36,6 +41,8 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   lsg::numa::ThreadRegistry::configure(cfg.topology);
   lsg::stats::sync_topology();
   lsg::stats::reset();
+  lsg::obs::set_enabled(false);
+  lsg::obs::reset();
 
   const int T = cfg.threads;
   std::atomic<IMap*> shared_map{nullptr};
@@ -60,6 +67,7 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
       }
       lsg::numa::ThreadRegistry::register_self();
       lsg::stats::forget_self();
+      lsg::obs::forget_self();
       lsg::numa::ThreadRegistry::pin_self_if_possible();
       ready.fetch_add(1);
 
@@ -97,19 +105,24 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
         for (int batch = 0; batch < 32; ++batch) {
           ThreadWorkload::Op op = wl.next();
           bool ok = false;
+          // op_begin returns 0 (and op_end no-ops) unless obs is recording.
+          uint64_t ts = lsg::obs::op_begin();
           switch (op.kind) {
             case ThreadWorkload::Kind::kInsert:
               ok = map->insert(op.key, op.key);
+              lsg::obs::op_end(lsg::obs::Op::kInsert, ts);
               ++t.attempted_updates;
               if (ok) ++t.succ_inserts;
               break;
             case ThreadWorkload::Kind::kRemove:
               ok = map->remove(op.key);
+              lsg::obs::op_end(lsg::obs::Op::kRemove, ts);
               ++t.attempted_updates;
               if (ok) ++t.succ_removes;
               break;
             case ThreadWorkload::Kind::kContains:
               ok = map->contains(op.key);
+              lsg::obs::op_end(lsg::obs::Op::kContains, ts);
               ++t.contains_ops;
               break;
           }
@@ -134,6 +147,17 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   // preloading).
   lsg::stats::reset();
   if (cfg.collect_heatmaps) lsg::stats::enable_heatmaps(T);
+  const bool obs_on = cfg.collect_obs || lsg::obs::env_enabled();
+  lsg::obs::TimelineSampler sampler(
+      lsg::obs::TimelineOptions{cfg.obs_interval_ms, /*capacity=*/4096});
+  if (obs_on) {
+    lsg::obs::reset();
+    lsg::obs::set_enabled(true);
+    sampler.start();
+  }
+  // stats::reset() clears trial-scoped hooks (e.g. the cachesim trace
+  // hook); benches reinstall theirs here, just before the clock starts.
+  if (cfg.on_measure_start) cfg.on_measure_start();
 
   auto t0 = clock::now();
   start.store(true, std::memory_order_release);
@@ -141,6 +165,10 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   stop.store(true, std::memory_order_relaxed);
   for (auto& w : workers) w.join();
   auto t1 = clock::now();
+  if (obs_on) {
+    sampler.stop();
+    lsg::obs::set_enabled(false);
+  }
 
   TrialResult r;
   r.algorithm = cfg.algorithm;
@@ -169,6 +197,26 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   r.remote_cas_per_op = r.counters.remote_cas / ops;
   r.cas_success_rate = r.counters.cas_success_rate();
   r.nodes_per_op = r.counters.nodes_traversed / ops;
+  r.topology = cfg.topology.describe();
+
+  if (obs_on) {
+    r.obs = lsg::obs::summarize();
+    std::vector<lsg::obs::TimelineSample> samples = sampler.samples();
+    r.obs.steady_ops_per_ms =
+        lsg::obs::TimelineSampler::steady_ops_per_ms(samples);
+    std::string dir = lsg::obs::artifact_dir(cfg.obs_dir);
+    if (lsg::obs::ensure_dir(dir)) {
+      r.obs_trial_id = lsg::obs::next_trial_id(cfg.algorithm, T);
+      r.obs_hist_file = dir + "/" + r.obs_trial_id + "_hist.json";
+      r.obs_timeline_file = dir + "/" + r.obs_trial_id + "_timeline.jsonl";
+      lsg::obs::write_histograms_json(r.obs_hist_file);
+      lsg::obs::write_timeline_jsonl(r.obs_timeline_file, samples);
+      lsg::obs::append_jsonl(dir + "/trials.jsonl", to_json(r));
+    }
+    // Like the heatmaps, the last trial's timeline stays inspectable until
+    // the next obs-enabled trial.
+    lsg::obs::set_last_timeline(std::move(samples));
+  }
 
   // The map (and any maintenance threads) dies here, before the next trial
   // resets the registry.
@@ -198,6 +246,26 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
     avg.remote_cas_per_op += r.remote_cas_per_op / n;
     avg.cas_success_rate += r.cas_success_rate / n;
     avg.nodes_per_op += r.nodes_per_op / n;
+  }
+  if (avg.obs.valid) {
+    // Counts and events sum across runs; latency percentiles and steady
+    // throughput average (artifact paths stay those of the first run).
+    lsg::obs::Summary s;
+    s.valid = true;
+    for (const auto& r : runs) {
+      for (int op = 0; op < lsg::obs::kNumOps; ++op) {
+        s.ops[op].count += r.obs.ops[op].count;
+        s.ops[op].mean_us += r.obs.ops[op].mean_us / n;
+        s.ops[op].p50_us += r.obs.ops[op].p50_us / n;
+        s.ops[op].p90_us += r.obs.ops[op].p90_us / n;
+        s.ops[op].p99_us += r.obs.ops[op].p99_us / n;
+        s.ops[op].p999_us += r.obs.ops[op].p999_us / n;
+        s.ops[op].max_us = std::max(s.ops[op].max_us, r.obs.ops[op].max_us);
+      }
+      s.events += r.obs.events;
+      s.steady_ops_per_ms += r.obs.steady_ops_per_ms / n;
+    }
+    avg.obs = s;
   }
   return avg;
 }

@@ -12,6 +12,7 @@
 
 #include "harness/imap.hpp"
 #include "harness/workload.hpp"
+#include "obs/telemetry.hpp"
 #include "stats/counters.hpp"
 
 namespace lsg::harness {
@@ -37,6 +38,15 @@ struct TrialResult {
   double remote_cas_per_op = 0;  // maintenance CAS
   double cas_success_rate = 1.0;
   double nodes_per_op = 0;       // Fig. 5 metric
+
+  std::string topology;  // cfg.topology.describe()
+
+  /// Telemetry summary (obs.valid only when the trial ran with
+  /// cfg.collect_obs or LSG_OBS=1).
+  lsg::obs::Summary obs;
+  std::string obs_trial_id;       // artifact basename, e.g. "sg_t4_000"
+  std::string obs_hist_file;      // per-trial artifact paths (empty when off)
+  std::string obs_timeline_file;
 
   /// Merge-average of several runs (throughput & ratios averaged; counters
   /// summed).

@@ -8,7 +8,14 @@
 
 #include "common/bits.hpp"
 #include "numa/pinning.hpp"
+#include "obs/export.hpp"
 #include "stats/heatmap.hpp"
+
+// Baked in by src/CMakeLists.txt from `git describe`; "unknown" outside a
+// git checkout.
+#ifndef LSG_GIT_DESCRIBE
+#define LSG_GIT_DESCRIBE "unknown"
+#endif
 
 namespace lsg::harness {
 
@@ -161,17 +168,20 @@ std::string to_csv_row(const TrialResult& r) {
 }
 
 std::string to_json(const TrialResult& r) {
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"algorithm\":\"%s\",\"threads\":%d,\"measured_ms\":%llu,"
+      "{\"schema\":\"lsg-trial-v2\",\"git\":\"%s\","
+      "\"algorithm\":\"%s\",\"threads\":%d,\"topology\":\"%s\","
+      "\"measured_ms\":%llu,"
       "\"total_ops\":%llu,\"ops_per_ms\":%.3f,"
       "\"effective_update_pct\":%.4f,\"succ_inserts\":%llu,"
       "\"succ_removes\":%llu,\"contains_ops\":%llu,"
       "\"local_reads_per_op\":%.4f,\"remote_reads_per_op\":%.4f,"
       "\"local_cas_per_op\":%.5f,\"remote_cas_per_op\":%.5f,"
-      "\"cas_success_rate\":%.5f,\"nodes_per_op\":%.3f}",
-      r.algorithm.c_str(), r.threads,
+      "\"cas_success_rate\":%.5f,\"nodes_per_op\":%.3f",
+      lsg::obs::json_escape(LSG_GIT_DESCRIBE).c_str(), r.algorithm.c_str(),
+      r.threads, lsg::obs::json_escape(r.topology).c_str(),
       static_cast<unsigned long long>(r.measured_ms),
       static_cast<unsigned long long>(r.total_ops), r.ops_per_ms,
       r.effective_update_pct, static_cast<unsigned long long>(r.succ_inserts),
@@ -179,7 +189,79 @@ std::string to_json(const TrialResult& r) {
       static_cast<unsigned long long>(r.contains_ops), r.local_reads_per_op,
       r.remote_reads_per_op, r.local_cas_per_op, r.remote_cas_per_op,
       r.cas_success_rate, r.nodes_per_op);
-  return buf;
+  std::string out = buf;
+  if (r.obs.valid) {
+    std::snprintf(buf, sizeof(buf), ",\"obs\":{\"steady_ops_per_ms\":%.3f",
+                  r.obs.steady_ops_per_ms);
+    out += buf;
+    out += ",\"latency_us\":{";
+    bool first = true;
+    for (int i = 0; i < lsg::obs::kNumOps; ++i) {
+      const lsg::obs::OpSummary& o = r.obs.ops[i];
+      if (o.count == 0) continue;
+      std::snprintf(buf, sizeof(buf),
+                    "%s\"%s\":{\"count\":%llu,\"mean\":%.3f,\"p50\":%.3f,"
+                    "\"p90\":%.3f,\"p99\":%.3f,\"p999\":%.3f,\"max\":%.3f}",
+                    first ? "" : ",",
+                    lsg::obs::op_name(static_cast<lsg::obs::Op>(i)),
+                    static_cast<unsigned long long>(o.count), o.mean_us,
+                    o.p50_us, o.p90_us, o.p99_us, o.p999_us, o.max_us);
+      out += buf;
+      first = false;
+    }
+    out += "},\"events\":{";
+    for (int i = 0; i < lsg::obs::kNumEvents; ++i) {
+      std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu", i == 0 ? "" : ",",
+                    lsg::obs::event_name(static_cast<lsg::obs::Event>(i)),
+                    static_cast<unsigned long long>(
+                        r.obs.events.v[static_cast<size_t>(i)]));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "},\"reclaim_pending\":%llu",
+                  static_cast<unsigned long long>(
+                      r.obs.events.reclaim_pending()));
+    out += buf;
+    if (!r.obs_hist_file.empty()) {
+      out += ",\"hist_file\":\"" + lsg::obs::json_escape(r.obs_hist_file) +
+             "\",\"timeline_file\":\"" +
+             lsg::obs::json_escape(r.obs_timeline_file) + "\"";
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+void print_obs_summary(const TrialResult& r) {
+  if (!r.obs.valid) return;
+  std::printf("--- telemetry: %s (%d threads) ---\n", r.algorithm.c_str(),
+              r.threads);
+  std::printf("  steady-state throughput: %.1f ops/ms\n",
+              r.obs.steady_ops_per_ms);
+  std::printf("  %-10s %12s %9s %9s %9s %9s %9s\n", "op", "count", "mean us",
+              "p50 us", "p90 us", "p99 us", "p99.9 us");
+  for (int i = 0; i < lsg::obs::kNumOps; ++i) {
+    const lsg::obs::OpSummary& o = r.obs.ops[i];
+    if (o.count == 0) continue;
+    std::printf("  %-10s %12llu %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+                lsg::obs::op_name(static_cast<lsg::obs::Op>(i)),
+                static_cast<unsigned long long>(o.count), o.mean_us, o.p50_us,
+                o.p90_us, o.p99_us, o.p999_us);
+  }
+  std::printf("  events:");
+  for (int i = 0; i < lsg::obs::kNumEvents; ++i) {
+    uint64_t v = r.obs.events.v[static_cast<size_t>(i)];
+    if (v == 0) continue;
+    std::printf(" %s=%llu",
+                lsg::obs::event_name(static_cast<lsg::obs::Event>(i)),
+                static_cast<unsigned long long>(v));
+  }
+  std::printf(" reclaim_pending=%llu\n",
+              static_cast<unsigned long long>(r.obs.events.reclaim_pending()));
+  if (!r.obs_hist_file.empty()) {
+    std::printf("  artifacts: %s | %s\n", r.obs_hist_file.c_str(),
+                r.obs_timeline_file.c_str());
+  }
 }
 
 lsg::numa::Topology locality_topology(int threads) {

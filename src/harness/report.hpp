@@ -30,6 +30,11 @@ void print_heatmap_report(const std::string& title, bool cas_map,
                           const TrialConfig& cfg,
                           const std::string& csv_path = "");
 
+/// Telemetry report for obs-enabled trials: per-op latency percentiles,
+/// steady-state throughput, maintenance-event totals, artifact paths.
+/// No-op when r.obs is not valid.
+void print_obs_summary(const TrialResult& r);
+
 /// Scale helpers shared by benches: honor LSG_FULL=1 (paper-scale runs),
 /// LSG_DURATION_MS, LSG_RUNS and LSG_THREADS (comma list) overrides.
 bool full_scale();

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "common/rng.hpp"
@@ -24,6 +25,18 @@ struct TrialConfig {
   uint64_t seed = 42;
   /// Record T x T read/CAS heatmaps during the measured phase.
   bool collect_heatmaps = false;
+  /// Record telemetry (latency histograms, timeline, maintenance events)
+  /// during the measured phase and export JSON artifacts (src/obs).
+  bool collect_obs = false;
+  /// Timeline sampler period when collect_obs is set.
+  int obs_interval_ms = 10;
+  /// Artifact directory for obs exports; empty = LSG_OBS_DIR or "obs_out".
+  std::string obs_dir;
+  /// Invoked on the main thread right before the measured phase starts
+  /// (after the trial-scoped stats/obs reset, workers parked at the start
+  /// barrier). Benches use it to install trial-scoped hooks that reset()
+  /// clears, e.g. the cachesim trace hook.
+  std::function<void()> on_measure_start;
   /// Average over this many runs (paper: 5).
   int runs = 1;
   lsg::numa::Topology topology = lsg::numa::Topology::paper_machine();

@@ -1,0 +1,153 @@
+#include "obs/export.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace lsg::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string artifact_dir(const std::string& configured) {
+  if (!configured.empty()) return configured;
+  if (const char* v = std::getenv("LSG_OBS_DIR"); v != nullptr && *v != '\0') {
+    return v;
+  }
+  return "obs_out";
+}
+
+bool ensure_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return !ec && std::filesystem::is_directory(dir, ec);
+}
+
+std::string next_trial_id(const std::string& algorithm, int threads) {
+  static std::atomic<uint64_t> seq{0};
+  uint64_t n = seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "_t%d_%03llu", threads,
+                static_cast<unsigned long long>(n));
+  return algorithm + buf;
+}
+
+bool write_histograms_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "{\"cycles_per_us\":%.3f,\"ops\":{",
+                cycles_per_us());
+  out << buf;
+  const double cpu = cycles_per_us();
+  bool first_op = true;
+  for (int i = 0; i < kNumOps; ++i) {
+    Op op = static_cast<Op>(i);
+    LatencyHistogram h = merged_histogram(op);
+    if (h.count() == 0) continue;
+    if (!first_op) out << ',';
+    first_op = false;
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"%s\":{\"count\":%llu,\"mean_us\":%.3f,\"p50_us\":%.3f,"
+        "\"p90_us\":%.3f,\"p99_us\":%.3f,\"p999_us\":%.3f,\"max_us\":%.3f,",
+        op_name(op), static_cast<unsigned long long>(h.count()),
+        h.mean() / cpu, static_cast<double>(h.p50()) / cpu,
+        static_cast<double>(h.p90()) / cpu, static_cast<double>(h.p99()) / cpu,
+        static_cast<double>(h.p999()) / cpu,
+        static_cast<double>(h.max()) / cpu);
+    out << buf << "\"buckets\":[";
+    bool first_b = true;
+    for (unsigned b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      if (!first_b) out << ',';
+      first_b = false;
+      std::snprintf(buf, sizeof(buf), "[%llu,%llu]",
+                    static_cast<unsigned long long>(
+                        LatencyHistogram::bucket_lo(b)),
+                    static_cast<unsigned long long>(h.bucket_count(b)));
+      out << buf;
+    }
+    out << "]}";
+  }
+  out << "}}\n";
+  return static_cast<bool>(out);
+}
+
+bool write_timeline_jsonl(const std::string& path,
+                          const std::vector<TimelineSample>& samples) {
+  std::ofstream out(path);
+  if (!out) return false;
+  char buf[256];
+  TimelineSample prev;  // zero baseline for the first sample
+  for (const TimelineSample& s : samples) {
+    uint64_t dt_us = s.t_us - prev.t_us;
+    uint64_t dops = s.ops - prev.ops;
+    uint64_t dlocal = s.local_reads - prev.local_reads;
+    uint64_t dremote = s.remote_reads - prev.remote_reads;
+    uint64_t dsucc = s.cas_success - prev.cas_success;
+    uint64_t dfail = s.cas_failure - prev.cas_failure;
+    double ops_per_ms =
+        dt_us == 0 ? 0
+                   : static_cast<double>(dops) * 1000.0 /
+                         static_cast<double>(dt_us);
+    double locality =
+        dlocal + dremote == 0
+            ? 1.0
+            : static_cast<double>(dlocal) /
+                  static_cast<double>(dlocal + dremote);
+    double cas_rate = dsucc + dfail == 0
+                          ? 1.0
+                          : static_cast<double>(dsucc) /
+                                static_cast<double>(dsucc + dfail);
+    std::snprintf(buf, sizeof(buf),
+                  "{\"t_us\":%llu,\"ops\":%llu,\"ops_per_ms\":%.3f,"
+                  "\"locality\":%.4f,\"cas_success_rate\":%.4f",
+                  static_cast<unsigned long long>(s.t_us),
+                  static_cast<unsigned long long>(s.ops), ops_per_ms,
+                  locality, cas_rate);
+    out << buf;
+    for (int e = 0; e < kNumEvents; ++e) {
+      std::snprintf(buf, sizeof(buf), ",\"%s\":%llu",
+                    event_name(static_cast<Event>(e)),
+                    static_cast<unsigned long long>(s.events.v[e]));
+      out << buf;
+    }
+    std::snprintf(buf, sizeof(buf), ",\"reclaim_pending\":%llu}\n",
+                  static_cast<unsigned long long>(s.events.reclaim_pending()));
+    out << buf;
+    prev = s;
+  }
+  return static_cast<bool>(out);
+}
+
+bool append_jsonl(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << line << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace lsg::obs

@@ -1,0 +1,45 @@
+// Structured export of telemetry artifacts.
+//
+// Per obs-enabled trial the harness writes, under the artifact directory
+// (LSG_OBS_DIR, default "obs_out"):
+//   - <id>_hist.json       merged per-operation latency histograms
+//   - <id>_timeline.jsonl  one JSON object per timeline sample
+// and appends the trial's summary record to trials.jsonl (one JSON object
+// per line; schema in harness/report.cpp::to_json). Formats are documented
+// in EXPERIMENTS.md and consumed by tools/plot_results.py.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
+
+namespace lsg::obs {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(const std::string& s);
+
+/// Artifact directory: `configured` if non-empty, else LSG_OBS_DIR, else
+/// "obs_out".
+std::string artifact_dir(const std::string& configured = "");
+
+/// mkdir -p; returns success.
+bool ensure_dir(const std::string& dir);
+
+/// Process-unique trial id, e.g. "layered_map_sg_t4_003".
+std::string next_trial_id(const std::string& algorithm, int threads);
+
+/// Merged per-operation histograms as one JSON object (non-empty buckets
+/// only, [lower_bound_cycles, count] pairs, plus percentiles in µs).
+bool write_histograms_json(const std::string& path);
+
+/// Timeline as JSON lines: cumulative counters plus rates derived from the
+/// previous sample (ops_per_ms, locality, cas_success_rate).
+bool write_timeline_jsonl(const std::string& path,
+                          const std::vector<TimelineSample>& samples);
+
+/// Append one line (a complete JSON object) to a JSON-lines file.
+bool append_jsonl(const std::string& path, const std::string& line);
+
+}  // namespace lsg::obs

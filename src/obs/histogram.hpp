@@ -1,0 +1,115 @@
+// Log-bucketed latency histogram (tentpole of the observability layer).
+//
+// Values (TSC cycles) are binned into power-of-two major buckets with 8
+// linear sub-buckets each, HdrHistogram-style: relative bucket error is
+// bounded by 12.5% across the full 64-bit range while the whole histogram
+// is 512 counters (4 KiB), small enough to keep one per thread per
+// operation type. Recording is a single array increment plus min/max/sum
+// bookkeeping — no atomics; each histogram is owned by exactly one thread
+// and merged after workers quiesce.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace lsg::obs {
+
+class LatencyHistogram {
+ public:
+  /// 3 sub-bucket bits -> 8 linear sub-buckets per power of two.
+  static constexpr unsigned kSubBits = 3;
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;
+  /// Index of the last reachable bucket is (63-2)*8+7 = 495; round up.
+  static constexpr unsigned kBuckets = 512;
+
+  /// Bucket index for a value. Values below kSubBuckets get exact unit
+  /// buckets; above, the top 4 bits of the value select the bucket.
+  static constexpr unsigned bucket_of(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<unsigned>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned sub =
+        static_cast<unsigned>(v >> (msb - kSubBits)) & (kSubBuckets - 1);
+    return (msb - (kSubBits - 1)) * kSubBuckets + sub;
+  }
+
+  /// Inclusive lower bound of a bucket (exact inverse of bucket_of).
+  static constexpr uint64_t bucket_lo(unsigned idx) {
+    if (idx < kSubBuckets) return idx;
+    const unsigned msb = idx / kSubBuckets + (kSubBits - 1);
+    const uint64_t sub = idx % kSubBuckets;
+    return (uint64_t{kSubBuckets} + sub) << (msb - kSubBits);
+  }
+
+  /// Midpoint of a bucket — the value reported for percentiles that land
+  /// inside it.
+  static constexpr uint64_t bucket_mid(unsigned idx) {
+    if (idx < kSubBuckets) return idx;
+    const unsigned msb = idx / kSubBuckets + (kSubBits - 1);
+    return bucket_lo(idx) + (uint64_t{1} << (msb - kSubBits)) / 2;
+  }
+
+  void record(uint64_t v) {
+    ++counts_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  void clear() {
+    counts_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+  }
+
+  LatencyHistogram& operator+=(const LatencyHistogram& o) {
+    for (unsigned i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+    return *this;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  uint64_t bucket_count(unsigned idx) const { return counts_[idx]; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  /// Value at quantile q in [0, 1]: midpoint of the bucket holding the
+  /// ceil(q * count)-th recorded value (max() for q >= 1). 0 when empty.
+  uint64_t percentile(double q) const {
+    if (count_ == 0) return 0;
+    if (q >= 1.0) return max_;
+    if (q < 0.0) q = 0.0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (rank >= count_) rank = count_ - 1;
+    uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > rank) {
+        // Never report beyond the observed maximum (the top bucket's
+        // midpoint can exceed it).
+        uint64_t mid = bucket_mid(i);
+        return mid > max_ ? max_ : mid;
+      }
+    }
+    return max_;
+  }
+
+  uint64_t p50() const { return percentile(0.50); }
+  uint64_t p90() const { return percentile(0.90); }
+  uint64_t p99() const { return percentile(0.99); }
+  uint64_t p999() const { return percentile(0.999); }
+
+ private:
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+}  // namespace lsg::obs

@@ -1,0 +1,115 @@
+#include "obs/telemetry.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace lsg::obs {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kContains: return "contains";
+    case Op::kInsert: return "insert";
+    case Op::kRemove: return "remove";
+    case Op::kPqPush: return "pq_push";
+    case Op::kPqPop: return "pq_pop";
+  }
+  return "?";
+}
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::kNodeAlloc: return "node_alloc";
+    case Event::kRetire: return "retire";
+    case Event::kCommissionExpired: return "commission_expired";
+    case Event::kRelink: return "relink";
+    case Event::kSplice: return "splice";
+    case Event::kFinishInsert: return "finish_insert";
+    case Event::kFinishInsertAbort: return "finish_insert_abort";
+    case Event::kRevive: return "revive";
+    case Event::kChunkAlloc: return "chunk_alloc";
+    case Event::kEpochRetire: return "epoch_retire";
+    case Event::kEpochFree: return "epoch_free";
+    case Event::kEpochAdvance: return "epoch_advance";
+  }
+  return "?";
+}
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool env_enabled() {
+  const char* v = std::getenv("LSG_OBS");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+void reset() {
+  for (auto& slot : detail::g_obs) {
+    for (auto& h : slot.hist) h.clear();
+    for (auto& e : slot.events) e.store(0, std::memory_order_relaxed);
+  }
+}
+
+LatencyHistogram merged_histogram(Op op) {
+  LatencyHistogram sum;
+  for (const auto& slot : detail::g_obs) {
+    sum += slot.hist[static_cast<size_t>(op)];
+  }
+  return sum;
+}
+
+LatencyHistogram histogram_of_thread(Op op, int tid) {
+  return detail::g_obs[tid].hist[static_cast<size_t>(op)];
+}
+
+EventCounters total_events() {
+  EventCounters sum;
+  for (const auto& slot : detail::g_obs) {
+    for (int i = 0; i < kNumEvents; ++i) {
+      sum.v[i] += slot.events[i].load(std::memory_order_relaxed);
+    }
+  }
+  return sum;
+}
+
+double cycles_per_us() {
+  static const double rate = [] {
+    using clock = std::chrono::steady_clock;
+    // Short two-point calibration: busy-spin ~2 ms and divide. On fallback
+    // platforms timestamp() is already nanoseconds, so this measures ~1000.
+    auto w0 = clock::now();
+    uint64_t c0 = lsg::common::timestamp();
+    while (clock::now() - w0 < std::chrono::milliseconds(2)) {
+    }
+    uint64_t c1 = lsg::common::timestamp();
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  clock::now() - w0)
+                  .count();
+    if (ns <= 0 || c1 <= c0) return 1000.0;
+    return static_cast<double>(c1 - c0) * 1000.0 / static_cast<double>(ns);
+  }();
+  return rate;
+}
+
+Summary summarize() {
+  Summary s;
+  s.valid = true;
+  const double cpu = cycles_per_us();
+  for (int i = 0; i < kNumOps; ++i) {
+    LatencyHistogram h = merged_histogram(static_cast<Op>(i));
+    OpSummary& o = s.ops[i];
+    o.count = h.count();
+    if (h.count() == 0) continue;
+    o.mean_us = h.mean() / cpu;
+    o.p50_us = static_cast<double>(h.p50()) / cpu;
+    o.p90_us = static_cast<double>(h.p90()) / cpu;
+    o.p99_us = static_cast<double>(h.p99()) / cpu;
+    o.p999_us = static_cast<double>(h.p999()) / cpu;
+    o.max_us = static_cast<double>(h.max()) / cpu;
+  }
+  s.events = total_events();
+  return s;
+}
+
+}  // namespace lsg::obs

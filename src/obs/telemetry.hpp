@@ -1,0 +1,196 @@
+// Runtime telemetry (obs) hot-path layer.
+//
+// Layered over src/stats with the same discipline: one cached-TLS lookup
+// plus plain per-thread increments on padded slots, behind a single relaxed
+// atomic flag when disabled, and compiled out entirely under -DLSG_NO_OBS.
+// Three kinds of signal:
+//   - per-operation latency histograms (TSC deltas, obs/histogram.hpp),
+//     one per thread per operation type, merged after workers quiesce;
+//   - maintenance-event counters (retires, relinks, finishInsert outcomes,
+//     commission expiries, arena/epoch activity) wired into src/skipgraph,
+//     src/skiplist and src/alloc;
+//   - everything the timeline sampler (obs/timeline.hpp) reads mid-run.
+// Event counters are written with relaxed atomic load+store (same codegen
+// as a plain increment on the owning thread; no RMW) so the sampler thread
+// can read them concurrently without a data race. Histograms stay plain:
+// they are only merged after the owning threads have joined.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/padding.hpp"
+#include "common/tsc.hpp"
+#include "numa/pinning.hpp"
+#include "obs/histogram.hpp"
+
+namespace lsg::obs {
+
+/// Operation types with their own latency histogram.
+enum class Op : uint8_t { kContains = 0, kInsert, kRemove, kPqPush, kPqPop };
+inline constexpr int kNumOps = 5;
+const char* op_name(Op op);
+
+/// Maintenance events (plain counts; see event_name for export labels).
+enum class Event : uint8_t {
+  kNodeAlloc = 0,      // shared nodes created (skip graph + skip list)
+  kRetire,             // Alg. 15 retire succeeded: node marked for unlink
+  kCommissionExpired,  // check_retire observed an expired commission period
+  kRelink,             // marked chain replaced by a single CAS
+  kSplice,             // single marked node spliced (relink ablation path)
+  kFinishInsert,       // tower fully linked (Alg. 10 completed)
+  kFinishInsertAbort,  // finish_insert aborted: node marked while linking
+  kRevive,             // insert revived an invalid node (I-ii)
+  kChunkAlloc,         // arena chunks allocated
+  kEpochRetire,        // objects handed to epoch reclamation
+  kEpochFree,          // objects freed by epoch reclamation
+  kEpochAdvance,       // global epoch advances
+};
+inline constexpr int kNumEvents = 12;
+const char* event_name(Event e);
+
+/// Plain (copyable) event-counter vector, summed across threads.
+struct EventCounters {
+  std::array<uint64_t, kNumEvents> v{};
+
+  uint64_t operator[](Event e) const { return v[static_cast<size_t>(e)]; }
+  EventCounters& operator+=(const EventCounters& o) {
+    for (int i = 0; i < kNumEvents; ++i) v[i] += o.v[i];
+    return *this;
+  }
+  /// Objects retired to the reclaimer but not yet freed (reclamation lag).
+  uint64_t reclaim_pending() const {
+    uint64_t r = (*this)[Event::kEpochRetire];
+    uint64_t f = (*this)[Event::kEpochFree];
+    return r > f ? r - f : 0;
+  }
+};
+
+namespace detail {
+
+inline std::atomic<bool> g_enabled{false};
+
+struct alignas(lsg::common::kCacheLine) ThreadObs {
+  std::array<LatencyHistogram, kNumOps> hist{};
+  std::array<std::atomic<uint64_t>, kNumEvents> events{};
+};
+inline std::array<ThreadObs, lsg::numa::kMaxThreads> g_obs{};
+
+struct Tls {
+  int tid = -1;
+};
+inline thread_local Tls tls;
+
+inline int self_tid() {
+  if (tls.tid < 0) tls.tid = lsg::numa::ThreadRegistry::current();
+  return tls.tid;
+}
+
+/// Owner-only increment readable by the sampler: relaxed load+store, no RMW.
+inline void bump(std::atomic<uint64_t>& c, uint64_t by = 1) {
+  c.store(c.load(std::memory_order_relaxed) + by, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+inline bool enabled() {
+#ifdef LSG_NO_OBS
+  return false;
+#else
+  return detail::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Turn recording on/off (driver: measured phase only).
+void set_enabled(bool on);
+
+/// True when LSG_OBS is set to anything but "0" in the environment.
+bool env_enabled();
+
+/// Zero every per-thread slot. Not thread-safe with concurrent recorders.
+void reset();
+
+/// Forget the calling thread's cached id (trial boundaries; mirrors
+/// stats::forget_self).
+inline void forget_self() { detail::tls.tid = -1; }
+
+/// --- hot-path recording ------------------------------------------------
+
+/// Start timing an operation; returns 0 when telemetry is off (op_end is
+/// then a no-op, so callers need no separate flag check).
+inline uint64_t op_begin() {
+  return enabled() ? lsg::common::timestamp() : 0;
+}
+
+inline void op_end(Op op, uint64_t t0) {
+#ifdef LSG_NO_OBS
+  (void)op;
+  (void)t0;
+#else
+  if (t0 == 0) return;
+  uint64_t dt = lsg::common::timestamp() - t0;
+  detail::g_obs[detail::self_tid()].hist[static_cast<size_t>(op)].record(dt);
+#endif
+}
+
+inline void event(Event e, uint64_t by = 1) {
+#ifdef LSG_NO_OBS
+  (void)e;
+  (void)by;
+#else
+  if (!enabled()) return;
+  detail::bump(detail::g_obs[detail::self_tid()].events[static_cast<size_t>(e)],
+               by);
+#endif
+}
+
+/// --- aggregation (quiescent callers) -----------------------------------
+
+/// Sum of one operation type's histograms across all threads. Only sound
+/// once recorders have quiesced (histogram cells are not atomic).
+LatencyHistogram merged_histogram(Op op);
+
+LatencyHistogram histogram_of_thread(Op op, int tid);
+
+/// Sum of all per-thread event counters. Safe concurrently with recorders
+/// (relaxed reads of the atomic cells) — this is what the sampler uses.
+EventCounters total_events();
+
+/// --- clock calibration ---------------------------------------------------
+
+/// Measured TSC rate, cycles per microsecond (≈1000 on platforms where
+/// common::timestamp falls back to nanoseconds). Calibrated once per
+/// process with a short spin; cheap afterwards.
+double cycles_per_us();
+
+inline double cycles_to_us(uint64_t cycles) {
+  return static_cast<double>(cycles) / cycles_per_us();
+}
+
+/// --- per-trial summary (embedded in TrialResult / JSON records) ----------
+
+struct OpSummary {
+  uint64_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p90_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+};
+
+struct Summary {
+  bool valid = false;  // false => obs was off for this trial
+  std::array<OpSummary, kNumOps> ops{};
+  EventCounters events;
+  /// Mean throughput over the steady-state (second) half of the timeline;
+  /// 0 when no timeline was collected.
+  double steady_ops_per_ms = 0;
+};
+
+/// Snapshot histograms + event counters into a Summary (quiescent callers;
+/// steady_ops_per_ms is left 0 — the driver fills it from the timeline).
+Summary summarize();
+
+}  // namespace lsg::obs

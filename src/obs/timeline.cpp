@@ -1,0 +1,88 @@
+#include "obs/timeline.hpp"
+
+#include <chrono>
+
+namespace lsg::obs {
+
+void TimelineSampler::start() {
+  if (thread_.joinable()) return;
+  stop_.store(false, std::memory_order_relaxed);
+  ring_.assign(opts_.capacity, TimelineSample{});
+  written_.store(0, std::memory_order_relaxed);
+  const uint64_t t0 = lsg::common::now_us();
+  push(snapshot(t0));
+  thread_ = std::thread([this, t0] {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts_.interval_ms));
+      push(snapshot(t0));
+    }
+    push(snapshot(t0));  // closing sample at stop time
+  });
+}
+
+void TimelineSampler::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+}
+
+TimelineSample TimelineSampler::snapshot(uint64_t t0_us) const {
+  TimelineSample s;
+  s.t_us = lsg::common::now_us() - t0_us;
+  lsg::stats::ThreadCounters c = lsg::stats::total();
+  s.ops = c.operations;
+  s.local_reads = c.local_reads;
+  s.remote_reads = c.remote_reads;
+  s.cas_success = c.cas_success;
+  s.cas_failure = c.cas_failure;
+  s.events = total_events();
+  return s;
+}
+
+void TimelineSampler::push(const TimelineSample& s) {
+  size_t n = written_.load(std::memory_order_relaxed);
+  ring_[n % ring_.size()] = s;
+  written_.store(n + 1, std::memory_order_release);
+}
+
+std::vector<TimelineSample> TimelineSampler::samples() const {
+  std::vector<TimelineSample> out;
+  size_t n = written_.load(std::memory_order_acquire);
+  if (n == 0) return out;
+  size_t cap = ring_.size();
+  size_t count = n < cap ? n : cap;
+  out.reserve(count);
+  size_t first = n - count;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(first + i) % cap]);
+  }
+  return out;
+}
+
+double TimelineSampler::steady_ops_per_ms(
+    const std::vector<TimelineSample>& s) {
+  if (s.size() < 2) return 0;
+  const TimelineSample& last = s.back();
+  const TimelineSample& mid = s.size() >= 4 ? s[s.size() / 2] : s.front();
+  uint64_t dt_us = last.t_us - mid.t_us;
+  if (dt_us == 0) return 0;
+  uint64_t dops = last.ops - mid.ops;
+  return static_cast<double>(dops) * 1000.0 / static_cast<double>(dt_us);
+}
+
+namespace {
+std::vector<TimelineSample>& last_timeline_storage() {
+  static std::vector<TimelineSample> v;
+  return v;
+}
+}  // namespace
+
+const std::vector<TimelineSample>& last_timeline() {
+  return last_timeline_storage();
+}
+
+void set_last_timeline(std::vector<TimelineSample> samples) {
+  last_timeline_storage() = std::move(samples);
+}
+
+}  // namespace lsg::obs

@@ -1,0 +1,89 @@
+// Timeline sampler: a background thread that snapshots the cumulative
+// stats/obs counters into a ring buffer at a fixed interval, making
+// within-run dynamics visible — warm-up vs. steady state, commission-period
+// phase changes, retire storms, reclamation lag. Samples store cumulative
+// values; consumers (exporter, plots) difference consecutive samples to get
+// rates.
+//
+// The sampler thread never registers with the ThreadRegistry (it must not
+// consume a worker id) and only performs relaxed atomic reads of the
+// per-thread counter cells, so it is safe to run concurrently with workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "stats/counters.hpp"
+
+namespace lsg::obs {
+
+struct TimelineSample {
+  uint64_t t_us = 0;  // microseconds since sampler start
+  // Cumulative stats-layer counters (summed over threads).
+  uint64_t ops = 0;
+  uint64_t local_reads = 0;
+  uint64_t remote_reads = 0;
+  uint64_t cas_success = 0;
+  uint64_t cas_failure = 0;
+  // Cumulative maintenance events.
+  EventCounters events;
+};
+
+struct TimelineOptions {
+  int interval_ms = 10;
+  size_t capacity = 4096;  // ring buffer; oldest samples are overwritten
+};
+
+class TimelineSampler {
+ public:
+  using Options = TimelineOptions;
+
+  explicit TimelineSampler(Options opts = {}) : opts_(opts) {
+    if (opts_.interval_ms < 1) opts_.interval_ms = 1;
+    if (opts_.capacity < 2) opts_.capacity = 2;
+  }
+  ~TimelineSampler() { stop(); }
+
+  TimelineSampler(const TimelineSampler&) = delete;
+  TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+  /// Launch the sampler thread; takes an immediate first sample so even a
+  /// zero-duration run yields a baseline. Idempotent.
+  void start();
+
+  /// Take a final sample and join the thread. Idempotent; safe without
+  /// start() (then a no-op).
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+  int interval_ms() const { return opts_.interval_ms; }
+
+  /// Collected samples in chronological order (oldest first). Call after
+  /// stop(), or accept a racy-but-consistent prefix while running.
+  std::vector<TimelineSample> samples() const;
+
+  /// Mean ops/ms over the second half of the timeline (steady state);
+  /// falls back to the whole window when there are too few samples.
+  static double steady_ops_per_ms(const std::vector<TimelineSample>& s);
+
+ private:
+  void run();
+  TimelineSample snapshot(uint64_t t0_us) const;
+  void push(const TimelineSample& s);
+
+  Options opts_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::vector<TimelineSample> ring_;
+  std::atomic<size_t> written_{0};  // total samples ever pushed
+};
+
+/// Last trial's timeline (driver-owned, like stats heatmaps: valid until
+/// the next obs-enabled trial starts).
+const std::vector<TimelineSample>& last_timeline();
+void set_last_timeline(std::vector<TimelineSample> samples);
+
+}  // namespace lsg::obs

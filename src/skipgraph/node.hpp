@@ -25,6 +25,7 @@
 #include "common/tagged_ptr.hpp"
 #include "common/tsc.hpp"
 #include "numa/pinning.hpp"
+#include "obs/telemetry.hpp"
 #include "stats/counters.hpp"
 
 namespace lsg::skipgraph {
@@ -67,6 +68,7 @@ struct SgNode {
     for (unsigned i = 0; i <= height; ++i) {
       ::new (&n->next_array()[i]) std::atomic<uintptr_t>(TP::pack(init_next));
     }
+    lsg::obs::event(lsg::obs::Event::kNodeAlloc);
     return n;
   }
 
@@ -134,7 +136,7 @@ struct SgNode {
     bool ok = next_array()[level].compare_exchange_strong(
         expected, desired, std::memory_order_acq_rel,
         std::memory_order_acquire);
-    lsg::stats::cas_access(owner, ok, self_insert);
+    lsg::stats::cas_access(owner, ok, self_insert, &next_array()[level]);
     return ok;
   }
 
@@ -146,14 +148,14 @@ struct SgNode {
     uintptr_t raw = next_raw(0);
     while (true) {
       if (TP::mark(raw) != exp_mark || TP::valid(raw) != exp_valid) {
-        lsg::stats::cas_access(owner, false);
+        lsg::stats::cas_access(owner, false, false, &next_array()[0]);
         return false;
       }
       uintptr_t want = TP::with_flags(raw, new_mark, !new_valid);
       if (next_array()[0].compare_exchange_weak(raw, want,
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_acquire)) {
-        lsg::stats::cas_access(owner, true);
+        lsg::stats::cas_access(owner, true, false, &next_array()[0]);
         return true;
       }
       // raw reloaded by the failed CAS; loop re-checks the flags.
@@ -170,10 +172,10 @@ struct SgNode {
       if (next_array()[level].compare_exchange_weak(
               raw, want, std::memory_order_acq_rel,
               std::memory_order_acquire)) {
-        lsg::stats::cas_access(owner, true);
+        lsg::stats::cas_access(owner, true, false, &next_array()[level]);
         return true;
       }
-      lsg::stats::cas_access(owner, false);
+      lsg::stats::cas_access(owner, false, false, &next_array()[level]);
     }
   }
 };
@@ -186,7 +188,7 @@ bool cas_slot(std::atomic<uintptr_t>* slot, uintptr_t& expected,
   bool ok = slot->compare_exchange_strong(expected, desired,
                                           std::memory_order_acq_rel,
                                           std::memory_order_acquire);
-  lsg::stats::cas_access(owner_tid, ok, self_insert);
+  lsg::stats::cas_access(owner_tid, ok, self_insert, slot);
   return ok;
 }
 

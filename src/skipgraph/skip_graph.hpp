@@ -33,6 +33,7 @@
 #include "common/bits.hpp"
 #include "common/rng.hpp"
 #include "common/tsc.hpp"
+#include "obs/telemetry.hpp"
 #include "skipgraph/node.hpp"
 #include "stats/counters.hpp"
 
@@ -175,6 +176,7 @@ class SkipGraph {
       if (value != nullptr) n->store_value(*value);
       if (n->cas_mark_valid0(/*exp_mark=*/false, /*exp_valid=*/false,
                              /*new_mark=*/false, /*new_valid=*/true)) {
+        lsg::obs::event(lsg::obs::Event::kRevive);
         result = true;  // revived an invalid node (I-ii)
         return true;
       }
@@ -261,6 +263,7 @@ class SkipGraph {
             res.succ[0] != n) {
           // n became unreachable/marked before we linked everything.
           n->inserted.store(true, std::memory_order_release);
+          lsg::obs::event(lsg::obs::Event::kFinishInsertAbort);
           return false;
         }
       }
@@ -270,6 +273,7 @@ class SkipGraph {
       while (TP::ptr(old) != res.succ[level]) {
         if (TP::mark(old)) {  // marked while linking: abort (Alg. 10 l.10)
           n->inserted.store(true, std::memory_order_release);
+          lsg::obs::event(lsg::obs::Event::kFinishInsertAbort);
           return false;
         }
         if (n->cas_next(level, old, TP::pack(res.succ[level]),
@@ -293,6 +297,7 @@ class SkipGraph {
       start = refresh();
     }
     n->inserted.store(true, std::memory_order_release);
+    lsg::obs::event(lsg::obs::Event::kFinishInsert);
     return true;
   }
 
@@ -518,6 +523,7 @@ class SkipGraph {
     if (lsg::common::timestamp() - n->alloc_ts <= cfg_.commission_period) {
       return false;
     }
+    lsg::obs::event(lsg::obs::Event::kCommissionExpired);
     return retire(n);
   }
 
@@ -529,6 +535,7 @@ class SkipGraph {
       return false;
     }
     for (int lvl = n->height; lvl >= 1; --lvl) n->try_mark(lvl);
+    lsg::obs::event(lsg::obs::Event::kRetire);
     return true;
   }
 
@@ -588,6 +595,7 @@ class SkipGraph {
           uintptr_t want = TP::with_ptr(original, TP::ptr(nxt));
           if (!TP::mark(original) &&
               cas_slot<K, V>(slot, original, want, slot_owner)) {
+            lsg::obs::event(lsg::obs::Event::kSplice);
             original = want;
             cur = TP::ptr(nxt);
             continue;
@@ -604,6 +612,7 @@ class SkipGraph {
         // nodes — paper's laziness rule (iii) — so we leave them.)
         uintptr_t want = TP::with_ptr(original, cur);
         if (cas_slot<K, V>(slot, original, want, slot_owner)) {
+          lsg::obs::event(lsg::obs::Event::kRelink);
           original = want;
         }
         // On failure keep the observed chain view; correctness is

@@ -20,6 +20,7 @@
 #include "common/rng.hpp"
 #include "common/tagged_ptr.hpp"
 #include "numa/pinning.hpp"
+#include "obs/telemetry.hpp"
 #include "skipgraph/node.hpp"  // kMaxLevels, cas_slot
 #include "stats/counters.hpp"
 
@@ -56,10 +57,10 @@ class LockFreeSkipList {
         if (next_array()[lvl].compare_exchange_weak(
                 raw, raw | TP::kMark, std::memory_order_acq_rel,
                 std::memory_order_acquire)) {
-          lsg::stats::cas_access(owner, true);
+          lsg::stats::cas_access(owner, true, false, &next_array()[lvl]);
           return true;
         }
-        lsg::stats::cas_access(owner, false);
+        lsg::stats::cas_access(owner, false, false, &next_array()[lvl]);
       }
     }
 
@@ -75,6 +76,7 @@ class LockFreeSkipList {
       for (unsigned i = 0; i <= top; ++i) {
         ::new (&n->next_array()[i]) std::atomic<uintptr_t>(TP::pack(init_next));
       }
+      lsg::obs::event(lsg::obs::Event::kNodeAlloc);
       return n;
     }
   };
@@ -272,6 +274,8 @@ class LockFreeSkipList {
           if (!lsg::skipgraph::cas_slot<K, V>(slot, raw, want, slot_owner)) {
             goto retry;
           }
+          lsg::obs::event(relink_ ? lsg::obs::Event::kRelink
+                                  : lsg::obs::Event::kSplice);
           raw = want;
           continue;
         }

@@ -12,19 +12,57 @@ void sync_topology() {
   detail::tls.tid = -1;
 }
 
+namespace {
+
+ThreadCounters snapshot(const detail::AtomicCounters& c) {
+  ThreadCounters out;
+  out.local_reads = c.local_reads.load(std::memory_order_relaxed);
+  out.remote_reads = c.remote_reads.load(std::memory_order_relaxed);
+  out.local_cas = c.local_cas.load(std::memory_order_relaxed);
+  out.remote_cas = c.remote_cas.load(std::memory_order_relaxed);
+  out.cas_success = c.cas_success.load(std::memory_order_relaxed);
+  out.cas_failure = c.cas_failure.load(std::memory_order_relaxed);
+  out.nodes_traversed = c.nodes_traversed.load(std::memory_order_relaxed);
+  out.searches = c.searches.load(std::memory_order_relaxed);
+  out.operations = c.operations.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace
+
 void reset() {
-  for (auto& slot : detail::g_counters) slot.value = ThreadCounters{};
+  for (auto& slot : detail::g_counters) {
+    detail::AtomicCounters& c = slot.value;
+    c.local_reads.store(0, std::memory_order_relaxed);
+    c.remote_reads.store(0, std::memory_order_relaxed);
+    c.local_cas.store(0, std::memory_order_relaxed);
+    c.remote_cas.store(0, std::memory_order_relaxed);
+    c.cas_success.store(0, std::memory_order_relaxed);
+    c.cas_failure.store(0, std::memory_order_relaxed);
+    c.nodes_traversed.store(0, std::memory_order_relaxed);
+    c.searches.store(0, std::memory_order_relaxed);
+    c.operations.store(0, std::memory_order_relaxed);
+  }
   if (auto* h = read_heatmap()) h->clear();
   if (auto* h = cas_heatmap()) h->clear();
+  // A trace hook is trial-scoped state exactly like the counters: clear it
+  // so one bench's hook can never observe another bench's accesses.
+  detail::g_trace.store(nullptr, std::memory_order_release);
 }
 
 ThreadCounters total() {
   ThreadCounters sum;
-  for (const auto& slot : detail::g_counters) sum += slot.value;
+  for (const auto& slot : detail::g_counters) sum += snapshot(slot.value);
   return sum;
 }
 
-ThreadCounters of_thread(int tid) { return detail::g_counters[tid].value; }
+ThreadCounters of_thread(int tid) {
+  return snapshot(detail::g_counters[tid].value);
+}
+
+void set_trace_hook(detail::TraceFn fn) {
+  detail::g_trace.store(fn, std::memory_order_release);
+}
 
 namespace detail {
 

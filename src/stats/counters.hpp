@@ -9,8 +9,11 @@
 // same NUMA node as the accessing thread. Accesses to the node a thread is
 // itself inserting are excluded (they would artificially inflate locality).
 //
-// Hot-path cost: one TLS lookup plus two or three plain (non-atomic)
-// increments on cache-line-padded per-thread slots.
+// Hot-path cost: one TLS lookup plus two or three plain increments on
+// cache-line-padded per-thread slots. The cells are std::atomic<uint64_t>
+// written with relaxed load+store (identical codegen to a plain increment
+// — no RMW, the cell has a single writer) so the obs timeline sampler can
+// read totals mid-run without a data race.
 #pragma once
 
 #include <array>
@@ -54,7 +57,26 @@ struct ThreadCounters {
 
 namespace detail {
 
-inline std::array<lsg::common::Padded<ThreadCounters>, lsg::numa::kMaxThreads>
+/// Per-thread storage mirroring ThreadCounters field-for-field. Single
+/// writer (the owning thread); concurrent readers use relaxed loads.
+struct AtomicCounters {
+  std::atomic<uint64_t> local_reads{0};
+  std::atomic<uint64_t> remote_reads{0};
+  std::atomic<uint64_t> local_cas{0};
+  std::atomic<uint64_t> remote_cas{0};
+  std::atomic<uint64_t> cas_success{0};
+  std::atomic<uint64_t> cas_failure{0};
+  std::atomic<uint64_t> nodes_traversed{0};
+  std::atomic<uint64_t> searches{0};
+  std::atomic<uint64_t> operations{0};
+};
+
+/// Owner-only increment readable by samplers: relaxed load+store, no RMW.
+inline void bump(std::atomic<uint64_t>& c) {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+inline std::array<lsg::common::Padded<AtomicCounters>, lsg::numa::kMaxThreads>
     g_counters{};
 
 /// NUMA node per logical thread id, precomputed so the hot path avoids
@@ -64,6 +86,7 @@ inline std::array<int8_t, lsg::numa::kMaxThreads> g_node_of{};
 inline std::atomic<bool> g_heatmaps_enabled{false};
 
 /// Optional per-access trace hook (installed by the cache-model bench).
+/// Cleared by reset() so a hook never leaks across trials or benches.
 using TraceFn = void (*)(const void* addr);
 inline std::atomic<TraceFn> g_trace{nullptr};
 
@@ -90,29 +113,34 @@ void heatmap_cas(int me, int owner);
 /// calling thread's cached identity. Call after ThreadRegistry::configure.
 void sync_topology();
 
-/// Zero all counters (heatmaps too, if enabled). Not thread-safe with
-/// concurrent workers.
+/// Zero all counters (heatmaps too, if enabled) and uninstall any trace
+/// hook. Not thread-safe with concurrent workers.
 void reset();
 
 /// Forget the calling thread's cached identity (call when a thread's logical
 /// id may have been recycled between trials).
 inline void forget_self() { detail::tls.tid = -1; }
 
-/// Sum of all per-thread counters.
+/// Sum of all per-thread counters. Relaxed reads: safe concurrently with
+/// recording threads (the obs sampler calls this mid-run), though then the
+/// fields are mutually inconsistent by a few in-flight increments.
 ThreadCounters total();
 
 ThreadCounters of_thread(int tid);
+
+/// Install/clear the per-access trace hook (cache-model benches).
+void set_trace_hook(detail::TraceFn fn);
 
 /// --- hot-path recording functions -------------------------------------
 
 /// A read of a shared node allocated by `owner_tid`.
 inline void read_access(int owner_tid, const void* addr = nullptr) {
   detail::Tls& me = detail::self();
-  ThreadCounters& c = detail::g_counters[me.tid].value;
+  detail::AtomicCounters& c = detail::g_counters[me.tid].value;
   if (detail::g_node_of[owner_tid] == me.node) {
-    ++c.local_reads;
+    detail::bump(c.local_reads);
   } else {
-    ++c.remote_reads;
+    detail::bump(c.remote_reads);
   }
   if (detail::g_heatmaps_enabled.load(std::memory_order_relaxed)) {
     detail::heatmap_read(me.tid, owner_tid);
@@ -124,33 +152,43 @@ inline void read_access(int owner_tid, const void* addr = nullptr) {
 
 /// A maintenance CAS targeting a node allocated by `owner_tid`.
 /// `on_inserting_node` excludes CASes a thread performs on the node it is
-/// itself inserting (per the paper's counting rule).
+/// itself inserting (per the paper's counting rule). `addr` is the CASed
+/// reference word, forwarded to the trace hook like read_access does so
+/// cache models see write traffic too.
 inline void cas_access(int owner_tid, bool success,
-                       bool on_inserting_node = false) {
+                       bool on_inserting_node = false,
+                       const void* addr = nullptr) {
   if (on_inserting_node) return;
   detail::Tls& me = detail::self();
-  ThreadCounters& c = detail::g_counters[me.tid].value;
+  detail::AtomicCounters& c = detail::g_counters[me.tid].value;
   if (detail::g_node_of[owner_tid] == me.node) {
-    ++c.local_cas;
+    detail::bump(c.local_cas);
   } else {
-    ++c.remote_cas;
+    detail::bump(c.remote_cas);
   }
   if (success) {
-    ++c.cas_success;
+    detail::bump(c.cas_success);
   } else {
-    ++c.cas_failure;
+    detail::bump(c.cas_failure);
   }
   if (detail::g_heatmaps_enabled.load(std::memory_order_relaxed)) {
     detail::heatmap_cas(me.tid, owner_tid);
   }
+  if (auto* fn = detail::g_trace.load(std::memory_order_relaxed)) {
+    fn(addr);
+  }
 }
 
-inline void search_begin() { ++detail::g_counters[detail::self().tid].value.searches; }
+inline void search_begin() {
+  detail::bump(detail::g_counters[detail::self().tid].value.searches);
+}
 
 inline void node_visited() {
-  ++detail::g_counters[detail::self().tid].value.nodes_traversed;
+  detail::bump(detail::g_counters[detail::self().tid].value.nodes_traversed);
 }
 
-inline void op_done() { ++detail::g_counters[detail::self().tid].value.operations; }
+inline void op_done() {
+  detail::bump(detail::g_counters[detail::self().tid].value.operations);
+}
 
 }  // namespace lsg::stats

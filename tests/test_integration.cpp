@@ -3,6 +3,8 @@
 // validating the *relationships* the paper's evaluation rests on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <string>
 
 #include "cachesim/cache.hpp"
@@ -88,9 +90,16 @@ TEST(Integration, LinkedListDegradesWithKeySpace) {
   TrialConfig big_ll = base_cfg("layered_map_ll", 4);
   big_ll.key_space = 1 << 14;
   big_ll.preload_fraction = 0.2;
-  TrialResult s = run_trial(small_ll);
-  TrialResult b = run_trial(big_ll);
-  EXPECT_GT(s.ops_per_ms, b.ops_per_ms * 1.5);
+  // Best-of-two per config: a concurrent ctest job exiting between the two
+  // trials skews a single-shot ratio on small CI machines.
+  auto best = [](const TrialConfig& cfg) {
+    double a = run_trial(cfg).ops_per_ms;
+    double b = run_trial(cfg).ops_per_ms;
+    return std::max(a, b);
+  };
+  double s = best(small_ll);
+  double b = best(big_ll);
+  EXPECT_GT(s, b * 1.5) << "small=" << s << " big=" << b;
 }
 
 TEST(Integration, ReadHeatmapDiagonalDominantForLayered) {
@@ -124,9 +133,13 @@ TEST(Integration, CacheModelShowsLayeredAdvantage) {
   // than the plain skip list under the same workload.
   auto run_with_cache = [](const std::string& algo) {
     lsg::cachesim::ThreadLocalHierarchies::reset();
-    lsg::cachesim::ThreadLocalHierarchies::install();
     TrialConfig cfg = base_cfg(algo, 4);
     cfg.key_space = 1 << 8;
+    // stats::reset() clears the trace hook at trial phase boundaries, so
+    // install it via the measured-phase callback (preload stays unmodeled).
+    cfg.on_measure_start = [] {
+      lsg::cachesim::ThreadLocalHierarchies::install();
+    };
     TrialResult r = run_trial(cfg);
     lsg::cachesim::ThreadLocalHierarchies::uninstall();
     auto agg = lsg::cachesim::ThreadLocalHierarchies::aggregate();

@@ -1,0 +1,359 @@
+// Tests for the telemetry layer (src/obs): histogram bucketing and
+// percentiles, concurrent recording + merge determinism, the timeline
+// sampler, enable gating, event counters, and the JSON exporters.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "numa/pinning.hpp"
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/timeline.hpp"
+#include "stats/counters.hpp"
+
+namespace {
+
+namespace obs = lsg::obs;
+using lsg::numa::ThreadRegistry;
+using lsg::numa::Topology;
+using obs::LatencyHistogram;
+
+struct ObsTest : ::testing::Test {
+  void SetUp() override {
+    ThreadRegistry::configure(Topology::paper_machine());
+    ThreadRegistry::reset();
+    lsg::stats::sync_topology();
+    lsg::stats::reset();
+    obs::forget_self();
+    obs::reset();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+// --- histogram bucketing ---------------------------------------------------
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucket_of(v), v);
+    EXPECT_EQ(LatencyHistogram::bucket_lo(static_cast<unsigned>(v)), v);
+  }
+}
+
+TEST(Histogram, BucketLoIsInverseOfBucketOf) {
+  // The lower bound of v's bucket must map back to the same bucket, and v
+  // must not be below it.
+  for (uint64_t v : {8ull, 9ull, 15ull, 16ull, 100ull, 1000ull, 4095ull,
+                     4096ull, 123456789ull, (1ull << 40) + 17,
+                     ~0ull}) {
+    unsigned idx = LatencyHistogram::bucket_of(v);
+    ASSERT_LT(idx, LatencyHistogram::kBuckets);
+    uint64_t lo = LatencyHistogram::bucket_lo(idx);
+    EXPECT_EQ(LatencyHistogram::bucket_of(lo), idx) << "v=" << v;
+    EXPECT_LE(lo, v) << "v=" << v;
+  }
+}
+
+TEST(Histogram, BucketBoundsAreMonotonic) {
+  unsigned max_idx = LatencyHistogram::bucket_of(~0ull);
+  for (unsigned i = 1; i <= max_idx; ++i) {
+    EXPECT_LT(LatencyHistogram::bucket_lo(i - 1), LatencyHistogram::bucket_lo(i));
+  }
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  // Bucket width / lower bound <= 1/8 = 12.5% for values >= kSubBuckets.
+  unsigned max_idx = LatencyHistogram::bucket_of(~0ull);
+  for (unsigned i = LatencyHistogram::kSubBuckets; i < max_idx; ++i) {
+    uint64_t lo = LatencyHistogram::bucket_lo(i);
+    uint64_t width = LatencyHistogram::bucket_lo(i + 1) - lo;
+    EXPECT_LE(static_cast<double>(width) / static_cast<double>(lo),
+              0.125 + 1e-12)
+        << "bucket " << i;
+  }
+}
+
+TEST(Histogram, CountSumMaxMean) {
+  LatencyHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(Histogram, PercentilesOfKnownDistribution) {
+  // 1..1000 recorded once each: pXX must land within the bucket error of
+  // the exact order statistic.
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_NEAR(static_cast<double>(h.p50()), 500.0, 500.0 * 0.125);
+  EXPECT_NEAR(static_cast<double>(h.p90()), 900.0, 900.0 * 0.125);
+  EXPECT_NEAR(static_cast<double>(h.p99()), 990.0, 990.0 * 0.125);
+  EXPECT_EQ(h.percentile(1.0), 1000u);
+  // Heavily skewed: 999 fast ops, one slow outlier.
+  LatencyHistogram g;
+  for (int i = 0; i < 999; ++i) g.record(5);
+  g.record(1u << 20);
+  EXPECT_EQ(g.p50(), 5u);
+  EXPECT_EQ(g.p90(), 5u);
+  EXPECT_NEAR(static_cast<double>(g.percentile(0.9995)),
+              static_cast<double>(1u << 20), (1u << 20) * 0.125);
+}
+
+TEST(Histogram, PercentileNeverExceedsObservedMax) {
+  LatencyHistogram h;
+  h.record(1000);  // mid of its bucket could exceed 1000
+  for (double q : {0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_LE(h.percentile(q), 1000u) << q;
+  }
+}
+
+TEST(Histogram, MergeMatchesSingleRecorder) {
+  LatencyHistogram a, b, all;
+  for (uint64_t v = 1; v < 500; ++v) {
+    a.record(v * 3);
+    all.record(v * 3);
+  }
+  for (uint64_t v = 1; v < 300; ++v) {
+    b.record(v * 7);
+    all.record(v * 7);
+  }
+  LatencyHistogram merged;
+  merged += a;
+  merged += b;
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.sum(), all.sum());
+  EXPECT_EQ(merged.max(), all.max());
+  EXPECT_EQ(merged.p50(), all.p50());
+  EXPECT_EQ(merged.p99(), all.p99());
+  for (unsigned i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    ASSERT_EQ(merged.bucket_count(i), all.bucket_count(i)) << i;
+  }
+}
+
+// --- telemetry recording ---------------------------------------------------
+
+TEST_F(ObsTest, OpTimingRecordsIntoHistogram) {
+  uint64_t ts = obs::op_begin();
+  EXPECT_NE(ts, 0u);
+  obs::op_end(obs::Op::kContains, ts);
+  EXPECT_EQ(obs::merged_histogram(obs::Op::kContains).count(), 1u);
+  EXPECT_EQ(obs::merged_histogram(obs::Op::kInsert).count(), 0u);
+}
+
+TEST_F(ObsTest, DisabledRecordsNothing) {
+  obs::set_enabled(false);
+  uint64_t ts = obs::op_begin();
+  EXPECT_EQ(ts, 0u);
+  obs::op_end(obs::Op::kContains, ts);  // must be a no-op for ts == 0
+  obs::event(obs::Event::kRetire);
+  obs::event(obs::Event::kNodeAlloc, 10);
+  EXPECT_EQ(obs::merged_histogram(obs::Op::kContains).count(), 0u);
+  obs::EventCounters e = obs::total_events();
+  for (uint64_t v : e.v) EXPECT_EQ(v, 0u);
+  obs::Summary s = obs::summarize();
+  EXPECT_EQ(s.ops[0].count, 0u);
+}
+
+TEST_F(ObsTest, EventCountersAccumulateAndReset) {
+  obs::event(obs::Event::kRetire);
+  obs::event(obs::Event::kRetire);
+  obs::event(obs::Event::kEpochRetire, 5);
+  obs::event(obs::Event::kEpochFree, 2);
+  obs::EventCounters e = obs::total_events();
+  EXPECT_EQ(e[obs::Event::kRetire], 2u);
+  EXPECT_EQ(e[obs::Event::kEpochRetire], 5u);
+  EXPECT_EQ(e.reclaim_pending(), 3u);
+  obs::reset();
+  e = obs::total_events();
+  EXPECT_EQ(e[obs::Event::kRetire], 0u);
+}
+
+TEST_F(ObsTest, ConcurrentRecordingMergesDeterministically) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([i] {
+      while (ThreadRegistry::registered_count() != i) {
+        std::this_thread::yield();
+      }
+      ThreadRegistry::register_self();
+      lsg::stats::forget_self();
+      obs::forget_self();
+      for (int n = 0; n < kPerThread; ++n) {
+        // Deterministic per-thread latencies so the merged distribution is
+        // known exactly regardless of interleaving.
+        obs::detail::g_obs[ThreadRegistry::current()]
+            .hist[static_cast<size_t>(obs::Op::kInsert)]
+            .record(static_cast<uint64_t>(n % 100 + 1));
+        obs::event(obs::Event::kNodeAlloc);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  LatencyHistogram m = obs::merged_histogram(obs::Op::kInsert);
+  EXPECT_EQ(m.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(m.max(), 100u);
+  EXPECT_EQ(obs::total_events()[obs::Event::kNodeAlloc],
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  // Same values recorded single-threaded must yield identical percentiles.
+  LatencyHistogram ref;
+  for (int i = 0; i < kThreads; ++i) {
+    for (int n = 0; n < kPerThread; ++n) {
+      ref.record(static_cast<uint64_t>(n % 100 + 1));
+    }
+  }
+  EXPECT_EQ(m.p50(), ref.p50());
+  EXPECT_EQ(m.p99(), ref.p99());
+}
+
+TEST_F(ObsTest, SummarizeConvertsToMicroseconds) {
+  double cpu = obs::cycles_per_us();
+  ASSERT_GT(cpu, 0.0);
+  auto& h = obs::detail::g_obs[ThreadRegistry::current()]
+                .hist[static_cast<size_t>(obs::Op::kRemove)];
+  h.record(static_cast<uint64_t>(cpu * 100));  // ~100us
+  obs::Summary s = obs::summarize();
+  EXPECT_TRUE(s.valid);
+  const obs::OpSummary& o = s.ops[static_cast<size_t>(obs::Op::kRemove)];
+  EXPECT_EQ(o.count, 1u);
+  EXPECT_NEAR(o.max_us, 100.0, 15.0);
+  EXPECT_NEAR(o.p50_us, 100.0, 15.0);
+}
+
+// --- timeline sampler ------------------------------------------------------
+
+TEST_F(ObsTest, SamplerStartStopWithoutWorkers) {
+  obs::TimelineSampler sampler(obs::TimelineOptions{1, 64});
+  sampler.start();
+  sampler.start();  // idempotent
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sampler.stop();
+  sampler.stop();  // idempotent
+  auto s = sampler.samples();
+  ASSERT_GE(s.size(), 2u);  // immediate first sample + closing sample
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s[i - 1].t_us, s[i].t_us);
+  }
+  // No workers ran: cumulative counters stay flat.
+  EXPECT_EQ(s.back().ops, s.front().ops);
+}
+
+TEST_F(ObsTest, SamplerSeesCounterProgress) {
+  obs::TimelineSampler sampler(obs::TimelineOptions{1, 64});
+  sampler.start();
+  for (int i = 0; i < 1000; ++i) {
+    lsg::stats::op_done();
+    obs::event(obs::Event::kRetire);
+  }
+  sampler.stop();
+  auto s = sampler.samples();
+  ASSERT_GE(s.size(), 2u);
+  EXPECT_EQ(s.back().ops, 1000u);
+  EXPECT_EQ(s.back().events[obs::Event::kRetire], 1000u);
+  EXPECT_EQ(s.front().ops, 0u);  // first sample taken before the work
+}
+
+TEST_F(ObsTest, SamplerRingOverwritesOldest) {
+  obs::TimelineSampler sampler(obs::TimelineOptions{1, 4});
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.stop();
+  auto s = sampler.samples();
+  EXPECT_EQ(s.size(), 4u);  // capped at capacity, newest retained
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s[i - 1].t_us, s[i].t_us);
+  }
+}
+
+TEST(Timeline, SteadyOpsPerMs) {
+  std::vector<obs::TimelineSample> s(5);
+  for (size_t i = 0; i < s.size(); ++i) {
+    s[i].t_us = i * 1000;       // 1ms apart
+    s[i].ops = i * 500;         // 500 ops/ms throughout
+  }
+  EXPECT_NEAR(obs::TimelineSampler::steady_ops_per_ms(s), 500.0, 1e-9);
+  EXPECT_EQ(obs::TimelineSampler::steady_ops_per_ms({}), 0.0);
+}
+
+// --- exporters -------------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST_F(ObsTest, ExportersWriteValidArtifacts) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "lsg_obs_test").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(obs::ensure_dir(dir));
+
+  uint64_t ts = obs::op_begin();
+  obs::op_end(obs::Op::kContains, ts);
+  obs::event(obs::Event::kRetire, 3);
+
+  std::string hist_path = dir + "/h.json";
+  ASSERT_TRUE(obs::write_histograms_json(hist_path));
+  std::string hist = slurp(hist_path);
+  EXPECT_NE(hist.find("\"contains\""), std::string::npos);
+  EXPECT_NE(hist.find("\"cycles_per_us\""), std::string::npos);
+  EXPECT_NE(hist.find("\"p99_us\""), std::string::npos);
+
+  std::vector<obs::TimelineSample> samples(3);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i].t_us = i * 10000;
+    samples[i].ops = i * 100;
+    samples[i].local_reads = i * 80;
+    samples[i].remote_reads = i * 20;
+    samples[i].cas_success = i * 9;
+    samples[i].cas_failure = i * 1;
+  }
+  std::string tl_path = dir + "/t.jsonl";
+  ASSERT_TRUE(obs::write_timeline_jsonl(tl_path, samples));
+  std::string tl = slurp(tl_path);
+  // One JSON object per line, rates derived between samples.
+  EXPECT_EQ(std::count(tl.begin(), tl.end(), '\n'), 3);
+  EXPECT_NE(tl.find("\"ops_per_ms\":10.000"), std::string::npos);
+  EXPECT_NE(tl.find("\"locality\":0.8000"), std::string::npos);
+  EXPECT_NE(tl.find("\"retire\""), std::string::npos);
+
+  ASSERT_TRUE(obs::append_jsonl(dir + "/trials.jsonl", "{\"a\":1}"));
+  ASSERT_TRUE(obs::append_jsonl(dir + "/trials.jsonl", "{\"a\":2}"));
+  std::string trials = slurp(dir + "/trials.jsonl");
+  EXPECT_EQ(std::count(trials.begin(), trials.end(), '\n'), 2);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObsTest, TrialIdsAreUniqueAndLabelled) {
+  std::string a = obs::next_trial_id("algo", 8);
+  std::string b = obs::next_trial_id("algo", 8);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.rfind("algo_t8_", 0), 0u);
+}
+
+TEST(ObsExport, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+}  // namespace

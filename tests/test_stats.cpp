@@ -158,12 +158,37 @@ TEST(Heatmap, AsciiNonEmpty) {
 TEST_F(StatsTest, TraceHookReceivesAddresses) {
   static const void* last;
   last = nullptr;
-  stats::detail::g_trace.store(
-      [](const void* p) { last = p; });
+  stats::set_trace_hook([](const void* p) { last = p; });
   int x;
   stats::read_access(0, &x);
   EXPECT_EQ(last, &x);
-  stats::detail::g_trace.store(nullptr);
+  stats::set_trace_hook(nullptr);
+}
+
+TEST_F(StatsTest, TraceHookReceivesCasAddresses) {
+  static const void* last;
+  last = nullptr;
+  stats::set_trace_hook([](const void* p) { last = p; });
+  int x;
+  stats::cas_access(0, true, false, &x);
+  EXPECT_EQ(last, &x);
+  // Without an address the hook still fires with nullptr (consumers like
+  // the cachesim filter those out).
+  stats::cas_access(0, false);
+  EXPECT_EQ(last, nullptr);
+  stats::set_trace_hook(nullptr);
+}
+
+TEST_F(StatsTest, ResetClearsTraceHook) {
+  static int calls;
+  calls = 0;
+  stats::set_trace_hook([](const void*) { ++calls; });
+  int x;
+  stats::read_access(0, &x);
+  EXPECT_EQ(calls, 1);
+  stats::reset();
+  stats::read_access(0, &x);
+  EXPECT_EQ(calls, 1);  // hook is trial-scoped state, cleared by reset
 }
 
 }  // namespace

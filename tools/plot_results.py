@@ -1,22 +1,47 @@
 #!/usr/bin/env python3
-"""ASCII-plot throughput series from the benches' LSG_CSV output.
+"""ASCII-plot bench results without a plotting stack (stdlib only).
 
-Usage:
-    LSG_CSV=fig2.csv ./build/bench/bench_fig2_hc_wh
+Three modes:
+
+CSV throughput series (legacy, from the benches' LSG_CSV output):
     tools/plot_results.py fig2.csv [--metric ops_per_ms]
+one lane per algorithm, thread count on the x axis.
 
-Renders one lane per algorithm (thread count on the x axis, bar length
-proportional to the metric), which is enough to eyeball the crossovers the
-paper's figures show without a plotting stack.
+Latency percentiles (from the telemetry layer's trials.jsonl records,
+produced by `lsg_cli --obs` / LSG_OBS=1):
+    tools/plot_results.py latency obs_out/trials.jsonl [--op insert]
+one bar per (algorithm, threads, percentile).
+
+Throughput over time (from a per-trial *_timeline.jsonl artifact):
+    tools/plot_results.py timeline obs_out/<id>_timeline.jsonl \
+        [--metric ops_per_ms]
+one row per timeline sample; also works for locality, cas_success_rate,
+reclaim_pending or any cumulative event column.
 """
 
 import argparse
 import csv
+import json
+import os
 import sys
 from collections import defaultdict
 
+WIDTH = 60
 
-def load(path, metric):
+MODES = ("latency", "timeline")
+PERCENTILE_KEYS = ["p50", "p90", "p99", "p999"]
+
+
+def bar(value, peak, width=WIDTH):
+    if peak <= 0:
+        return ""
+    return "#" * max(1, round(width * value / peak))
+
+
+# --- legacy CSV mode --------------------------------------------------------
+
+
+def load_csv(path, metric):
     series = defaultdict(list)  # algorithm -> [(threads, value)]
     with open(path, newline="") as f:
         for row in csv.DictReader(f):
@@ -31,7 +56,7 @@ def load(path, metric):
     return series
 
 
-def render(series, metric, width=60):
+def render_csv(series, metric):
     peak = max(v for pts in series.values() for _, v in pts)
     if peak <= 0:
         sys.exit("nothing to plot")
@@ -39,17 +64,111 @@ def render(series, metric, width=60):
     for algo in sorted(series):
         print(f"\n{algo}")
         for threads, value in series[algo]:
-            bar = "#" * max(1, round(width * value / peak))
-            print(f"  {threads:>4} | {bar} {value:.1f}")
+            print(f"  {threads:>4} | {bar(value, peak)} {value:.1f}")
+
+
+# --- latency mode (trials.jsonl) -------------------------------------------
+
+
+def load_trials(path):
+    trials = []
+    with open(path) as f:
+        for n, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                trials.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{n}: bad JSON record: {e}")
+    if not trials:
+        sys.exit(f"{path}: no trial records")
+    return trials
+
+
+def render_latency(trials, op_filter, percentiles):
+    rows = []  # (label, percentile, value_us)
+    for t in trials:
+        lat = t.get("obs", {}).get("latency_us", {})
+        if not lat:
+            continue
+        label = f"{t.get('algorithm', '?')} t{t.get('threads', '?')}"
+        for op, stats in sorted(lat.items()):
+            if op_filter and op != op_filter:
+                continue
+            for p in percentiles:
+                if p in stats:
+                    rows.append((f"{label} {op}", p, stats[p]))
+    if not rows:
+        sys.exit(
+            "no latency data (were the trials run with --obs / LSG_OBS=1"
+            + (f" and do they include op '{op_filter}'" if op_filter else "")
+            + ")?"
+        )
+    peak = max(v for _, _, v in rows)
+    width = max(len(label) for label, _, _ in rows)
+    print(f"latency, us (full bar = {peak:.2f})")
+    last = None
+    for label, p, v in rows:
+        if label != last:
+            print(f"\n{label}")
+            last = label
+        print(f"  {p:>5} | {bar(v, peak)} {v:.2f}")
+    del width
+
+
+def render_timeline(path, metric):
+    samples = load_trials(path)
+    points = []
+    for s in samples:
+        if metric not in s:
+            sys.exit(f"{path}: sample has no '{metric}' "
+                     f"(columns: {', '.join(sorted(samples[0]))})")
+        points.append((s.get("t_us", 0), float(s[metric])))
+    peak = max(v for _, v in points)
+    print(f"{metric} over time (full bar = {peak:.1f})")
+    print(f"{'t_ms':>8}")
+    for t_us, v in points:
+        print(f"{t_us / 1000.0:>8.1f} | {bar(v, peak)} {v:.1f}")
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("csv_path")
-    ap.add_argument("--metric", default="ops_per_ms")
+    ap.add_argument("mode_or_path",
+                    help="'latency', 'timeline', or a CSV path (legacy)")
+    ap.add_argument("path", nargs="?", help="input file for latency/timeline")
+    ap.add_argument("--metric", default=None,
+                    help="CSV column or timeline field (default ops_per_ms)")
+    ap.add_argument("--op", default=None,
+                    help="latency mode: only this op (insert, contains, ...)")
+    ap.add_argument("--percentiles", default="p50,p90,p99,p999",
+                    help="latency mode: comma list out of p50,p90,p99,p999")
     args = ap.parse_args()
-    render(load(args.csv_path, args.metric), args.metric)
+
+    for p in (args.path, None if args.mode_or_path in MODES else args.mode_or_path):
+        if p and not os.path.exists(p):
+            sys.exit(f"error: no such file: {p}")
+
+    metric = args.metric or "ops_per_ms"
+    if args.mode_or_path == "latency":
+        if not args.path:
+            sys.exit("latency mode needs a trials.jsonl path")
+        pcts = [p for p in args.percentiles.split(",") if p]
+        for p in pcts:
+            if p not in PERCENTILE_KEYS:
+                sys.exit(f"unknown percentile '{p}' "
+                         f"(choose from {','.join(PERCENTILE_KEYS)})")
+        render_latency(load_trials(args.path), args.op, pcts)
+    elif args.mode_or_path == "timeline":
+        if not args.path:
+            sys.exit("timeline mode needs a *_timeline.jsonl path")
+        render_timeline(args.path, metric)
+    else:
+        render_csv(load_csv(args.mode_or_path, metric), metric)
 
 
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
