@@ -11,6 +11,7 @@
 #include "local/robin_hood.hpp"
 #include "local/std_map.hpp"
 #include "numa/pinning.hpp"
+#include "skipgraph/skip_graph.hpp"
 #include "skiplist/lockfree_skiplist.hpp"
 
 namespace {
@@ -95,6 +96,65 @@ void BM_CacheModelAccess(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CacheModelAccess);
+
+// The per-visit cost microbenchmark: a MaxLevel-0 skip graph is one long
+// bottom-level list, so every contains() walks ~n/2 shared nodes. The arg
+// is log2(list size) and selects what dominates a visit: at /8 the list is
+// L1-resident and the run time is per-visit instructions — header loads,
+// flag checks, instrumentation — the primary sensor for the hot-path work
+// (packed node header, cached stats recorder). At /13 the list spills to
+// L2/L3 and the dependent next[0] chase dominates, sensing memory layout
+// (node footprint, line-crossing, level-0 prefetch) instead.
+void BM_SkipGraphLevel0Search(benchmark::State& state) {
+  setup_registry();
+  lsg::skipgraph::SgConfig cfg;
+  cfg.max_level = 0;
+  cfg.lazy = false;
+  lsg::skipgraph::SkipGraph<uint64_t, uint64_t> sg(cfg);
+  lsg::common::Xoshiro256 rng(23);
+  const uint64_t n = uint64_t{1} << state.range(0);
+  lsg::skipgraph::SgNode<uint64_t, uint64_t>* fresh = nullptr;
+  auto no_start = []() -> lsg::skipgraph::SgNode<uint64_t, uint64_t>* {
+    return nullptr;
+  };
+  for (uint64_t i = 0; i < n; ++i) {
+    sg.insert_nonlazy(rng.next_bounded(n * 4), i, 0, nullptr, no_start,
+                      &fresh);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sg.contains_from(rng.next_bounded(n * 4), 0, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipGraphLevel0Search)->Arg(8)->Arg(13);
+
+// Sparse (geometric-height) skip graph searched single-threaded: the
+// multi-level descent plus the short level-0 tail walk.
+void BM_SkipGraphSparseSearch(benchmark::State& state) {
+  setup_registry();
+  lsg::skipgraph::SgConfig cfg;
+  cfg.max_level = 13;
+  cfg.sparse = true;
+  cfg.lazy = false;
+  lsg::skipgraph::SkipGraph<uint64_t, uint64_t> sg(cfg);
+  lsg::common::Xoshiro256 rng(29);
+  const uint64_t n = uint64_t{1} << 14;
+  lsg::skipgraph::SgNode<uint64_t, uint64_t>* fresh = nullptr;
+  auto no_start = []() -> lsg::skipgraph::SgNode<uint64_t, uint64_t>* {
+    return nullptr;
+  };
+  for (uint64_t i = 0; i < n; ++i) {
+    sg.insert_nonlazy(rng.next_bounded(n * 2), i, 0, nullptr, no_start,
+                      &fresh);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sg.contains_from(rng.next_bounded(n * 2), 0, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkipGraphSparseSearch);
 
 void BM_SkipListSingleThread(benchmark::State& state) {
   setup_registry();

@@ -1,6 +1,11 @@
 // Shared driver for the throughput figures (Figs. 2-4 and 11-13): sweep
 // every plotted algorithm over the thread counts and print one row per
 // point, exactly the series the paper plots.
+//
+// Per-op dispatch inside the measured phase is static: run_trial makes one
+// virtual run_op_loop call per worker and MapAdapter<M> instantiates the
+// loop body against the concrete structure (harness/imap.hpp), so these
+// figures don't pay a virtual call per operation.
 #pragma once
 
 #include <cstdio>

@@ -72,6 +72,22 @@ class Arena {
     return obj;
   }
 
+  /// Cache-line-aligned variant of create_with_trailing: the object starts
+  /// on a 64-byte boundary, so a packed node header (and the low next[]
+  /// slots that fit beside it) can never straddle cache lines. Costs at
+  /// most kCacheLine-alignof(T) bytes of padding per object.
+  template <class T, class... Args>
+  T* create_with_trailing_aligned(size_t extra_bytes, Args&&... args) {
+    static_assert(alignof(T) <= lsg::common::kCacheLine);
+    void* mem =
+        allocate(sizeof(T) + extra_bytes, lsg::common::kCacheLine);
+    T* obj = ::new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      register_destructor(obj, [](void* p) { static_cast<T*>(p)->~T(); });
+    }
+    return obj;
+  }
+
   /// Destroy all registered objects and free every chunk. Not thread-safe;
   /// callers must guarantee no concurrent access (structure destruction).
   void release_all();

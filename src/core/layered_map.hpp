@@ -21,6 +21,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -33,6 +34,13 @@
 #include "stats/counters.hpp"
 
 namespace lsg::core {
+
+namespace detail {
+/// Process-wide id source for LayeredMap instances. Ids are never reused,
+/// so a thread-local (map id, LocalState*) cache can never alias a new map
+/// that happens to be constructed at a destroyed map's address.
+inline std::atomic<uint64_t> g_layered_map_ids{1};
+}  // namespace detail
 
 struct LayeredOptions {
   int num_threads = 1;
@@ -132,7 +140,14 @@ class LayeredMap {
       ls.map.insert(key, fresh);
       if (opts_.use_hashtable) ls.table.insert(key, fresh);
       if (opts_.use_neighbor_hints) {
-        hints_[ls.tid].value.store(fresh, std::memory_order_release);
+        // The owning thread is the slot's only writer, so a plain load is
+        // enough to detect the nullptr -> non-null transition that feeds
+        // the published-hint count (borrow_hint's early-out).
+        auto& slot = hints_[ls.tid].value;
+        if (slot.load(std::memory_order_relaxed) == nullptr) {
+          hints_published_.fetch_add(1, std::memory_order_relaxed);
+        }
+        slot.store(fresh, std::memory_order_release);
       }
     }
     lsg::stats::op_done();
@@ -281,7 +296,24 @@ class LayeredMap {
     return cfg;
   }
 
+  /// Per-operation local-structure lookup. The registry query and the
+  /// unique_ptr null-check are hoisted behind a thread-local cache keyed on
+  /// (map instance id, registry generation): one thread_local access plus
+  /// two compares on the fast path. The map id is globally unique (never
+  /// reused), so a stale cache from a destroyed map can never match; the
+  /// generation invalidates the cache when logical thread ids are recycled
+  /// (ThreadRegistry::configure/reset/unregister_self).
   LocalState& local_state() {
+    struct Cache {
+      uint64_t map_id = 0;
+      uint64_t reg_gen = 0;
+      LocalState* ls = nullptr;
+    };
+    thread_local Cache cache;
+    const uint64_t gen = lsg::numa::ThreadRegistry::generation();
+    if (cache.map_id == map_id_ && cache.reg_gen == gen) [[likely]] {
+      return *cache.ls;
+    }
     int tid = lsg::numa::ThreadRegistry::current();
     auto& slot = locals_[tid];
     if (!slot) {
@@ -289,6 +321,9 @@ class LayeredMap {
       slot->membership = assigner_.vector_of(tid);
       slot->tid = tid;
     }
+    cache.map_id = map_id_;
+    cache.reg_gen = gen;
+    cache.ls = slot.get();
     return *slot;
   }
 
@@ -317,7 +352,7 @@ class LayeredMap {
       Node* n = it.value();
       lsg::stats::read_access(n->owner, n);
       if (!n->get_mark(0) || !n->get_mark(n->height)) {
-        if (!n->inserted.load(std::memory_order_acquire)) {
+        if (!n->fully_inserted()) {
           LocalIter fstart = update_start(ls, it.prev());
           Node* fnode = fstart.valid() ? fstart.value() : nullptr;
           auto refresh = [&]() -> Node* {
@@ -351,7 +386,7 @@ class LayeredMap {
       Node* n = it.value();
       lsg::stats::read_access(n->owner, n);
       if (!n->get_mark(0) || !n->get_mark(n->height)) {
-        if (n->inserted.load(std::memory_order_acquire)) return it;
+        if (n->fully_inserted()) return it;
         it = it.prev();  // ignore in-flight insertions
         continue;
       }
@@ -371,6 +406,10 @@ class LayeredMap {
   /// start must never seed a full-height splice.
   Node* borrow_hint(LocalState& ls, const K& key) {
     if (!opts_.use_neighbor_hints) return nullptr;
+    // Until anyone has published, skip the O(T) slot scan entirely. A hint
+    // published concurrently with this relaxed read may be missed once —
+    // benign, the search just starts from the head as before.
+    if (hints_published_.load(std::memory_order_relaxed) == 0) return nullptr;
     const int my_node = lsg::numa::ThreadRegistry::node_of(ls.tid);
     Node* best = nullptr;
     bool best_local = false;
@@ -382,7 +421,7 @@ class LayeredMap {
       // Strictly preceding only: starting AT an equal-key node would hide
       // it from the search and let an insert create a duplicate.
       if (h == nullptr || !(h->key < key) || h->get_mark(0) ||
-          !h->inserted.load(std::memory_order_acquire)) {
+          !h->fully_inserted()) {
         continue;
       }
       bool local = lsg::numa::ThreadRegistry::node_of(t) == my_node;
@@ -399,9 +438,13 @@ class LayeredMap {
   LayeredOptions opts_;
   lsg::numa::MembershipAssigner assigner_;
   SG sg_;
+  const uint64_t map_id_ =
+      detail::g_layered_map_ids.fetch_add(1, std::memory_order_relaxed);
   std::array<std::unique_ptr<LocalState>, lsg::numa::kMaxThreads> locals_{};
   std::array<lsg::common::Padded<std::atomic<Node*>>, lsg::numa::kMaxThreads>
       hints_{};
+  /// Number of hint slots that have ever become non-null (never decreases).
+  std::atomic<int> hints_published_{0};
 };
 
 }  // namespace lsg::core

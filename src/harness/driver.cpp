@@ -16,17 +16,6 @@
 #include "stats/heatmap.hpp"
 
 namespace lsg::harness {
-namespace {
-
-struct WorkerTally {
-  uint64_t ops = 0;
-  uint64_t succ_inserts = 0;
-  uint64_t succ_removes = 0;
-  uint64_t attempted_updates = 0;
-  uint64_t contains_ops = 0;
-};
-
-}  // namespace
 
 TrialResult run_trial(const TrialConfig& cfg) {
   return run_trial(cfg,
@@ -54,7 +43,7 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   const uint64_t preload_target = static_cast<uint64_t>(
       static_cast<double>(cfg.key_space) * cfg.preload_fraction);
 
-  std::vector<WorkerTally> tallies(T);
+  std::vector<OpTally> tallies(T);
   std::vector<std::thread> workers;
   workers.reserve(T);
 
@@ -100,36 +89,10 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
       }
 
       ThreadWorkload wl(cfg, i);
-      WorkerTally t;
-      while (!stop.load(std::memory_order_relaxed)) {
-        for (int batch = 0; batch < 32; ++batch) {
-          ThreadWorkload::Op op = wl.next();
-          bool ok = false;
-          // op_begin returns 0 (and op_end no-ops) unless obs is recording.
-          uint64_t ts = lsg::obs::op_begin();
-          switch (op.kind) {
-            case ThreadWorkload::Kind::kInsert:
-              ok = map->insert(op.key, op.key);
-              lsg::obs::op_end(lsg::obs::Op::kInsert, ts);
-              ++t.attempted_updates;
-              if (ok) ++t.succ_inserts;
-              break;
-            case ThreadWorkload::Kind::kRemove:
-              ok = map->remove(op.key);
-              lsg::obs::op_end(lsg::obs::Op::kRemove, ts);
-              ++t.attempted_updates;
-              if (ok) ++t.succ_removes;
-              break;
-            case ThreadWorkload::Kind::kContains:
-              ok = map->contains(op.key);
-              lsg::obs::op_end(lsg::obs::Op::kContains, ts);
-              ++t.contains_ops;
-              break;
-          }
-          wl.report(op, ok);
-          ++t.ops;
-        }
-      }
+      OpTally t;
+      // One virtual call for the whole measured phase; MapAdapter's
+      // override runs the loop with static per-op dispatch (imap.hpp).
+      map->run_op_loop(wl, stop, t);
       tallies[i] = t;
     });
   }

@@ -1,16 +1,78 @@
 // Uniform map interface used by the measurement harness and benches so the
 // paper's full algorithm roster can be driven by one loop.
+//
+// The measured inner loop is devirtualized: run_op_loop() is ONE virtual
+// call per trial, and MapAdapter<M>'s override instantiates the loop body
+// against the concrete M, so the per-operation dispatch inside the measured
+// phase is static (inlinable) instead of three virtual calls per op. The
+// numbers the harness reports are therefore the structures', not the
+// harness's.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
 
+#include "harness/workload.hpp"
+#include "obs/telemetry.hpp"
+
 namespace lsg::harness {
 
 using Key = uint64_t;
 using Value = uint64_t;
+
+/// Per-worker outcome counts from one measured phase.
+struct OpTally {
+  uint64_t ops = 0;
+  uint64_t succ_inserts = 0;
+  uint64_t succ_removes = 0;
+  uint64_t attempted_updates = 0;
+  uint64_t contains_ops = 0;
+};
+
+namespace detail {
+
+/// The measured inner loop, shared by the static (MapAdapter) and dynamic
+/// (plain IMap) paths so both execute identical per-op bookkeeping. `stop`
+/// is polled once per 32-op batch, matching the driver's historical
+/// batching so op totals stay comparable across harness versions.
+template <class M>
+void run_op_loop_impl(M& map, ThreadWorkload& wl,
+                      const std::atomic<bool>& stop, OpTally& t) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    for (int batch = 0; batch < 32; ++batch) {
+      ThreadWorkload::Op op = wl.next();
+      bool ok = false;
+      // op_begin returns 0 (and op_end no-ops) unless obs is recording.
+      uint64_t ts = lsg::obs::op_begin();
+      switch (op.kind) {
+        case ThreadWorkload::Kind::kInsert:
+          ok = map.insert(op.key, op.key);
+          lsg::obs::op_end(lsg::obs::Op::kInsert, ts);
+          ++t.attempted_updates;
+          if (ok) ++t.succ_inserts;
+          break;
+        case ThreadWorkload::Kind::kRemove:
+          ok = map.remove(op.key);
+          lsg::obs::op_end(lsg::obs::Op::kRemove, ts);
+          ++t.attempted_updates;
+          if (ok) ++t.succ_removes;
+          break;
+        case ThreadWorkload::Kind::kContains:
+          ok = map.contains(op.key);
+          lsg::obs::op_end(lsg::obs::Op::kContains, ts);
+          ++t.contains_ops;
+          break;
+      }
+      wl.report(op, ok);
+      ++t.ops;
+    }
+  }
+}
+
+}  // namespace detail
 
 class IMap {
  public:
@@ -21,6 +83,14 @@ class IMap {
   /// Called once per worker before the measured phase.
   virtual void thread_init() {}
   virtual const std::string& name() const = 0;
+
+  /// Run the measured phase's operation loop until `stop`. The base
+  /// implementation dispatches every op through the virtual interface;
+  /// MapAdapter overrides it with a statically-dispatched instantiation.
+  virtual void run_op_loop(ThreadWorkload& wl, const std::atomic<bool>& stop,
+                           OpTally& tally) {
+    detail::run_op_loop_impl(*this, wl, stop, tally);
+  }
 };
 
 /// Adapts any map-shaped class (insert/remove/contains) to IMap.
@@ -42,6 +112,13 @@ class MapAdapter final : public IMap {
   }
 
   const std::string& name() const override { return name_; }
+
+  /// Devirtualized measured loop: one virtual call per trial, then static
+  /// calls into M (inlined into the loop body by the optimizer).
+  void run_op_loop(ThreadWorkload& wl, const std::atomic<bool>& stop,
+                   OpTally& tally) override {
+    detail::run_op_loop_impl(impl_, wl, stop, tally);
+  }
 
   M& impl() { return impl_; }
 

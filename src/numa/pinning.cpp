@@ -32,6 +32,8 @@ std::mutex& config_mutex() {
 
 thread_local int tls_id = -1;
 
+std::atomic<uint64_t> g_generation{1};
+
 }  // namespace
 
 void ThreadRegistry::configure(const Topology& topo) {
@@ -39,6 +41,7 @@ void ThreadRegistry::configure(const Topology& topo) {
   state().topo = topo;
   state().pin_order = topo.pin_order();
   state().next_id.store(0, std::memory_order_relaxed);
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
 }
 
 const Topology& ThreadRegistry::topology() { return state().topo; }
@@ -55,11 +58,19 @@ int ThreadRegistry::register_self() {
 
 int ThreadRegistry::current() { return register_self(); }
 
-void ThreadRegistry::unregister_self() { tls_id = -1; }
+void ThreadRegistry::unregister_self() {
+  tls_id = -1;
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
 
 void ThreadRegistry::reset() {
   state().next_id.store(0, std::memory_order_relaxed);
   tls_id = -1;
+  g_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+uint64_t ThreadRegistry::generation() {
+  return g_generation.load(std::memory_order_acquire);
 }
 
 int ThreadRegistry::registered_count() {

@@ -37,6 +37,12 @@ class ThreadRegistry {
   /// Reset all ids. No worker threads may be live.
   static void reset();
 
+  /// Monotonic registration epoch: bumped by configure(), reset(), and
+  /// unregister_self(). Code that caches thread-keyed state (e.g.
+  /// LayeredMap's per-thread LocalState pointer) revalidates against this
+  /// instead of re-resolving current() on every operation.
+  static uint64_t generation();
+
   static int registered_count();
 
   /// NUMA node the given logical thread is pinned to.

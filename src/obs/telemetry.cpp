@@ -36,7 +36,8 @@ const char* event_name(Event e) {
 }
 
 void set_enabled(bool on) {
-  detail::g_enabled.store(on, std::memory_order_relaxed);
+  detail::g_enabled.store(on, std::memory_order_release);
+  detail::g_gen.fetch_add(1, std::memory_order_acq_rel);
 }
 
 bool env_enabled() {
@@ -49,6 +50,7 @@ void reset() {
     for (auto& h : slot.hist) h.clear();
     for (auto& e : slot.events) e.store(0, std::memory_order_relaxed);
   }
+  detail::g_gen.fetch_add(1, std::memory_order_acq_rel);
 }
 
 LatencyHistogram merged_histogram(Op op) {

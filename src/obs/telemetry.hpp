@@ -71,6 +71,12 @@ namespace detail {
 
 inline std::atomic<bool> g_enabled{false};
 
+/// Combined generation gate, mirroring stats::detail::g_gen: bumped by
+/// set_enabled()/reset() so the hot path re-validates one cached handle
+/// (enabled flag + thread id together) with a single relaxed load instead
+/// of loading the flag and branching on the TLS id per access.
+inline std::atomic<uint32_t> g_gen{1};
+
 struct alignas(lsg::common::kCacheLine) ThreadObs {
   std::array<LatencyHistogram, kNumOps> hist{};
   std::array<std::atomic<uint64_t>, kNumEvents> events{};
@@ -79,13 +85,24 @@ inline std::array<ThreadObs, lsg::numa::kMaxThreads> g_obs{};
 
 struct Tls {
   int tid = -1;
+  bool on = false;    // g_enabled snapshot
+  uint32_t gen = 0;   // generation of the snapshot (0 = stale)
 };
 inline thread_local Tls tls;
 
-inline int self_tid() {
-  if (tls.tid < 0) tls.tid = lsg::numa::ThreadRegistry::current();
-  return tls.tid;
+inline Tls& self() {
+  Tls& t = tls;
+  if (t.gen != g_gen.load(std::memory_order_relaxed)) [[unlikely]] {
+    // Generation first (see stats::detail::refresh_tls for the ordering
+    // argument); a racing toggle just forces another refresh.
+    t.gen = g_gen.load(std::memory_order_acquire);
+    t.tid = lsg::numa::ThreadRegistry::current();
+    t.on = g_enabled.load(std::memory_order_acquire);
+  }
+  return t;
 }
+
+inline int self_tid() { return self().tid; }
 
 /// Owner-only increment readable by the sampler: relaxed load+store, no RMW.
 inline void bump(std::atomic<uint64_t>& c, uint64_t by = 1) {
@@ -98,7 +115,7 @@ inline bool enabled() {
 #ifdef LSG_NO_OBS
   return false;
 #else
-  return detail::g_enabled.load(std::memory_order_relaxed);
+  return detail::self().on;
 #endif
 }
 
@@ -113,7 +130,10 @@ void reset();
 
 /// Forget the calling thread's cached id (trial boundaries; mirrors
 /// stats::forget_self).
-inline void forget_self() { detail::tls.tid = -1; }
+inline void forget_self() {
+  detail::tls.tid = -1;
+  detail::tls.gen = 0;
+}
 
 /// --- hot-path recording ------------------------------------------------
 
@@ -139,9 +159,9 @@ inline void event(Event e, uint64_t by = 1) {
   (void)e;
   (void)by;
 #else
-  if (!enabled()) return;
-  detail::bump(detail::g_obs[detail::self_tid()].events[static_cast<size_t>(e)],
-               by);
+  detail::Tls& t = detail::self();
+  if (!t.on) return;
+  detail::bump(detail::g_obs[t.tid].events[static_cast<size_t>(e)], by);
 #endif
 }
 

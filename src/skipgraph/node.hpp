@@ -14,6 +14,14 @@
 // Nodes are variable-height: `height` is the 0-based top level, and the
 // next[] array lives in trailing storage so sparse-skip-graph nodes (mostly
 // height 0) stay small.
+//
+// Header packing (DESIGN.md "hot-path cost model"): the header is laid out
+// so that for word-sized keys/values it occupies exactly 32 bytes — key,
+// value, alloc_ts, then {membership, owner, height, flags} packed into the
+// fourth word. `is_tail` and `inserted` are bits of one atomic flag byte
+// instead of separate (padded) members. Nodes are allocated cache-line
+// aligned, so a level-0 search touches one line per node: key, the flag
+// byte, and next[0..3] all land in the first 64 bytes.
 #pragma once
 
 #include <atomic>
@@ -36,14 +44,17 @@ template <class K, class V>
 struct SgNode {
   using TP = lsg::common::TaggedPtr<SgNode>;
 
+  // Bits of `flags` (single atomic byte; see accessors below).
+  static constexpr uint8_t kFlagInserted = 1u << 0;  // all levels linked?
+  static constexpr uint8_t kFlagTail = 1u << 1;
+
   K key{};
   V value{};
+  uint64_t alloc_ts = 0;    // commission-period reference point
   uint32_t membership = 0;  // inherited from the inserting thread
   uint16_t owner = 0;       // logical thread id of the allocating thread
   uint8_t height = 0;       // 0-based top level; next[0..height] are live
-  bool is_tail = false;
-  uint64_t alloc_ts = 0;    // commission-period reference point
-  std::atomic<bool> inserted{false};  // all levels linked?
+  std::atomic<uint8_t> flags{0};
 
   std::atomic<uintptr_t>* next_array() {
     return reinterpret_cast<std::atomic<uintptr_t>*>(this + 1);
@@ -52,12 +63,46 @@ struct SgNode {
     return reinterpret_cast<const std::atomic<uintptr_t>*>(this + 1);
   }
 
+  // --- packed flag accessors ---------------------------------------------
+  // The tail bit is set once at construction, before the node is published,
+  // so relaxed loads suffice. The inserted bit is release-published by the
+  // finishing inserter and acquire-consumed by readers that follow the
+  // node's tower (exactly the old std::atomic<bool> protocol, one byte
+  // narrower). fetch_or keeps a concurrent helper's set idempotent.
+
+  bool is_tail() const {
+    return (flags.load(std::memory_order_relaxed) & kFlagTail) != 0;
+  }
+  void set_tail() {
+    flags.store(flags.load(std::memory_order_relaxed) | kFlagTail,
+                std::memory_order_relaxed);
+  }
+  bool fully_inserted() const {
+    return (flags.load(std::memory_order_acquire) & kFlagInserted) != 0;
+  }
+  void set_inserted() {
+    flags.fetch_or(kFlagInserted, std::memory_order_release);
+  }
+
+  /// Prefetch the level-0 successor's first cache line (key + flag byte +
+  /// low next[] slots). Issued one node ahead during level-0 walks so the
+  /// dependent-load chain overlaps the comparison (Skiplists-with-Foresight
+  /// style; read intent, high temporal locality).
+  void prefetch_next0() const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(TP::ptr(next_array()[0].load(std::memory_order_relaxed)),
+                       /*rw=*/0, /*locality=*/3);
+#endif
+  }
+
   /// Allocate a node with storage for height+1 next references, all
   /// initialized to `init_next` (typically the tail, unmarked+valid).
+  /// Cache-line aligned so the packed header and the low next[] slots share
+  /// the node's first line.
   static SgNode* create(lsg::alloc::Arena& arena, const K& key, const V& value,
                         uint32_t membership, unsigned height,
                         SgNode* init_next) {
-    SgNode* n = arena.create_with_trailing<SgNode>(
+    SgNode* n = arena.create_with_trailing_aligned<SgNode>(
         (height + 1) * sizeof(std::atomic<uintptr_t>));
     n->key = key;
     n->value = value;
@@ -179,6 +224,11 @@ struct SgNode {
     }
   }
 };
+
+// For word-sized keys and values the header is exactly half a cache line,
+// so next[0..3] share the node's first 64 bytes (create() aligns nodes to
+// the line). tests/test_skipgraph.cpp checks the field offsets.
+static_assert(sizeof(SgNode<uint64_t, uint64_t>) == 32);
 
 /// Instrumented CAS on an arbitrary reference slot (head-array slots are
 /// attributed to thread 0, mirroring the paper's convention for Fig. 8).

@@ -58,8 +58,8 @@ class SkipGraph {
       throw std::invalid_argument("max_level too large");
     }
     tail_ = Node::create(arena_, K{}, V{}, 0, cfg_.max_level, nullptr);
-    tail_->is_tail = true;
-    tail_->inserted.store(true, std::memory_order_relaxed);
+    tail_->set_tail();
+    tail_->set_inserted();
     const size_t slots = (size_t{2} << cfg_.max_level) - 1;
     heads_ = std::make_unique<std::atomic<uintptr_t>[]>(slots);
     for (size_t i = 0; i < slots; ++i) {
@@ -106,7 +106,9 @@ class SkipGraph {
   /// true iff succ[0] is an unmarked node with the goal key.
   bool lazy_relink_search(const K& key, uint32_t m, Node* start,
                           SearchResult& out) {
-    lsg::stats::search_begin();
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
     Node* prev = start;
     const unsigned top = start ? start->height : cfg_.max_level;
     for (int level = static_cast<int>(top); level >= 0; --level) {
@@ -114,12 +116,13 @@ class SkipGraph {
           prev ? prev->slot(level) : head_slot(level, m);
       int slot_owner = prev ? prev->owner : 0;
       uintptr_t original;
-      Node* cur = load_live(slot, slot_owner, level, original);
-      while (!cur->is_tail && cur->key < key) {
+      Node* cur = load_live(wt, slot, slot_owner, level, original);
+      while (!cur->is_tail() && cur->key < key) {
+        if (level == 0) cur->prefetch_next0();
         prev = cur;
         slot = prev->slot(level);
         slot_owner = prev->owner;
-        cur = load_live(slot, slot_owner, level, original);
+        cur = load_live(wt, slot, slot_owner, level, original);
       }
       out.pred_slot[level] = slot;
       out.pred_owner[level] = slot_owner;
@@ -127,14 +130,16 @@ class SkipGraph {
       out.succ[level] = cur;
     }
     Node* s0 = out.succ[0];
-    return !s0->is_tail && s0->key == key && !s0->get_mark(0);
+    return !s0->is_tail() && s0->key == key && !s0->get_mark(0);
   }
 
   /// Alg. 8 (retireSearch): like lazy_relink_search but without tracking
   /// predecessors; returns the first unmarked node with the goal key seen
   /// at any level, or nullptr when no such node exists.
   Node* retire_search(const K& key, uint32_t m, Node* start) {
-    lsg::stats::search_begin();
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
     Node* prev = start;
     const unsigned top = start ? start->height : cfg_.max_level;
     for (int level = static_cast<int>(top); level >= 0; --level) {
@@ -142,14 +147,15 @@ class SkipGraph {
           prev ? prev->slot(level) : head_slot(level, m);
       int slot_owner = prev ? prev->owner : 0;
       uintptr_t original;
-      Node* cur = load_live(slot, slot_owner, level, original);
-      while (!cur->is_tail && cur->key < key) {
+      Node* cur = load_live(wt, slot, slot_owner, level, original);
+      while (!cur->is_tail() && cur->key < key) {
+        if (level == 0) cur->prefetch_next0();
         prev = cur;
         slot = prev->slot(level);
         slot_owner = prev->owner;
-        cur = load_live(slot, slot_owner, level, original);
+        cur = load_live(wt, slot, slot_owner, level, original);
       }
-      if (!cur->is_tail && cur->key == key && !cur->get_mark(0)) {
+      if (!cur->is_tail() && cur->key == key && !cur->get_mark(0)) {
         return cur;
       }
     }
@@ -234,7 +240,7 @@ class SkipGraph {
                          res.pred_owner[0])) {
         *out_new_node = to_insert;  // (I-iv-a); linearized at the CAS
         if (to_insert->height == 0) {
-          to_insert->inserted.store(true, std::memory_order_release);
+          to_insert->set_inserted();
         }
         return true;
       }
@@ -262,7 +268,7 @@ class SkipGraph {
         if (!lazy_relink_search(key, n->membership, start, res) ||
             res.succ[0] != n) {
           // n became unreachable/marked before we linked everything.
-          n->inserted.store(true, std::memory_order_release);
+          n->set_inserted();
           lsg::obs::event(lsg::obs::Event::kFinishInsertAbort);
           return false;
         }
@@ -272,7 +278,7 @@ class SkipGraph {
       uintptr_t old = n->next_raw(level);
       while (TP::ptr(old) != res.succ[level]) {
         if (TP::mark(old)) {  // marked while linking: abort (Alg. 10 l.10)
-          n->inserted.store(true, std::memory_order_release);
+          n->set_inserted();
           lsg::obs::event(lsg::obs::Event::kFinishInsertAbort);
           return false;
         }
@@ -296,7 +302,7 @@ class SkipGraph {
       // CAS failed (or predecessor died): re-search and retry this level.
       start = refresh();
     }
-    n->inserted.store(true, std::memory_order_release);
+    n->set_inserted();
     lsg::obs::event(lsg::obs::Event::kFinishInsert);
     return true;
   }
@@ -350,7 +356,7 @@ class SkipGraph {
         if (to_insert->height > 0) {
           finish_insert(to_insert, start, refresh, &res);
         } else {
-          to_insert->inserted.store(true, std::memory_order_release);
+          to_insert->set_inserted();
         }
         return true;
       }
@@ -386,7 +392,9 @@ class SkipGraph {
   template <class Fn>
   void for_each_in_range(const K& lo, const K& hi, uint32_t m, Node* start,
                          Fn&& fn) {
-    lsg::stats::search_begin();
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
     Node* prev = start;
     const unsigned top = start ? start->height : cfg_.max_level;
     std::atomic<uintptr_t>* slot = nullptr;
@@ -396,23 +404,25 @@ class SkipGraph {
     for (int level = static_cast<int>(top); level >= 0; --level) {
       slot = prev ? prev->slot(level) : head_slot(level, m);
       slot_owner = prev ? prev->owner : 0;
-      cur = load_live(slot, slot_owner, level, original);
-      while (!cur->is_tail && cur->key < lo) {
+      cur = load_live(wt, slot, slot_owner, level, original);
+      while (!cur->is_tail() && cur->key < lo) {
+        if (level == 0) cur->prefetch_next0();
         prev = cur;
         slot = prev->slot(level);
         slot_owner = prev->owner;
-        cur = load_live(slot, slot_owner, level, original);
+        cur = load_live(wt, slot, slot_owner, level, original);
       }
     }
     // Walk the bottom list raw (no cleanup): report live elements in
     // [lo, hi]. Marked/invalid nodes are skipped, not reported.
-    while (cur != nullptr && !cur->is_tail && !(hi < cur->key)) {
+    while (cur != nullptr && !cur->is_tail() && !(hi < cur->key)) {
+      cur->prefetch_next0();
       auto [mk, valid] = cur->mark_valid0();
       if (!mk && valid && !(cur->key < lo)) {
         fn(cur->key, cur->load_value());
       }
-      lsg::stats::node_visited();
-      lsg::stats::read_access(cur->owner, cur);
+      wt.node_visited();
+      wt.read_access(cur->owner, cur);
       cur = cur->next_ptr(0);
     }
   }
@@ -426,7 +436,7 @@ class SkipGraph {
       uintptr_t raw = head_slot(0, 0)->load(std::memory_order_acquire);
       Node* n = TP::ptr(raw);
       bool claimed = false;
-      while (!n->is_tail) {
+      while (!n->is_tail()) {
         auto [mk, valid] = n->mark_valid0();
         if (!mk && valid) {
           bool won = cfg_.lazy
@@ -444,7 +454,7 @@ class SkipGraph {
         n = n->next_ptr(0);
       }
       if (claimed) return true;
-      if (n->is_tail) return false;
+      if (n->is_tail()) return false;
     }
   }
 
@@ -457,7 +467,7 @@ class SkipGraph {
       std::atomic<uintptr_t>* hs = head_slot(level, claimed->membership);
       uintptr_t raw = hs->load(std::memory_order_acquire);
       Node* live = TP::ptr(raw);
-      while (!live->is_tail && live->get_mark(level)) {
+      while (!live->is_tail() && live->get_mark(level)) {
         live = live->next_ptr(level);
       }
       if (live != TP::ptr(raw)) {
@@ -483,7 +493,7 @@ class SkipGraph {
       Node* cur =
           TP::ptr((prev ? prev->slot(level) : head_slot(level, m))
                       ->load(std::memory_order_acquire));
-      while (hops > 0 && !cur->is_tail) {
+      while (hops > 0 && !cur->is_tail()) {
         prev = cur;
         cur = cur->next_ptr(level);
         --hops;
@@ -493,7 +503,7 @@ class SkipGraph {
     Node* cur = prev == nullptr
                     ? TP::ptr(head_slot(0, m)->load(std::memory_order_acquire))
                     : prev;
-    for (unsigned tries = 0; tries < 4 * (spray_width + 1) && !cur->is_tail;
+    for (unsigned tries = 0; tries < 4 * (spray_width + 1) && !cur->is_tail();
          ++tries) {
       auto [mk, valid] = cur->mark_valid0();
       if (!mk && valid) {
@@ -554,7 +564,7 @@ class SkipGraph {
   std::vector<LevelEntry> snapshot_level(unsigned level, uint32_t m) {
     std::vector<LevelEntry> out;
     uintptr_t raw = head_slot(level, m)->load(std::memory_order_acquire);
-    for (Node* n = TP::ptr(raw); !n->is_tail; n = n->next_ptr(level)) {
+    for (Node* n = TP::ptr(raw); !n->is_tail(); n = n->next_ptr(level)) {
       out.push_back(LevelEntry{n->key, n->get_mark(level), n->get_valid0(),
                                n->membership, n->height});
     }
@@ -566,7 +576,7 @@ class SkipGraph {
   std::vector<K> abstract_set() {
     std::vector<K> out;
     uintptr_t raw = head_slot(0, 0)->load(std::memory_order_acquire);
-    for (Node* n = TP::ptr(raw); !n->is_tail; n = n->next_ptr(0)) {
+    for (Node* n = TP::ptr(raw); !n->is_tail(); n = n->next_ptr(0)) {
       auto [mk, valid] = n->mark_valid0();
       if (!mk && valid) out.push_back(n->key);
     }
@@ -578,17 +588,19 @@ class SkipGraph {
  private:
   /// Read `slot`, skipping (and possibly unlinking / retiring) dead nodes;
   /// returns the first live node and the raw value actually stored in the
-  /// slot (`original`, the paper's originalCurrent / middle).
-  Node* load_live(std::atomic<uintptr_t>* slot, int slot_owner, unsigned level,
-                  uintptr_t& original) {
-    lsg::stats::read_access(slot_owner, slot);
+  /// slot (`original`, the paper's originalCurrent / middle). `wt` is the
+  /// caller's walk tally (searches flush counters once, not per visited
+  /// node).
+  Node* load_live(lsg::stats::WalkTally& wt, std::atomic<uintptr_t>* slot,
+                  int slot_owner, unsigned level, uintptr_t& original) {
+    wt.read_access(slot_owner, slot);
     while (true) {
       original = slot->load(std::memory_order_acquire);
       Node* cur = TP::ptr(original);
       bool chain = false;
-      while (!cur->is_tail && (cur->get_mark(0) || check_retire(cur))) {
-        lsg::stats::node_visited();
-        lsg::stats::read_access(cur->owner, cur);
+      while (!cur->is_tail() && (cur->get_mark(0) || check_retire(cur))) {
+        wt.node_visited();
+        wt.read_access(cur->owner, cur);
         if (!cfg_.lazy && !cfg_.relink) {
           // Ablation: per-node splice (textbook). One CAS per dead node.
           uintptr_t nxt = cur->next_raw(level);
@@ -605,7 +617,7 @@ class SkipGraph {
         cur = cur->next_ptr(level);
         chain = true;
       }
-      if (!cur->is_tail && (cur->get_mark(0))) continue;  // splice retry path
+      if (!cur->is_tail() && (cur->get_mark(0))) continue;  // splice retry path
       if (chain && !cfg_.lazy && cfg_.relink && !TP::mark(original)) {
         // Non-lazy relink: substitute the whole marked chain in one CAS.
         // (In the lazy protocol chains are substituted only by inserting
@@ -619,9 +631,9 @@ class SkipGraph {
         // unaffected (someone else changed the slot; they cleaned or
         // inserted).
       }
-      if (!cur->is_tail) {
-        lsg::stats::node_visited();
-        lsg::stats::read_access(cur->owner, cur);
+      if (!cur->is_tail()) {
+        wt.node_visited();
+        wt.read_access(cur->owner, cur);
       }
       return cur;
     }

@@ -50,6 +50,17 @@ class LockFreeSkipList {
     std::atomic<uintptr_t>* slot(unsigned lvl) { return &next_array()[lvl]; }
     bool get_mark(unsigned lvl) const { return TP::mark(next_raw(lvl)); }
 
+    /// Prefetch the level-0 successor's header line (see
+    /// SgNode::prefetch_next0 — same distance-1 pointer-chase overlap).
+    void prefetch_next0() const {
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(
+          TP::ptr(reinterpret_cast<const std::atomic<uintptr_t>*>(this + 1)[0]
+                      .load(std::memory_order_relaxed)),
+          /*rw=*/0, /*locality=*/3);
+#endif
+    }
+
     bool try_mark(unsigned lvl) {
       uintptr_t raw = next_raw(lvl);
       while (true) {
@@ -66,7 +77,7 @@ class LockFreeSkipList {
 
     static Node* create(lsg::alloc::Arena& arena, const K& key, const V& value,
                         unsigned top, Node* init_next) {
-      Node* n = arena.create_with_trailing<Node>(
+      Node* n = arena.create_with_trailing_aligned<Node>(
           (top + 1) * sizeof(std::atomic<uintptr_t>));
       n->key = key;
       n->value = value;
@@ -166,15 +177,18 @@ class LockFreeSkipList {
   }
 
   bool contains(const K& key) {
-    lsg::stats::search_begin();
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
     std::atomic<uintptr_t>* slot = &heads_[max_level_];
     Node* prev = nullptr;
     for (int lvl = static_cast<int>(max_level_); lvl >= 0; --lvl) {
       slot = prev ? prev->slot(lvl) : &heads_[lvl];
       Node* curr = TP::ptr(slot->load(std::memory_order_acquire));
       while (!curr->is_tail && (curr->key < key || curr->get_mark(0))) {
-        lsg::stats::node_visited();
-        lsg::stats::read_access(curr->owner, curr);
+        if (lvl == 0) curr->prefetch_next0();
+        wt.node_visited();
+        wt.read_access(curr->owner, curr);
         if (!(curr->key < key) && curr->get_mark(0)) {
           curr = curr->next_ptr(lvl);
           continue;
@@ -248,22 +262,24 @@ class LockFreeSkipList {
   /// Positions pred/middle/succ at every level, splicing marked chains.
   /// Returns true iff succ[0] is a live node holding `key`.
   bool find(const K& key, Find& f) {
-    lsg::stats::search_begin();
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
   retry:
     Node* prev = nullptr;
     for (int lvl = static_cast<int>(max_level_); lvl >= 0; --lvl) {
       std::atomic<uintptr_t>* slot = prev ? prev->slot(lvl) : &heads_[lvl];
       int slot_owner = prev ? prev->owner : 0;
       uintptr_t raw = slot->load(std::memory_order_acquire);
-      lsg::stats::read_access(slot_owner, slot);
+      wt.read_access(slot_owner, slot);
       while (true) {
         Node* curr = TP::ptr(raw);
         // Splice out any marked chain starting at curr.
         Node* live = curr;
         bool chain = false;
         while (!live->is_tail && live->get_mark(lvl)) {
-          lsg::stats::node_visited();
-          lsg::stats::read_access(live->owner, live);
+          wt.node_visited();
+          wt.read_access(live->owner, live);
           live = live->next_ptr(lvl);
           chain = true;
           if (!relink_) break;
@@ -286,8 +302,9 @@ class LockFreeSkipList {
           f.succ[lvl] = curr;
           break;
         }
-        lsg::stats::node_visited();
-        lsg::stats::read_access(curr->owner, curr);
+        if (lvl == 0) curr->prefetch_next0();
+        wt.node_visited();
+        wt.read_access(curr->owner, curr);
         prev = curr;
         slot = &curr->next_array()[lvl];
         slot_owner = curr->owner;

@@ -9,7 +9,7 @@ void sync_topology() {
     detail::g_node_of[t] =
         static_cast<int8_t>(lsg::numa::ThreadRegistry::node_of(t));
   }
-  detail::tls.tid = -1;
+  detail::bump_generation();
 }
 
 namespace {
@@ -48,6 +48,7 @@ void reset() {
   // A trace hook is trial-scoped state exactly like the counters: clear it
   // so one bench's hook can never observe another bench's accesses.
   detail::g_trace.store(nullptr, std::memory_order_release);
+  detail::bump_generation();
 }
 
 ThreadCounters total() {
@@ -62,9 +63,27 @@ ThreadCounters of_thread(int tid) {
 
 void set_trace_hook(detail::TraceFn fn) {
   detail::g_trace.store(fn, std::memory_order_release);
+  detail::bump_generation();
 }
 
 namespace detail {
+
+void refresh_tls() {
+  Tls& t = tls;
+  // Generation first: a gate flip racing this refresh leaves t.gen stale
+  // and forces another (idempotent) refresh on the next recorder() fetch.
+  t.gen = g_gen.load(std::memory_order_acquire);
+  t.tid = lsg::numa::ThreadRegistry::current();
+  t.node = g_node_of[t.tid];
+  t.c = &g_counters[t.tid].value;
+  t.slow = 0;
+  if (g_heatmaps_enabled.load(std::memory_order_acquire)) {
+    t.slow |= kSlowHeatmaps;
+  }
+  if (g_trace.load(std::memory_order_acquire) != nullptr) {
+    t.slow |= kSlowTrace;
+  }
+}
 
 void heatmap_read(int me, int owner) {
   if (auto* h = lsg::stats::read_heatmap()) {

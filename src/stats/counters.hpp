@@ -9,11 +9,27 @@
 // same NUMA node as the accessing thread. Accesses to the node a thread is
 // itself inserting are excluded (they would artificially inflate locality).
 //
-// Hot-path cost: one TLS lookup plus two or three plain increments on
-// cache-line-padded per-thread slots. The cells are std::atomic<uint64_t>
-// written with relaxed load+store (identical codegen to a plain increment
-// — no RMW, the cell has a single writer) so the obs timeline sampler can
-// read totals mid-run without a data race.
+// Hot-path cost model (DESIGN.md "hot-path cost model"):
+//   - Callers fetch a Recorder handle once per operation (or search) via
+//     recorder(). The fetch is one thread_local access plus one relaxed
+//     atomic load of the combined generation gate; the handle caches the
+//     thread's id, NUMA node, counter row, and a slow-path mask covering
+//     every optional consumer (heatmaps, trace hook).
+//   - Each recorded access through the handle is then one or two plain
+//     relaxed increments plus a single predictable branch on the cached
+//     slow mask — no TLS lookup, no per-access gate loads.
+//   - Gate changes (heatmap toggles, trace-hook installs, topology sync,
+//     reset) bump the generation; handles re-validate at the next fetch.
+//     Gates are trial-scoped (flipped while workers are parked), so a
+//     handle never observes a gate change mid-operation in practice.
+//   - Compile with -DLSG_STATS_LEVEL=0 to compile the instrumentation out
+//     entirely (like LSG_NO_OBS for telemetry): recording functions become
+//     empty, total() reports zeros, and throughput runs measure the
+//     structures themselves.
+// The cells are std::atomic<uint64_t> written with relaxed load+store
+// (identical codegen to a plain increment — no RMW, the cell has a single
+// writer) so the obs timeline sampler can read totals mid-run without a
+// data race.
 #pragma once
 
 #include <array>
@@ -23,7 +39,14 @@
 #include "common/padding.hpp"
 #include "numa/pinning.hpp"
 
+#ifndef LSG_STATS_LEVEL
+#define LSG_STATS_LEVEL 1
+#endif
+
 namespace lsg::stats {
+
+/// 0 = instrumentation compiled out; >= 1 = full counting (default).
+inline constexpr int kStatsLevel = LSG_STATS_LEVEL;
 
 struct ThreadCounters {
   uint64_t local_reads = 0;
@@ -76,6 +99,11 @@ inline void bump(std::atomic<uint64_t>& c) {
   c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
 }
 
+/// Owner-only batched add, same idiom as bump().
+inline void bump_by(std::atomic<uint64_t>& c, uint64_t n) {
+  c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
 inline std::array<lsg::common::Padded<AtomicCounters>, lsg::numa::kMaxThreads>
     g_counters{};
 
@@ -90,27 +118,62 @@ inline std::atomic<bool> g_heatmaps_enabled{false};
 using TraceFn = void (*)(const void* addr);
 inline std::atomic<TraceFn> g_trace{nullptr};
 
+/// Combined generation gate: bumped by every slow-path switch (heatmap
+/// toggles, trace-hook installs), topology syncs, and resets. A cached
+/// recorder handle is valid while its generation matches; one relaxed load
+/// per fetch replaces the per-access gate loads.
+inline std::atomic<uint32_t> g_gen{1};
+
+inline void bump_generation() {
+  g_gen.fetch_add(1, std::memory_order_acq_rel);
+}
+
+// Slow-path mask bits cached in the recorder handle.
+inline constexpr uint8_t kSlowHeatmaps = 1u << 0;
+inline constexpr uint8_t kSlowTrace = 1u << 1;
+
 struct Tls {
   int tid = -1;
   int8_t node = 0;
+  uint8_t slow = 0;   // kSlow* mask snapshot
+  uint32_t gen = 0;   // generation the snapshot was taken at (0 = stale)
+  AtomicCounters* c = nullptr;
 };
 inline thread_local Tls tls;
 
-inline Tls& self() {
-  if (tls.tid < 0) {
-    tls.tid = lsg::numa::ThreadRegistry::current();
-    tls.node = g_node_of[tls.tid];
-  }
-  return tls;
-}
+/// Re-derive the calling thread's cached identity and slow mask. Loads the
+/// generation BEFORE the gates so a concurrent gate flip can only leave the
+/// cached generation stale (forcing another refresh), never a stale mask
+/// under a current generation.
+void refresh_tls();
 
 void heatmap_read(int me, int owner);
 void heatmap_cas(int me, int owner);
 
+/// Optional-consumer dispatch, taken only when the cached slow mask is
+/// non-zero. Inline so the trace-hook path (cache-model benches) stays one
+/// predictable branch + the hook call, like the pre-handle code. Re-checks
+/// the authoritative gates: the mask says "some slow consumer may be
+/// active", the gates decide — counts stay exact even if a handle briefly
+/// outlives a gate flip.
+inline void record_slow(const Tls& t, int owner_tid, bool cas,
+                        const void* addr) {
+  if (g_heatmaps_enabled.load(std::memory_order_relaxed)) {
+    if (cas) {
+      heatmap_cas(t.tid, owner_tid);
+    } else {
+      heatmap_read(t.tid, owner_tid);
+    }
+  }
+  if (auto* fn = g_trace.load(std::memory_order_relaxed)) {
+    fn(addr);
+  }
+}
+
 }  // namespace detail
 
-/// Recompute the thread->node table from the active topology and forget the
-/// calling thread's cached identity. Call after ThreadRegistry::configure.
+/// Recompute the thread->node table from the active topology and invalidate
+/// all cached recorder handles. Call after ThreadRegistry::configure.
 void sync_topology();
 
 /// Zero all counters (heatmaps too, if enabled) and uninstall any trace
@@ -119,7 +182,10 @@ void reset();
 
 /// Forget the calling thread's cached identity (call when a thread's logical
 /// id may have been recycled between trials).
-inline void forget_self() { detail::tls.tid = -1; }
+inline void forget_self() {
+  detail::tls.tid = -1;
+  detail::tls.gen = 0;
+}
 
 /// Sum of all per-thread counters. Relaxed reads: safe concurrently with
 /// recording threads (the obs sampler calls this mid-run), though then the
@@ -131,64 +197,176 @@ ThreadCounters of_thread(int tid);
 /// Install/clear the per-access trace hook (cache-model benches).
 void set_trace_hook(detail::TraceFn fn);
 
-/// --- hot-path recording functions -------------------------------------
+/// --- hot-path recording ------------------------------------------------
 
-/// A read of a shared node allocated by `owner_tid`.
-inline void read_access(int owner_tid, const void* addr = nullptr) {
-  detail::Tls& me = detail::self();
-  detail::AtomicCounters& c = detail::g_counters[me.tid].value;
-  if (detail::g_node_of[owner_tid] == me.node) {
-    detail::bump(c.local_reads);
+/// Cached per-thread recording handle. Fetch once per operation (or search)
+/// with recorder(); every method is then increment-cheap. The handle
+/// borrows the thread's TLS slot, so it must not be shared across threads
+/// or stored beyond the current operation.
+class Recorder {
+ public:
+  /// A read of a shared node allocated by `owner_tid`.
+  void read_access(int owner_tid, const void* addr = nullptr) const {
+    if constexpr (kStatsLevel == 0) {
+      (void)owner_tid;
+      (void)addr;
+      return;
+    } else {
+      detail::Tls& t = *t_;
+      if (detail::g_node_of[owner_tid] == t.node) {
+        detail::bump(t.c->local_reads);
+      } else {
+        detail::bump(t.c->remote_reads);
+      }
+      if (t.slow != 0) [[unlikely]] {
+        detail::record_slow(t, owner_tid, /*cas=*/false, addr);
+      }
+    }
+  }
+
+  /// A maintenance CAS targeting a node allocated by `owner_tid`.
+  /// `on_inserting_node` excludes CASes a thread performs on the node it is
+  /// itself inserting (per the paper's counting rule). `addr` is the CASed
+  /// reference word, forwarded to the trace hook like read_access does so
+  /// cache models see write traffic too.
+  void cas_access(int owner_tid, bool success, bool on_inserting_node = false,
+                  const void* addr = nullptr) const {
+    if constexpr (kStatsLevel == 0) {
+      (void)owner_tid;
+      (void)success;
+      (void)on_inserting_node;
+      (void)addr;
+      return;
+    } else {
+      if (on_inserting_node) return;
+      detail::Tls& t = *t_;
+      if (detail::g_node_of[owner_tid] == t.node) {
+        detail::bump(t.c->local_cas);
+      } else {
+        detail::bump(t.c->remote_cas);
+      }
+      if (success) {
+        detail::bump(t.c->cas_success);
+      } else {
+        detail::bump(t.c->cas_failure);
+      }
+      if (t.slow != 0) [[unlikely]] {
+        detail::record_slow(t, owner_tid, /*cas=*/true, addr);
+      }
+    }
+  }
+
+  void search_begin() const {
+    if constexpr (kStatsLevel >= 1) detail::bump(t_->c->searches);
+  }
+
+  void node_visited() const {
+    if constexpr (kStatsLevel >= 1) detail::bump(t_->c->nodes_traversed);
+  }
+
+  void op_done() const {
+    if constexpr (kStatsLevel >= 1) detail::bump(t_->c->operations);
+  }
+
+ private:
+  friend Recorder recorder();
+  friend class WalkTally;
+  explicit Recorder(detail::Tls* t) : t_(t) {}
+  detail::Tls* t_;
+};
+
+/// Register-resident read/visit tally for one search walk. The per-access
+/// recording above still does a load+store on the same counter cell every
+/// visit, which puts a store-to-load-forwarding chain (~5-6 cycles) on the
+/// walk's critical path — comparable to the L1 pointer chase itself. A
+/// WalkTally accumulates the walk's local/remote reads and node visits in
+/// plain integers and flushes them to the thread's counters once, in its
+/// destructor, so every return path of a search is covered. Totals are
+/// exactly the increments the per-access calls would have made; only the
+/// instant at which a mid-walk sampler sees them moves (by at most one
+/// search). When any slow consumer (heatmap, trace hook) is armed, each
+/// access falls back to the exact per-access path so heatmaps and traces
+/// still observe every access individually.
+///
+/// Borrows the Recorder (and thus the thread's TLS slot): stack-only,
+/// must not outlive the operation.
+class WalkTally {
+ public:
+  explicit WalkTally(const Recorder& r) : r_(r) {}
+  ~WalkTally() {
+    if constexpr (kStatsLevel >= 1) {
+      detail::AtomicCounters& c = *r_.t_->c;
+      if (local_reads_ != 0) detail::bump_by(c.local_reads, local_reads_);
+      if (remote_reads_ != 0) detail::bump_by(c.remote_reads, remote_reads_);
+      if (nodes_ != 0) detail::bump_by(c.nodes_traversed, nodes_);
+    }
+  }
+  WalkTally(const WalkTally&) = delete;
+  WalkTally& operator=(const WalkTally&) = delete;
+
+  /// Tallied equivalent of Recorder::read_access.
+  void read_access(int owner_tid, const void* addr = nullptr) {
+    if constexpr (kStatsLevel == 0) {
+      (void)owner_tid;
+      (void)addr;
+      return;
+    } else {
+      detail::Tls& t = *r_.t_;
+      if (t.slow != 0) [[unlikely]] {
+        r_.read_access(owner_tid, addr);
+        return;
+      }
+      if (detail::g_node_of[owner_tid] == t.node) {
+        ++local_reads_;
+      } else {
+        ++remote_reads_;
+      }
+    }
+  }
+
+  /// Tallied equivalent of Recorder::node_visited.
+  void node_visited() {
+    if constexpr (kStatsLevel >= 1) ++nodes_;
+  }
+
+ private:
+  const Recorder& r_;
+  uint32_t local_reads_ = 0;
+  uint32_t remote_reads_ = 0;
+  uint32_t nodes_ = 0;
+};
+
+/// Fetch the calling thread's recording handle: one thread_local access
+/// plus one relaxed generation load on the fast path.
+inline Recorder recorder() {
+  if constexpr (kStatsLevel == 0) {
+    return Recorder{nullptr};
   } else {
-    detail::bump(c.remote_reads);
-  }
-  if (detail::g_heatmaps_enabled.load(std::memory_order_relaxed)) {
-    detail::heatmap_read(me.tid, owner_tid);
-  }
-  if (auto* fn = detail::g_trace.load(std::memory_order_relaxed)) {
-    fn(addr);
+    detail::Tls& t = detail::tls;
+    if (t.gen != detail::g_gen.load(std::memory_order_relaxed))
+        [[unlikely]] {
+      detail::refresh_tls();
+    }
+    return Recorder{&t};
   }
 }
 
-/// A maintenance CAS targeting a node allocated by `owner_tid`.
-/// `on_inserting_node` excludes CASes a thread performs on the node it is
-/// itself inserting (per the paper's counting rule). `addr` is the CASed
-/// reference word, forwarded to the trace hook like read_access does so
-/// cache models see write traffic too.
+/// --- wrapper entry points (call sites without a hoisted handle) ---------
+
+inline void read_access(int owner_tid, const void* addr = nullptr) {
+  recorder().read_access(owner_tid, addr);
+}
+
 inline void cas_access(int owner_tid, bool success,
                        bool on_inserting_node = false,
                        const void* addr = nullptr) {
-  if (on_inserting_node) return;
-  detail::Tls& me = detail::self();
-  detail::AtomicCounters& c = detail::g_counters[me.tid].value;
-  if (detail::g_node_of[owner_tid] == me.node) {
-    detail::bump(c.local_cas);
-  } else {
-    detail::bump(c.remote_cas);
-  }
-  if (success) {
-    detail::bump(c.cas_success);
-  } else {
-    detail::bump(c.cas_failure);
-  }
-  if (detail::g_heatmaps_enabled.load(std::memory_order_relaxed)) {
-    detail::heatmap_cas(me.tid, owner_tid);
-  }
-  if (auto* fn = detail::g_trace.load(std::memory_order_relaxed)) {
-    fn(addr);
-  }
+  recorder().cas_access(owner_tid, success, on_inserting_node, addr);
 }
 
-inline void search_begin() {
-  detail::bump(detail::g_counters[detail::self().tid].value.searches);
-}
+inline void search_begin() { recorder().search_begin(); }
 
-inline void node_visited() {
-  detail::bump(detail::g_counters[detail::self().tid].value.nodes_traversed);
-}
+inline void node_visited() { recorder().node_visited(); }
 
-inline void op_done() {
-  detail::bump(detail::g_counters[detail::self().tid].value.operations);
-}
+inline void op_done() { recorder().op_done(); }
 
 }  // namespace lsg::stats

@@ -104,12 +104,14 @@ void enable_heatmaps(int num_threads) {
   g_reads = std::make_unique<Heatmap>(num_threads);
   g_cas = std::make_unique<Heatmap>(num_threads);
   detail::g_heatmaps_enabled.store(true, std::memory_order_release);
+  detail::bump_generation();
 }
 
 void disable_heatmaps() {
   detail::g_heatmaps_enabled.store(false, std::memory_order_release);
   g_reads.reset();
   g_cas.reset();
+  detail::bump_generation();
 }
 
 bool heatmaps_enabled() {

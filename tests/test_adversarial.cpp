@@ -86,7 +86,7 @@ TEST_F(AdversarialTest, SearchOverHalfFinishedInsertion) {
   auto refresh = [] { return static_cast<Node*>(nullptr); };
   Node* half = nullptr;
   ASSERT_TRUE(sg.lazy_insert(50, 1, 0b11, nullptr, refresh, &half));
-  ASSERT_FALSE(half->inserted.load());
+  ASSERT_FALSE(half->fully_inserted());
   // Visible to other memberships through the shared bottom list.
   EXPECT_TRUE(sg.contains_from(50, 0b00, nullptr));
   // A duplicate insert linearizes against the half-inserted node.
@@ -107,7 +107,7 @@ TEST_F(AdversarialTest, FinishInsertAbortsWhenNodeDies) {
   sg.remove_helper(n, r);
   ASSERT_TRUE(sg.retire(n));
   EXPECT_FALSE(sg.finish_insert(n, nullptr, refresh));
-  EXPECT_TRUE(n->inserted.load());  // flagged so nobody retries forever
+  EXPECT_TRUE(n->fully_inserted());  // flagged so nobody retries forever
   // Upper levels stay clean.
   EXPECT_EQ(sg.snapshot_level(1, 0).size(), 0u);
 }

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
 #include <map>
 #include <set>
 
 #include "common/bits.hpp"
+#include "common/padding.hpp"
 #include "common/rng.hpp"
 #include "skipgraph/skip_graph.hpp"
 #include "test_util.hpp"
@@ -39,12 +41,62 @@ SgConfig lazy_cfg(unsigned ml, uint64_t commission = 0) {
                   .relink = true};
 }
 
+// --- packed node layout (PR 3 hot-path contract) ------------------------
+// For word-sized keys/values the header must be exactly half a cache line
+// so next[0..3] share the node's first 64 bytes, and the arena must hand
+// out cache-line-aligned nodes so that line never straddles.
+
+static_assert(sizeof(Node) == 32, "SgNode header must stay 32 bytes");
+static_assert(alignof(Node) <= lsg::common::kCacheLine);
+static_assert(offsetof(Node, key) == 0);
+static_assert(offsetof(Node, value) == 8);
+static_assert(offsetof(Node, alloc_ts) == 16);
+static_assert(offsetof(Node, membership) == 24);
+static_assert(offsetof(Node, owner) == 28);
+static_assert(offsetof(Node, height) == 30);
+static_assert(offsetof(Node, flags) == 31);
+
+TEST_F(SkipGraphTest, NodesAreCacheLineAlignedWithHotHeaderInFirstLine) {
+  SG sg(nonlazy(3));
+  Node* n = nullptr;
+  for (uint64_t k = 0; k < 257; ++k) {
+    ASSERT_TRUE(sg.insert_nonlazy(k, k, 0, nullptr, no_start, &n));
+    ASSERT_NE(n, nullptr);
+    auto base = reinterpret_cast<uintptr_t>(n);
+    EXPECT_EQ(base % lsg::common::kCacheLine, 0u) << "node " << k;
+    // next_array() starts right after the 32-byte header: next[0..3] are in
+    // the node's first cache line.
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(n->next_array()), base + 32);
+  }
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(sg.tail()) % lsg::common::kCacheLine,
+            0u);
+}
+
+TEST_F(SkipGraphTest, PackedFlagAccessors) {
+  SG sg(nonlazy(1));
+  Node* n = nullptr;
+  ASSERT_TRUE(sg.insert_nonlazy(5, 50, 0, nullptr, no_start, &n));
+  ASSERT_NE(n, nullptr);
+  EXPECT_FALSE(n->is_tail());
+  EXPECT_TRUE(n->fully_inserted());
+  EXPECT_TRUE(sg.tail()->is_tail());
+  EXPECT_TRUE(sg.tail()->fully_inserted());
+  // set_inserted is idempotent and never disturbs the tail bit.
+  n->set_inserted();
+  EXPECT_TRUE(n->fully_inserted());
+  EXPECT_FALSE(n->is_tail());
+  // Non-flag header fields survived the packing.
+  EXPECT_EQ(n->key, 5u);
+  EXPECT_EQ(n->load_value(), 50u);
+  EXPECT_EQ(n->height, 1u);
+}
+
 TEST_F(SkipGraphTest, NonLazyInsertContainsRemove) {
   SG sg(nonlazy(2));
   Node* n = nullptr;
   EXPECT_TRUE(sg.insert_nonlazy(10, 100, 0b01, nullptr, no_start, &n));
   ASSERT_NE(n, nullptr);
-  EXPECT_TRUE(n->inserted.load());
+  EXPECT_TRUE(n->fully_inserted());
   EXPECT_TRUE(sg.contains_from(10, 0b01, nullptr));
   EXPECT_TRUE(sg.contains_from(10, 0b10, nullptr));  // any membership finds it
   EXPECT_FALSE(sg.insert_nonlazy(10, 100, 0b01, nullptr, no_start, &n));
@@ -116,13 +168,13 @@ TEST_F(SkipGraphTest, LazyInsertLinksBottomOnly) {
   auto refresh = [] { return static_cast<Node*>(nullptr); };
   EXPECT_TRUE(sg.lazy_insert(7, 70, 0b00, nullptr, refresh, &n));
   ASSERT_NE(n, nullptr);
-  EXPECT_FALSE(n->inserted.load());
+  EXPECT_FALSE(n->fully_inserted());
   EXPECT_EQ(sg.snapshot_level(0, 0).size(), 1u);
   EXPECT_EQ(sg.snapshot_level(1, 0).size(), 0u);  // not yet linked up
   EXPECT_TRUE(sg.contains_from(7, 0b00, nullptr));
   // finish_insert completes the upper levels.
   EXPECT_TRUE(sg.finish_insert(n, nullptr, refresh));
-  EXPECT_TRUE(n->inserted.load());
+  EXPECT_TRUE(n->fully_inserted());
   EXPECT_EQ(sg.snapshot_level(1, 0).size(), 1u);
   EXPECT_EQ(sg.snapshot_level(2, 0).size(), 1u);
 }

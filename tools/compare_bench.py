@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON result sets and flag regressions.
+
+Usage:
+  tools/compare_bench.py BEFORE.json AFTER.json [--threshold 0.10]
+  tools/compare_bench.py BENCH_pr3.json AFTER.json   # {before,after} wrapper
+
+Inputs are either raw google-benchmark JSON files (--benchmark_out) or a
+wrapper object {"before": <gbench json>, "after": <gbench json>} like the
+committed BENCH_*.json baselines; for a wrapper passed as BEFORE, its
+"before" member is used (pass the same wrapper as AFTER to use its "after"
+member — i.e. `compare_bench.py BENCH_pr3.json BENCH_pr3.json` rechecks the
+committed pair).
+
+Prints a per-benchmark real_time delta table and exits non-zero when any
+shared benchmark regressed by more than the threshold (default +10%).
+Stdlib only — no pip dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path, member):
+    """-> {benchmark name: real_time ns} from a gbench file or wrapper."""
+    with open(path) as f:
+        doc = json.load(f)
+    if "benchmarks" not in doc:
+        if member in doc and "benchmarks" in doc[member]:
+            doc = doc[member]
+        else:
+            raise SystemExit(
+                f"{path}: neither a google-benchmark JSON file nor a "
+                f"{{before,after}} wrapper with a '{member}' member"
+            )
+    times = {}
+    for b in doc["benchmarks"]:
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        t = float(b["real_time"])
+        # With --benchmark_repetitions=N the same name appears N times;
+        # keep the minimum — the stable statistic on noisy machines (the
+        # committed baselines are per-benchmark minima too).
+        times[b["name"]] = min(times.get(b["name"], t), t)
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("before", help="baseline gbench JSON (or {before,after} wrapper)")
+    ap.add_argument("after", help="candidate gbench JSON (or {before,after} wrapper)")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative real_time increase treated as a regression "
+        "(default 0.10 = +10%%)",
+    )
+    args = ap.parse_args()
+
+    before = load_times(args.before, "before")
+    after = load_times(args.after, "after")
+
+    shared = sorted(set(before) & set(after))
+    if not shared:
+        raise SystemExit("no benchmark names in common; nothing to compare")
+
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':{width}}  {'before':>12}  {'after':>12}  {'delta':>8}")
+    regressions = []
+    for name in shared:
+        b, a = before[name], after[name]
+        delta = (a - b) / b if b else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:{width}}  {b:12.1f}  {a:12.1f}  {delta:+7.1%}{flag}")
+
+    only_before = sorted(set(before) - set(after))
+    only_after = sorted(set(after) - set(before))
+    if only_before:
+        print(f"missing from after: {', '.join(only_before)}")
+    if only_after:
+        print(f"new in after: {', '.join(only_after)}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:+.0%}:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:+.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
