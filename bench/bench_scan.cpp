@@ -1,0 +1,188 @@
+// google-benchmark microbenchmarks for the range subsystem (src/range/):
+// scan_n over preloaded structures at short and long lengths, succ/pred
+// point queries, and sorted bulk_load against the equivalent insert loop.
+// Single-threaded (concurrency behavior is covered by tests and the
+// --scan-frac harness workload); the numbers here track the per-element
+// walk cost and the bulk-load fast-path advantage.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/layered_map.hpp"
+#include "numa/pinning.hpp"
+#include "range/scan.hpp"
+#include "skipgraph/skip_graph_map.hpp"
+#include "skiplist/lockfree_skiplist.hpp"
+
+namespace {
+
+using K = uint64_t;
+using V = uint64_t;
+constexpr uint64_t kSpace = 1 << 14;
+constexpr int kPreload = 4096;
+
+void setup_registry() {
+  static bool done = [] {
+    lsg::numa::ThreadRegistry::configure(
+        lsg::numa::Topology::paper_machine());
+    lsg::stats::sync_topology();
+    return true;
+  }();
+  (void)done;
+}
+
+lsg::core::LayeredOptions layered_opts(bool lazy) {
+  lsg::core::LayeredOptions o;
+  o.num_threads = 1;
+  o.lazy = lazy;
+  return o;
+}
+
+template <class M>
+void preload(M& m, uint64_t seed) {
+  lsg::common::Xoshiro256 rng(seed);
+  for (int i = 0; i < kPreload; ++i) {
+    m.insert(rng.next_bounded(kSpace), i);
+  }
+}
+
+template <class M>
+void run_scan_n(M& m, benchmark::State& state) {
+  setup_registry();
+  preload(m, 23);
+  const size_t len = static_cast<size_t>(state.range(0));
+  lsg::common::Xoshiro256 rng(29);
+  lsg::range::Items<K, V> out;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    lsg::range::scan_n(m, rng.next_bounded(kSpace), len, out);
+    total += out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+
+void BM_ScanN_Layered(benchmark::State& state) {
+  lsg::core::LayeredMap<K, V> m(layered_opts(false));
+  run_scan_n(m, state);
+}
+BENCHMARK(BM_ScanN_Layered)->Arg(16)->Arg(256);
+
+void BM_ScanN_LazyLayered(benchmark::State& state) {
+  lsg::core::LayeredMap<K, V> m(layered_opts(true));
+  run_scan_n(m, state);
+}
+BENCHMARK(BM_ScanN_LazyLayered)->Arg(16)->Arg(256);
+
+void BM_ScanN_SkipList(benchmark::State& state) {
+  lsg::skiplist::LockFreeSkipList<K, V> m(14);
+  run_scan_n(m, state);
+}
+BENCHMARK(BM_ScanN_SkipList)->Arg(16)->Arg(256);
+
+void BM_ScanN_SkipGraph(benchmark::State& state) {
+  lsg::skipgraph::SkipGraphMap<K, V> m(14);
+  run_scan_n(m, state);
+}
+BENCHMARK(BM_ScanN_SkipGraph)->Arg(16)->Arg(256);
+
+template <class M>
+void run_succ_pred(M& m, benchmark::State& state) {
+  setup_registry();
+  preload(m, 31);
+  lsg::common::Xoshiro256 rng(37);
+  for (auto _ : state) {
+    K probe = rng.next_bounded(kSpace);
+    K ok;
+    V ov;
+    benchmark::DoNotOptimize(m.succ(probe, ok, ov));
+    benchmark::DoNotOptimize(m.pred(probe, ok, ov));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+
+void BM_SuccPred_Layered(benchmark::State& state) {
+  lsg::core::LayeredMap<K, V> m(layered_opts(false));
+  run_succ_pred(m, state);
+}
+BENCHMARK(BM_SuccPred_Layered);
+
+void BM_SuccPred_SkipList(benchmark::State& state) {
+  lsg::skiplist::LockFreeSkipList<K, V> m(14);
+  run_succ_pred(m, state);
+}
+BENCHMARK(BM_SuccPred_SkipList);
+
+void BM_SuccPred_SkipGraph(benchmark::State& state) {
+  lsg::skipgraph::SkipGraphMap<K, V> m(14);
+  run_succ_pred(m, state);
+}
+BENCHMARK(BM_SuccPred_SkipGraph);
+
+std::vector<std::pair<K, V>> sorted_items(int n) {
+  std::vector<std::pair<K, V>> items;
+  items.reserve(n);
+  for (int i = 0; i < n; ++i) items.emplace_back(2 * i, i);
+  return items;
+}
+
+/// Native sorted fast path (cursor-linked bottom level).
+void BM_BulkLoad_Layered(benchmark::State& state) {
+  setup_registry();
+  const auto items = sorted_items(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    lsg::core::LayeredMap<K, V> m(layered_opts(false));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(m.bulk_load(items));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BulkLoad_Layered)->Arg(4096);
+
+/// Same items via the plain insert loop (the pre-subsystem baseline).
+void BM_InsertLoad_Layered(benchmark::State& state) {
+  setup_registry();
+  const auto items = sorted_items(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    lsg::core::LayeredMap<K, V> m(layered_opts(false));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(lsg::range::bulk_load_fallback(m, items));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InsertLoad_Layered)->Arg(4096);
+
+void BM_BulkLoad_SkipGraph(benchmark::State& state) {
+  setup_registry();
+  const auto items = sorted_items(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    lsg::skipgraph::SkipGraphMap<K, V> m(14);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(m.bulk_load(items));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BulkLoad_SkipGraph)->Arg(4096);
+
+void BM_InsertLoad_SkipGraph(benchmark::State& state) {
+  setup_registry();
+  const auto items = sorted_items(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    lsg::skipgraph::SkipGraphMap<K, V> m(14);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(lsg::range::bulk_load_fallback(m, items));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InsertLoad_SkipGraph)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "alloc/epoch.hpp"
@@ -80,6 +81,26 @@ class IndexedList {
   }
 
   std::vector<K> keys() { return list_.keys(); }
+
+  // --- range primitives (src/range/) --------------------------------------
+  // Same epoch discipline as the point ops: the guard pins the index
+  // snapshot whose node pointers seed the walk.
+
+  size_t collect_range(const K& lo, const K& hi, size_t limit,
+                       std::vector<std::pair<K, V>>& out) {
+    lsg::alloc::EpochReclaimer::Guard g(reclaimer_);
+    return list_.collect_range(lo, hi, limit, out, start_for(lo));
+  }
+
+  bool succ(const K& key, K& out_key, V& out_value) {
+    lsg::alloc::EpochReclaimer::Guard g(reclaimer_);
+    return list_.succ(key, out_key, out_value, start_for(key));
+  }
+
+  bool pred(const K& key, K& out_key, V& out_value) {
+    lsg::alloc::EpochReclaimer::Guard g(reclaimer_);
+    return list_.pred(key, out_key, out_value, start_for(key));
+  }
 
   /// Number of rebuilds performed so far (tests / diagnostics).
   uint64_t rebuilds() const {

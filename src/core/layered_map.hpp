@@ -25,11 +25,14 @@
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "local/robin_hood.hpp"
 #include "local/std_map.hpp"
 #include "numa/membership.hpp"
 #include "numa/pinning.hpp"
+#include "range/scan.hpp"
 #include "skipgraph/skip_graph.hpp"
 #include "stats/counters.hpp"
 
@@ -264,6 +267,103 @@ class LayeredMap {
     size_t n = 0;
     for_each_range(lo, hi, [&n](const K&, const V&) { ++n; });
     return n;
+  }
+
+  // --- range subsystem (src/range/) ----------------------------------------
+  // The local layers are indexes into the shared graph, not separate data,
+  // so a level-0 walk already covers every thread's elements; the hot layer
+  // contributes the NUMA-local entry point (getStart) rather than extra
+  // results.
+
+  /// One weakly-consistent collect pass over [lo, hi], at most `limit`
+  /// elements, ascending — the raw primitive under the range:: snapshot
+  /// engine. Returns the number appended.
+  size_t collect_range(const K& lo, const K& hi, size_t limit,
+                       std::vector<std::pair<K, V>>& out) {
+    LocalState& ls = local_state();
+    LocalIter it = get_start(ls, lo);
+    Node* start = it.valid() ? it.value() : nullptr;
+    if (start == nullptr) start = borrow_hint(ls, lo);
+    size_t added = 0;
+    // The start node is exclusive in the shared walk; when the local layer
+    // maps `lo` itself, report it here (at most one unmarked node per key,
+    // so the walk cannot add a second copy).
+    if (start != nullptr && start->key == lo && !(hi < lo) && limit > 0) {
+      auto [mk, valid] = start->mark_valid0();
+      if (!mk && valid) {
+        out.emplace_back(start->key, start->load_value());
+        ++added;
+      }
+    }
+    added +=
+        sg_.collect_range(lo, hi, limit - added, membership(ls), start, out);
+    lsg::stats::op_done();
+    return added;
+  }
+
+  /// Snapshot scan of [lo, hi] (bounded double-collect, src/range/scan.hpp).
+  /// Returns whether the collect converged; `out` is sorted either way.
+  bool scan(const K& lo, const K& hi, std::vector<std::pair<K, V>>& out,
+            const lsg::range::ScanOptions& opts = {}) {
+    return lsg::range::scan(*this, lo, hi, out, opts);
+  }
+
+  /// Snapshot scan of the first `n` elements with key >= lo.
+  bool scan_n(const K& lo, size_t n, std::vector<std::pair<K, V>>& out,
+              const lsg::range::ScanOptions& opts = {}) {
+    return lsg::range::scan_n(*this, lo, n, out, opts);
+  }
+
+  /// First element with key strictly greater than `key`. Linearizable the
+  /// way contains is: the element was present at some instant in the call.
+  bool succ(const K& key, K& out_key, V& out_value) {
+    LocalState& ls = local_state();
+    LocalIter it = get_start(ls, key);
+    Node* start = it.valid() ? it.value() : nullptr;
+    if (start == nullptr) start = borrow_hint(ls, key);
+    bool ret = sg_.succ_from(key, membership(ls), start, out_key, out_value);
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  /// Last element with key strictly less than `key`. The local layer's
+  /// getMaxLowerEqual supplies the entry point; an equal-key local hit
+  /// steps back one local association so the shared descent starts
+  /// strictly below the target.
+  bool pred(const K& key, K& out_key, V& out_value) {
+    LocalState& ls = local_state();
+    LocalIter it = get_start(ls, key);
+    if (it.valid() && !(it.key() < key)) it = update_start(ls, it.prev());
+    Node* start = it.valid() ? it.value() : nullptr;
+    if (start == nullptr) start = borrow_hint(ls, key);
+    bool ret = sg_.pred_from(key, membership(ls), start, out_key, out_value);
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  /// Sorted (ascending) bulk load via the shared structure's level-0
+  /// cursor fast path, registering full-height fresh nodes in the calling
+  /// thread's local layer exactly like insert does. Returns the number of
+  /// items that changed the abstract set.
+  size_t bulk_load(const std::vector<std::pair<K, V>>& sorted) {
+    LocalState& ls = local_state();
+    const uint32_t m = membership(ls);
+    size_t added = sg_.bulk_load_sorted(
+        sorted, [m](const K&) { return m; },
+        [&](Node* fresh) {
+          if (fresh->height != sg_.max_level()) return;
+          ls.map.insert(fresh->key, fresh);
+          if (opts_.use_hashtable) ls.table.insert(fresh->key, fresh);
+          if (opts_.use_neighbor_hints) {
+            auto& slot = hints_[ls.tid].value;
+            if (slot.load(std::memory_order_relaxed) == nullptr) {
+              hints_published_.fetch_add(1, std::memory_order_relaxed);
+            }
+            slot.store(fresh, std::memory_order_release);
+          }
+        });
+    lsg::stats::op_done();
+    return added;
   }
 
   /// Abstract set contents; quiescent callers only.

@@ -41,6 +41,9 @@ std::string cli_usage() {
       "  -d MS     duration per run, ms          [200]\n"
       "  -r N      key range (int or 2^x)        [2^14]\n"
       "  -u PCT    requested update percentage   [50]\n"
+      "  --scan-frac PCT  percentage of ops that are range scans, carved\n"
+      "                   out of the read share (update+scan <= 100)  [0]\n"
+      "  --scan-len N     elements per scan (scan_n length)           [64]\n"
       "  -i PCT    initial fill, % of range      [20]\n"
       "  -s SEED   rng seed                      [42]\n"
       "  -n N      runs to average               [1]\n"
@@ -95,6 +98,32 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         return o;
       }
       o.json_path = v;
+    } else if (arg == "--scan-frac") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--scan-frac requires a percentage";
+        return o;
+      }
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0 || n > 100) {
+        o.error = "scan fraction must be in [0, 100]";
+        return o;
+      }
+      o.cfg.scan_pct = static_cast<int>(n);
+    } else if (arg == "--scan-len") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--scan-len requires a length";
+        return o;
+      }
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1) {
+        o.error = "scan length must be positive";
+        return o;
+      }
+      o.cfg.scan_len = static_cast<int>(n);
     } else if (arg == "--obs") {
       o.cfg.collect_obs = true;
     } else if (arg == "--obs-dir") {
@@ -170,6 +199,10 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       o.error = "unknown flag: " + arg;
       return o;
     }
+  }
+  if (o.cfg.update_pct + o.cfg.scan_pct > 100) {
+    o.error = "update percentage + scan fraction must not exceed 100";
+    return o;
   }
   return o;
 }

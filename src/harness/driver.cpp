@@ -145,6 +145,8 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
     r.succ_removes += t.succ_removes;
     r.attempted_updates += t.attempted_updates;
     r.contains_ops += t.contains_ops;
+    r.scan_ops += t.scan_ops;
+    r.scanned_keys += t.scanned_keys;
   }
   r.ops_per_ms = static_cast<double>(r.total_ops) / r.measured_ms;
   r.effective_update_pct =
@@ -193,6 +195,8 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
   if (runs.size() == 1) return avg;
   auto n = static_cast<double>(runs.size());
   avg.total_ops = 0;
+  avg.scan_ops = 0;
+  avg.scanned_keys = 0;
   avg.ops_per_ms = 0;
   avg.effective_update_pct = 0;
   avg.local_reads_per_op = avg.remote_reads_per_op = 0;
@@ -201,6 +205,8 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
   avg.nodes_per_op = 0;
   for (const auto& r : runs) {
     avg.total_ops += r.total_ops;
+    avg.scan_ops += r.scan_ops;
+    avg.scanned_keys += r.scanned_keys;
     avg.ops_per_ms += r.ops_per_ms / n;
     avg.effective_update_pct += r.effective_update_pct / n;
     avg.local_reads_per_op += r.local_reads_per_op / n;
@@ -226,6 +232,15 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
         s.ops[op].max_us = std::max(s.ops[op].max_us, r.obs.ops[op].max_us);
       }
       s.events += r.obs.events;
+      s.scan.count += r.obs.scan.count;
+      s.scan.mean_len += r.obs.scan.mean_len / n;
+      s.scan.p50_len =
+          std::max(s.scan.p50_len, r.obs.scan.p50_len);
+      s.scan.p99_len =
+          std::max(s.scan.p99_len, r.obs.scan.p99_len);
+      s.scan.max_len = std::max(s.scan.max_len, r.obs.scan.max_len);
+      s.scan.mean_passes += r.obs.scan.mean_passes / n;
+      s.scan.max_passes = std::max(s.scan.max_passes, r.obs.scan.max_passes);
       s.steady_ops_per_ms += r.obs.steady_ops_per_ms / n;
     }
     avg.obs = s;

@@ -27,6 +27,8 @@ struct TrialResult {
   uint64_t succ_removes = 0;
   uint64_t attempted_updates = 0;
   uint64_t contains_ops = 0;
+  uint64_t scan_ops = 0;
+  uint64_t scanned_keys = 0;
 
   double ops_per_ms = 0;
   double effective_update_pct = 0;  // successful updates / total ops

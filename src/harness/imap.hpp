@@ -14,14 +14,19 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "harness/workload.hpp"
 #include "obs/telemetry.hpp"
+#include "range/scan.hpp"
 
 namespace lsg::harness {
 
 using Key = uint64_t;
 using Value = uint64_t;
+
+/// Reusable buffer for scan results (per worker; see run_op_loop).
+using ScanBuffer = lsg::range::Items<Key, Value>;
 
 /// Per-worker outcome counts from one measured phase.
 struct OpTally {
@@ -30,9 +35,33 @@ struct OpTally {
   uint64_t succ_removes = 0;
   uint64_t attempted_updates = 0;
   uint64_t contains_ops = 0;
+  uint64_t scan_ops = 0;
+  uint64_t scanned_keys = 0;
 };
 
 namespace detail {
+
+/// scan_n against a concrete map: prefer a native scan_n, then the range
+/// engine over the raw collect_range primitive. Returns how many elements
+/// the scan produced. Maps with neither primitive make kScan a no-op (the
+/// workload never emits scans unless --scan-frac is set, and the CLI rejects
+/// scan fractions for such maps via supports_range()).
+template <class M>
+size_t scan_once(M& m, Key lo, size_t n, ScanBuffer& buf) {
+  if constexpr (requires { m.scan_n(lo, n, buf); }) {
+    m.scan_n(lo, n, buf);
+    return buf.size();
+  } else if constexpr (requires { m.collect_range(lo, Key{}, n, buf); }) {
+    lsg::range::scan_n(m, lo, n, buf);
+    return buf.size();
+  } else {
+    (void)m;
+    (void)lo;
+    (void)n;
+    (void)buf;
+    return 0;
+  }
+}
 
 /// The measured inner loop, shared by the static (MapAdapter) and dynamic
 /// (plain IMap) paths so both execute identical per-op bookkeeping. `stop`
@@ -41,6 +70,7 @@ namespace detail {
 template <class M>
 void run_op_loop_impl(M& map, ThreadWorkload& wl,
                       const std::atomic<bool>& stop, OpTally& t) {
+  ScanBuffer scan_buf;
   while (!stop.load(std::memory_order_relaxed)) {
     for (int batch = 0; batch < 32; ++batch) {
       ThreadWorkload::Op op = wl.next();
@@ -65,6 +95,12 @@ void run_op_loop_impl(M& map, ThreadWorkload& wl,
           lsg::obs::op_end(lsg::obs::Op::kContains, ts);
           ++t.contains_ops;
           break;
+        case ThreadWorkload::Kind::kScan:
+          t.scanned_keys += scan_once(map, op.key, wl.scan_len(), scan_buf);
+          lsg::obs::op_end(lsg::obs::Op::kScan, ts);
+          ++t.scan_ops;
+          ok = true;
+          break;
       }
       wl.report(op, ok);
       ++t.ops;
@@ -80,6 +116,44 @@ class IMap {
   virtual bool insert(Key key, Value value) = 0;
   virtual bool remove(Key key) = 0;
   virtual bool contains(Key key) = 0;
+
+  /// --- range interface (src/range/). Defaults: unsupported. -------------
+  /// True when the variant exposes the range primitives below.
+  virtual bool supports_range() const { return false; }
+  /// Snapshot scan of [lo, hi]; returns the number of elements in `out`.
+  virtual size_t scan(Key lo, Key hi, ScanBuffer& out) {
+    (void)lo;
+    (void)hi;
+    out.clear();
+    return 0;
+  }
+  /// Snapshot scan of the first n elements with key >= lo.
+  virtual size_t scan_n(Key lo, size_t n, ScanBuffer& out) {
+    (void)lo;
+    (void)n;
+    out.clear();
+    return 0;
+  }
+  /// First element with key strictly greater than `key`.
+  virtual bool succ(Key key, Key& out_key, Value& out_value) {
+    (void)key;
+    (void)out_key;
+    (void)out_value;
+    return false;
+  }
+  /// Last element with key strictly less than `key`.
+  virtual bool pred(Key key, Key& out_key, Value& out_value) {
+    (void)key;
+    (void)out_key;
+    (void)out_value;
+    return false;
+  }
+  /// Sorted bulk load; returns items that changed the abstract set. The
+  /// default is the insert-loop fallback, valid for every map.
+  virtual size_t bulk_load(const ScanBuffer& sorted) {
+    return lsg::range::bulk_load_fallback(*this, sorted);
+  }
+
   /// Called once per worker before the measured phase.
   virtual void thread_init() {}
   virtual const std::string& name() const = 0;
@@ -104,6 +178,63 @@ class MapAdapter final : public IMap {
   bool insert(Key key, Value value) override { return impl_.insert(key, value); }
   bool remove(Key key) override { return impl_.remove(key); }
   bool contains(Key key) override { return impl_.contains(key); }
+
+  /// --- range interface: forwarded when M exposes the primitives ---------
+
+  static constexpr bool kHasRange =
+      requires(M& m, Key k, size_t n, ScanBuffer& b) {
+        m.collect_range(k, k, n, b);
+      };
+
+  bool supports_range() const override { return kHasRange; }
+
+  size_t scan(Key lo, Key hi, ScanBuffer& out) override {
+    if constexpr (requires { impl_.scan(lo, hi, out); }) {
+      impl_.scan(lo, hi, out);
+      return out.size();
+    } else if constexpr (kHasRange) {
+      lsg::range::scan(impl_, lo, hi, out);
+      return out.size();
+    } else {
+      return IMap::scan(lo, hi, out);
+    }
+  }
+
+  size_t scan_n(Key lo, size_t n, ScanBuffer& out) override {
+    if constexpr (requires { impl_.scan_n(lo, n, out); }) {
+      impl_.scan_n(lo, n, out);
+      return out.size();
+    } else if constexpr (kHasRange) {
+      lsg::range::scan_n(impl_, lo, n, out);
+      return out.size();
+    } else {
+      return IMap::scan_n(lo, n, out);
+    }
+  }
+
+  bool succ(Key key, Key& out_key, Value& out_value) override {
+    if constexpr (requires { impl_.succ(key, out_key, out_value); }) {
+      return impl_.succ(key, out_key, out_value);
+    } else {
+      return IMap::succ(key, out_key, out_value);
+    }
+  }
+
+  bool pred(Key key, Key& out_key, Value& out_value) override {
+    if constexpr (requires { impl_.pred(key, out_key, out_value); }) {
+      return impl_.pred(key, out_key, out_value);
+    } else {
+      return IMap::pred(key, out_key, out_value);
+    }
+  }
+
+  size_t bulk_load(const ScanBuffer& sorted) override {
+    if constexpr (requires { impl_.bulk_load(sorted); }) {
+      return impl_.bulk_load(sorted);
+    } else {
+      return lsg::range::bulk_load_fallback(impl_, sorted);
+    }
+  }
 
   void thread_init() override {
     if constexpr (requires(M& m) { m.thread_init(); }) {

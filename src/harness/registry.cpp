@@ -42,6 +42,12 @@ class ListMap {
   bool insert(Key k, Value v) { return list_.insert(k, v); }
   bool remove(Key k) { return list_.remove(k); }
   bool contains(Key k) { return list_.contains(k); }
+  size_t collect_range(Key lo, Key hi, size_t limit,
+                       std::vector<std::pair<Key, Value>>& out) {
+    return list_.collect_range(lo, hi, limit, out);
+  }
+  bool succ(Key k, Key& ok, Value& ov) { return list_.succ(k, ok, ov); }
+  bool pred(Key k, Key& ok, Value& ov) { return list_.pred(k, ok, ov); }
 
  private:
   lsg::skiplist::LockFreeList<Key, Value> list_;

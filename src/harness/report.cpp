@@ -145,6 +145,7 @@ int bench_runs() { return env_int("LSG_RUNS", full_scale() ? 5 : 1); }
 std::string csv_header() {
   return "algorithm,threads,measured_ms,total_ops,ops_per_ms,"
          "effective_update_pct,succ_inserts,succ_removes,contains_ops,"
+         "scan_ops,scanned_keys,"
          "local_reads_per_op,remote_reads_per_op,local_cas_per_op,"
          "remote_cas_per_op,cas_success_rate,nodes_per_op";
 }
@@ -152,8 +153,8 @@ std::string csv_header() {
 std::string to_csv_row(const TrialResult& r) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "%s,%d,%llu,%llu,%.3f,%.4f,%llu,%llu,%llu,%.4f,%.4f,%.5f,"
-                "%.5f,%.5f,%.3f",
+                "%s,%d,%llu,%llu,%.3f,%.4f,%llu,%llu,%llu,%llu,%llu,%.4f,"
+                "%.4f,%.5f,%.5f,%.5f,%.3f",
                 r.algorithm.c_str(), r.threads,
                 static_cast<unsigned long long>(r.measured_ms),
                 static_cast<unsigned long long>(r.total_ops), r.ops_per_ms,
@@ -161,6 +162,8 @@ std::string to_csv_row(const TrialResult& r) {
                 static_cast<unsigned long long>(r.succ_inserts),
                 static_cast<unsigned long long>(r.succ_removes),
                 static_cast<unsigned long long>(r.contains_ops),
+                static_cast<unsigned long long>(r.scan_ops),
+                static_cast<unsigned long long>(r.scanned_keys),
                 r.local_reads_per_op, r.remote_reads_per_op,
                 r.local_cas_per_op, r.remote_cas_per_op, r.cas_success_rate,
                 r.nodes_per_op);
@@ -168,7 +171,7 @@ std::string to_csv_row(const TrialResult& r) {
 }
 
 std::string to_json(const TrialResult& r) {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"schema\":\"lsg-trial-v2\",\"git\":\"%s\","
@@ -177,6 +180,7 @@ std::string to_json(const TrialResult& r) {
       "\"total_ops\":%llu,\"ops_per_ms\":%.3f,"
       "\"effective_update_pct\":%.4f,\"succ_inserts\":%llu,"
       "\"succ_removes\":%llu,\"contains_ops\":%llu,"
+      "\"scan_ops\":%llu,\"scanned_keys\":%llu,"
       "\"local_reads_per_op\":%.4f,\"remote_reads_per_op\":%.4f,"
       "\"local_cas_per_op\":%.5f,\"remote_cas_per_op\":%.5f,"
       "\"cas_success_rate\":%.5f,\"nodes_per_op\":%.3f",
@@ -186,7 +190,9 @@ std::string to_json(const TrialResult& r) {
       static_cast<unsigned long long>(r.total_ops), r.ops_per_ms,
       r.effective_update_pct, static_cast<unsigned long long>(r.succ_inserts),
       static_cast<unsigned long long>(r.succ_removes),
-      static_cast<unsigned long long>(r.contains_ops), r.local_reads_per_op,
+      static_cast<unsigned long long>(r.contains_ops),
+      static_cast<unsigned long long>(r.scan_ops),
+      static_cast<unsigned long long>(r.scanned_keys), r.local_reads_per_op,
       r.remote_reads_per_op, r.local_cas_per_op, r.remote_cas_per_op,
       r.cas_success_rate, r.nodes_per_op);
   std::string out = buf;
@@ -221,6 +227,20 @@ std::string to_json(const TrialResult& r) {
                   static_cast<unsigned long long>(
                       r.obs.events.reclaim_pending()));
     out += buf;
+    if (r.obs.scan.count > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"scan\":{\"count\":%llu,\"mean_len\":%.2f,"
+                    "\"p50_len\":%llu,\"p99_len\":%llu,\"max_len\":%llu,"
+                    "\"mean_passes\":%.3f,\"max_passes\":%llu}",
+                    static_cast<unsigned long long>(r.obs.scan.count),
+                    r.obs.scan.mean_len,
+                    static_cast<unsigned long long>(r.obs.scan.p50_len),
+                    static_cast<unsigned long long>(r.obs.scan.p99_len),
+                    static_cast<unsigned long long>(r.obs.scan.max_len),
+                    r.obs.scan.mean_passes,
+                    static_cast<unsigned long long>(r.obs.scan.max_passes));
+      out += buf;
+    }
     if (!r.obs_hist_file.empty()) {
       out += ",\"hist_file\":\"" + lsg::obs::json_escape(r.obs_hist_file) +
              "\",\"timeline_file\":\"" +
@@ -258,6 +278,17 @@ void print_obs_summary(const TrialResult& r) {
   }
   std::printf(" reclaim_pending=%llu\n",
               static_cast<unsigned long long>(r.obs.events.reclaim_pending()));
+  if (r.obs.scan.count > 0) {
+    std::printf("  scans: %llu | len mean %.1f p50 %llu p99 %llu max %llu | "
+                "passes mean %.2f max %llu\n",
+                static_cast<unsigned long long>(r.obs.scan.count),
+                r.obs.scan.mean_len,
+                static_cast<unsigned long long>(r.obs.scan.p50_len),
+                static_cast<unsigned long long>(r.obs.scan.p99_len),
+                static_cast<unsigned long long>(r.obs.scan.max_len),
+                r.obs.scan.mean_passes,
+                static_cast<unsigned long long>(r.obs.scan.max_passes));
+  }
   if (!r.obs_hist_file.empty()) {
     std::printf("  artifacts: %s | %s\n", r.obs_hist_file.c_str(),
                 r.obs_timeline_file.c_str());

@@ -2,6 +2,7 @@
 // (paper §5, "Experiment setup": Synchrobench testing procedure with -f 1).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -19,6 +20,11 @@ struct TrialConfig {
   uint64_t key_space = uint64_t{1} << 14;
   /// Requested percentage of update operations. Paper: WH = 50, RH = 20.
   int update_pct = 50;
+  /// Percentage of operations that are range scans (scan_n from a random
+  /// key). Carved out of the read share; update_pct + scan_pct <= 100.
+  int scan_pct = 0;
+  /// Elements each scan asks for (scan_n length).
+  int scan_len = 64;
   /// Structures are preloaded to this fraction of key_space before
   /// measuring. Paper: 20% (2.5% for LC).
   double preload_fraction = 0.2;
@@ -67,7 +73,7 @@ struct TrialConfig {
 /// closely as the key space allows, and the structure size stays stable.
 class ThreadWorkload {
  public:
-  enum class Kind : uint8_t { kInsert, kRemove, kContains };
+  enum class Kind : uint8_t { kInsert, kRemove, kContains, kScan };
 
   struct Op {
     Kind kind;
@@ -77,10 +83,18 @@ class ThreadWorkload {
   ThreadWorkload(const TrialConfig& cfg, int thread_id)
       : key_space_(cfg.key_space),
         update_pct_(static_cast<uint32_t>(cfg.update_pct)),
+        scan_pct_(static_cast<uint32_t>(cfg.scan_pct)),
+        scan_len_(static_cast<size_t>(cfg.scan_len)),
         rng_(cfg.seed ^ (0x9e3779b97f4a7c15ull * (thread_id + 1))) {}
 
   Op next() {
-    if (rng_.percent_chance(update_pct_)) {
+    // One percentile draw partitions [0, 100) into scan / update / read
+    // bands. With scan_pct 0 this consumes the RNG stream exactly like the
+    // historical percent_chance(update_pct) call, so scan-free trials stay
+    // bit-comparable with older harness versions.
+    uint64_t u = rng_.next_bounded(100);
+    if (u < scan_pct_) return Op{Kind::kScan, random_key()};
+    if (u < scan_pct_ + update_pct_) {
       if (pending_remove_) {
         pending_remove_ = false;
         return Op{Kind::kRemove, last_inserted_};
@@ -101,9 +115,13 @@ class ThreadWorkload {
 
   uint64_t random_key() { return rng_.next_bounded(key_space_); }
 
+  size_t scan_len() const { return scan_len_; }
+
  private:
   uint64_t key_space_;
   uint32_t update_pct_;
+  uint32_t scan_pct_ = 0;
+  size_t scan_len_ = 64;
   lsg::common::Xoshiro256 rng_;
   bool pending_remove_ = false;
   uint64_t last_inserted_ = 0;

@@ -92,7 +92,35 @@ bool write_histograms_json(const std::string& path) {
     }
     out << "]}";
   }
-  out << "}}\n";
+  out << '}';
+  // Scan-shape value histograms (element counts / collect passes, not
+  // latencies — exported raw, no cycle conversion).
+  auto emit_value_hist = [&](const char* name, const LatencyHistogram& h) {
+    if (h.count() == 0) return;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"%s\":{\"count\":%llu,\"mean\":%.3f,\"p50\":%llu,"
+                  "\"p99\":%llu,\"max\":%llu,",
+                  name, static_cast<unsigned long long>(h.count()), h.mean(),
+                  static_cast<unsigned long long>(h.p50()),
+                  static_cast<unsigned long long>(h.p99()),
+                  static_cast<unsigned long long>(h.max()));
+    out << buf << "\"buckets\":[";
+    bool first_b = true;
+    for (unsigned b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      if (h.bucket_count(b) == 0) continue;
+      if (!first_b) out << ',';
+      first_b = false;
+      std::snprintf(buf, sizeof(buf), "[%llu,%llu]",
+                    static_cast<unsigned long long>(
+                        LatencyHistogram::bucket_lo(b)),
+                    static_cast<unsigned long long>(h.bucket_count(b)));
+      out << buf;
+    }
+    out << "]}";
+  };
+  emit_value_hist("scan_len", merged_scan_lengths());
+  emit_value_hist("scan_retries", merged_scan_retries());
+  out << "}\n";
   return static_cast<bool>(out);
 }
 

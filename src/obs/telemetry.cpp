@@ -13,6 +13,7 @@ const char* op_name(Op op) {
     case Op::kRemove: return "remove";
     case Op::kPqPush: return "pq_push";
     case Op::kPqPop: return "pq_pop";
+    case Op::kScan: return "scan";
   }
   return "?";
 }
@@ -49,6 +50,8 @@ void reset() {
   for (auto& slot : detail::g_obs) {
     for (auto& h : slot.hist) h.clear();
     for (auto& e : slot.events) e.store(0, std::memory_order_relaxed);
+    slot.scan_len.clear();
+    slot.scan_retry.clear();
   }
   detail::g_gen.fetch_add(1, std::memory_order_acq_rel);
 }
@@ -63,6 +66,18 @@ LatencyHistogram merged_histogram(Op op) {
 
 LatencyHistogram histogram_of_thread(Op op, int tid) {
   return detail::g_obs[tid].hist[static_cast<size_t>(op)];
+}
+
+LatencyHistogram merged_scan_lengths() {
+  LatencyHistogram sum;
+  for (const auto& slot : detail::g_obs) sum += slot.scan_len;
+  return sum;
+}
+
+LatencyHistogram merged_scan_retries() {
+  LatencyHistogram sum;
+  for (const auto& slot : detail::g_obs) sum += slot.scan_retry;
+  return sum;
 }
 
 EventCounters total_events() {
@@ -111,6 +126,19 @@ Summary summarize() {
     o.max_us = static_cast<double>(h.max()) / cpu;
   }
   s.events = total_events();
+  LatencyHistogram len = merged_scan_lengths();
+  LatencyHistogram passes = merged_scan_retries();
+  s.scan.count = len.count();
+  if (len.count() > 0) {
+    s.scan.mean_len = len.mean();
+    s.scan.p50_len = len.p50();
+    s.scan.p99_len = len.p99();
+    s.scan.max_len = len.max();
+  }
+  if (passes.count() > 0) {
+    s.scan.mean_passes = passes.mean();
+    s.scan.max_passes = passes.max();
+  }
   return s;
 }
 

@@ -28,8 +28,15 @@
 namespace lsg::obs {
 
 /// Operation types with their own latency histogram.
-enum class Op : uint8_t { kContains = 0, kInsert, kRemove, kPqPush, kPqPop };
-inline constexpr int kNumOps = 5;
+enum class Op : uint8_t {
+  kContains = 0,
+  kInsert,
+  kRemove,
+  kPqPush,
+  kPqPop,
+  kScan,
+};
+inline constexpr int kNumOps = 6;
 const char* op_name(Op op);
 
 /// Maintenance events (plain counts; see event_name for export labels).
@@ -80,6 +87,11 @@ inline std::atomic<uint32_t> g_gen{1};
 struct alignas(lsg::common::kCacheLine) ThreadObs {
   std::array<LatencyHistogram, kNumOps> hist{};
   std::array<std::atomic<uint64_t>, kNumEvents> events{};
+  // Value (not latency) histograms for the range subsystem: elements
+  // returned per scan and revalidation passes per scan (log-bucketed like
+  // latencies; unit buckets below 8 keep small counts exact).
+  LatencyHistogram scan_len{};
+  LatencyHistogram scan_retry{};
 };
 inline std::array<ThreadObs, lsg::numa::kMaxThreads> g_obs{};
 
@@ -165,6 +177,21 @@ inline void event(Event e, uint64_t by = 1) {
 #endif
 }
 
+/// Record one finished scan: `len` elements returned after `passes`
+/// collect passes (2 = converged on the first revalidation; see
+/// range::snapshot_collect).
+inline void scan_sample(uint64_t len, uint64_t passes) {
+#ifdef LSG_NO_OBS
+  (void)len;
+  (void)passes;
+#else
+  detail::Tls& t = detail::self();
+  if (!t.on) return;
+  detail::g_obs[t.tid].scan_len.record(len);
+  detail::g_obs[t.tid].scan_retry.record(passes);
+#endif
+}
+
 /// --- aggregation (quiescent callers) -----------------------------------
 
 /// Sum of one operation type's histograms across all threads. Only sound
@@ -172,6 +199,10 @@ inline void event(Event e, uint64_t by = 1) {
 LatencyHistogram merged_histogram(Op op);
 
 LatencyHistogram histogram_of_thread(Op op, int tid);
+
+/// Merged scan-length / revalidation-pass value histograms (quiescent).
+LatencyHistogram merged_scan_lengths();
+LatencyHistogram merged_scan_retries();
 
 /// Sum of all per-thread event counters. Safe concurrently with recorders
 /// (relaxed reads of the atomic cells) — this is what the sampler uses.
@@ -200,10 +231,22 @@ struct OpSummary {
   double max_us = 0;
 };
 
+/// Scan-shape digest (value domains: element counts and collect passes).
+struct ScanSummary {
+  uint64_t count = 0;     // scans recorded
+  double mean_len = 0;    // elements per scan
+  uint64_t p50_len = 0;
+  uint64_t p99_len = 0;
+  uint64_t max_len = 0;
+  double mean_passes = 0;  // collect passes per scan (1 = no re-scan)
+  uint64_t max_passes = 0;
+};
+
 struct Summary {
   bool valid = false;  // false => obs was off for this trial
   std::array<OpSummary, kNumOps> ops{};
   EventCounters events;
+  ScanSummary scan;
   /// Mean throughput over the steady-state (second) half of the timeline;
   /// 0 when no timeline was collected.
   double steady_ops_per_ms = 0;

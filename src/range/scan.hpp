@@ -1,0 +1,121 @@
+// Range-query subsystem: snapshot scans over the maps' weakly-consistent
+// single-pass collectors.
+//
+// Every map variant exposes the same raw primitive,
+//   collect_range(lo, hi, limit, out) -> size_t,
+// one weakly-consistent pass appending present elements of [lo, hi] in
+// ascending key order. A single pass has the usual concurrent-iteration
+// guarantee (elements present throughout are reported exactly once,
+// elements absent throughout never) but is not a snapshot: a scan
+// overlapping a remove-then-insert can see a state no single instant had.
+//
+// snapshot_collect layers the classic bounded double-collect protocol on
+// top: repeat the pass until two consecutive passes return identical
+// results (a convergence certificate: nothing the scan could observe
+// changed across a whole pass), giving up after max_rescan extra passes
+// and returning the last pass with the single-pass guarantee only. Under
+// quiescence the first revalidation always converges, which is what makes
+// this the right engine for test-harness set validation (see
+// tests/test_layered_concurrent.cpp and DESIGN.md §9 for the consistency
+// argument).
+//
+// Scan length and pass counts are recorded to the obs layer
+// (obs::scan_sample) for the scan-shape histograms in the JSON export.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace lsg::range {
+
+template <class K, class V>
+using Items = std::vector<std::pair<K, V>>;
+
+struct ScanOptions {
+  /// Extra collect passes allowed before settling for the weakly
+  /// consistent last pass. 0 disables revalidation entirely (raw pass).
+  int max_rescan = 3;
+};
+
+namespace detail {
+
+/// Per-thread scratch for the revalidation pass, keyed on the element type
+/// only (not the collector's closure type) so every scan call site shares
+/// one buffer.
+template <class K, class V>
+Items<K, V>& scratch() {
+  thread_local Items<K, V> buf;
+  return buf;
+}
+
+}  // namespace detail
+
+/// Run `collect(out)` repeatedly until two consecutive passes agree (out
+/// then holds a converged snapshot; returns true) or the rescan budget is
+/// exhausted (out holds the last, weakly consistent, pass; returns false).
+/// Records (length, passes) to the obs scan histograms.
+template <class K, class V, class Collect>
+bool snapshot_collect(Collect&& collect, Items<K, V>& out,
+                      const ScanOptions& opts = {}) {
+  out.clear();
+  collect(out);
+  uint64_t passes = 1;
+  bool converged = false;
+  Items<K, V>& scratch = detail::scratch<K, V>();
+  for (int r = 0; r < opts.max_rescan; ++r) {
+    scratch.clear();
+    collect(scratch);
+    ++passes;
+    if (scratch == out) {
+      converged = true;
+      break;
+    }
+    out.swap(scratch);
+  }
+  lsg::obs::scan_sample(out.size(), passes);
+  return converged;
+}
+
+/// Snapshot scan of [lo, hi] over any map exposing collect_range. Returns
+/// whether the double-collect converged; `out` is sorted and duplicate-free
+/// either way.
+template <class M, class K, class V>
+bool scan(M& m, const K& lo, const K& hi, Items<K, V>& out,
+          const ScanOptions& opts = {}) {
+  return snapshot_collect<K, V>(
+      [&](Items<K, V>& buf) {
+        m.collect_range(lo, hi, std::numeric_limits<size_t>::max(), buf);
+      },
+      out, opts);
+}
+
+/// Snapshot scan of the first `n` present elements with key >= lo.
+template <class M, class K, class V>
+bool scan_n(M& m, const K& lo, size_t n, Items<K, V>& out,
+            const ScanOptions& opts = {}) {
+  static_assert(std::numeric_limits<K>::is_specialized,
+                "scan_n needs a maximum key to bound the walk");
+  return snapshot_collect<K, V>(
+      [&](Items<K, V>& buf) {
+        m.collect_range(lo, std::numeric_limits<K>::max(), n, buf);
+      },
+      out, opts);
+}
+
+/// Insert-loop bulk load for maps without a native sorted fast path.
+/// Returns the number of items that changed the abstract set.
+template <class M, class K, class V>
+size_t bulk_load_fallback(M& m, const Items<K, V>& sorted) {
+  size_t added = 0;
+  for (const auto& kv : sorted) {
+    if (m.insert(kv.first, kv.second)) ++added;
+  }
+  return added;
+}
+
+}  // namespace lsg::range

@@ -395,27 +395,10 @@ class SkipGraph {
     const lsg::stats::Recorder rec = lsg::stats::recorder();
     rec.search_begin();
     lsg::stats::WalkTally wt(rec);
-    Node* prev = start;
-    const unsigned top = start ? start->height : cfg_.max_level;
-    std::atomic<uintptr_t>* slot = nullptr;
-    int slot_owner = 0;
-    uintptr_t original;
-    Node* cur = nullptr;
-    for (int level = static_cast<int>(top); level >= 0; --level) {
-      slot = prev ? prev->slot(level) : head_slot(level, m);
-      slot_owner = prev ? prev->owner : 0;
-      cur = load_live(wt, slot, slot_owner, level, original);
-      while (!cur->is_tail() && cur->key < lo) {
-        if (level == 0) cur->prefetch_next0();
-        prev = cur;
-        slot = prev->slot(level);
-        slot_owner = prev->owner;
-        cur = load_live(wt, slot, slot_owner, level, original);
-      }
-    }
+    Node* cur = bottom_seek(lo, m, start, wt);
     // Walk the bottom list raw (no cleanup): report live elements in
     // [lo, hi]. Marked/invalid nodes are skipped, not reported.
-    while (cur != nullptr && !cur->is_tail() && !(hi < cur->key)) {
+    while (!cur->is_tail() && !(hi < cur->key)) {
       cur->prefetch_next0();
       auto [mk, valid] = cur->mark_valid0();
       if (!mk && valid && !(cur->key < lo)) {
@@ -425,6 +408,171 @@ class SkipGraph {
       wt.read_access(cur->owner, cur);
       cur = cur->next_ptr(0);
     }
+  }
+
+  /// One weakly-consistent collection pass over [lo, hi]: descends to the
+  /// bottom list near `lo` and appends up to `limit` present elements, in
+  /// ascending key order, to `out`. Returns the number appended. Same
+  /// consistency as for_each_in_range; callers wanting a snapshot wrap this
+  /// in the range::snapshot_collect double-collect protocol (src/range/).
+  size_t collect_range(const K& lo, const K& hi, size_t limit, uint32_t m,
+                       Node* start, std::vector<std::pair<K, V>>& out) {
+    if (limit == 0) return 0;
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
+    Node* cur = bottom_seek(lo, m, start, wt);
+    size_t added = 0;
+    while (!cur->is_tail() && !(hi < cur->key) && added < limit) {
+      cur->prefetch_next0();
+      auto [mk, valid] = cur->mark_valid0();
+      if (!mk && valid && !(cur->key < lo)) {
+        out.emplace_back(cur->key, cur->load_value());
+        ++added;
+      }
+      wt.node_visited();
+      wt.read_access(cur->owner, cur);
+      cur = cur->next_ptr(0);
+    }
+    return added;
+  }
+
+  /// First present element with key strictly greater than `key`.
+  /// Linearizable the same way contains is: the returned element was
+  /// present at some instant inside the call.
+  bool succ_from(const K& key, uint32_t m, Node* start, K& out_key,
+                 V& out_value) {
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
+    Node* cur = bottom_seek(key, m, start, wt);
+    while (!cur->is_tail()) {
+      auto [mk, valid] = cur->mark_valid0();
+      if (!mk && valid && key < cur->key) {
+        out_key = cur->key;
+        out_value = cur->load_value();
+        return true;
+      }
+      wt.node_visited();
+      wt.read_access(cur->owner, cur);
+      cur = cur->next_ptr(0);
+    }
+    return false;
+  }
+
+  /// Last present element with key strictly less than `key`. The descent's
+  /// final level-0 predecessor was unmarked when visited, but by the time
+  /// its flags are read it may be invalid (lazy protocol) or freshly
+  /// marked; a singly-linked list cannot back up, so the search retargets
+  /// to the dead candidate's key — strictly decreasing, hence terminating —
+  /// until a present candidate is found or nothing precedes the target.
+  bool pred_from(const K& key, uint32_t m, Node* start, K& out_key,
+                 V& out_value) {
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
+    K target = key;
+    while (true) {
+      if (start != nullptr && !(start->key < target)) start = nullptr;
+      Node* prev = start;
+      const unsigned top = start ? start->height : cfg_.max_level;
+      for (int level = static_cast<int>(top); level >= 0; --level) {
+        std::atomic<uintptr_t>* slot =
+            prev ? prev->slot(level) : head_slot(level, m);
+        int slot_owner = prev ? prev->owner : 0;
+        uintptr_t original;
+        Node* cur = load_live(wt, slot, slot_owner, level, original);
+        while (!cur->is_tail() && cur->key < target) {
+          prev = cur;
+          slot = prev->slot(level);
+          slot_owner = prev->owner;
+          cur = load_live(wt, slot, slot_owner, level, original);
+        }
+      }
+      if (prev == nullptr) return false;  // nothing precedes target
+      auto [mk, valid] = prev->mark_valid0();
+      if (!mk && valid) {
+        out_key = prev->key;
+        out_value = prev->load_value();
+        return true;
+      }
+      target = prev->key;  // dead candidate: retry strictly below it
+    }
+  }
+
+  /// Sorted bulk load: links (key, value) pairs into the bottom list with a
+  /// cursor that resumes from the previous item's position, then raises
+  /// towers — amortized O(1) placement per item for strictly-ascending
+  /// input when quiescent, and still CAS-correct under concurrent mutation
+  /// (out-of-order input only costs a head restart). Duplicates behave like
+  /// ordinary inserts: skipped (non-lazy) or revived (lazy). `m_of(key)`
+  /// supplies the membership for fresh nodes; `on_insert(node)` fires for
+  /// every freshly linked node (not for revivals, which reuse a node some
+  /// thread already owns). Returns how many items changed the abstract set.
+  template <class MembershipFn, class OnInsert>
+  size_t bulk_load_sorted(const std::vector<std::pair<K, V>>& items,
+                          MembershipFn&& m_of, OnInsert&& on_insert) {
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    lsg::stats::WalkTally wt(rec);
+    auto from_head = []() -> Node* { return nullptr; };
+    size_t added = 0;
+    Node* cursor = nullptr;  // last node linked or passed; key < current item
+    for (const auto& item : items) {
+      const K& key = item.first;
+      rec.search_begin();
+      Node* fresh = nullptr;
+      while (true) {
+        if (cursor != nullptr &&
+            (cursor->get_mark(0) || !(cursor->key < key))) {
+          cursor = nullptr;  // cursor died (or input not ascending): restart
+        }
+        Node* prev = cursor;
+        std::atomic<uintptr_t>* slot = prev ? prev->slot(0) : head_slot(0, 0);
+        int slot_owner = prev ? prev->owner : 0;
+        uintptr_t original;
+        Node* cur = load_live(wt, slot, slot_owner, 0, original);
+        while (!cur->is_tail() && cur->key < key) {
+          prev = cur;
+          slot = prev->slot(0);
+          slot_owner = prev->owner;
+          cur = load_live(wt, slot, slot_owner, 0, original);
+        }
+        if (!cur->is_tail() && cur->key == key) {
+          if (cfg_.lazy) {
+            bool revived = false;
+            if (!insert_helper(cur, revived, &item.second)) {
+              continue;  // node got marked under us: re-search
+            }
+            if (revived) ++added;
+          }
+          cursor = cur;
+          break;  // present (or revived): next item
+        }
+        if (fresh == nullptr) {
+          fresh = Node::create(arena_, key, item.second, m_of(key),
+                               height_for_insert(), tail_);
+        }
+        fresh->set_next_relaxed(0, TP::pack(cur));
+        uintptr_t mid = original;
+        if (TP::mark(mid)) {
+          cursor = nullptr;  // predecessor died under us
+          continue;
+        }
+        if (cas_slot<K, V>(slot, mid, TP::with_ptr(mid, fresh), slot_owner)) {
+          ++added;
+          if (fresh->height > 0) {
+            finish_insert(fresh, nullptr, from_head);
+          } else {
+            fresh->set_inserted();
+          }
+          on_insert(fresh);
+          cursor = fresh;
+          break;
+        }
+        cursor = prev;  // lost the race: resume from the predecessor
+      }
+    }
+    return added;
   }
 
   /// deleteMin for the priority-queue extension (paper §6 future work /
@@ -622,14 +770,19 @@ class SkipGraph {
         // Non-lazy relink: substitute the whole marked chain in one CAS.
         // (In the lazy protocol chains are substituted only by inserting
         // nodes — paper's laziness rule (iii) — so we leave them.)
+        uintptr_t expected = original;
         uintptr_t want = TP::with_ptr(original, cur);
-        if (cas_slot<K, V>(slot, original, want, slot_owner)) {
+        if (cas_slot<K, V>(slot, expected, want, slot_owner)) {
           lsg::obs::event(lsg::obs::Event::kRelink);
           original = want;
         }
-        // On failure keep the observed chain view; correctness is
-        // unaffected (someone else changed the slot; they cleaned or
-        // inserted).
+        // cas_slot refreshes `expected` in place on failure, so the CAS must
+        // not operate on `original` directly: a caller that CASes the slot
+        // expecting the *refreshed* value while still holding our stale
+        // successor would splice out whatever live node was just installed
+        // in between (observed as duplicate-insert success / lost keys under
+        // TSan). On failure `original` keeps the observed chain view and the
+        // caller's CAS fails harmlessly.
       }
       if (!cur->is_tail()) {
         wt.node_visited();
@@ -637,6 +790,35 @@ class SkipGraph {
       }
       return cur;
     }
+  }
+
+  /// Descend to the bottom list and return the first live node with
+  /// key >= lo (tail when none), starting from `start` (or the heads for
+  /// membership `m`). `start` is exclusive: its own slots seed the walk, so
+  /// it is never reported itself — a start with key == lo is a valid entry
+  /// (LayeredMap::collect_range relies on this to report the equal-key
+  /// local hit exactly once). Only an overshooting start is discarded.
+  Node* bottom_seek(const K& lo, uint32_t m, Node* start,
+                    lsg::stats::WalkTally& wt) {
+    if (start != nullptr && lo < start->key) start = nullptr;
+    Node* prev = start;
+    const unsigned top = start ? start->height : cfg_.max_level;
+    Node* cur = nullptr;
+    for (int level = static_cast<int>(top); level >= 0; --level) {
+      std::atomic<uintptr_t>* slot =
+          prev ? prev->slot(level) : head_slot(level, m);
+      int slot_owner = prev ? prev->owner : 0;
+      uintptr_t original;
+      cur = load_live(wt, slot, slot_owner, level, original);
+      while (!cur->is_tail() && cur->key < lo) {
+        if (level == 0) cur->prefetch_next0();
+        prev = cur;
+        slot = prev->slot(level);
+        slot_owner = prev->owner;
+        cur = load_live(wt, slot, slot_owner, level, original);
+      }
+    }
+    return cur;
   }
 
   SgConfig cfg_;

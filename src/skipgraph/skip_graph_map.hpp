@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "numa/pinning.hpp"
@@ -62,6 +64,40 @@ class SkipGraphMap {
     bool ret = sg_.contains_from(key, thread_membership(), nullptr);
     lsg::stats::op_done();
     return ret;
+  }
+
+  // --- range primitives (src/range/) --------------------------------------
+
+  size_t collect_range(const K& lo, const K& hi, size_t limit,
+                       std::vector<std::pair<K, V>>& out) {
+    size_t n = sg_.collect_range(lo, hi, limit, thread_membership(), nullptr,
+                                 out);
+    lsg::stats::op_done();
+    return n;
+  }
+
+  bool succ(const K& key, K& out_key, V& out_value) {
+    bool ret =
+        sg_.succ_from(key, thread_membership(), nullptr, out_key, out_value);
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  bool pred(const K& key, K& out_key, V& out_value) {
+    bool ret =
+        sg_.pred_from(key, thread_membership(), nullptr, out_key, out_value);
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  /// Sorted bulk load; every fresh node draws its own random membership,
+  /// like insert.
+  size_t bulk_load(const std::vector<std::pair<K, V>>& sorted) {
+    size_t added = sg_.bulk_load_sorted(
+        sorted, [this](const K&) { return random_membership(); },
+        [](Node*) {});
+    lsg::stats::op_done();
+    return added;
   }
 
   SG& shared_structure() { return sg_; }

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "alloc/arena.hpp"
@@ -167,6 +168,73 @@ class LockedSkipList {
     return out;
   }
 
+  // --- range primitives (src/range/) --------------------------------------
+  // Lock-free optimistic walks, same discipline as contains: a node counts
+  // as present when fully_linked && !marked.
+
+  /// One weakly-consistent pass over [lo, hi], ascending, at most `limit`
+  /// elements appended. Returns the number appended.
+  size_t collect_range(const K& lo, const K& hi, size_t limit,
+                       std::vector<std::pair<K, V>>& out) {
+    if (limit == 0) return 0;
+    lsg::stats::search_begin();
+    Node* curr = bottom_seek(lo);
+    size_t added = 0;
+    while (!curr->is_tail && !(hi < curr->key) && added < limit) {
+      if (present(curr) && !(curr->key < lo)) {
+        out.emplace_back(curr->key, curr->value);
+        ++added;
+      }
+      lsg::stats::node_visited();
+      lsg::stats::read_access(curr->owner, curr);
+      curr = curr->next[0].load(std::memory_order_acquire);
+    }
+    return added;
+  }
+
+  /// First present element with key strictly greater than `key`.
+  bool succ(const K& key, K& out_key, V& out_value) {
+    lsg::stats::search_begin();
+    Node* curr = bottom_seek(key);
+    while (!curr->is_tail) {
+      if (present(curr) && key < curr->key) {
+        out_key = curr->key;
+        out_value = curr->value;
+        return true;
+      }
+      lsg::stats::node_visited();
+      lsg::stats::read_access(curr->owner, curr);
+      curr = curr->next[0].load(std::memory_order_acquire);
+    }
+    return false;
+  }
+
+  /// Last present element with key strictly less than `key`; retargets
+  /// below a dead final predecessor (see SkipGraph::pred_from).
+  bool pred(const K& key, K& out_key, V& out_value) {
+    lsg::stats::search_begin();
+    K target = key;
+    while (true) {
+      Node* prev = head_;
+      for (int lvl = static_cast<int>(max_level_); lvl >= 0; --lvl) {
+        Node* curr = prev->next[lvl].load(std::memory_order_acquire);
+        while (before(curr, target)) {
+          lsg::stats::node_visited();
+          lsg::stats::read_access(curr->owner, curr);
+          prev = curr;
+          curr = prev->next[lvl].load(std::memory_order_acquire);
+        }
+      }
+      if (prev->is_head) return false;  // nothing precedes target
+      if (present(prev)) {
+        out_key = prev->key;
+        out_value = prev->value;
+        return true;
+      }
+      target = prev->key;  // dead candidate: retry strictly below it
+    }
+  }
+
  private:
   struct Node {
     K key{};
@@ -197,6 +265,27 @@ class LockedSkipList {
     if (n->is_head) return true;
     if (n->is_tail) return false;
     return n->key < key;
+  }
+
+  static bool present(const Node* n) {
+    return n->fully_linked.load(std::memory_order_acquire) &&
+           !n->marked.load(std::memory_order_acquire);
+  }
+
+  /// Optimistic descent to the first bottom-level node with key >= lo.
+  Node* bottom_seek(const K& lo) {
+    Node* pred = head_;
+    Node* curr = nullptr;
+    for (int lvl = static_cast<int>(max_level_); lvl >= 0; --lvl) {
+      curr = pred->next[lvl].load(std::memory_order_acquire);
+      while (before(curr, lo)) {
+        lsg::stats::node_visited();
+        lsg::stats::read_access(curr->owner, curr);
+        pred = curr;
+        curr = pred->next[lvl].load(std::memory_order_acquire);
+      }
+    }
+    return curr;
   }
 
   int find(const K& key, Node** preds, Node** succs) {

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "alloc/arena.hpp"
@@ -170,6 +171,87 @@ class LockFreeList {
       curr = TP::ptr(curr->next.load(std::memory_order_acquire));
     }
     return !curr->is_tail && curr->key == key && !curr->marked();
+  }
+
+  // --- range primitives (src/range/) --------------------------------------
+  // Read-only walks from `start` (or the head), same start-validity rule as
+  // contains: a marked start cannot anchor a search.
+
+  /// One weakly-consistent pass over [lo, hi], ascending, at most `limit`
+  /// elements appended. Returns the number appended.
+  size_t collect_range(const K& lo, const K& hi, size_t limit,
+                       std::vector<std::pair<K, V>>& out,
+                       Node* start = nullptr) {
+    if (limit == 0) return 0;
+    lsg::stats::search_begin();
+    if (start != nullptr && (start->marked() || !(start->key < lo))) {
+      start = nullptr;
+    }
+    std::atomic<uintptr_t>* slot = start ? &start->next : &head_;
+    Node* curr = TP::ptr(slot->load(std::memory_order_acquire));
+    lsg::stats::read_access(start ? start->owner : 0, slot);
+    while (!curr->is_tail && curr->key < lo) {
+      lsg::stats::node_visited();
+      lsg::stats::read_access(curr->owner, curr);
+      curr = TP::ptr(curr->next.load(std::memory_order_acquire));
+    }
+    size_t added = 0;
+    while (!curr->is_tail && !(hi < curr->key) && added < limit) {
+      if (!curr->marked()) {
+        out.emplace_back(curr->key, curr->value);
+        ++added;
+      }
+      lsg::stats::node_visited();
+      lsg::stats::read_access(curr->owner, curr);
+      curr = TP::ptr(curr->next.load(std::memory_order_acquire));
+    }
+    return added;
+  }
+
+  /// First live node with key strictly greater than `key`.
+  bool succ(const K& key, K& out_key, V& out_value, Node* start = nullptr) {
+    lsg::stats::search_begin();
+    if (start != nullptr && (start->marked() || !(start->key < key))) {
+      start = nullptr;
+    }
+    std::atomic<uintptr_t>* slot = start ? &start->next : &head_;
+    Node* curr = TP::ptr(slot->load(std::memory_order_acquire));
+    lsg::stats::read_access(start ? start->owner : 0, slot);
+    while (!curr->is_tail) {
+      if (!curr->marked() && key < curr->key) {
+        out_key = curr->key;
+        out_value = curr->value;
+        return true;
+      }
+      lsg::stats::node_visited();
+      lsg::stats::read_access(curr->owner, curr);
+      curr = TP::ptr(curr->next.load(std::memory_order_acquire));
+    }
+    return false;
+  }
+
+  /// Last live node with key strictly less than `key`. The walk visits
+  /// every node between `start` and `key`, so the last unmarked-at-visit
+  /// node is the maximal present predecessor — no retarget loop needed.
+  bool pred(const K& key, K& out_key, V& out_value, Node* start = nullptr) {
+    lsg::stats::search_begin();
+    if (start != nullptr && (start->marked() || !(start->key < key))) {
+      start = nullptr;
+    }
+    Node* cand = start;  // unmarked at the check above: a valid candidate
+    std::atomic<uintptr_t>* slot = start ? &start->next : &head_;
+    Node* curr = TP::ptr(slot->load(std::memory_order_acquire));
+    lsg::stats::read_access(start ? start->owner : 0, slot);
+    while (!curr->is_tail && curr->key < key) {
+      if (!curr->marked()) cand = curr;
+      lsg::stats::node_visited();
+      lsg::stats::read_access(curr->owner, curr);
+      curr = TP::ptr(curr->next.load(std::memory_order_acquire));
+    }
+    if (cand == nullptr) return false;
+    out_key = cand->key;
+    out_value = cand->value;
+    return true;
   }
 
   /// Quiescent snapshot of live keys.

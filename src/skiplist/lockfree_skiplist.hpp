@@ -224,6 +224,84 @@ class LockFreeSkipList {
     }
   }
 
+  // --- range primitives (src/range/) --------------------------------------
+  // Values are published before the level-0 CAS and never change (this
+  // structure has no revive), so plain reads are safe in the walks below.
+
+  /// One weakly-consistent pass over [lo, hi]: read-only descent to the
+  /// bottom list near `lo`, then a raw walk reporting live elements in
+  /// ascending order, at most `limit`. Returns the number appended.
+  size_t collect_range(const K& lo, const K& hi, size_t limit,
+                       std::vector<std::pair<K, V>>& out) {
+    if (limit == 0) return 0;
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
+    Node* curr = bottom_seek(lo, wt);
+    size_t added = 0;
+    while (!curr->is_tail && !(hi < curr->key) && added < limit) {
+      curr->prefetch_next0();
+      if (!curr->get_mark(0) && !(curr->key < lo)) {
+        out.emplace_back(curr->key, curr->value);
+        ++added;
+      }
+      wt.node_visited();
+      wt.read_access(curr->owner, curr);
+      curr = curr->next_ptr(0);
+    }
+    return added;
+  }
+
+  /// First live element with key strictly greater than `key`.
+  bool succ(const K& key, K& out_key, V& out_value) {
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
+    Node* curr = bottom_seek(key, wt);
+    while (!curr->is_tail) {
+      if (!curr->get_mark(0) && key < curr->key) {
+        out_key = curr->key;
+        out_value = curr->value;
+        return true;
+      }
+      wt.node_visited();
+      wt.read_access(curr->owner, curr);
+      curr = curr->next_ptr(0);
+    }
+    return false;
+  }
+
+  /// Last live element with key strictly less than `key`. A singly-linked
+  /// descent cannot back up, so when the final predecessor turns out dead
+  /// the search retargets to its key (strictly decreasing, terminating) —
+  /// same protocol as SkipGraph::pred_from.
+  bool pred(const K& key, K& out_key, V& out_value) {
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    rec.search_begin();
+    lsg::stats::WalkTally wt(rec);
+    K target = key;
+    while (true) {
+      Node* prev = nullptr;
+      for (int lvl = static_cast<int>(max_level_); lvl >= 0; --lvl) {
+        std::atomic<uintptr_t>* slot = prev ? prev->slot(lvl) : &heads_[lvl];
+        Node* curr = TP::ptr(slot->load(std::memory_order_acquire));
+        while (!curr->is_tail && curr->key < target) {
+          wt.node_visited();
+          wt.read_access(curr->owner, curr);
+          prev = curr;
+          curr = curr->next_ptr(lvl);
+        }
+      }
+      if (prev == nullptr) return false;  // nothing precedes target
+      if (!prev->get_mark(0)) {
+        out_key = prev->key;
+        out_value = prev->value;
+        return true;
+      }
+      target = prev->key;  // dead candidate: retry strictly below it
+    }
+  }
+
   std::vector<K> keys() {
     std::vector<K> out;
     for (Node* n = TP::ptr(heads_[0].load(std::memory_order_acquire));
@@ -257,6 +335,29 @@ class LockFreeSkipList {
                       lsg::numa::ThreadRegistry::current())
                   << 24));
     return rng.geometric_level(max_level_);
+  }
+
+  /// Read-only descent (contains-style, no splicing) to the first node at
+  /// level 0 with key >= lo that was unmarked when reached (tail if none).
+  Node* bottom_seek(const K& lo, lsg::stats::WalkTally& wt) {
+    Node* prev = nullptr;
+    Node* curr = nullptr;
+    for (int lvl = static_cast<int>(max_level_); lvl >= 0; --lvl) {
+      std::atomic<uintptr_t>* slot = prev ? prev->slot(lvl) : &heads_[lvl];
+      curr = TP::ptr(slot->load(std::memory_order_acquire));
+      while (!curr->is_tail && (curr->key < lo || curr->get_mark(0))) {
+        if (lvl == 0) curr->prefetch_next0();
+        wt.node_visited();
+        wt.read_access(curr->owner, curr);
+        if (!(curr->key < lo) && curr->get_mark(0)) {
+          curr = curr->next_ptr(lvl);
+          continue;
+        }
+        prev = curr;
+        curr = curr->next_ptr(lvl);
+      }
+    }
+    return curr;
   }
 
   /// Positions pred/middle/succ at every level, splicing marked chains.

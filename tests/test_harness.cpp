@@ -68,6 +68,46 @@ TEST(Workload, FailedInsertDoesNotScheduleRemove) {
   EXPECT_EQ(wl.next().kind, ThreadWorkload::Kind::kInsert);
 }
 
+TEST(Workload, ScanRatioApproximatelyRequested) {
+  TrialConfig cfg;
+  cfg.update_pct = 20;
+  cfg.scan_pct = 10;
+  cfg.scan_len = 32;
+  ThreadWorkload wl(cfg, 1);
+  EXPECT_EQ(wl.scan_len(), 32u);
+  int scans = 0, updates = 0, total = 40000;
+  for (int i = 0; i < total; ++i) {
+    auto op = wl.next();
+    if (op.kind == ThreadWorkload::Kind::kScan) {
+      ++scans;
+    } else if (op.kind != ThreadWorkload::Kind::kContains) {
+      ++updates;
+    }
+    wl.report(op, true);
+  }
+  EXPECT_NEAR(scans, total / 10, total / 10 * 0.15);
+  EXPECT_NEAR(updates, total / 5, total / 5 * 0.1);
+}
+
+TEST(Workload, ZeroScanFracStreamMatchesNoScanConfig) {
+  // --scan-frac 0 (the default) must not perturb the op stream of
+  // pre-scan seeds: same kinds, same keys, draw for draw.
+  TrialConfig plain;
+  TrialConfig with_knob;
+  with_knob.scan_pct = 0;
+  with_knob.scan_len = 128;  // knob set but inert at 0%
+  ThreadWorkload a(plain, 7), b(with_knob, 7);
+  for (int i = 0; i < 5000; ++i) {
+    auto oa = a.next();
+    auto ob = b.next();
+    ASSERT_EQ(static_cast<int>(oa.kind), static_cast<int>(ob.kind)) << i;
+    ASSERT_EQ(oa.key, ob.key) << i;
+    ASSERT_NE(oa.kind, ThreadWorkload::Kind::kScan);
+    a.report(oa, true);
+    b.report(ob, true);
+  }
+}
+
 TEST(Workload, DeterministicPerSeedAndThread) {
   TrialConfig cfg;
   ThreadWorkload a(cfg, 5), b(cfg, 5), c(cfg, 6);

@@ -88,8 +88,14 @@ TEST_P(LayeredConcurrent, ContendedChurnNetConsistent) {
       }
     }
   });
+  // Quiescent snapshot via the range engine: the double-collect must
+  // converge with no writers running, and agree with the raw level-0 walk.
+  std::vector<std::pair<uint64_t, uint64_t>> snap;
+  EXPECT_TRUE(m.scan(0, kSpace, snap));
   std::set<uint64_t> final_keys;
-  for (auto k : m.abstract_set()) final_keys.insert(k);
+  for (const auto& kv : snap) final_keys.insert(kv.first);
+  EXPECT_EQ(final_keys.size(), snap.size()) << "scan reported a duplicate";
+  EXPECT_EQ(m.abstract_set().size(), snap.size());
   for (uint64_t k = 0; k < kSpace; ++k) {
     int n = net[k].load();
     ASSERT_TRUE(n == 0 || n == 1) << "key " << k << " net " << n;

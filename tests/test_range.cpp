@@ -1,0 +1,227 @@
+// Range-subsystem conformance: scan / scan_n / succ / pred / bulk_load
+// must agree with a std::map oracle on every registry algorithm, both
+// deterministically (single-threaded, exact match) and under concurrent
+// churn (snapshot must be a sorted duplicate-free set between the
+// always-present floor and the ever-present ceiling).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/registry.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace lsg::harness;
+using lsg::test::run_threads;
+
+class RangeConformance : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    lsg::numa::ThreadRegistry::configure(
+        lsg::numa::Topology::paper_machine());
+    lsg::numa::ThreadRegistry::reset();
+    lsg::stats::sync_topology();
+    lsg::stats::reset();
+    cfg_.algorithm = GetParam();
+    cfg_.threads = 4;
+    cfg_.key_space = 1 << 12;
+    map_ = make_map(GetParam(), cfg_);
+  }
+
+  void TearDown() override { map_.reset(); }
+
+  TrialConfig cfg_;
+  std::unique_ptr<IMap> map_;
+};
+
+TEST_P(RangeConformance, SupportsRange) {
+  EXPECT_TRUE(map_->supports_range());
+}
+
+TEST_P(RangeConformance, EmptyMap) {
+  ScanBuffer out;
+  EXPECT_EQ(map_->scan(0, 1000, out), 0u);
+  EXPECT_TRUE(out.empty());
+  Key k;
+  Value v;
+  EXPECT_FALSE(map_->succ(0, k, v));
+  EXPECT_FALSE(map_->pred(1000, k, v));
+}
+
+/// Exact oracle agreement through a randomized single-threaded history.
+TEST_P(RangeConformance, OracleScanSuccPred) {
+  lsg::common::Xoshiro256 rng(0x5CA9);
+  std::map<Key, Value> oracle;
+  constexpr uint64_t kSpace = 512;
+  ScanBuffer out;
+  for (int i = 0; i < 6000; ++i) {
+    uint64_t k = rng.next_bounded(kSpace);
+    if (rng.next_bounded(3) != 0) {
+      bool ins = map_->insert(k, k * 3);
+      ASSERT_EQ(ins, oracle.emplace(k, k * 3).second) << i;
+    } else {
+      ASSERT_EQ(map_->remove(k), oracle.erase(k) > 0) << i;
+    }
+    if (i % 200 != 0) continue;
+    // Full-range scan matches the oracle exactly (keys and values).
+    ASSERT_EQ(map_->scan(0, kSpace, out), oracle.size()) << i;
+    auto it = oracle.begin();
+    for (const auto& kv : out) {
+      ASSERT_EQ(kv.first, it->first);
+      ASSERT_EQ(kv.second, it->second);
+      ++it;
+    }
+    // Random sub-range.
+    uint64_t lo = rng.next_bounded(kSpace);
+    uint64_t hi = lo + rng.next_bounded(kSpace - lo);
+    map_->scan(lo, hi, out);
+    std::vector<std::pair<Key, Value>> expect(
+        oracle.lower_bound(lo), oracle.upper_bound(hi));
+    ASSERT_EQ(out, expect) << "scan [" << lo << ", " << hi << "] at " << i;
+    // scan_n from a random floor.
+    size_t n = 1 + rng.next_bounded(16);
+    map_->scan_n(lo, n, out);
+    expect.clear();
+    for (auto jt = oracle.lower_bound(lo);
+         jt != oracle.end() && expect.size() < n; ++jt) {
+      expect.push_back(*jt);
+    }
+    ASSERT_EQ(out, expect) << "scan_n(" << lo << ", " << n << ") at " << i;
+    // succ / pred against upper_bound / lower_bound.
+    uint64_t probe = rng.next_bounded(kSpace);
+    Key ok;
+    Value ov;
+    auto ub = oracle.upper_bound(probe);
+    ASSERT_EQ(map_->succ(probe, ok, ov), ub != oracle.end()) << probe;
+    if (ub != oracle.end()) {
+      EXPECT_EQ(ok, ub->first);
+      EXPECT_EQ(ov, ub->second);
+    }
+    auto lb = oracle.lower_bound(probe);
+    ASSERT_EQ(map_->pred(probe, ok, ov), lb != oracle.begin()) << probe;
+    if (lb != oracle.begin()) {
+      --lb;
+      EXPECT_EQ(ok, lb->first);
+      EXPECT_EQ(ov, lb->second);
+    }
+  }
+}
+
+TEST_P(RangeConformance, ScanLimitAndBounds) {
+  for (Key k = 10; k <= 100; k += 10) ASSERT_TRUE(map_->insert(k, k + 1));
+  ScanBuffer out;
+  // Inclusive bounds.
+  EXPECT_EQ(map_->scan(10, 100, out), 10u);
+  EXPECT_EQ(map_->scan(11, 99, out), 8u);
+  EXPECT_EQ(out.front().first, 20u);
+  EXPECT_EQ(out.back().first, 90u);
+  // scan_n truncates.
+  EXPECT_EQ(map_->scan_n(0, 3, out), 3u);
+  EXPECT_EQ(out.back().first, 30u);
+  // Empty window.
+  EXPECT_EQ(map_->scan(41, 49, out), 0u);
+}
+
+TEST_P(RangeConformance, BulkLoadSorted) {
+  ScanBuffer items;
+  for (Key k = 0; k < 600; k += 2) items.emplace_back(k, k + 7);
+  EXPECT_EQ(map_->bulk_load(items), items.size());
+  ScanBuffer out;
+  ASSERT_EQ(map_->scan(0, 600, out), items.size());
+  EXPECT_EQ(out, items);
+  Key ok;
+  Value ov;
+  ASSERT_TRUE(map_->succ(0, ok, ov));
+  EXPECT_EQ(ok, 2u);
+  ASSERT_TRUE(map_->pred(598, ok, ov));
+  EXPECT_EQ(ok, 596u);
+  // Reloading the same items is all duplicates: nothing changes.
+  EXPECT_EQ(map_->bulk_load(items), 0u);
+  EXPECT_EQ(map_->scan(0, 600, out), items.size());
+}
+
+TEST_P(RangeConformance, BulkLoadMergesIntoExisting) {
+  ASSERT_TRUE(map_->insert(5, 50));
+  ASSERT_TRUE(map_->insert(15, 150));
+  ScanBuffer items{{0, 1}, {5, 99}, {10, 2}, {20, 3}};
+  // 5 is a duplicate; the other three are fresh.
+  EXPECT_EQ(map_->bulk_load(items), 3u);
+  ScanBuffer out;
+  ASSERT_EQ(map_->scan(0, 20, out), 5u);
+  const Key expect_keys[] = {0, 5, 10, 15, 20};
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(out[i].first, expect_keys[i]);
+  // The duplicate kept its original association (no upsert).
+  EXPECT_EQ(out[1].second, 50u);
+}
+
+/// Scans racing writers: every result must be sorted and duplicate-free,
+/// contain every always-present key, and nothing outside the live universe.
+TEST_P(RangeConformance, ConcurrentChurnScanIsSane) {
+  constexpr uint64_t kSpace = 256;
+  constexpr uint64_t kStable = 300;  // keys >= kSpace, never touched
+  for (uint64_t k = kSpace; k < kSpace + kStable; ++k) {
+    ASSERT_TRUE(map_->insert(k, k));
+  }
+  IMap* map = map_.get();
+  std::atomic<bool> stop{false};
+  std::atomic<int> scans_done{0};
+  // Baseline maps own live maintenance threads: keep their ids intact.
+  run_threads(4, [&](int t) {
+    map->thread_init();
+    if (t == 0) {
+      // Scanner: snapshot the whole universe until the churners finish
+      // (at least once — fast churners may beat the first scan).
+      ScanBuffer out;
+      do {
+        map->scan(0, kSpace + kStable, out);
+        ASSERT_TRUE(std::is_sorted(out.begin(), out.end()));
+        ASSERT_EQ(std::adjacent_find(out.begin(), out.end(),
+                                     [](const auto& a, const auto& b) {
+                                       return a.first == b.first;
+                                     }),
+                  out.end())
+            << "duplicate key in scan";
+        // Every never-removed key must appear; churned keys may or may not.
+        size_t stable_seen = 0;
+        for (const auto& kv : out) {
+          ASSERT_LT(kv.first, kSpace + kStable);
+          if (kv.first >= kSpace) ++stable_seen;
+        }
+        ASSERT_EQ(stable_seen, kStable);
+        scans_done.fetch_add(1);
+        Key ok;
+        Value ov;
+        // succ/pred across the churn boundary always land in-universe.
+        if (map->succ(kSpace - 1, ok, ov)) ASSERT_GE(ok, kSpace);
+        ASSERT_TRUE(map->pred(kSpace + kStable, ok, ov));
+        ASSERT_EQ(ok, kSpace + kStable - 1);
+      } while (!stop.load(std::memory_order_acquire));
+    } else {
+      lsg::common::Xoshiro256 rng(t * 31 + 7);
+      for (int i = 0; i < 6000; ++i) {
+        uint64_t k = rng.next_bounded(kSpace);
+        if (rng.next_bounded(2) == 0) {
+          map->insert(k, k);
+        } else {
+          map->remove(k);
+        }
+      }
+      if (t == 1) stop.store(true, std::memory_order_release);
+    }
+  }, /*reset_registry=*/false);
+  EXPECT_GT(scans_done.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, RangeConformance,
+                         ::testing::ValuesIn(algorithm_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace

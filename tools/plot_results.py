@@ -17,6 +17,12 @@ Throughput over time (from a per-trial *_timeline.jsonl artifact):
         [--metric ops_per_ms]
 one row per timeline sample; also works for locality, cas_success_rate,
 reclaim_pending or any cumulative event column.
+
+Scan shape (from a per-trial <id>_hist.json artifact, requires a trial
+run with --scan-frac > 0):
+    tools/plot_results.py scan obs_out/<id>_hist.json
+two bucketed histograms: elements returned per scan (scan_len) and
+collect passes per scan (scan_retries; 1 = converged without re-scan).
 """
 
 import argparse
@@ -28,7 +34,7 @@ from collections import defaultdict
 
 WIDTH = 60
 
-MODES = ("latency", "timeline")
+MODES = ("latency", "timeline", "scan")
 PERCENTILE_KEYS = ["p50", "p90", "p99", "p999"]
 
 
@@ -132,6 +138,40 @@ def render_timeline(path, metric):
         print(f"{t_us / 1000.0:>8.1f} | {bar(v, peak)} {v:.1f}")
 
 
+# --- scan mode (<id>_hist.json) --------------------------------------------
+
+
+def render_value_hist(name, hist, unit):
+    print(f"\n{name} (count={hist['count']}, mean={hist['mean']:.1f}, "
+          f"p50={hist['p50']}, p99={hist['p99']}, max={hist['max']} {unit})")
+    buckets = hist.get("buckets", [])
+    if not buckets:
+        return
+    peak = max(c for _, c in buckets)
+    for i, (lo, count) in enumerate(buckets):
+        # Log-bucketed: the bucket covers [lo, next_lo); the last one is
+        # open-ended up to the recorded max.
+        hi = buckets[i + 1][0] - 1 if i + 1 < len(buckets) else hist["max"]
+        label = f"{lo}" if hi <= lo else f"{lo}-{hi}"
+        print(f"  {label:>12} | {bar(count, peak)} {count}")
+
+
+def render_scan(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}: bad JSON: {e}")
+    if "scan_len" not in doc:
+        sys.exit(f"{path}: no scan histograms (was the trial run with "
+                 "--scan-frac > 0 and --obs / LSG_OBS=1?)")
+    render_value_hist("scan_len, elements per scan", doc["scan_len"], "keys")
+    if "scan_retries" in doc:
+        render_value_hist(
+            "scan_retries, collect passes per scan (1 = no re-scan)",
+            doc["scan_retries"], "passes")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("mode_or_path",
@@ -163,6 +203,10 @@ def main():
         if not args.path:
             sys.exit("timeline mode needs a *_timeline.jsonl path")
         render_timeline(args.path, metric)
+    elif args.mode_or_path == "scan":
+        if not args.path:
+            sys.exit("scan mode needs a <id>_hist.json path")
+        render_scan(args.path)
     else:
         render_csv(load_csv(args.mode_or_path, metric), metric)
 
