@@ -248,9 +248,7 @@ class LayeredMap {
   template <class Fn>
   void for_each_range(const K& lo, const K& hi, Fn&& fn) {
     LocalState& ls = local_state();
-    LocalIter it = get_start(ls, lo);
-    Node* start = it.valid() ? it.value() : nullptr;
-    if (start == nullptr) start = borrow_hint(ls, lo);
+    Node* start = range_anchor(ls, lo);
     // The start node is exclusive in the scan; when the caller's own local
     // structure maps `lo` itself, report it here (there is at most one
     // unmarked node per key, so the walk cannot report a second copy).
@@ -281,9 +279,7 @@ class LayeredMap {
   size_t collect_range(const K& lo, const K& hi, size_t limit,
                        std::vector<std::pair<K, V>>& out) {
     LocalState& ls = local_state();
-    LocalIter it = get_start(ls, lo);
-    Node* start = it.valid() ? it.value() : nullptr;
-    if (start == nullptr) start = borrow_hint(ls, lo);
+    Node* start = range_anchor(ls, lo);
     size_t added = 0;
     // The start node is exclusive in the shared walk; when the local layer
     // maps `lo` itself, report it here (at most one unmarked node per key,
@@ -318,9 +314,7 @@ class LayeredMap {
   /// way contains is: the element was present at some instant in the call.
   bool succ(const K& key, K& out_key, V& out_value) {
     LocalState& ls = local_state();
-    LocalIter it = get_start(ls, key);
-    Node* start = it.valid() ? it.value() : nullptr;
-    if (start == nullptr) start = borrow_hint(ls, key);
+    Node* start = range_anchor(ls, key);
     bool ret = sg_.succ_from(key, membership(ls), start, out_key, out_value);
     lsg::stats::op_done();
     return ret;
@@ -533,6 +527,34 @@ class LayeredMap {
     }
     if (best != nullptr) lsg::stats::read_access(best->owner, best);
     return best;
+  }
+
+  /// Entry point for the level-0 range walks (for_each_range /
+  /// collect_range / succ): getStart (falling back to a borrowed hint),
+  /// plus the staleness guard contains() applies on its fast path. A
+  /// level-0-marked anchor must never seed the walk: its next[0] froze at
+  /// mark time, so it can bypass nodes linked through its live predecessor
+  /// after the mark — in particular a reinserted copy of its own key — and
+  /// the local association survives until *this* thread prunes it, so
+  /// every pass anchored there would drop the same present keys (the
+  /// double-collect would then converge on a wrong snapshot). Erase the
+  /// stale association and re-derive the start; the retry terminates
+  /// because each erase shrinks the local map and borrow_hint re-checks
+  /// marks on every call.
+  Node* range_anchor(LocalState& ls, const K& lo) {
+    while (true) {
+      LocalIter it = get_start(ls, lo);
+      if (it.valid()) {
+        Node* start = it.value();
+        if (!start->get_mark(0)) return start;
+        erase_local(ls, start->key);
+        continue;
+      }
+      Node* start = borrow_hint(ls, lo);
+      if (start == nullptr || !start->get_mark(0)) return start;
+      // Borrowed anchor died between the hint's mark check and ours:
+      // retry; borrow_hint re-checks marks, so it won't hand it back.
+    }
   }
 
   LayeredOptions opts_;

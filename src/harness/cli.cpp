@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "harness/driver.hpp"
 #include "obs/export.hpp"
@@ -234,7 +235,15 @@ int run_cli(int argc, const char* const* argv) {
   }
   o.cfg.topology = locality_topology(o.cfg.threads);
   print_banner("lsg_cli", o.cfg);
-  TrialResult r = run_averaged(o.cfg);
+  TrialResult r;
+  try {
+    r = run_averaged(o.cfg);
+  } catch (const std::invalid_argument& e) {
+    // e.g. --scan-frac against a map without range support (run_trial
+    // rejects the workload before the measured phase).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   print_throughput_header();
   print_throughput_row(r);
   if (o.locality_report) {

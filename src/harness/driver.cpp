@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -35,6 +36,7 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
 
   const int T = cfg.threads;
   std::atomic<IMap*> shared_map{nullptr};
+  std::atomic<bool> abort_trial{false};
   std::atomic<int> ready{0};
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
@@ -62,6 +64,7 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
 
       IMap* map = nullptr;
       while ((map = shared_map.load(std::memory_order_acquire)) == nullptr) {
+        if (abort_trial.load(std::memory_order_acquire)) return;
         std::this_thread::yield();
       }
       map->thread_init();
@@ -102,6 +105,17 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   // ids are 0..T-1, matching the pinning and heatmap conventions).
   while (ready.load() != T) std::this_thread::yield();
   std::unique_ptr<IMap> map = factory(cfg);
+  // A scan workload against a map without the range primitives would count
+  // no-op scans as successful ops and inflate throughput; reject it while
+  // the workers are still parked (they exit via abort_trial).
+  if (cfg.scan_pct > 0 && !map->supports_range()) {
+    abort_trial.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    throw std::invalid_argument("scan workload (scan_pct=" +
+                                std::to_string(cfg.scan_pct) + ") needs "
+                                "range support, which map '" + map->name() +
+                                "' does not provide");
+  }
   shared_map.store(map.get(), std::memory_order_release);
 
   while (preload_done.load() != T) std::this_thread::yield();
@@ -218,7 +232,9 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
   }
   if (avg.obs.valid) {
     // Counts and events sum across runs; latency percentiles and steady
-    // throughput average (artifact paths stay those of the first run).
+    // throughput average; the scan digest is recomputed from the pooled
+    // value histograms so p50/p99 are true percentiles of the combined
+    // runs (artifact paths stay those of the first run).
     lsg::obs::Summary s;
     s.valid = true;
     for (const auto& r : runs) {
@@ -232,16 +248,20 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
         s.ops[op].max_us = std::max(s.ops[op].max_us, r.obs.ops[op].max_us);
       }
       s.events += r.obs.events;
-      s.scan.count += r.obs.scan.count;
-      s.scan.mean_len += r.obs.scan.mean_len / n;
-      s.scan.p50_len =
-          std::max(s.scan.p50_len, r.obs.scan.p50_len);
-      s.scan.p99_len =
-          std::max(s.scan.p99_len, r.obs.scan.p99_len);
-      s.scan.max_len = std::max(s.scan.max_len, r.obs.scan.max_len);
-      s.scan.mean_passes += r.obs.scan.mean_passes / n;
-      s.scan.max_passes = std::max(s.scan.max_passes, r.obs.scan.max_passes);
+      s.scan.len_hist += r.obs.scan.len_hist;
+      s.scan.pass_hist += r.obs.scan.pass_hist;
       s.steady_ops_per_ms += r.obs.steady_ops_per_ms / n;
+    }
+    s.scan.count = s.scan.len_hist.count();
+    if (s.scan.count > 0) {
+      s.scan.mean_len = s.scan.len_hist.mean();
+      s.scan.p50_len = s.scan.len_hist.p50();
+      s.scan.p99_len = s.scan.len_hist.p99();
+      s.scan.max_len = s.scan.len_hist.max();
+    }
+    if (s.scan.pass_hist.count() > 0) {
+      s.scan.mean_passes = s.scan.pass_hist.mean();
+      s.scan.max_passes = s.scan.pass_hist.max();
     }
     avg.obs = s;
   }

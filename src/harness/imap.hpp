@@ -44,8 +44,8 @@ namespace detail {
 /// scan_n against a concrete map: prefer a native scan_n, then the range
 /// engine over the raw collect_range primitive. Returns how many elements
 /// the scan produced. Maps with neither primitive make kScan a no-op (the
-/// workload never emits scans unless --scan-frac is set, and the CLI rejects
-/// scan fractions for such maps via supports_range()).
+/// workload never emits scans unless scan_pct is set, and run_trial rejects
+/// scan workloads for maps whose supports_range() is false).
 template <class M>
 size_t scan_once(M& m, Key lo, size_t n, ScanBuffer& buf) {
   if constexpr (requires { m.scan_n(lo, n, buf); }) {

@@ -128,6 +128,8 @@ Summary summarize() {
   s.events = total_events();
   LatencyHistogram len = merged_scan_lengths();
   LatencyHistogram passes = merged_scan_retries();
+  s.scan.len_hist = len;
+  s.scan.pass_hist = passes;
   s.scan.count = len.count();
   if (len.count() > 0) {
     s.scan.mean_len = len.mean();

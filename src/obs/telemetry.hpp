@@ -240,6 +240,11 @@ struct ScanSummary {
   uint64_t max_len = 0;
   double mean_passes = 0;  // collect passes per scan (1 = no re-scan)
   uint64_t max_passes = 0;
+  /// The distributions the digest above was computed from. Kept so
+  /// multi-run averaging (TrialResult::average) can pool runs with += and
+  /// recompute true percentiles instead of combining per-run digests.
+  LatencyHistogram len_hist;
+  LatencyHistogram pass_hist;
 };
 
 struct Summary {

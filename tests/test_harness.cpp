@@ -2,7 +2,10 @@
 // (Synchrobench -f 1), registry, trial execution, and result accounting.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <mutex>
 #include <set>
+#include <stdexcept>
 
 #include "harness/driver.hpp"
 #include "harness/registry.hpp"
@@ -12,6 +15,28 @@
 namespace {
 
 using namespace lsg::harness;
+
+/// Point-op-only map (no range primitives): MapAdapter must report
+/// supports_range() == false and run_trial must refuse scan workloads.
+class PointOnlyMap {
+ public:
+  bool insert(Key k, Value v) {
+    std::lock_guard<std::mutex> g(mu_);
+    return m_.emplace(k, v).second;
+  }
+  bool remove(Key k) {
+    std::lock_guard<std::mutex> g(mu_);
+    return m_.erase(k) > 0;
+  }
+  bool contains(Key k) {
+    std::lock_guard<std::mutex> g(mu_);
+    return m_.count(k) > 0;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<Key, Value> m_;
+};
 
 TEST(Workload, ContentionPresets) {
   EXPECT_EQ(TrialConfig::hc().key_space, 1u << 8);
@@ -214,6 +239,53 @@ TEST(Driver, AverageOfRuns) {
   EXPECT_DOUBLE_EQ(avg.ops_per_ms, 150.0);
   EXPECT_DOUBLE_EQ(avg.effective_update_pct, 35.0);
   EXPECT_NEAR(avg.cas_success_rate, 0.95, 1e-9);
+}
+
+TEST(Driver, AverageMergesScanHistograms) {
+  // The scan digest of an averaged result must come from the pooled
+  // distributions, not from a max over per-run digests: a single run with
+  // one long scan must not drag the combined p50 up to its own.
+  std::vector<TrialResult> runs(2);
+  for (auto& r : runs) r.obs.valid = true;
+  for (int i = 0; i < 99; ++i) runs[0].obs.scan.len_hist.record(4);
+  runs[1].obs.scan.len_hist.record(1000);
+  runs[0].obs.scan.pass_hist.record(1);
+  runs[1].obs.scan.pass_hist.record(3);
+  for (auto& r : runs) {
+    r.obs.scan.count = r.obs.scan.len_hist.count();
+    r.obs.scan.p50_len = r.obs.scan.len_hist.p50();
+    r.obs.scan.p99_len = r.obs.scan.len_hist.p99();
+    r.obs.scan.max_len = r.obs.scan.len_hist.max();
+  }
+  TrialResult avg = TrialResult::average(runs);
+  EXPECT_EQ(avg.obs.scan.count, 100u);
+  // 99 of 100 pooled scans returned 4 elements, so the pooled p50 is 4
+  // even though run 1's own p50 is 1000 (the old max-combine reported it).
+  EXPECT_EQ(avg.obs.scan.p50_len, 4u);
+  EXPECT_GE(avg.obs.scan.p99_len, 4u);
+  EXPECT_EQ(avg.obs.scan.max_len, 1000u);
+  EXPECT_DOUBLE_EQ(avg.obs.scan.mean_passes, 2.0);
+  EXPECT_EQ(avg.obs.scan.max_passes, 3u);
+}
+
+TEST(Driver, RejectsScanWorkloadWithoutRangeSupport) {
+  TrialConfig cfg;
+  cfg.algorithm = "point_only";
+  cfg.threads = 2;
+  cfg.duration_ms = 5;
+  cfg.key_space = 1 << 8;
+  MapFactory factory = [](const TrialConfig&) -> std::unique_ptr<IMap> {
+    return std::make_unique<MapAdapter<PointOnlyMap>>("point_only");
+  };
+  // Scans against a map without range primitives would count no-op scans
+  // as successful ops; the trial must refuse instead.
+  cfg.scan_pct = 10;
+  EXPECT_THROW(run_trial(cfg, factory), std::invalid_argument);
+  // The same map is fine without scans.
+  cfg.scan_pct = 0;
+  TrialResult r = run_trial(cfg, factory);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_EQ(r.scan_ops, 0u);
 }
 
 TEST(Driver, EffectiveUpdateModeKeepsSizeStable) {

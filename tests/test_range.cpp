@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/layered_map.hpp"
 #include "harness/registry.hpp"
 #include "test_util.hpp"
 
@@ -223,5 +224,63 @@ TEST_P(RangeConformance, ConcurrentChurnScanIsSane) {
 INSTANTIATE_TEST_SUITE_P(AllAlgorithms, RangeConformance,
                          ::testing::ValuesIn(algorithm_names()),
                          [](const auto& info) { return info.param; });
+
+/// Regression: a level-0-marked node at exactly `lo` must never anchor the
+/// shared level-0 walk. If a remover stalls between the logical delete
+/// (mark of next[0]) and the upper-level marks while other threads reinsert
+/// the key and add neighbors, the scanning thread's local layer still maps
+/// `lo` to the dead node; anchoring there walks its frozen next[0], which
+/// bypasses everything linked through its live predecessor after the mark,
+/// and the double-collect converges on a snapshot missing present keys.
+/// range_anchor must erase the stale association and re-anchor below `lo`.
+TEST(RangeStaleAnchor, DeadEqualKeyAnchorIsReAnchored) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+  using Map = lsg::core::LayeredMap<uint64_t, uint64_t>;
+  using Node = lsg::skipgraph::SgNode<uint64_t, uint64_t>;
+  lsg::core::LayeredOptions opts;
+  opts.num_threads = 2;
+  opts.max_level = 2;  // towers tall enough for a half-marked state
+  // Local layer: 10 -> (soon-dead) node, 30 -> live node. Behind the local
+  // layer's back: 10 logically deleted but the remover "stalled" before the
+  // tower marks, then 10 reinserted as a fresh node and 20 added.
+  auto poison = [](Map& m) {
+    m.thread_init();
+    ASSERT_TRUE(m.insert(10, 1));
+    ASSERT_TRUE(m.insert(30, 3));
+    auto& sg = m.shared_structure();
+    const uint32_t mem = m.memberships().vector_of(0);
+    Node* stale = sg.retire_search(10, mem, nullptr);
+    ASSERT_NE(stale, nullptr);
+    ASSERT_TRUE(stale->try_mark(0));  // logical delete only
+    auto refresh = []() -> Node* { return nullptr; };
+    Node* fresh = nullptr;
+    ASSERT_TRUE(sg.insert_nonlazy(10, 7, mem, nullptr, refresh, &fresh));
+    ASSERT_TRUE(sg.insert_nonlazy(20, 2, mem, nullptr, refresh, &fresh));
+  };
+  {
+    Map m(opts);
+    poison(m);
+    ScanBuffer out;
+    EXPECT_TRUE(m.scan(10, 30, out));
+    ASSERT_EQ(out.size(), 3u) << "scan anchored at the dead node";
+    EXPECT_EQ(out[0], (std::pair<uint64_t, uint64_t>{10, 7}));
+    EXPECT_EQ(out[1], (std::pair<uint64_t, uint64_t>{20, 2}));
+    EXPECT_EQ(out[2], (std::pair<uint64_t, uint64_t>{30, 3}));
+    Key ok;
+    Value ov;
+    ASSERT_TRUE(m.succ(10, ok, ov));
+    EXPECT_EQ(ok, 20u);
+  }
+  {
+    // Fresh poisoned instance so for_each_range meets the stale anchor
+    // first (the guard erases it on first contact).
+    Map m(opts);
+    poison(m);
+    EXPECT_EQ(m.count_range(10, 30), 3u);
+  }
+}
 
 }  // namespace
