@@ -1,0 +1,330 @@
+// Sharded-tier benchmarks (src/shard/), two modes in one binary:
+//
+//  default      google-benchmark micro benches: single-threaded routed point
+//               ops, stitched scans, and the hot-key cache across shard
+//               counts. These are the CI-gated numbers (BENCH_pr6.json
+//               "after"): stable single-threaded per-op costs, not a
+//               machine-dependent scaling claim.
+//  --scaling    harness trials (shard count x thread count, MC-WH mix with
+//               scans, heatmaps on) printed as JSON lines — the evidence
+//               member of BENCH_pr6.json. Throughput here depends on the
+//               host; the committed record documents the machine it ran on.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/driver.hpp"
+#include "harness/report.hpp"
+#include "numa/pinning.hpp"
+#include "shard/sharded_map.hpp"
+#include "stats/heatmap.hpp"
+
+namespace {
+
+using K = uint64_t;
+using V = uint64_t;
+using Sharded = lsg::shard::ShardedMap<K, V>;
+constexpr uint64_t kSpace = 1 << 14;
+constexpr int kPreload = 4096;
+
+void setup_registry() {
+  static bool done = [] {
+    lsg::numa::ThreadRegistry::configure(
+        lsg::numa::Topology::paper_machine());
+    lsg::stats::sync_topology();
+    return true;
+  }();
+  (void)done;
+}
+
+lsg::shard::ShardedOptions shard_opts(int shards, int cache_slots) {
+  lsg::shard::ShardedOptions o;
+  o.num_shards = shards;
+  o.key_space = kSpace;
+  o.cache_slots = cache_slots;
+  o.inner.num_threads = 1;
+  return o;
+}
+
+void preload(Sharded& m, uint64_t seed) {
+  m.thread_init();
+  lsg::common::Xoshiro256 rng(seed);
+  for (int i = 0; i < kPreload; ++i) {
+    m.insert(rng.next_bounded(kSpace), static_cast<V>(i));
+  }
+}
+
+/// Routed point lookups, cache disabled: the router + inner-map cost.
+void BM_ShardContains(benchmark::State& state) {
+  setup_registry();
+  Sharded m(shard_opts(static_cast<int>(state.range(0)), /*cache_slots=*/0));
+  preload(m, 23);
+  lsg::common::Xoshiro256 rng(29);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.contains(rng.next_bounded(kSpace)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardContains)->Arg(1)->Arg(2)->Arg(4);
+
+/// Routed update churn (insert + remove of the same key).
+void BM_ShardInsertErase(benchmark::State& state) {
+  setup_registry();
+  Sharded m(shard_opts(static_cast<int>(state.range(0)), /*cache_slots=*/0));
+  preload(m, 31);
+  lsg::common::Xoshiro256 rng(37);
+  for (auto _ : state) {
+    K k = rng.next_bounded(kSpace);
+    m.insert(k, k);
+    m.remove(k);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ShardInsertErase)->Arg(1)->Arg(2)->Arg(4);
+
+/// Stitched scan_n: with >1 shard a scan crosses shard seams and pays the
+/// per-shard snapshot + stitch cost the single-shard run avoids.
+void BM_ShardStitchedScanN(benchmark::State& state) {
+  setup_registry();
+  Sharded m(shard_opts(static_cast<int>(state.range(0)), /*cache_slots=*/0));
+  preload(m, 41);
+  lsg::common::Xoshiro256 rng(43);
+  std::vector<std::pair<K, V>> out;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    m.scan_n(rng.next_bounded(kSpace), 256, out);
+    total += out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+}
+BENCHMARK(BM_ShardStitchedScanN)->Arg(1)->Arg(2)->Arg(4);
+
+/// succ/pred across seams (probe keys land anywhere in the key space).
+void BM_ShardSuccPred(benchmark::State& state) {
+  setup_registry();
+  Sharded m(shard_opts(static_cast<int>(state.range(0)), /*cache_slots=*/0));
+  preload(m, 47);
+  lsg::common::Xoshiro256 rng(53);
+  for (auto _ : state) {
+    K probe = rng.next_bounded(kSpace);
+    K ok;
+    V ov;
+    benchmark::DoNotOptimize(m.succ(probe, ok, ov));
+    benchmark::DoNotOptimize(m.pred(probe, ok, ov));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ShardSuccPred)->Arg(1)->Arg(2)->Arg(4);
+
+/// Hot-key reads with the per-socket cache on vs off, same 16-key working
+/// set. Single-threaded the direct path wins — the inner LayeredMap's
+/// thread-local layer already answers locally — so this pair bounds the
+/// cache's worst-case overhead (a few ns of seqlock validation); its win
+/// is cross-socket traffic, which the scaling trials exercise.
+void run_hot_get(benchmark::State& state, int cache_slots) {
+  setup_registry();
+  Sharded m(shard_opts(2, cache_slots));
+  preload(m, 59);
+  constexpr int kHot = 16;
+  K hot[kHot];
+  lsg::common::Xoshiro256 rng(61);
+  for (int i = 0; i < kHot; ++i) {
+    hot[i] = rng.next_bounded(kSpace);
+    m.insert(hot[i], i);
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.contains(hot[i++ % kHot]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_ShardHotGet_Cache(benchmark::State& state) {
+  run_hot_get(state, /*cache_slots=*/256);
+}
+BENCHMARK(BM_ShardHotGet_Cache);
+
+void BM_ShardHotGet_NoCache(benchmark::State& state) {
+  run_hot_get(state, /*cache_slots=*/0);
+}
+BENCHMARK(BM_ShardHotGet_NoCache);
+
+/// One socket-affine trial: T pinned workers over a topology sized so they
+/// span both sockets; each worker draws 90% of its keys from shards homed
+/// on its own socket (the deployment pattern the sharded tier targets) and
+/// 10% uniformly, on an MC-WH mix (50% update, 5% scan-64, 45% contains).
+/// The harness driver only generates uniform keys, which cannot show the
+/// structural effect of sharding — maintenance CAS confined to the shard a
+/// key lives in — so this loop is hand-rolled on the driver's registration
+/// pattern (workers take dense ids 0..T-1 before heatmaps are sized).
+struct ScalingPoint {
+  double ops_per_ms = 0;
+  double cas_locality = 0;
+  double read_locality = 0;
+  double remote_cas_per_op = 0;
+  int pinned_threads = 0;
+};
+
+ScalingPoint run_affine_trial(int shards, int threads, int duration_ms) {
+  using lsg::numa::ThreadRegistry;
+  ThreadRegistry::reset();
+  ThreadRegistry::configure(lsg::harness::locality_topology(threads));
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+
+  lsg::shard::ShardedOptions o = shard_opts(shards, /*cache_slots=*/256);
+  o.inner.num_threads = threads;
+
+  std::atomic<lsg::shard::ShardedMap<K, V>*> shared{nullptr};
+  std::atomic<int> preloaded{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<int> pinned{0};
+  std::vector<uint64_t> ops(static_cast<size_t>(threads), 0);
+  const uint64_t per_thread_load = (kSpace / 2) / static_cast<uint64_t>(threads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      while (ThreadRegistry::registered_count() != t) std::this_thread::yield();
+      ThreadRegistry::register_self();
+      if (ThreadRegistry::pin_self_if_possible()) {
+        pinned.fetch_add(1, std::memory_order_relaxed);
+      }
+      lsg::shard::ShardedMap<K, V>* m;
+      while ((m = shared.load(std::memory_order_acquire)) == nullptr) {
+        std::this_thread::yield();
+      }
+      m->thread_init();
+
+      // Shards homed on this worker's socket; empty only if shards <
+      // sockets, in which case fall back to the whole set.
+      const int socket = ThreadRegistry::node_of(t);
+      std::vector<int> local;
+      for (int s = 0; s < m->num_shards(); ++s) {
+        if (m->home_socket(s) == socket) local.push_back(s);
+      }
+      if (local.empty()) {
+        for (int s = 0; s < m->num_shards(); ++s) local.push_back(s);
+      }
+      const uint64_t width = m->shard_width();
+      lsg::common::Xoshiro256 rng(0x9e3779b9u * (t + 1));
+      auto affine_key = [&]() -> K {
+        if (rng.next_bounded(10) == 0) return rng.next_bounded(kSpace);
+        uint64_t s = local[rng.next_bounded(local.size())];
+        uint64_t lo = s * width;
+        return lo + rng.next_bounded(std::min(width, kSpace - lo));
+      };
+
+      for (uint64_t i = 0; i < per_thread_load; ++i) {
+        m->insert(affine_key(), i);
+      }
+      preloaded.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+
+      uint64_t n = 0;
+      std::vector<std::pair<K, V>> out;
+      while (!stop.load(std::memory_order_acquire)) {
+        K k = affine_key();
+        uint32_t u = static_cast<uint32_t>(rng.next_bounded(100));
+        if (u < 50) {
+          if ((u & 1) != 0) {
+            m->insert(k, k);
+          } else {
+            m->remove(k);
+          }
+        } else if (u < 55) {
+          m->scan_n(k, 64, out);
+        } else {
+          m->contains(k);
+        }
+        ++n;
+      }
+      ops[static_cast<size_t>(t)] = n;
+    });
+  }
+
+  while (ThreadRegistry::registered_count() != threads) {
+    std::this_thread::yield();
+  }
+  lsg::stats::enable_heatmaps(threads);
+  lsg::shard::ShardedMap<K, V> map(o);
+  shared.store(&map, std::memory_order_release);
+  while (preloaded.load(std::memory_order_acquire) != threads) {
+    std::this_thread::yield();
+  }
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+
+  uint64_t total = 0;
+  for (uint64_t n : ops) total += n;
+  std::vector<int> node_of(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    node_of[static_cast<size_t>(t)] = ThreadRegistry::node_of(t);
+  }
+  ScalingPoint p;
+  p.ops_per_ms = static_cast<double>(total) / duration_ms;
+  p.pinned_threads = pinned.load();
+  if (auto* h = lsg::stats::cas_heatmap(); h != nullptr && h->total() > 0) {
+    p.cas_locality = h->locality(node_of);
+    p.remote_cas_per_op = total == 0 ? 0.0
+                                     : static_cast<double>(h->total()) *
+                                           (1.0 - p.cas_locality) / total;
+  }
+  if (auto* h = lsg::stats::read_heatmap(); h != nullptr && h->total() > 0) {
+    p.read_locality = h->locality(node_of);
+  }
+  lsg::stats::disable_heatmaps();
+  return p;
+}
+
+/// --scaling: socket-affine trials over shard x thread counts, printed as
+/// JSON so the output can be committed verbatim as the "scaling" member of
+/// BENCH_pr6.json.
+int run_scaling() {
+  const int duration = lsg::harness::bench_duration_ms();
+  std::printf("[\n");
+  bool first = true;
+  for (int shards : {1, 2, 4}) {
+    for (int threads : {1, 4, 8}) {
+      ScalingPoint p = run_affine_trial(shards, threads, duration);
+      std::printf(
+          "%s  {\"shards\": %d, \"threads\": %d, \"ops_per_ms\": %.1f, "
+          "\"cas_locality\": %.4f, \"read_locality\": %.4f, "
+          "\"remote_cas_per_op\": %.5f, \"pinned_threads\": %d}",
+          first ? "" : ",\n", shards, threads, p.ops_per_ms, p.cas_locality,
+          p.read_locality, p.remote_cas_per_op, p.pinned_threads);
+      first = false;
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n]\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling") == 0) return run_scaling();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

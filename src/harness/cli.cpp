@@ -45,6 +45,9 @@ std::string cli_usage() {
       "  --scan-frac PCT  percentage of ops that are range scans, carved\n"
       "                   out of the read share (update+scan <= 100)  [0]\n"
       "  --scan-len N     elements per scan (scan_n length)           [64]\n"
+      "  --shards N       shard count for sharded algorithms\n"
+      "                   (0 = one shard per socket)                  [0]\n"
+      "  --shard-policy P shard router: range | hash                  [range]\n"
       "  -i PCT    initial fill, % of range      [20]\n"
       "  -s SEED   rng seed                      [42]\n"
       "  -n N      runs to average               [1]\n"
@@ -125,6 +128,30 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         return o;
       }
       o.cfg.scan_len = static_cast<int>(n);
+    } else if (arg == "--shards") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--shards requires a count";
+        return o;
+      }
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0 || n > 255) {
+        o.error = "shard count must be in [0, 255] (0 = per-socket)";
+        return o;
+      }
+      o.cfg.shards = static_cast<int>(n);
+    } else if (arg == "--shard-policy") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--shard-policy requires a policy name";
+        return o;
+      }
+      if (std::strcmp(v, "range") != 0 && std::strcmp(v, "hash") != 0) {
+        o.error = "shard policy must be 'range' or 'hash'";
+        return o;
+      }
+      o.cfg.shard_policy = v;
     } else if (arg == "--obs") {
       o.cfg.collect_obs = true;
     } else if (arg == "--obs-dir") {

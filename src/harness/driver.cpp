@@ -41,6 +41,7 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
   std::atomic<int> preload_done{0};
+  std::atomic<int> pinned_count{0};
   std::atomic<uint64_t> preload_count{0};
   const uint64_t preload_target = static_cast<uint64_t>(
       static_cast<double>(cfg.key_space) * cfg.preload_fraction);
@@ -59,7 +60,12 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
       lsg::numa::ThreadRegistry::register_self();
       lsg::stats::forget_self();
       lsg::obs::forget_self();
-      lsg::numa::ThreadRegistry::pin_self_if_possible();
+      // Surfaced in the trial report (pinned_threads): the fold in
+      // pin_self_if_possible makes pinning succeed even when the simulated
+      // topology outsizes the host, so a shortfall here is a real failure.
+      if (lsg::numa::ThreadRegistry::pin_self_if_possible()) {
+        pinned_count.fetch_add(1, std::memory_order_relaxed);
+      }
       ready.fetch_add(1);
 
       IMap* map = nullptr;
@@ -104,7 +110,16 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   // constructing thread deliberately registers after the workers so worker
   // ids are 0..T-1, matching the pinning and heatmap conventions).
   while (ready.load() != T) std::this_thread::yield();
-  std::unique_ptr<IMap> map = factory(cfg);
+  std::unique_ptr<IMap> map;
+  try {
+    map = factory(cfg);
+  } catch (...) {
+    // Release the parked workers before propagating (e.g. an invalid shard
+    // configuration), or they would spin on shared_map forever.
+    abort_trial.store(true, std::memory_order_release);
+    for (auto& w : workers) w.join();
+    throw;
+  }
   // A scan workload against a map without the range primitives would count
   // no-op scans as successful ops and inflate throughput; reject it while
   // the workers are still parked (they exit via abort_trial).
@@ -150,6 +165,7 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   TrialResult r;
   r.algorithm = cfg.algorithm;
   r.threads = T;
+  r.pinned_threads = pinned_count.load();
   r.measured_ms = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count());
   if (r.measured_ms == 0) r.measured_ms = 1;

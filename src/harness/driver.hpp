@@ -20,6 +20,9 @@ namespace lsg::harness {
 struct TrialResult {
   std::string algorithm;
   int threads = 0;
+  /// Workers whose OS affinity pin succeeded (== threads on Linux hosts;
+  /// 0 on platforms without affinity support).
+  int pinned_threads = 0;
   uint64_t measured_ms = 0;
 
   uint64_t total_ops = 0;

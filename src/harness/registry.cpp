@@ -8,6 +8,7 @@
 #include "common/bits.hpp"
 #include "core/layered_map.hpp"
 #include "local/avl_map.hpp"
+#include "shard/sharded_map.hpp"
 #include "skipgraph/skip_graph_map.hpp"
 #include "skiplist/lockfree_list.hpp"
 #include "skiplist/lockfree_skiplist.hpp"
@@ -107,6 +108,20 @@ std::vector<AlgoInfo> build() {
         return std::make_unique<
             MapAdapter<LayeredMap<Key, Value, AvlLocal>>>("layered_avl_sg",
                                                           layered_base(cfg));
+      });
+  add("sharded_layered_sg",
+      "per-socket LayeredMap shards with cross-shard scan stitching "
+      "(src/shard; --shards / --shard-policy)",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        lsg::shard::ShardedOptions o;
+        o.num_shards =
+            cfg.shards > 0 ? cfg.shards : cfg.topology.num_sockets();
+        o.policy = lsg::shard::parse_policy(cfg.shard_policy);
+        o.key_space = cfg.key_space;
+        o.inner = layered_base(cfg);
+        return std::make_unique<
+            MapAdapter<lsg::shard::ShardedMap<Key, Value>>>(
+            "sharded_layered_sg", o);
       });
   add("skipgraph", "skip graph without layering (head-started searches)",
       [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {

@@ -175,7 +175,8 @@ std::string to_json(const TrialResult& r) {
   std::snprintf(
       buf, sizeof(buf),
       "{\"schema\":\"lsg-trial-v2\",\"git\":\"%s\","
-      "\"algorithm\":\"%s\",\"threads\":%d,\"topology\":\"%s\","
+      "\"algorithm\":\"%s\",\"threads\":%d,\"pinned_threads\":%d,"
+      "\"topology\":\"%s\","
       "\"measured_ms\":%llu,"
       "\"total_ops\":%llu,\"ops_per_ms\":%.3f,"
       "\"effective_update_pct\":%.4f,\"succ_inserts\":%llu,"
@@ -185,7 +186,7 @@ std::string to_json(const TrialResult& r) {
       "\"local_cas_per_op\":%.5f,\"remote_cas_per_op\":%.5f,"
       "\"cas_success_rate\":%.5f,\"nodes_per_op\":%.3f",
       lsg::obs::json_escape(LSG_GIT_DESCRIBE).c_str(), r.algorithm.c_str(),
-      r.threads, lsg::obs::json_escape(r.topology).c_str(),
+      r.threads, r.pinned_threads, lsg::obs::json_escape(r.topology).c_str(),
       static_cast<unsigned long long>(r.measured_ms),
       static_cast<unsigned long long>(r.total_ops), r.ops_per_ms,
       r.effective_update_pct, static_cast<unsigned long long>(r.succ_inserts),

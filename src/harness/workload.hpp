@@ -43,6 +43,12 @@ struct TrialConfig {
   /// barrier). Benches use it to install trial-scoped hooks that reset()
   /// clears, e.g. the cachesim trace hook.
   std::function<void()> on_measure_start;
+  /// Shard count for the sharded tier (sharded_layered_sg): 0 = one shard
+  /// per socket of the trial topology.
+  int shards = 0;
+  /// Shard router: "range" (contiguous key slices; stitched scans
+  /// concatenate) or "hash" (splitmix64 mod N; stitched scans merge).
+  std::string shard_policy = "range";
   /// Average over this many runs (paper: 5).
   int runs = 1;
   lsg::numa::Topology topology = lsg::numa::Topology::paper_machine();

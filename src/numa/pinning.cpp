@@ -1,6 +1,7 @@
 #include "numa/pinning.hpp"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -14,45 +15,91 @@
 namespace lsg::numa {
 namespace {
 
-struct RegistryState {
-  Topology topo = Topology::paper_machine();
-  std::vector<int> pin_order = topo.pin_order();
-  std::atomic<int> next_id{0};
+/// Immutable topology + derived pin order, swapped wholesale by
+/// configure(). Readers (hw_thread_of, node_of, topology) dereference a
+/// published pointer to immutable state, so a concurrent configure() can
+/// never mutate under them — the old race was hw_thread_of() indexing
+/// pin_order while configure() reassigned the vector.
+struct TopoSnapshot {
+  Topology topo;
+  std::vector<int> pin_order;
+  explicit TopoSnapshot(const Topology& t) : topo(t), pin_order(t.pin_order()) {}
 };
-
-RegistryState& state() {
-  static RegistryState s;
-  return s;
-}
 
 std::mutex& config_mutex() {
   static std::mutex m;
   return m;
 }
 
-thread_local int tls_id = -1;
+/// Snapshots are retained for the lifetime of the process: a reader may
+/// hold a snapshot reference across an arbitrary window after configure()
+/// swaps it out, and reconfiguration is a startup/test-time operation, so
+/// a handful of small retired snapshots is cheaper than any reclamation
+/// scheme. (std::atomic<shared_ptr> is not an option: libstdc++ 12 swaps
+/// the raw pointer field outside its internal lock in store(), which TSan
+/// rightly flags as a data race.) Caller must hold config_mutex().
+const TopoSnapshot* make_snapshot(const Topology& t) {
+  static std::vector<std::unique_ptr<const TopoSnapshot>> keep;
+  keep.push_back(std::make_unique<const TopoSnapshot>(t));
+  return keep.back().get();
+}
+
+std::atomic<const TopoSnapshot*>& snapshot_cell() {
+  static std::atomic<const TopoSnapshot*> cell{nullptr};
+  return cell;
+}
+
+std::atomic<int>& next_id() {
+  static std::atomic<int> n{0};
+  return n;
+}
 
 std::atomic<uint64_t> g_generation{1};
+
+thread_local int tls_id = -1;
+/// Generation tls_id was acquired at. reset()/configure() used to clear
+/// only the *calling* thread's tls_id, so surviving worker threads kept
+/// stale ids that collided with freshly registered threads in the next
+/// trial; now every thread revalidates its id against the generation.
+thread_local uint64_t tls_reg_gen = 0;
+
+/// Hot path is a single acquire load; first call from any thread before a
+/// configure() lazily publishes the paper machine under the config lock.
+const TopoSnapshot& snapshot() {
+  const TopoSnapshot* s = snapshot_cell().load(std::memory_order_acquire);
+  if (s == nullptr) {
+    std::lock_guard lock(config_mutex());
+    s = snapshot_cell().load(std::memory_order_acquire);
+    if (s == nullptr) {
+      s = make_snapshot(Topology::paper_machine());
+      snapshot_cell().store(s, std::memory_order_release);
+    }
+  }
+  return *s;
+}
 
 }  // namespace
 
 void ThreadRegistry::configure(const Topology& topo) {
   std::lock_guard lock(config_mutex());
-  state().topo = topo;
-  state().pin_order = topo.pin_order();
-  state().next_id.store(0, std::memory_order_relaxed);
+  snapshot_cell().store(make_snapshot(topo), std::memory_order_release);
+  next_id().store(0, std::memory_order_relaxed);
+  // Snapshot first, then the generation: a reader that sees the new
+  // generation re-loads the snapshot and must find the new one.
   g_generation.fetch_add(1, std::memory_order_acq_rel);
 }
 
-const Topology& ThreadRegistry::topology() { return state().topo; }
+const Topology& ThreadRegistry::topology() { return snapshot().topo; }
 
 int ThreadRegistry::register_self() {
-  if (tls_id >= 0) return tls_id;
-  int id = state().next_id.fetch_add(1, std::memory_order_relaxed);
+  uint64_t g = g_generation.load(std::memory_order_acquire);
+  if (tls_id >= 0 && tls_reg_gen == g) return tls_id;
+  int id = next_id().fetch_add(1, std::memory_order_relaxed);
   if (id >= kMaxThreads) {
     throw std::runtime_error("ThreadRegistry: too many threads");
   }
   tls_id = id;
+  tls_reg_gen = g;
   return id;
 }
 
@@ -60,12 +107,13 @@ int ThreadRegistry::current() { return register_self(); }
 
 void ThreadRegistry::unregister_self() {
   tls_id = -1;
+  tls_reg_gen = 0;
   g_generation.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void ThreadRegistry::reset() {
-  state().next_id.store(0, std::memory_order_relaxed);
-  tls_id = -1;
+  std::lock_guard lock(config_mutex());
+  next_id().store(0, std::memory_order_relaxed);
   g_generation.fetch_add(1, std::memory_order_acq_rel);
 }
 
@@ -74,23 +122,29 @@ uint64_t ThreadRegistry::generation() {
 }
 
 int ThreadRegistry::registered_count() {
-  return state().next_id.load(std::memory_order_relaxed);
+  return next_id().load(std::memory_order_relaxed);
 }
 
 int ThreadRegistry::hw_thread_of(int logical_id) {
-  const auto& pins = state().pin_order;
+  const auto& pins = snapshot().pin_order;
   return pins[static_cast<size_t>(logical_id) % pins.size()];
 }
 
 int ThreadRegistry::node_of(int logical_id) {
-  return state().topo.hw_thread(hw_thread_of(logical_id)).socket;
+  const TopoSnapshot& s = snapshot();
+  int hw = s.pin_order[static_cast<size_t>(logical_id) % s.pin_order.size()];
+  return s.topo.hw_thread(hw).socket;
 }
 
 bool ThreadRegistry::pin_self_if_possible() {
 #if defined(__linux__)
   const unsigned hw = std::thread::hardware_concurrency();
-  int target = hw_thread_of(current());
-  if (hw == 0 || static_cast<unsigned>(target) >= hw) return false;
+  if (hw == 0) return false;
+  // Fold simulated targets beyond the host's CPU count onto the CPUs that
+  // exist (keeping the socket-major order modulo the host size) instead of
+  // silently running unpinned: a trial labeled "pinned" used to run fully
+  // unpinned whenever the simulated topology was larger than the host.
+  int target = hw_thread_of(current()) % static_cast<int>(hw);
   cpu_set_t set;
   CPU_ZERO(&set);
   CPU_SET(target, &set);

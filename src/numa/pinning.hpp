@@ -24,7 +24,11 @@ class ThreadRegistry {
 
   static const Topology& topology();
 
-  /// Register the calling thread; idempotent. Returns its logical id.
+  /// Register the calling thread; idempotent within a registration epoch.
+  /// Registration is generation-checked: after configure()/reset() a
+  /// surviving thread's next register_self()/current() call transparently
+  /// re-registers it, so stale ids can never collide with fresh ones.
+  /// Returns the logical id.
   static int register_self();
 
   /// Logical id of the calling thread; registers it on first use.
@@ -34,7 +38,9 @@ class ThreadRegistry {
   /// use reset() between trials).
   static void unregister_self();
 
-  /// Reset all ids. No worker threads may be live.
+  /// Reset all ids. Call between trials; surviving threads re-register on
+  /// their next current() call (generation check), so ids are recycled
+  /// without collisions even when a thread pool outlives the trial.
   static void reset();
 
   /// Monotonic registration epoch: bumped by configure(), reset(), and
@@ -45,15 +51,19 @@ class ThreadRegistry {
 
   static int registered_count();
 
-  /// NUMA node the given logical thread is pinned to.
+  /// NUMA node the given logical thread is pinned to. Safe concurrently
+  /// with configure(): readers see either the old or the new topology
+  /// snapshot, never a torn one.
   static int node_of(int logical_id);
 
-  /// Hardware thread the given logical thread is pinned to.
+  /// Hardware thread the given logical thread is pinned to (same snapshot
+  /// guarantee as node_of).
   static int hw_thread_of(int logical_id);
 
-  /// Attempt a real OS affinity pin for the calling thread (no-op when the
-  /// host has fewer CPUs than the simulated topology). Returns whether a
-  /// real pin was applied.
+  /// Apply a real OS affinity pin for the calling thread. Simulated
+  /// targets beyond the host's CPU count are folded onto existing CPUs
+  /// (modulo), so trials stay pinned even when the simulated topology is
+  /// larger than the host; returns whether the pin call succeeded.
   static bool pin_self_if_possible();
 };
 

@@ -32,6 +32,9 @@ const char* event_name(Event e) {
     case Event::kEpochRetire: return "epoch_retire";
     case Event::kEpochFree: return "epoch_free";
     case Event::kEpochAdvance: return "epoch_advance";
+    case Event::kShardCacheHit: return "shard_cache_hit";
+    case Event::kShardCacheMiss: return "shard_cache_miss";
+    case Event::kShardScanStitch: return "shard_scan_stitch";
   }
   return "?";
 }

@@ -53,8 +53,11 @@ enum class Event : uint8_t {
   kEpochRetire,        // objects handed to epoch reclamation
   kEpochFree,          // objects freed by epoch reclamation
   kEpochAdvance,       // global epoch advances
+  kShardCacheHit,      // sharded-map hot-key cache served a contains
+  kShardCacheMiss,     // cache probe failed (cold, torn, or expired entry)
+  kShardScanStitch,    // a scan/scan_n stitched results from >1 shard
 };
-inline constexpr int kNumEvents = 12;
+inline constexpr int kNumEvents = 15;
 const char* event_name(Event e);
 
 /// Plain (copyable) event-counter vector, summed across threads.

@@ -107,6 +107,32 @@ bool scan_n(M& m, const K& lo, size_t n, Items<K, V>& out,
       out, opts);
 }
 
+/// Merge k sorted runs with mutually disjoint key sets into one sorted
+/// output of at most `limit` elements (the shard tier stitches per-shard
+/// scans of hash-partitioned maps with this; range-partitioned shards
+/// concatenate instead). Linear k-way pick: the run count is the shard
+/// count, small enough that a heap would cost more than it saves.
+template <class K, class V>
+size_t merge_sorted_disjoint(const std::vector<Items<K, V>>& runs,
+                             size_t limit, Items<K, V>& out) {
+  out.clear();
+  std::vector<size_t> pos(runs.size(), 0);
+  while (out.size() < limit) {
+    int best = -1;
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (pos[r] >= runs[r].size()) continue;
+      if (best < 0 ||
+          runs[r][pos[r]].first < runs[static_cast<size_t>(best)]
+                                      [pos[static_cast<size_t>(best)]].first) {
+        best = static_cast<int>(r);
+      }
+    }
+    if (best < 0) break;
+    out.push_back(runs[static_cast<size_t>(best)][pos[static_cast<size_t>(best)]++]);
+  }
+  return out.size();
+}
+
 /// Insert-loop bulk load for maps without a native sorted fast path.
 /// Returns the number of items that changed the abstract set.
 template <class M, class K, class V>

@@ -1,0 +1,458 @@
+// NUMA-sharded multi-instance tier (ROADMAP item 1): the key space is
+// partitioned across N per-socket LayeredMap instances so each shard's
+// *shared* skip graph — not just the thread-local layers — forms one
+// arena-ownership domain with a home socket.
+//
+// Routing. Point operations touch exactly one shard. The default router is
+// range partitioning (shard s owns [s*width, (s+1)*width), the last shard
+// absorbing the tail), which keeps shard contents contiguous so stitched
+// scans are concatenations. A hash router (splitmix64 finalizer mod N) is
+// available for skew resistance; its shards hold interleaved key sets, so
+// stitching k-way merges the per-shard results instead
+// (range::merge_sorted_disjoint).
+//
+// Range operations. collect_range is the raw weakly-consistent primitive
+// (shard sub-collects in key order for the range router; merged full
+// collects for the hash router), which plugs the sharded map into the PR 5
+// range engine unchanged. scan/scan_n stitch per-shard *snapshot* scans:
+// every shard's contribution is internally epoch-consistent (bounded
+// double-collect, range::snapshot_collect), and contributions compose
+// without overlap because shard key sets are disjoint. The stitched result
+// is NOT one global snapshot — shard snapshots are taken at different
+// instants — which DESIGN.md §10 argues is the same per-partition
+// guarantee distributed stores offer for cross-partition scans.
+//
+// Hot-key read cache. Each socket owns a bounded replica of recently
+// looked-up keys so skewed read traffic resolves without touching the
+// owning shard. Entries are seqlock-published by readers that missed;
+// writers never touch entries — a successful insert/remove bumps a per-slot
+// update counter (release) AFTER the shard update, and a cached entry is
+// only a hit while the counter still equals the snapshot the publisher took
+// BEFORE its shard lookup. Entries therefore self-expire on the first
+// update to any key sharing the slot; there is no invalidation write to
+// lose, and every cell is a word-sized atomic (TSan-clean, no libatomic).
+// Linearizability: a hit implies no successful update to the slot
+// completed between the publisher's pre-lookup counter read and the
+// reader's validation, so the cached presence bit can be linearized within
+// the reader's own invocation window.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/padding.hpp"
+#include "core/layered_map.hpp"
+#include "numa/pinning.hpp"
+#include "obs/telemetry.hpp"
+#include "range/scan.hpp"
+#include "stats/counters.hpp"
+
+namespace lsg::shard {
+
+enum class ShardPolicy : uint8_t { kRange = 0, kHash };
+
+inline const char* policy_name(ShardPolicy p) {
+  return p == ShardPolicy::kRange ? "range" : "hash";
+}
+
+/// Parse the CLI/TrialConfig spelling; throws on anything unknown so typos
+/// surface instead of silently running the default router.
+inline ShardPolicy parse_policy(const std::string& s) {
+  if (s == "range") return ShardPolicy::kRange;
+  if (s == "hash") return ShardPolicy::kHash;
+  throw std::invalid_argument("unknown shard policy '" + s +
+                              "' (expected 'range' or 'hash')");
+}
+
+struct ShardedOptions {
+  int num_shards = 2;
+  ShardPolicy policy = ShardPolicy::kRange;
+  /// Key universe the range router partitions; keys >= key_space fold into
+  /// the last shard.
+  uint64_t key_space = uint64_t{1} << 14;
+  /// Per-shard LayeredMap configuration (threads, membership policy, ...).
+  lsg::core::LayeredOptions inner;
+  /// Hot-key cache slots per socket replica (rounded up to a power of two;
+  /// 0 disables the cache).
+  int cache_slots = 256;
+};
+
+template <class K, class V, class Inner = lsg::core::LayeredMap<K, V>>
+class ShardedMap {
+  static_assert(std::is_unsigned_v<K>,
+                "the range router partitions an unsigned key universe");
+
+ public:
+  using Items = lsg::range::Items<K, V>;
+
+  explicit ShardedMap(const ShardedOptions& opts)
+      : opts_(opts),
+        sockets_(lsg::numa::ThreadRegistry::topology().num_sockets()) {
+    if (opts_.num_shards < 1) {
+      throw std::invalid_argument("ShardedMap: num_shards must be >= 1");
+    }
+    if (opts_.key_space == 0) {
+      throw std::invalid_argument("ShardedMap: key_space must be > 0");
+    }
+    const auto n = static_cast<uint64_t>(opts_.num_shards);
+    width_ = opts_.key_space / n + (opts_.key_space % n != 0 ? 1 : 0);
+    if (width_ == 0) width_ = 1;
+    shards_.reserve(static_cast<size_t>(opts_.num_shards));
+    for (int s = 0; s < opts_.num_shards; ++s) {
+      shards_.push_back(std::make_unique<Shard>(opts_.inner, s % sockets_));
+    }
+    if (opts_.cache_slots > 0) {
+      size_t slots = 1;
+      while (slots < static_cast<size_t>(opts_.cache_slots)) slots <<= 1;
+      cache_mask_ = slots - 1;
+      upd_ = std::make_unique<std::atomic<uint64_t>[]>(slots);
+      for (size_t i = 0; i < slots; ++i) upd_[i].store(0);
+      caches_.resize(static_cast<size_t>(sockets_));
+      for (auto& c : caches_) {
+        c = std::make_unique<Entry[]>(slots);
+      }
+    }
+  }
+
+  int num_shards() const { return opts_.num_shards; }
+  ShardPolicy policy() const { return opts_.policy; }
+  uint64_t shard_width() const { return width_; }
+  /// Home socket of shard s: the NUMA node its arena chunks and cache
+  /// replica are attributed to (s % sockets, so shards spread round-robin).
+  int home_socket(int s) const { return shards_[static_cast<size_t>(s)]->home; }
+
+  int shard_of(const K& key) const {
+    if (opts_.policy == ShardPolicy::kHash) {
+      return static_cast<int>(mix(key) %
+                              static_cast<uint64_t>(opts_.num_shards));
+    }
+    uint64_t s = static_cast<uint64_t>(key) / width_;
+    const auto n = static_cast<uint64_t>(opts_.num_shards);
+    return static_cast<int>(s >= n ? n - 1 : s);
+  }
+
+  void thread_init() {
+    for (auto& s : shards_) s->map.thread_init();
+  }
+
+  bool insert(const K& key, const V& value) {
+    Shard& s = route(key);
+    bool ok = s.map.insert(key, value);
+    if (ok) invalidate(key);
+    return ok;
+  }
+
+  bool remove(const K& key) {
+    Shard& s = route(key);
+    bool ok = s.map.remove(key);
+    if (ok) invalidate(key);
+    return ok;
+  }
+
+  bool contains(const K& key) {
+    if (cache_mask_ != 0) {
+      bool present = false;
+      if (cache_probe(key, present)) {
+        lsg::obs::event(lsg::obs::Event::kShardCacheHit);
+        return present;
+      }
+      lsg::obs::event(lsg::obs::Event::kShardCacheMiss);
+      // Publisher protocol: counter snapshot BEFORE the shard lookup, so a
+      // concurrent update either bumps past our snapshot (entry self-
+      // expires) or its effect is already in what we cache.
+      const size_t slot = static_cast<size_t>(mix(key)) & cache_mask_;
+      uint64_t u = upd_[slot].load(std::memory_order_acquire);
+      Shard& s = route(key);
+      V v{};
+      present = s.map.get(key, v);
+      cache_publish(slot, key, v, present, u);
+      return present;
+    }
+    return route(key).map.contains(key);
+  }
+
+  /// --- range interface ---------------------------------------------------
+
+  /// Raw weakly-consistent pass (the range-engine primitive).
+  size_t collect_range(const K& lo, const K& hi, size_t limit, Items& out) {
+    if (hi < lo || limit == 0) return 0;
+    if (opts_.policy == ShardPolicy::kRange) {
+      size_t added = 0;
+      for (int s = first_range_shard(lo); s < opts_.num_shards; ++s) {
+        if (added >= limit) break;
+        if (lower_bound_of(s) > static_cast<uint64_t>(hi)) break;
+        added += shards_[static_cast<size_t>(s)]->map.collect_range(
+            lo, hi, limit - added, out);
+      }
+      return added;
+    }
+    // Hash router: every shard may hold keys anywhere in [lo, hi]; collect
+    // each fully (each capped at `limit`, the most it could contribute) and
+    // k-way merge the disjoint sorted runs.
+    std::vector<Items> runs(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->map.collect_range(lo, hi, limit, runs[s]);
+    }
+    Items merged;
+    lsg::range::merge_sorted_disjoint(runs, limit, merged);
+    size_t added = merged.size();
+    for (auto& kv : merged) out.push_back(std::move(kv));
+    return added;
+  }
+
+  /// Stitched snapshot scan of [lo, hi]: each shard contributes one
+  /// epoch-consistent (double-collect) snapshot of its slice; slices are
+  /// disjoint, so concatenation (range) / merge (hash) is globally ordered
+  /// and duplicate-free. Returns whether every shard's collect converged.
+  bool scan(const K& lo, const K& hi, Items& out,
+            const lsg::range::ScanOptions& sopts = {}) {
+    out.clear();
+    if (hi < lo) return true;
+    bool converged = true;
+    int touched = 0;
+    if (opts_.policy == ShardPolicy::kRange) {
+      Items part;
+      for (int s = first_range_shard(lo); s < opts_.num_shards; ++s) {
+        if (lower_bound_of(s) > static_cast<uint64_t>(hi)) break;
+        converged &= shards_[static_cast<size_t>(s)]->map.scan(lo, hi, part,
+                                                               sopts);
+        ++touched;
+        for (auto& kv : part) out.push_back(std::move(kv));
+      }
+    } else {
+      std::vector<Items> runs(shards_.size());
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        converged &= shards_[s]->map.scan(lo, hi, runs[s], sopts);
+        ++touched;
+      }
+      lsg::range::merge_sorted_disjoint(
+          runs, std::numeric_limits<size_t>::max(), out);
+    }
+    if (touched > 1) lsg::obs::event(lsg::obs::Event::kShardScanStitch);
+    return converged;
+  }
+
+  /// Stitched snapshot scan of the first n elements with key >= lo.
+  bool scan_n(const K& lo, size_t n, Items& out,
+              const lsg::range::ScanOptions& sopts = {}) {
+    out.clear();
+    if (n == 0) return true;
+    bool converged = true;
+    int touched = 0;
+    if (opts_.policy == ShardPolicy::kRange) {
+      Items part;
+      for (int s = first_range_shard(lo); s < opts_.num_shards; ++s) {
+        if (out.size() >= n) break;
+        converged &= shards_[static_cast<size_t>(s)]->map.scan_n(
+            lo, n - out.size(), part, sopts);
+        ++touched;
+        for (auto& kv : part) out.push_back(std::move(kv));
+      }
+    } else {
+      std::vector<Items> runs(shards_.size());
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        converged &= shards_[s]->map.scan_n(lo, n, runs[s], sopts);
+        ++touched;
+      }
+      lsg::range::merge_sorted_disjoint(runs, n, out);
+    }
+    if (touched > 1) lsg::obs::event(lsg::obs::Event::kShardScanStitch);
+    return converged;
+  }
+
+  /// First element with key strictly greater than `key`, across shards.
+  bool succ(const K& key, K& out_key, V& out_value) {
+    if (opts_.policy == ShardPolicy::kRange) {
+      // Shards are key-ordered: the first shard (from the one owning `key`)
+      // with a successor holds the global successor.
+      for (int s = shard_of(key); s < opts_.num_shards; ++s) {
+        if (shards_[static_cast<size_t>(s)]->map.succ(key, out_key,
+                                                      out_value)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    bool found = false;
+    for (auto& s : shards_) {
+      K k{};
+      V v{};
+      if (s->map.succ(key, k, v) && (!found || k < out_key)) {
+        out_key = k;
+        out_value = v;
+        found = true;
+      }
+    }
+    return found;
+  }
+
+  /// Last element with key strictly less than `key`, across shards.
+  bool pred(const K& key, K& out_key, V& out_value) {
+    if (opts_.policy == ShardPolicy::kRange) {
+      for (int s = shard_of(key); s >= 0; --s) {
+        if (shards_[static_cast<size_t>(s)]->map.pred(key, out_key,
+                                                      out_value)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    bool found = false;
+    for (auto& s : shards_) {
+      K k{};
+      V v{};
+      if (s->map.pred(key, k, v) && (!found || out_key < k)) {
+        out_key = k;
+        out_value = v;
+        found = true;
+      }
+    }
+    return found;
+  }
+
+  /// Sorted bulk load, split by shard so every shard takes its (still
+  /// sorted) subsequence through the level-0 cursor fast path.
+  size_t bulk_load(const Items& sorted) {
+    std::vector<Items> parts(shards_.size());
+    for (const auto& kv : sorted) {
+      parts[static_cast<size_t>(shard_of(kv.first))].push_back(kv);
+    }
+    size_t added = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!parts[s].empty()) added += shards_[s]->map.bulk_load(parts[s]);
+    }
+    return added;
+  }
+
+  /// --- diagnostics (tests / bench evidence) ------------------------------
+
+  /// Point ops routed to shard s, summed over threads (owner-only bumped,
+  /// so only exact once workers quiesce).
+  uint64_t shard_ops(int s) const {
+    uint64_t sum = 0;
+    for (const auto& c : shards_[static_cast<size_t>(s)]->routed) {
+      sum += c.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  Inner& shard(int s) { return shards_[static_cast<size_t>(s)]->map; }
+
+ private:
+  struct Shard {
+    Shard(const lsg::core::LayeredOptions& o, int socket)
+        : map(o), home(socket) {}
+    Inner map;
+    int home;
+    /// Per-thread route counters (relaxed load+store, single writer).
+    std::array<lsg::common::Padded<std::atomic<uint64_t>>,
+               lsg::numa::kMaxThreads>
+        routed{};
+  };
+
+  /// Seqlock cache entry: even seq = stable, odd = publisher writing. All
+  /// word-sized atomics; meta packs (update-counter snapshot << 1) |
+  /// present.
+  struct alignas(lsg::common::kCacheLine) Entry {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> key{0};
+    std::atomic<uint64_t> meta{0};
+    std::atomic<uint64_t> val{0};
+  };
+
+  /// splitmix64 finalizer: the hash router and the cache slot index.
+  static uint64_t mix(const K& key) {
+    uint64_t x = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  Shard& route(const K& key) {
+    Shard& s = *shards_[static_cast<size_t>(shard_of(key))];
+    if constexpr (lsg::stats::kStatsLevel >= 1) {
+      auto& c = s.routed[static_cast<size_t>(
+                             lsg::numa::ThreadRegistry::current()) %
+                         lsg::numa::kMaxThreads]
+                    .value;
+      c.store(c.load(std::memory_order_relaxed) + 1,
+              std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  /// Shard owning the first key >= lo under the range router.
+  int first_range_shard(const K& lo) const {
+    return shard_of(lo);
+  }
+
+  /// Lowest key shard s owns under the range router.
+  uint64_t lower_bound_of(int s) const {
+    return static_cast<uint64_t>(s) * width_;
+  }
+
+  Entry& entry_for_self(size_t slot) {
+    int node = lsg::numa::ThreadRegistry::node_of(
+        lsg::numa::ThreadRegistry::current());
+    return caches_[static_cast<size_t>(node) % caches_.size()][slot];
+  }
+
+  bool cache_probe(const K& key, bool& present) {
+    const size_t slot = static_cast<size_t>(mix(key)) & cache_mask_;
+    Entry& e = entry_for_self(slot);
+    uint64_t s1 = e.seq.load(std::memory_order_acquire);
+    if (s1 & 1) return false;
+    uint64_t k = e.key.load(std::memory_order_relaxed);
+    uint64_t m = e.meta.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (e.seq.load(std::memory_order_relaxed) != s1) return false;
+    if (k != static_cast<uint64_t>(key)) return false;
+    // Freshness: the publisher's pre-lookup counter snapshot must still be
+    // current, i.e. no successful update to this slot completed since.
+    if ((m >> 1) != upd_[slot].load(std::memory_order_acquire)) return false;
+    present = (m & 1) != 0;
+    return true;
+  }
+
+  void cache_publish(size_t slot, const K& key, const V& value, bool present,
+                     uint64_t upd_snapshot) {
+    Entry& e = entry_for_self(slot);
+    uint64_t s = e.seq.load(std::memory_order_relaxed);
+    if (s & 1) return;  // another publisher is mid-write; drop ours
+    if (!e.seq.compare_exchange_strong(s, s + 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    e.key.store(static_cast<uint64_t>(key), std::memory_order_relaxed);
+    e.val.store(static_cast<uint64_t>(value), std::memory_order_relaxed);
+    e.meta.store((upd_snapshot << 1) | (present ? 1u : 0u),
+                 std::memory_order_relaxed);
+    e.seq.store(s + 2, std::memory_order_release);
+  }
+
+  /// Updater side of the cache protocol: bump the slot counter AFTER the
+  /// shard update so cached entries published before the update expire.
+  void invalidate(const K& key) {
+    if (cache_mask_ == 0) return;
+    const size_t slot = static_cast<size_t>(mix(key)) & cache_mask_;
+    upd_[slot].fetch_add(1, std::memory_order_release);
+  }
+
+  ShardedOptions opts_;
+  int sockets_;
+  uint64_t width_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t cache_mask_ = 0;
+  std::unique_ptr<std::atomic<uint64_t>[]> upd_;
+  std::vector<std::unique_ptr<Entry[]>> caches_;
+};
+
+}  // namespace lsg::shard

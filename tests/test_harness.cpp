@@ -9,6 +9,7 @@
 
 #include "harness/driver.hpp"
 #include "harness/registry.hpp"
+#include "harness/report.hpp"
 #include "harness/workload.hpp"
 #include "stats/heatmap.hpp"
 
@@ -192,6 +193,40 @@ TEST(Driver, RunsTrialAndAccounts) {
   // per thread) because of the alternation discipline.
   EXPECT_NEAR(static_cast<double>(r.succ_inserts),
               static_cast<double>(r.succ_removes), 4.0 + cfg.threads);
+}
+
+TEST(Driver, ReportsPinnedThreadCount) {
+  TrialConfig cfg;
+  cfg.algorithm = "layered_map_sg";
+  cfg.threads = 4;
+  cfg.duration_ms = 20;
+  cfg.key_space = 1 << 8;
+  TrialResult r = run_trial(cfg);
+#if defined(__linux__)
+  // The pin fold maps every simulated target onto an existing CPU, so all
+  // workers pin even when the host is smaller than the paper topology.
+  EXPECT_EQ(r.pinned_threads, cfg.threads);
+#else
+  EXPECT_EQ(r.pinned_threads, 0);
+#endif
+  // The count reaches the JSON trial record.
+  EXPECT_NE(to_json(r).find("\"pinned_threads\":"), std::string::npos);
+}
+
+TEST(Driver, ShardedTrialRunsAndRejectsBadPolicy) {
+  TrialConfig cfg;
+  cfg.algorithm = "sharded_layered_sg";
+  cfg.threads = 4;
+  cfg.duration_ms = 30;
+  cfg.key_space = 1 << 10;
+  cfg.shards = 2;
+  cfg.scan_pct = 10;  // exercises stitched scans through the op loop
+  TrialResult r = run_trial(cfg);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.scan_ops, 0u);
+  // A bad shard policy must throw cleanly (workers released, no hang).
+  cfg.shard_policy = "zigzag";
+  EXPECT_THROW(run_trial(cfg), std::invalid_argument);
 }
 
 TEST(Driver, HeatmapsCollectedOnRequest) {

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <map>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "common/bits.hpp"
 #include "numa/membership.hpp"
@@ -198,6 +201,114 @@ TEST(Registry, RegistersAndResets) {
   ThreadRegistry::reset();
   EXPECT_EQ(ThreadRegistry::registered_count(), 0);
   EXPECT_EQ(ThreadRegistry::current(), 0);
+}
+
+/// Regression: reset() used to clear only the *calling* thread's tls id, so
+/// a surviving worker kept its stale id and collided with freshly
+/// registered threads in the next trial. Registration is now generation-
+/// checked: the survivor transparently re-registers.
+TEST(Registry, SurvivingThreadReRegistersAfterReset) {
+  ThreadRegistry::configure(Topology::paper_machine());
+  ThreadRegistry::reset();
+  EXPECT_EQ(ThreadRegistry::current(), 0);  // main takes id 0
+  std::atomic<int> phase{0};
+  std::atomic<int> first_id{-1};
+  std::atomic<int> second_id{-1};
+  std::thread survivor([&] {
+    first_id.store(ThreadRegistry::current());
+    phase.store(1);
+    while (phase.load() != 2) std::this_thread::yield();
+    // After the reset the stale id must NOT be reported again.
+    second_id.store(ThreadRegistry::current());
+    phase.store(3);
+  });
+  while (phase.load() != 1) std::this_thread::yield();
+  EXPECT_EQ(first_id.load(), 1);
+  ThreadRegistry::reset();
+  phase.store(2);
+  while (phase.load() != 3) std::this_thread::yield();
+  survivor.join();
+  // The survivor re-registered first, so it owns id 0 of the new epoch;
+  // main re-registers next and must get a distinct id.
+  EXPECT_EQ(second_id.load(), 0);
+  EXPECT_EQ(ThreadRegistry::current(), 1);
+  EXPECT_EQ(ThreadRegistry::registered_count(), 2);
+}
+
+/// Regression companion: two back-to-back trials reusing one thread pool
+/// must hand out collision-free dense ids both times.
+TEST(Registry, TwoTrialsWithReusedThreadPool) {
+  constexpr int kThreads = 4;
+  std::array<std::atomic<int>, kThreads> ids{};
+  auto run_trial_like = [&] {
+    ThreadRegistry::reset();
+    ThreadRegistry::configure(Topology::paper_machine());
+    std::atomic<int> turn{0};
+    std::vector<std::thread> pool;
+    for (int i = 0; i < kThreads; ++i) {
+      pool.emplace_back([&, i] {
+        while (turn.load() != i) std::this_thread::yield();
+        ids[i].store(ThreadRegistry::current());
+        turn.store(i + 1);
+      });
+    }
+    for (auto& t : pool) t.join();
+    std::set<int> unique;
+    for (auto& id : ids) unique.insert(id.load());
+    EXPECT_EQ(unique.size(), static_cast<size_t>(kThreads));
+    EXPECT_EQ(*unique.begin(), 0);
+    EXPECT_EQ(*unique.rbegin(), kThreads - 1);
+  };
+  run_trial_like();
+  run_trial_like();  // used to collide: pool ids from trial 1 were stale
+}
+
+/// Regression: hw_thread_of()/node_of() used to read the pin order while
+/// configure() reassigned it (a data race). The topology snapshot is now
+/// swapped atomically; concurrent lookups must always see a coherent one.
+TEST(Registry, NodeOfRacesConfigureSafely) {
+  ThreadRegistry::configure(Topology::paper_machine());
+  ThreadRegistry::reset();
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (int id = 0; id < 32; ++id) {
+        int node = ThreadRegistry::node_of(id);
+        ASSERT_GE(node, 0);
+        ASSERT_LT(node, 2);
+        ASSERT_GE(ThreadRegistry::hw_thread_of(id), 0);
+      }
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    ThreadRegistry::configure(i % 2 == 0
+                                  ? Topology::uniform(2, 4, 2)
+                                  : Topology::paper_machine());
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+}
+
+/// Regression: targets beyond the host CPU count used to fall back to
+/// "unpinned" silently; they now fold onto existing CPUs, so pinning
+/// succeeds on any Linux host regardless of the simulated topology size.
+TEST(Registry, PinFoldsOntoAvailableCpus) {
+  ThreadRegistry::configure(Topology::paper_machine());
+  ThreadRegistry::reset();
+  // Burn ids so the calling thread's target lands deep in the 96-wide pin
+  // order, past any plausible CI host width.
+  for (int i = 0; i < 90; ++i) {
+    std::thread t([] { ThreadRegistry::register_self(); });
+    t.join();
+  }
+#if defined(__linux__)
+  if (std::thread::hardware_concurrency() > 0) {
+    EXPECT_TRUE(ThreadRegistry::pin_self_if_possible());
+  }
+#else
+  EXPECT_FALSE(ThreadRegistry::pin_self_if_possible());
+#endif
+  ThreadRegistry::reset();
 }
 
 TEST(Registry, NodeOfFollowsPinOrder) {

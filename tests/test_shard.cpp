@@ -1,0 +1,433 @@
+// Sharded-tier conformance: router math, cross-shard scan stitching
+// (oracle + concurrent churn, mirroring tests/test_range.cpp), succ/pred at
+// exact shard-boundary keys, the hot-key read cache's invalidation
+// protocol, per-shard routing evidence, and the registry/TrialConfig
+// plumbing for sharded_layered_sg.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/registry.hpp"
+#include "obs/telemetry.hpp"
+#include "shard/sharded_map.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace lsg::shard;
+using lsg::harness::Key;
+using lsg::harness::Value;
+using lsg::test::run_threads;
+using Map = ShardedMap<Key, Value>;
+
+ShardedOptions base_opts(int shards, ShardPolicy policy, uint64_t key_space,
+                         int threads = 4) {
+  ShardedOptions o;
+  o.num_shards = shards;
+  o.policy = policy;
+  o.key_space = key_space;
+  o.inner.num_threads = threads;
+  return o;
+}
+
+/// (shard count, policy) matrix; every stitching test runs the full grid so
+/// both routers are covered at >= 2 shard counts, including one (3) whose
+/// last shard is wider than the rest.
+class ShardStitching
+    : public ::testing::TestWithParam<std::tuple<int, ShardPolicy>> {
+ protected:
+  void SetUp() override {
+    lsg::numa::ThreadRegistry::configure(
+        lsg::numa::Topology::paper_machine());
+    lsg::numa::ThreadRegistry::reset();
+    lsg::stats::sync_topology();
+    lsg::stats::reset();
+  }
+  int shards() const { return std::get<0>(GetParam()); }
+  ShardPolicy policy() const { return std::get<1>(GetParam()); }
+};
+
+std::string grid_name(
+    const ::testing::TestParamInfo<std::tuple<int, ShardPolicy>>& info) {
+  return std::to_string(std::get<0>(info.param)) + "shards_" +
+         policy_name(std::get<1>(info.param));
+}
+
+TEST(ShardRouter, RangePartitionCoversKeySpace) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  constexpr uint64_t kSpace = 1000;  // not divisible by 3: uneven last shard
+  Map m(base_opts(3, ShardPolicy::kRange, kSpace));
+  EXPECT_EQ(m.shard_width(), 334u);  // ceil(1000 / 3)
+  int prev = 0;
+  for (uint64_t k = 0; k < kSpace; ++k) {
+    int s = m.shard_of(k);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, 3);
+    ASSERT_GE(s, prev) << "range router must be monotone in the key";
+    prev = s;
+  }
+  // Exact boundaries: width and 2*width open shards 1 and 2.
+  EXPECT_EQ(m.shard_of(333), 0);
+  EXPECT_EQ(m.shard_of(334), 1);
+  EXPECT_EQ(m.shard_of(667), 1);
+  EXPECT_EQ(m.shard_of(668), 2);
+  // Keys beyond the configured universe fold into the last shard.
+  EXPECT_EQ(m.shard_of(kSpace), 2);
+  EXPECT_EQ(m.shard_of(~uint64_t{0}), 2);
+}
+
+TEST(ShardRouter, HomeSocketsSpreadRoundRobin) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  Map m(base_opts(4, ShardPolicy::kRange, 1 << 10));
+  EXPECT_EQ(m.home_socket(0), 0);
+  EXPECT_EQ(m.home_socket(1), 1);
+  EXPECT_EQ(m.home_socket(2), 0);
+  EXPECT_EQ(m.home_socket(3), 1);
+}
+
+TEST(ShardRouter, RejectsBadOptions) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  EXPECT_THROW(Map(base_opts(0, ShardPolicy::kRange, 64)),
+               std::invalid_argument);
+  EXPECT_THROW(Map(base_opts(2, ShardPolicy::kRange, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(parse_policy("zigzag"), std::invalid_argument);
+}
+
+/// Exact oracle agreement through a randomized single-threaded history,
+/// with the scan/succ/pred probes biased to cross shard boundaries.
+TEST_P(ShardStitching, OracleScanSuccPred) {
+  constexpr uint64_t kSpace = 512;
+  Map m(base_opts(shards(), policy(), kSpace));
+  m.thread_init();
+  lsg::common::Xoshiro256 rng(0x5CA9 + static_cast<uint64_t>(shards()));
+  std::map<Key, Value> oracle;
+  Map::Items out;
+  for (int i = 0; i < 6000; ++i) {
+    uint64_t k = rng.next_bounded(kSpace);
+    if (rng.next_bounded(3) != 0) {
+      ASSERT_EQ(m.insert(k, k * 3), oracle.emplace(k, k * 3).second) << i;
+    } else {
+      ASSERT_EQ(m.remove(k), oracle.erase(k) > 0) << i;
+    }
+    if (i % 200 != 0) continue;
+    // Full-universe scan spans every shard.
+    m.scan(0, kSpace, out);
+    ASSERT_EQ(out.size(), oracle.size()) << i;
+    auto it = oracle.begin();
+    for (const auto& kv : out) {
+      ASSERT_EQ(kv.first, it->first);
+      ASSERT_EQ(kv.second, it->second);
+      ++it;
+    }
+    // Random sub-range (frequently straddles a boundary).
+    uint64_t lo = rng.next_bounded(kSpace);
+    uint64_t hi = lo + rng.next_bounded(kSpace - lo);
+    m.scan(lo, hi, out);
+    std::vector<std::pair<Key, Value>> expect(oracle.lower_bound(lo),
+                                              oracle.upper_bound(hi));
+    ASSERT_EQ(out, expect) << "scan [" << lo << ", " << hi << "] at " << i;
+    // scan_n across the boundary.
+    size_t n = 1 + rng.next_bounded(16);
+    m.scan_n(lo, n, out);
+    expect.clear();
+    for (auto jt = oracle.lower_bound(lo);
+         jt != oracle.end() && expect.size() < n; ++jt) {
+      expect.push_back(*jt);
+    }
+    ASSERT_EQ(out, expect) << "scan_n(" << lo << ", " << n << ") at " << i;
+    uint64_t probe = rng.next_bounded(kSpace);
+    Key ok;
+    Value ov;
+    auto ub = oracle.upper_bound(probe);
+    ASSERT_EQ(m.succ(probe, ok, ov), ub != oracle.end()) << probe;
+    if (ub != oracle.end()) {
+      EXPECT_EQ(ok, ub->first);
+      EXPECT_EQ(ov, ub->second);
+    }
+    auto lb = oracle.lower_bound(probe);
+    ASSERT_EQ(m.pred(probe, ok, ov), lb != oracle.begin()) << probe;
+    if (lb != oracle.begin()) {
+      --lb;
+      EXPECT_EQ(ok, lb->first);
+      EXPECT_EQ(ov, lb->second);
+    }
+  }
+}
+
+/// succ/pred at exactly the shard-boundary key, with the neighbors present
+/// on both sides, absent on one, and absent on both.
+TEST_P(ShardStitching, SuccPredAtExactShardBoundary) {
+  constexpr uint64_t kSpace = 512;
+  Map m(base_opts(shards(), policy(), kSpace));
+  m.thread_init();
+  const uint64_t b = m.shard_width();  // first key of shard 1 (range router)
+  ASSERT_TRUE(m.insert(b - 1, 1));
+  ASSERT_TRUE(m.insert(b, 2));
+  ASSERT_TRUE(m.insert(b + 1, 3));
+  Key ok;
+  Value ov;
+  ASSERT_TRUE(m.succ(b - 1, ok, ov));
+  EXPECT_EQ(ok, b);
+  ASSERT_TRUE(m.succ(b, ok, ov));
+  EXPECT_EQ(ok, b + 1);
+  ASSERT_TRUE(m.pred(b, ok, ov));
+  EXPECT_EQ(ok, b - 1);
+  ASSERT_TRUE(m.pred(b + 1, ok, ov));
+  EXPECT_EQ(ok, b);
+  // Remove the boundary key: succ/pred must now cross the shard seam.
+  ASSERT_TRUE(m.remove(b));
+  ASSERT_TRUE(m.succ(b - 1, ok, ov));
+  EXPECT_EQ(ok, b + 1);
+  ASSERT_TRUE(m.pred(b + 1, ok, ov));
+  EXPECT_EQ(ok, b - 1);
+  // Scan across the seam sees exactly the survivors.
+  Map::Items out;
+  m.scan(b - 1, b + 1, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, b - 1);
+  EXPECT_EQ(out[1].first, b + 1);
+}
+
+TEST_P(ShardStitching, ScanSpansAllShardsAndCountsStitches) {
+  constexpr uint64_t kSpace = 512;
+  Map m(base_opts(shards(), policy(), kSpace));
+  m.thread_init();
+  // One key per shard slice so [0, kSpace] must stitch every shard.
+  for (int s = 0; s < shards(); ++s) {
+    uint64_t k = static_cast<uint64_t>(s) * m.shard_width() + 1;
+    ASSERT_TRUE(m.insert(k, k));
+  }
+  lsg::obs::reset();
+  lsg::obs::set_enabled(true);
+  Map::Items out;
+  m.scan(0, kSpace, out);
+  lsg::obs::set_enabled(false);
+  EXPECT_EQ(out.size(), static_cast<size_t>(shards()));
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  auto events = lsg::obs::total_events();
+  if (shards() > 1) {
+    EXPECT_GE(events[lsg::obs::Event::kShardScanStitch], 1u);
+  } else {
+    EXPECT_EQ(events[lsg::obs::Event::kShardScanStitch], 0u);
+  }
+}
+
+TEST_P(ShardStitching, BulkLoadSplitsAcrossShards) {
+  constexpr uint64_t kSpace = 512;
+  Map m(base_opts(shards(), policy(), kSpace));
+  m.thread_init();
+  ASSERT_TRUE(m.insert(5, 50));
+  Map::Items items;
+  for (Key k = 0; k < kSpace; k += 2) items.emplace_back(k, k + 7);
+  // 5 is odd (fresh set even): all load; reloading changes nothing.
+  EXPECT_EQ(m.bulk_load(items), items.size());
+  EXPECT_EQ(m.bulk_load(items), 0u);
+  Map::Items out;
+  m.scan(0, kSpace, out);
+  ASSERT_EQ(out.size(), items.size() + 1);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_TRUE(m.contains(5));
+}
+
+/// Stitched scans racing writers: sorted, duplicate-free, all stable keys
+/// present, nothing out of universe — per-shard snapshot isolation composes
+/// because shard key sets are disjoint.
+TEST_P(ShardStitching, ConcurrentChurnStitchedScanIsSane) {
+  constexpr uint64_t kChurn = 256;
+  constexpr uint64_t kStable = 128;       // keys in [kChurn, kSpace), fixed
+  constexpr uint64_t kSpace = kChurn + kStable;
+  Map m(base_opts(shards(), policy(), kSpace));
+  for (uint64_t k = kChurn; k < kSpace; ++k) ASSERT_TRUE(m.insert(k, k));
+  std::atomic<bool> stop{false};
+  std::atomic<int> scans_done{0};
+  run_threads(4, [&](int t) {
+    m.thread_init();
+    if (t == 0) {
+      Map::Items out;
+      do {
+        m.scan(0, kSpace, out);
+        ASSERT_TRUE(std::is_sorted(out.begin(), out.end()));
+        ASSERT_EQ(std::adjacent_find(out.begin(), out.end(),
+                                     [](const auto& a, const auto& b) {
+                                       return a.first == b.first;
+                                     }),
+                  out.end())
+            << "duplicate key in stitched scan";
+        size_t stable_seen = 0;
+        for (const auto& kv : out) {
+          ASSERT_LT(kv.first, kSpace);
+          if (kv.first >= kChurn) ++stable_seen;
+        }
+        ASSERT_EQ(stable_seen, kStable);
+        scans_done.fetch_add(1);
+        Key ok;
+        Value ov;
+        if (m.succ(kChurn - 1, ok, ov)) {
+          ASSERT_GE(ok, kChurn);
+        }
+        ASSERT_TRUE(m.pred(kSpace, ok, ov));
+        ASSERT_EQ(ok, kSpace - 1);
+      } while (!stop.load(std::memory_order_acquire));
+    } else {
+      lsg::common::Xoshiro256 rng(t * 31 + 7);
+      for (int i = 0; i < 6000; ++i) {
+        uint64_t k = rng.next_bounded(kChurn);
+        if (rng.next_bounded(2) == 0) {
+          m.insert(k, k);
+        } else {
+          m.remove(k);
+        }
+      }
+      if (t == 1) stop.store(true, std::memory_order_release);
+    }
+  });
+  EXPECT_GT(scans_done.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ShardStitching,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(ShardPolicy::kRange,
+                                         ShardPolicy::kHash)),
+    grid_name);
+
+TEST(ShardCache, HitMissAndInvalidateOnUpdate) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+  Map m(base_opts(2, ShardPolicy::kRange, 1 << 10, 1));
+  m.thread_init();
+  ASSERT_TRUE(m.insert(42, 7));
+  lsg::obs::reset();
+  lsg::obs::set_enabled(true);
+  // First contains publishes, second hits the per-socket replica.
+  EXPECT_TRUE(m.contains(42));
+  EXPECT_TRUE(m.contains(42));
+  auto ev = lsg::obs::total_events();
+  EXPECT_GE(ev[lsg::obs::Event::kShardCacheHit], 1u);
+  EXPECT_GE(ev[lsg::obs::Event::kShardCacheMiss], 1u);
+  // A successful remove must expire the cached presence immediately.
+  ASSERT_TRUE(m.remove(42));
+  EXPECT_FALSE(m.contains(42));
+  EXPECT_FALSE(m.contains(42));  // absent result is cached too
+  // And a reinsert must expire the cached absence.
+  ASSERT_TRUE(m.insert(42, 8));
+  EXPECT_TRUE(m.contains(42));
+  lsg::obs::set_enabled(false);
+}
+
+TEST(ShardCache, DisabledCacheStillConforms) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  ShardedOptions o = base_opts(2, ShardPolicy::kRange, 1 << 10, 1);
+  o.cache_slots = 0;
+  Map m(o);
+  m.thread_init();
+  EXPECT_FALSE(m.contains(9));
+  ASSERT_TRUE(m.insert(9, 1));
+  EXPECT_TRUE(m.contains(9));
+  ASSERT_TRUE(m.remove(9));
+  EXPECT_FALSE(m.contains(9));
+}
+
+TEST(ShardCache, ConcurrentReadersAndUpdatersAgree) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+  // Tiny cache forces heavy slot sharing; every contains outcome is checked
+  // against a per-key net counter after the run.
+  ShardedOptions o = base_opts(2, ShardPolicy::kRange, 64, 4);
+  o.cache_slots = 8;
+  Map m(o);
+  constexpr uint64_t kKeys = 64;
+  std::array<std::atomic<int>, kKeys> net{};
+  run_threads(4, [&](int t) {
+    m.thread_init();
+    lsg::common::Xoshiro256 rng(t * 17 + 29);
+    for (int i = 0; i < 4000; ++i) {
+      uint64_t k = rng.next_bounded(kKeys);
+      switch (rng.next_bounded(3)) {
+        case 0:
+          if (m.insert(k, k)) net[k].fetch_add(1);
+          break;
+        case 1:
+          if (m.remove(k)) net[k].fetch_sub(1);
+          break;
+        default:
+          m.contains(k);  // exercised for races; validated quiescently below
+      }
+    }
+  });
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    int n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << "key " << k;
+    EXPECT_EQ(m.contains(k), n == 1) << k;
+  }
+}
+
+TEST(ShardCounters, PerShardRoutingAddsUp) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+  constexpr uint64_t kSpace = 400;
+  ShardedOptions o = base_opts(4, ShardPolicy::kRange, kSpace, 1);
+  o.cache_slots = 0;  // cache hits bypass routing; count every op
+  Map m(o);
+  m.thread_init();
+  uint64_t point_ops = 0;
+  for (uint64_t k = 0; k < kSpace; ++k) {
+    m.insert(k, k);
+    m.contains(k);
+    point_ops += 2;
+  }
+  uint64_t routed = 0;
+  for (int s = 0; s < 4; ++s) {
+    uint64_t ops = m.shard_ops(s);
+    EXPECT_GT(ops, 0u) << "shard " << s << " never routed";
+    routed += ops;
+  }
+  EXPECT_EQ(routed, point_ops);
+}
+
+TEST(ShardRegistry, TrialConfigKnobsReachTheMap) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+  lsg::harness::TrialConfig cfg;
+  cfg.algorithm = "sharded_layered_sg";
+  cfg.threads = 2;
+  cfg.key_space = 1 << 10;
+  // Default (shards = 0) resolves to one shard per socket and conforms.
+  auto map = lsg::harness::make_map(cfg.algorithm, cfg);
+  ASSERT_TRUE(map->supports_range());
+  EXPECT_TRUE(map->insert(3, 30));
+  EXPECT_TRUE(map->contains(3));
+  // Explicit shard count + hash policy also resolve.
+  cfg.shards = 4;
+  cfg.shard_policy = "hash";
+  auto hashed = lsg::harness::make_map(cfg.algorithm, cfg);
+  EXPECT_TRUE(hashed->insert(3, 30));
+  lsg::harness::ScanBuffer out;
+  EXPECT_EQ(hashed->scan(0, 10, out), 1u);
+  // A bad policy surfaces as invalid_argument (the CLI maps this to exit 2).
+  cfg.shard_policy = "zigzag";
+  EXPECT_THROW(lsg::harness::make_map(cfg.algorithm, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
