@@ -4,7 +4,6 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #if defined(__linux__)
@@ -105,10 +104,15 @@ int ThreadRegistry::register_self() {
 
 int ThreadRegistry::current() { return register_self(); }
 
+/// Pure thread-local reset: deliberately does NOT bump g_generation. A
+/// generation bump here would invalidate every other live thread's id and
+/// force them all to re-register with fresh monotonically-growing ids,
+/// leaking dense ids toward the kMaxThreads throw on repeated calls. The
+/// calling thread's id is simply abandoned (not recycled); use reset()
+/// between trials to reclaim the id space.
 void ThreadRegistry::unregister_self() {
   tls_id = -1;
   tls_reg_gen = 0;
-  g_generation.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void ThreadRegistry::reset() {
@@ -138,13 +142,24 @@ int ThreadRegistry::node_of(int logical_id) {
 
 bool ThreadRegistry::pin_self_if_possible() {
 #if defined(__linux__)
-  const unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) return false;
-  // Fold simulated targets beyond the host's CPU count onto the CPUs that
-  // exist (keeping the socket-major order modulo the host size) instead of
-  // silently running unpinned: a trial labeled "pinned" used to run fully
-  // unpinned whenever the simulated topology was larger than the host.
-  int target = hw_thread_of(current()) % static_cast<int>(hw);
+  // Fold simulated targets onto the CPUs this thread may actually run on
+  // (its current affinity mask), not [0, hardware_concurrency()): with
+  // offline CPUs or a cgroup/cpuset-restricted mask (common in CI
+  // containers) a modulo-hw fold can land on a disallowed CPU, the
+  // setaffinity call fails, and the thread silently runs unpinned. The
+  // fold keeps the socket-major order modulo the allowed-CPU count, so on
+  // hosts smaller than the simulated topology distinct simulated sockets
+  // share host CPUs — still pinned, just colocated.
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  std::vector<int> cpus;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (CPU_ISSET(c, &allowed)) cpus.push_back(c);
+  }
+  if (cpus.empty()) return false;
+  int target =
+      cpus[static_cast<size_t>(hw_thread_of(current())) % cpus.size()];
   cpu_set_t set;
   CPU_ZERO(&set);
   CPU_SET(target, &set);

@@ -34,8 +34,9 @@ class ThreadRegistry {
   /// Logical id of the calling thread; registers it on first use.
   static int current();
 
-  /// Forget the calling thread's registration (the id is NOT recycled;
-  /// use reset() between trials).
+  /// Forget the calling thread's registration only — a pure thread-local
+  /// reset that leaves every other thread's id (and the generation)
+  /// untouched. The id is NOT recycled; use reset() between trials.
   static void unregister_self();
 
   /// Reset all ids. Call between trials; surviving threads re-register on
@@ -43,8 +44,8 @@ class ThreadRegistry {
   /// without collisions even when a thread pool outlives the trial.
   static void reset();
 
-  /// Monotonic registration epoch: bumped by configure(), reset(), and
-  /// unregister_self(). Code that caches thread-keyed state (e.g.
+  /// Monotonic registration epoch: bumped by configure() and reset().
+  /// Code that caches thread-keyed state (e.g.
   /// LayeredMap's per-thread LocalState pointer) revalidates against this
   /// instead of re-resolving current() on every operation.
   static uint64_t generation();
@@ -61,9 +62,10 @@ class ThreadRegistry {
   static int hw_thread_of(int logical_id);
 
   /// Apply a real OS affinity pin for the calling thread. Simulated
-  /// targets beyond the host's CPU count are folded onto existing CPUs
-  /// (modulo), so trials stay pinned even when the simulated topology is
-  /// larger than the host; returns whether the pin call succeeded.
+  /// targets are folded (modulo) onto the CPUs in the thread's current
+  /// affinity mask, so trials stay pinned even when the simulated
+  /// topology is larger than the host or the mask is cpuset-restricted;
+  /// returns whether the pin call succeeded.
   static bool pin_self_if_possible();
 };
 

@@ -431,6 +431,14 @@ class ShardedMap {
                                        std::memory_order_relaxed)) {
       return;
     }
+    // Order the seq->odd transition before the data stores: without this
+    // fence a weakly-ordered reader could observe the new key while both
+    // of its seq loads still return the old even value (and meta the old
+    // occupant's word), passing the recheck and returning a stale answer
+    // for the wrong key. The fence pairs with cache_probe's acquire fence:
+    // any reader that observes a data store below must see seq odd (or
+    // later) on its recheck and bail.
+    std::atomic_thread_fence(std::memory_order_release);
     e.key.store(static_cast<uint64_t>(key), std::memory_order_relaxed);
     e.val.store(static_cast<uint64_t>(value), std::memory_order_relaxed);
     e.meta.store((upd_snapshot << 1) | (present ? 1u : 0u),
