@@ -26,6 +26,7 @@
 #include "harness/driver.hpp"
 #include "harness/report.hpp"
 #include "numa/pinning.hpp"
+#include "obs/perf.hpp"
 #include "shard/sharded_map.hpp"
 #include "stats/heatmap.hpp"
 
@@ -174,6 +175,12 @@ struct ScalingPoint {
   double read_locality = 0;
   double remote_cas_per_op = 0;
   int pinned_threads = 0;
+  /// Hardware counters summed across workers (perf_event_open; hw.valid is
+  /// false where the kernel denies the syscall). Reported next to the
+  /// software CAS/read locality so the arena-attribution proxy can be
+  /// validated against what the memory controllers actually served.
+  lsg::obs::PerfCounts hw;
+  uint64_t total_ops = 0;
 };
 
 ScalingPoint run_affine_trial(int shards, int threads, int duration_ms) {
@@ -192,6 +199,7 @@ ScalingPoint run_affine_trial(int shards, int threads, int duration_ms) {
   std::atomic<bool> stop{false};
   std::atomic<int> pinned{0};
   std::vector<uint64_t> ops(static_cast<size_t>(threads), 0);
+  std::vector<lsg::obs::PerfCounts> hw(static_cast<size_t>(threads));
   const uint64_t per_thread_load = (kSpace / 2) / static_cast<uint64_t>(threads);
 
   std::vector<std::thread> workers;
@@ -231,8 +239,13 @@ ScalingPoint run_affine_trial(int shards, int threads, int duration_ms) {
       for (uint64_t i = 0; i < per_thread_load; ++i) {
         m->insert(affine_key(), i);
       }
+      // Hardware counters over exactly the measured loop (per-thread fds,
+      // armed at the start barrier). Silently absent when perf is denied.
+      lsg::obs::PerfGroup perf_group;
+      perf_group.open();
       preloaded.fetch_add(1, std::memory_order_release);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      perf_group.reset_and_enable();
 
       uint64_t n = 0;
       std::vector<std::pair<K, V>> out;
@@ -252,6 +265,7 @@ ScalingPoint run_affine_trial(int shards, int threads, int duration_ms) {
         }
         ++n;
       }
+      hw[static_cast<size_t>(t)] = perf_group.disable_and_read();
       ops[static_cast<size_t>(t)] = n;
     });
   }
@@ -279,6 +293,8 @@ ScalingPoint run_affine_trial(int shards, int threads, int duration_ms) {
   ScalingPoint p;
   p.ops_per_ms = static_cast<double>(total) / duration_ms;
   p.pinned_threads = pinned.load();
+  p.total_ops = total;
+  for (const auto& c : hw) p.hw += c;
   if (auto* h = lsg::stats::cas_heatmap(); h != nullptr && h->total() > 0) {
     p.cas_locality = h->locality(node_of);
     p.remote_cas_per_op = total == 0 ? 0.0
@@ -302,12 +318,23 @@ int run_scaling() {
   for (int shards : {1, 2, 4}) {
     for (int threads : {1, 4, 8}) {
       ScalingPoint p = run_affine_trial(shards, threads, duration);
+      // Software locality (CAS arena attribution) and the hardware view
+      // (DRAM-node counters) print side by side; where perf_event_open is
+      // denied the hw_* fields stay at their "unavailable" sentinels.
+      const double hw_remote_per_op =
+          (p.hw.valid && p.total_ops > 0)
+              ? static_cast<double>(p.hw.node_misses) /
+                    static_cast<double>(p.total_ops)
+              : 0.0;
       std::printf(
           "%s  {\"shards\": %d, \"threads\": %d, \"ops_per_ms\": %.1f, "
           "\"cas_locality\": %.4f, \"read_locality\": %.4f, "
-          "\"remote_cas_per_op\": %.5f, \"pinned_threads\": %d}",
+          "\"remote_cas_per_op\": %.5f, \"pinned_threads\": %d, "
+          "\"perf_available\": %s, \"hw_locality\": %.4f, "
+          "\"hw_remote_dram_per_op\": %.5f}",
           first ? "" : ",\n", shards, threads, p.ops_per_ms, p.cas_locality,
-          p.read_locality, p.remote_cas_per_op, p.pinned_threads);
+          p.read_locality, p.remote_cas_per_op, p.pinned_threads,
+          p.hw.valid ? "true" : "false", p.hw.locality(), hw_remote_per_op);
       first = false;
       std::fflush(stdout);
     }

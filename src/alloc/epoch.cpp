@@ -1,6 +1,7 @@
 #include "alloc/epoch.hpp"
 
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace lsg::alloc {
 
@@ -53,6 +54,7 @@ void EpochReclaimer::try_reclaim() {
   if (!bucket.empty()) {
     lsg::obs::event(lsg::obs::Event::kEpochFree, bucket.size());
   }
+  LSG_TRACE_SPAN(lsg::obs::Span::kReclaim, bucket.size());
   for (const Retired& r : bucket) r.deleter(r.obj);
   bucket.clear();
 }

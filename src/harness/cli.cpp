@@ -58,6 +58,13 @@ std::string cli_usage() {
       "                   maintenance events; also via LSG_OBS=1)\n"
       "  --obs-dir D      telemetry artifact dir  [LSG_OBS_DIR or obs_out]\n"
       "  --obs-interval M timeline sample period, ms  [10]\n"
+      "  --trace          record cross-layer trace spans over fill+measure\n"
+      "                   and export <id>_trace.json (Perfetto/chrome:\n"
+      "                   //tracing; also via LSG_TRACE=1)\n"
+      "  --perf           read hardware counters (cycles, LLC misses,\n"
+      "                   local/remote DRAM) per worker over the measured\n"
+      "                   phase; reports perf_available:false when the\n"
+      "                   kernel denies perf_event_open (also LSG_PERF=1)\n"
       "  --json F         append the JSON trial record to F\n"
       "  -l        list algorithms\n"
       "  -h        this help\n";
@@ -154,6 +161,10 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       o.cfg.shard_policy = v;
     } else if (arg == "--obs") {
       o.cfg.collect_obs = true;
+    } else if (arg == "--trace") {
+      o.cfg.collect_trace = true;
+    } else if (arg == "--perf") {
+      o.cfg.collect_perf = true;
     } else if (arg == "--obs-dir") {
       const char* v = need(i++);
       if (!v) {
@@ -281,7 +292,12 @@ int run_cli(int argc, const char* const* argv) {
     print_heatmap_report(o.cfg.algorithm, /*cas_map=*/true, o.cfg);
     print_heatmap_report(o.cfg.algorithm, /*cas_map=*/false, o.cfg);
   }
-  print_obs_summary(r);  // no-op unless the trial ran with telemetry
+  print_obs_summary(r);   // no-op unless the trial ran with telemetry
+  print_perf_summary(r);  // no-op unless the trial requested counters
+  if (!r.obs_trace_file.empty()) {
+    std::printf("trace written to %s (load in ui.perfetto.dev)\n",
+                r.obs_trace_file.c_str());
+  }
   if (!o.json_path.empty()) {
     auto parent = std::filesystem::path(o.json_path).parent_path();
     if (!parent.empty()) lsg::obs::ensure_dir(parent.string());

@@ -14,6 +14,7 @@
 #include "numa/pinning.hpp"
 #include "obs/export.hpp"
 #include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "stats/heatmap.hpp"
 
 namespace lsg::harness {
@@ -33,6 +34,13 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   lsg::stats::reset();
   lsg::obs::set_enabled(false);
   lsg::obs::reset();
+  // Tracing (unlike obs counters) covers the fill phase too: preload is
+  // where bulk maintenance (finish_insert towers, commission expiry)
+  // happens, and seeing it on the timeline is the point of the spans.
+  const bool trace_on = cfg.collect_trace || lsg::obs::trace_env_enabled();
+  const bool perf_on = cfg.collect_perf || lsg::obs::perf_env_enabled();
+  lsg::obs::trace_reset();
+  lsg::obs::trace_set_enabled(trace_on);
 
   const int T = cfg.threads;
   std::atomic<IMap*> shared_map{nullptr};
@@ -47,6 +55,7 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
       static_cast<double>(cfg.key_space) * cfg.preload_fraction);
 
   std::vector<OpTally> tallies(T);
+  std::vector<lsg::obs::PerfCounts> perf_counts(T);
   std::vector<std::thread> workers;
   workers.reserve(T);
 
@@ -60,6 +69,7 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
       lsg::numa::ThreadRegistry::register_self();
       lsg::stats::forget_self();
       lsg::obs::forget_self();
+      lsg::obs::trace_forget_self();
       // Surfaced in the trial report (pinned_threads): the fold in
       // pin_self_if_possible makes pinning succeed even when the simulated
       // topology outsizes the host, so a shortfall here is a real failure.
@@ -92,16 +102,23 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
           preload_count.fetch_add(1, std::memory_order_relaxed);
         }
       }
+      // Hardware counters cover exactly the measured phase: opened here
+      // (fds are per-thread), armed at the start barrier, read after the
+      // stop flag. open() failing (perf denied) just leaves counts invalid.
+      lsg::obs::PerfGroup perf_group;
+      if (perf_on) perf_group.open();
       preload_done.fetch_add(1);
       while (!start.load(std::memory_order_acquire)) {
         std::this_thread::yield();
       }
+      if (perf_on) perf_group.reset_and_enable();
 
       ThreadWorkload wl(cfg, i);
       OpTally t;
       // One virtual call for the whole measured phase; MapAdapter's
       // override runs the loop with static per-op dispatch (imap.hpp).
       map->run_op_loop(wl, stop, t);
+      if (perf_on) perf_counts[i] = perf_group.disable_and_read();
       tallies[i] = t;
     });
   }
@@ -133,7 +150,11 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   }
   shared_map.store(map.get(), std::memory_order_release);
 
-  while (preload_done.load() != T) std::this_thread::yield();
+  {
+    // Phase marker on the driver thread's track (arg = preload target).
+    lsg::obs::TraceSpan fill_span(lsg::obs::Span::kPhaseFill, preload_target);
+    while (preload_done.load() != T) std::this_thread::yield();
+  }
 
   // Measured phase starts with clean counters (the paper measures after
   // preloading).
@@ -151,12 +172,16 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   // hook); benches reinstall theirs here, just before the clock starts.
   if (cfg.on_measure_start) cfg.on_measure_start();
 
+  lsg::obs::TraceSpan measure_span(lsg::obs::Span::kPhaseMeasure,
+                                   static_cast<uint64_t>(T));
   auto t0 = clock::now();
   start.store(true, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
   stop.store(true, std::memory_order_relaxed);
   for (auto& w : workers) w.join();
   auto t1 = clock::now();
+  measure_span.end();
+  lsg::obs::trace_set_enabled(false);
   if (obs_on) {
     sampler.stop();
     lsg::obs::set_enabled(false);
@@ -194,23 +219,39 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   r.nodes_per_op = r.counters.nodes_traversed / ops;
   r.topology = cfg.topology.describe();
 
-  if (obs_on) {
-    r.obs = lsg::obs::summarize();
-    std::vector<lsg::obs::TimelineSample> samples = sampler.samples();
-    r.obs.steady_ops_per_ms =
-        lsg::obs::TimelineSampler::steady_ops_per_ms(samples);
+  r.perf_requested = perf_on;
+  if (perf_on) {
+    for (const auto& pc : perf_counts) r.perf += pc;
+  }
+
+  if (obs_on || trace_on) {
+    std::vector<lsg::obs::TimelineSample> samples;
+    if (obs_on) {
+      r.obs = lsg::obs::summarize();
+      samples = sampler.samples();
+      r.obs.steady_ops_per_ms =
+          lsg::obs::TimelineSampler::steady_ops_per_ms(samples);
+    }
     std::string dir = lsg::obs::artifact_dir(cfg.obs_dir);
     if (lsg::obs::ensure_dir(dir)) {
       r.obs_trial_id = lsg::obs::next_trial_id(cfg.algorithm, T);
-      r.obs_hist_file = dir + "/" + r.obs_trial_id + "_hist.json";
-      r.obs_timeline_file = dir + "/" + r.obs_trial_id + "_timeline.jsonl";
-      lsg::obs::write_histograms_json(r.obs_hist_file);
-      lsg::obs::write_timeline_jsonl(r.obs_timeline_file, samples);
+      if (obs_on) {
+        r.obs_hist_file = dir + "/" + r.obs_trial_id + "_hist.json";
+        r.obs_timeline_file = dir + "/" + r.obs_trial_id + "_timeline.jsonl";
+        lsg::obs::write_histograms_json(r.obs_hist_file);
+        lsg::obs::write_timeline_jsonl(r.obs_timeline_file, samples);
+      }
+      if (trace_on) {
+        // Workers have joined and the phase span is closed: the rings are
+        // quiescent, which write_trace_json requires.
+        r.obs_trace_file = dir + "/" + r.obs_trial_id + "_trace.json";
+        lsg::obs::write_trace_json(r.obs_trace_file, r.obs_trial_id);
+      }
       lsg::obs::append_jsonl(dir + "/trials.jsonl", to_json(r));
     }
     // Like the heatmaps, the last trial's timeline stays inspectable until
     // the next obs-enabled trial.
-    lsg::obs::set_last_timeline(std::move(samples));
+    if (obs_on) lsg::obs::set_last_timeline(std::move(samples));
   }
 
   // The map (and any maintenance threads) dies here, before the next trial
@@ -233,6 +274,8 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
   avg.local_cas_per_op = avg.remote_cas_per_op = 0;
   avg.cas_success_rate = 0;
   avg.nodes_per_op = 0;
+  avg.perf = lsg::obs::PerfCounts{};  // counters sum across runs
+  for (const auto& r : runs) avg.perf += r.perf;
   for (const auto& r : runs) {
     avg.total_ops += r.total_ops;
     avg.scan_ops += r.scan_ops;

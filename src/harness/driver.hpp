@@ -12,6 +12,7 @@
 
 #include "harness/imap.hpp"
 #include "harness/workload.hpp"
+#include "obs/perf.hpp"
 #include "obs/telemetry.hpp"
 #include "stats/counters.hpp"
 
@@ -52,6 +53,13 @@ struct TrialResult {
   std::string obs_trial_id;       // artifact basename, e.g. "sg_t4_000"
   std::string obs_hist_file;      // per-trial artifact paths (empty when off)
   std::string obs_timeline_file;
+  std::string obs_trace_file;     // Chrome-trace export (cfg.collect_trace)
+
+  /// Hardware counters summed over workers' measured phases
+  /// (cfg.collect_perf or LSG_PERF=1). perf.valid is false when the kernel
+  /// denied perf_event_open — the trial still succeeds.
+  lsg::obs::PerfCounts perf;
+  bool perf_requested = false;
 
   /// Merge-average of several runs (throughput & ratios averaged; counters
   /// summed).

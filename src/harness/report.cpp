@@ -147,7 +147,8 @@ std::string csv_header() {
          "effective_update_pct,succ_inserts,succ_removes,contains_ops,"
          "scan_ops,scanned_keys,"
          "local_reads_per_op,remote_reads_per_op,local_cas_per_op,"
-         "remote_cas_per_op,cas_success_rate,nodes_per_op";
+         "remote_cas_per_op,cas_success_rate,nodes_per_op,"
+         "perf_available,hw_llc_misses,hw_remote_dram,hw_locality";
 }
 
 std::string to_csv_row(const TrialResult& r) {
@@ -167,14 +168,21 @@ std::string to_csv_row(const TrialResult& r) {
                 r.local_reads_per_op, r.remote_reads_per_op,
                 r.local_cas_per_op, r.remote_cas_per_op, r.cas_success_rate,
                 r.nodes_per_op);
-  return buf;
+  std::string out = buf;
+  // hw_locality is -1 when the NODE counters were unavailable or idle.
+  std::snprintf(buf, sizeof(buf), ",%d,%llu,%llu,%.4f", r.perf.valid ? 1 : 0,
+                static_cast<unsigned long long>(r.perf.llc_misses),
+                static_cast<unsigned long long>(r.perf.node_misses),
+                r.perf.locality());
+  out += buf;
+  return out;
 }
 
 std::string to_json(const TrialResult& r) {
   char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"schema\":\"lsg-trial-v2\",\"git\":\"%s\","
+      "{\"schema\":\"lsg-trial-v3\",\"git\":\"%s\","
       "\"algorithm\":\"%s\",\"threads\":%d,\"pinned_threads\":%d,"
       "\"topology\":\"%s\","
       "\"measured_ms\":%llu,"
@@ -197,6 +205,31 @@ std::string to_json(const TrialResult& r) {
       r.remote_reads_per_op, r.local_cas_per_op, r.remote_cas_per_op,
       r.cas_success_rate, r.nodes_per_op);
   std::string out = buf;
+  // v3: perf_available is always present so consumers can distinguish
+  // "counters denied" from "never requested nor denied" (requested flag).
+  std::snprintf(buf, sizeof(buf), ",\"perf_requested\":%s,"
+                "\"perf_available\":%s",
+                r.perf_requested ? "true" : "false",
+                r.perf.valid ? "true" : "false");
+  out += buf;
+  if (r.perf.valid) {
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"hw_cycles\":%llu,\"hw_instructions\":%llu,"
+        "\"hw_llc_misses\":%llu,\"hw_node_loads\":%llu,"
+        "\"hw_remote_dram\":%llu,\"hw_locality\":%.4f",
+        static_cast<unsigned long long>(r.perf.cycles),
+        static_cast<unsigned long long>(r.perf.instructions),
+        static_cast<unsigned long long>(r.perf.llc_misses),
+        static_cast<unsigned long long>(r.perf.node_loads),
+        static_cast<unsigned long long>(r.perf.node_misses),
+        r.perf.locality());
+    out += buf;
+  }
+  if (!r.obs_trace_file.empty()) {
+    out += ",\"trace_file\":\"" + lsg::obs::json_escape(r.obs_trace_file) +
+           "\"";
+  }
   if (r.obs.valid) {
     std::snprintf(buf, sizeof(buf), ",\"obs\":{\"steady_ops_per_ms\":%.3f",
                   r.obs.steady_ops_per_ms);
@@ -293,6 +326,35 @@ void print_obs_summary(const TrialResult& r) {
   if (!r.obs_hist_file.empty()) {
     std::printf("  artifacts: %s | %s\n", r.obs_hist_file.c_str(),
                 r.obs_timeline_file.c_str());
+  }
+}
+
+void print_perf_summary(const TrialResult& r) {
+  if (!r.perf_requested) return;
+  std::printf("--- hardware counters: %s (%d threads) ---\n",
+              r.algorithm.c_str(), r.threads);
+  if (!r.perf.valid) {
+    std::printf("  perf unavailable (perf_event_open denied: "
+                "perf_event_paranoid/seccomp); software metrics only\n");
+    return;
+  }
+  double ipc = r.perf.cycles == 0
+                   ? 0
+                   : static_cast<double>(r.perf.instructions) /
+                         static_cast<double>(r.perf.cycles);
+  std::printf("  cycles %llu | instructions %llu (IPC %.2f) | "
+              "LLC misses %llu\n",
+              static_cast<unsigned long long>(r.perf.cycles),
+              static_cast<unsigned long long>(r.perf.instructions), ipc,
+              static_cast<unsigned long long>(r.perf.llc_misses));
+  if (r.perf.locality() >= 0) {
+    std::printf("  DRAM loads: local %llu | remote %llu | hw locality %.4f\n",
+                static_cast<unsigned long long>(r.perf.node_loads),
+                static_cast<unsigned long long>(r.perf.node_misses),
+                r.perf.locality());
+  } else {
+    std::printf("  DRAM NODE counters unavailable on this PMU "
+                "(hw locality not measured)\n");
   }
 }
 

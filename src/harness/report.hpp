@@ -35,6 +35,12 @@ void print_heatmap_report(const std::string& title, bool cas_map,
 /// No-op when r.obs is not valid.
 void print_obs_summary(const TrialResult& r);
 
+/// Hardware-counter report for perf-enabled trials (cycles, IPC, LLC
+/// misses, local/remote DRAM share). Prints "perf unavailable" when the
+/// trial requested counters but the kernel denied perf_event_open; no-op
+/// when perf was never requested.
+void print_perf_summary(const TrialResult& r);
+
 /// Scale helpers shared by benches: honor LSG_FULL=1 (paper-scale runs),
 /// LSG_DURATION_MS, LSG_RUNS and LSG_THREADS (comma list) overrides.
 bool full_scale();

@@ -36,6 +36,13 @@ struct TrialConfig {
   bool collect_obs = false;
   /// Timeline sampler period when collect_obs is set.
   int obs_interval_ms = 10;
+  /// Record cross-layer trace spans (src/obs/trace.hpp) over the fill and
+  /// measured phases and export <id>_trace.json (Chrome-trace/Perfetto).
+  bool collect_trace = false;
+  /// Read per-worker hardware counters (perf_event_open: cycles, LLC
+  /// misses, local/remote DRAM) over the measured phase. Degrades to
+  /// perf_available:false when the kernel denies the syscall.
+  bool collect_perf = false;
   /// Artifact directory for obs exports; empty = LSG_OBS_DIR or "obs_out".
   std::string obs_dir;
   /// Invoked on the main thread right before the measured phase starts

@@ -1,5 +1,7 @@
 #include "obs/export.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -46,10 +48,15 @@ bool ensure_dir(const std::string& dir) {
 }
 
 std::string next_trial_id(const std::string& algorithm, int threads) {
+  // The sequence number alone is only unique within one process; concurrent
+  // harness invocations sharing an obs dir (a sweep script launching one
+  // process per config) would mint colliding ids and clobber each other's
+  // artifacts. Qualify with the pid so ids are unique across processes too.
   static std::atomic<uint64_t> seq{0};
   uint64_t n = seq.fetch_add(1, std::memory_order_relaxed) + 1;
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "_t%d_%03llu", threads,
+  std::snprintf(buf, sizeof(buf), "_t%d_p%ld_%03llu", threads,
+                static_cast<long>(::getpid()),
                 static_cast<unsigned long long>(n));
   return algorithm + buf;
 }
@@ -129,7 +136,12 @@ bool write_timeline_jsonl(const std::string& path,
   std::ofstream out(path);
   if (!out) return false;
   char buf[256];
-  TimelineSample prev;  // zero baseline for the first sample
+  // Difference against the first retained sample, not a zero baseline: once
+  // the sampler ring wraps, the first retained sample carries large
+  // cumulative counts, and differencing it against zero would fabricate a
+  // huge rate spike in row one. The first row is emitted with zero rates.
+  TimelineSample prev;
+  if (!samples.empty()) prev = samples.front();
   for (const TimelineSample& s : samples) {
     uint64_t dt_us = s.t_us - prev.t_us;
     uint64_t dops = s.ops - prev.ops;

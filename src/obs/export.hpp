@@ -4,6 +4,7 @@
 // (LSG_OBS_DIR, default "obs_out"):
 //   - <id>_hist.json       merged per-operation latency histograms
 //   - <id>_timeline.jsonl  one JSON object per timeline sample
+//   - <id>_trace.json      Chrome-trace span export (--trace; obs/trace.hpp)
 // and appends the trial's summary record to trials.jsonl (one JSON object
 // per line; schema in harness/report.cpp::to_json). Formats are documented
 // in EXPERIMENTS.md and consumed by tools/plot_results.py.
@@ -27,7 +28,8 @@ std::string artifact_dir(const std::string& configured = "");
 /// mkdir -p; returns success.
 bool ensure_dir(const std::string& dir);
 
-/// Process-unique trial id, e.g. "layered_map_sg_t4_003".
+/// Trial id unique across processes sharing an artifact dir (the pid is
+/// part of the id), e.g. "layered_map_sg_t4_p1234_003".
 std::string next_trial_id(const std::string& algorithm, int threads);
 
 /// Merged per-operation histograms as one JSON object (non-empty buckets

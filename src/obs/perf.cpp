@@ -1,0 +1,123 @@
+#include "obs/perf.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace lsg::obs {
+
+bool perf_env_enabled() {
+  const char* v = std::getenv("LSG_PERF");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+/// Thin syscall wrapper: one counter for the calling thread, any CPU,
+/// user-space only (exclude_kernel keeps us openable at
+/// perf_event_paranoid <= 2, the common unprivileged ceiling).
+int perf_open_one(uint32_t type, uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+              /*group_fd=*/-1, /*flags=*/0));
+}
+
+constexpr uint64_t node_config(uint64_t result) {
+  return PERF_COUNT_HW_CACHE_NODE |
+         (static_cast<uint64_t>(PERF_COUNT_HW_CACHE_OP_READ) << 8) |
+         (result << 16);
+}
+
+uint64_t read_counter(int fd) {
+  if (fd < 0) return 0;
+  uint64_t v = 0;
+  if (read(fd, &v, sizeof(v)) != static_cast<ssize_t>(sizeof(v))) return 0;
+  return v;
+}
+
+}  // namespace
+
+bool PerfGroup::open() {
+  close();
+  fds_[0] = perf_open_one(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  if (fds_[0] < 0) {
+    fds_[0] = -1;
+    return false;  // no cycles counter => treat perf as unavailable
+  }
+  fds_[1] = perf_open_one(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  fds_[2] = perf_open_one(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  fds_[3] = perf_open_one(PERF_TYPE_HW_CACHE,
+                          node_config(PERF_COUNT_HW_CACHE_RESULT_ACCESS));
+  fds_[4] = perf_open_one(PERF_TYPE_HW_CACHE,
+                          node_config(PERF_COUNT_HW_CACHE_RESULT_MISS));
+  return true;
+}
+
+void PerfGroup::reset_and_enable() {
+  for (int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfCounts PerfGroup::disable_and_read() {
+  PerfCounts c;
+  if (!is_open()) return c;
+  for (int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  c.valid = true;
+  c.cycles = read_counter(fds_[0]);
+  c.instructions = read_counter(fds_[1]);
+  c.llc_misses = read_counter(fds_[2]);
+  c.has_node = fds_[3] >= 0 || fds_[4] >= 0;
+  c.node_loads = read_counter(fds_[3]);
+  c.node_misses = read_counter(fds_[4]);
+  return c;
+}
+
+void PerfGroup::close() {
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+bool PerfGroup::available() {
+  static const bool ok = [] {
+    int fd = perf_open_one(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return ok;
+}
+
+#else  // !__linux__: stubs — perf is a Linux interface.
+
+bool PerfGroup::open() { return false; }
+void PerfGroup::reset_and_enable() {}
+PerfCounts PerfGroup::disable_and_read() { return PerfCounts{}; }
+void PerfGroup::close() {}
+bool PerfGroup::available() { return false; }
+
+#endif
+
+}  // namespace lsg::obs

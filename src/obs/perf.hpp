@@ -1,0 +1,102 @@
+// Hardware profiling via perf_event_open (obs perf tier).
+//
+// Every locality number the repo otherwise reports is *software*
+// attribution: stats classifies CAS/read addresses by which socket's arena
+// owns them. This layer reads the quantities that actually cost money —
+// cycles, instructions, LLC misses, and (where the PMU exposes the generic
+// NODE cache events) local- vs remote-DRAM accesses — per worker thread,
+// over exactly the measured phase, and sums them into the trial record so
+// the software proxy can be validated against hardware counters.
+//
+// Each worker owns one PerfGroup: a small set of independent per-thread
+// counters (pid = 0, any CPU) opened before the measured phase,
+// reset+enabled at the start barrier, and disabled+read after the stop
+// flag. Counters are opened independently rather than as a PMU group
+// because the NODE events frequently live on a different (uncore) PMU than
+// cycles/instructions and grouping would then fail wholesale.
+//
+// Degrades gracefully by design: perf_event_open may be absent (non-Linux),
+// denied (perf_event_paranoid, seccomp — the common container case), or the
+// PMU may lack specific events (VMs often expose no NODE events). Every
+// failure path yields PerfCounts{valid:false} / a missing counter reported
+// as 0, and the trial carries perf_available:false instead of failing, so
+// CI exercises the full code path minus the privileged syscalls.
+#pragma once
+
+#include <cstdint>
+
+namespace lsg::obs {
+
+/// Counter readings for one thread's measured phase (or a sum of threads).
+struct PerfCounts {
+  /// False: counters could not be opened (values are all zero).
+  bool valid = false;
+  /// True when the NODE (DRAM locality) events opened; they are the least
+  /// portable counters, so hw_locality is only meaningful when set.
+  bool has_node = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;   // PERF_COUNT_HW_CACHE_MISSES (LLC)
+  uint64_t node_loads = 0;   // NODE/READ/ACCESS: loads served by local DRAM
+  uint64_t node_misses = 0;  // NODE/READ/MISS:   loads served remotely
+
+  PerfCounts& operator+=(const PerfCounts& o) {
+    valid |= o.valid;
+    has_node |= o.has_node;
+    cycles += o.cycles;
+    instructions += o.instructions;
+    llc_misses += o.llc_misses;
+    node_loads += o.node_loads;
+    node_misses += o.node_misses;
+    return *this;
+  }
+
+  /// Hardware NUMA locality: fraction of DRAM loads served locally.
+  /// Assumes the kernel's prevailing NODE mapping (ACCESS = local DRAM,
+  /// MISS = remote DRAM, disjoint); see DESIGN.md §11. Returns -1 when the
+  /// NODE counters were unavailable or saw no traffic.
+  double locality() const {
+    uint64_t total = node_loads + node_misses;
+    if (!has_node || total == 0) return -1.0;
+    return static_cast<double>(node_loads) / static_cast<double>(total);
+  }
+};
+
+/// Per-thread counter set. Open on the thread whose work you want counted;
+/// the fds follow the thread across CPU migrations (pid=0, cpu=-1).
+class PerfGroup {
+ public:
+  PerfGroup() = default;
+  ~PerfGroup() { close(); }
+  PerfGroup(const PerfGroup&) = delete;
+  PerfGroup& operator=(const PerfGroup&) = delete;
+
+  /// Open the counters for the calling thread (disabled). Returns false —
+  /// with every fd closed — when not even the cycles counter could be
+  /// opened; optional counters (LLC, NODE) fail individually and silently.
+  bool open();
+
+  bool is_open() const { return fds_[0] >= 0; }
+
+  /// Zero and start the open counters (no-op when open() failed).
+  void reset_and_enable();
+
+  /// Stop the counters and return their values. valid == is_open().
+  PerfCounts disable_and_read();
+
+  void close();
+
+  /// One-shot process-wide probe: can this process open a cycles counter?
+  /// (False under seccomp / perf_event_paranoid >= 3 / non-Linux.)
+  static bool available();
+
+ private:
+  static constexpr int kNumCounters = 5;
+  // Order: cycles, instructions, llc_misses, node_loads, node_misses.
+  int fds_[kNumCounters] = {-1, -1, -1, -1, -1};
+};
+
+/// True when LSG_PERF is set to anything but "0" in the environment.
+bool perf_env_enabled();
+
+}  // namespace lsg::obs

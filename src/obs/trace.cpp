@@ -1,0 +1,185 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+
+namespace lsg::obs {
+
+const char* span_name(Span s) {
+  switch (s) {
+    case Span::kPhaseFill: return "phase_fill";
+    case Span::kPhaseMeasure: return "phase_measure";
+    case Span::kRelink: return "relink";
+    case Span::kRetire: return "retire";
+    case Span::kCommissionExpire: return "commission_expire";
+    case Span::kFinishInsert: return "finish_insert";
+    case Span::kReclaim: return "reclaim";
+    case Span::kRangeCollect: return "range_collect";
+    case Span::kShardRoute: return "shard_route";
+    case Span::kShardStitch: return "shard_stitch";
+    case Span::kShardCacheProbe: return "shard_cache_probe";
+    case Span::kShardCachePublish: return "shard_cache_publish";
+  }
+  return "?";
+}
+
+const char* span_category(Span s) {
+  switch (s) {
+    case Span::kPhaseFill:
+    case Span::kPhaseMeasure:
+      return "harness";
+    case Span::kRelink:
+    case Span::kRetire:
+    case Span::kCommissionExpire:
+    case Span::kFinishInsert:
+    case Span::kReclaim:
+      return "maint";
+    case Span::kRangeCollect:
+      return "range";
+    case Span::kShardRoute:
+    case Span::kShardStitch:
+    case Span::kShardCacheProbe:
+    case Span::kShardCachePublish:
+      return "shard";
+  }
+  return "?";
+}
+
+void trace_set_enabled(bool on) {
+  trace_detail::g_enabled.store(on, std::memory_order_release);
+  trace_detail::g_gen.fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool trace_env_enabled() {
+  const char* v = std::getenv("LSG_TRACE");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+void trace_reset() {
+  for (auto& tr : trace_detail::g_rings) {
+    tr.written.store(0, std::memory_order_relaxed);
+  }
+  trace_detail::g_gen.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::size_t span_count(int tid) {
+  const auto& tr = trace_detail::g_rings[static_cast<size_t>(tid)];
+  uint64_t n = tr.written.load(std::memory_order_acquire);
+  return static_cast<std::size_t>(
+      n < trace_detail::kSpanRingCapacity ? n
+                                          : trace_detail::kSpanRingCapacity);
+}
+
+uint64_t total_spans_recorded() {
+  uint64_t sum = 0;
+  for (const auto& tr : trace_detail::g_rings) {
+    sum += tr.written.load(std::memory_order_acquire);
+  }
+  return sum;
+}
+
+bool write_trace_json(const std::string& path, const std::string& trial_id) {
+  using trace_detail::g_rings;
+  using trace_detail::kSpanRingCapacity;
+
+  std::ofstream out(path);
+  if (!out) return false;
+
+  // First pass: the earliest retained timestamp (ts rebase) and the total
+  // overwritten-span count.
+  uint64_t base = std::numeric_limits<uint64_t>::max();
+  uint64_t dropped = 0;
+  for (const auto& tr : g_rings) {
+    uint64_t n = tr.written.load(std::memory_order_acquire);
+    if (n == 0) continue;
+    if (n > kSpanRingCapacity) dropped += n - kSpanRingCapacity;
+    uint64_t count = std::min<uint64_t>(n, kSpanRingCapacity);
+    uint64_t first = n - count;
+    for (uint64_t i = 0; i < count; ++i) {
+      base = std::min(base, tr.ring[(first + i) % kSpanRingCapacity].t0);
+    }
+  }
+  if (base == std::numeric_limits<uint64_t>::max()) base = 0;
+
+  const double cpu = cycles_per_us();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"trial\":\"%s\","
+                "\"cycles_per_us\":%.3f,\"dropped_spans\":%llu},"
+                "\"traceEvents\":[",
+                json_escape(trial_id).c_str(), cpu,
+                static_cast<unsigned long long>(dropped));
+  out << buf;
+
+  bool first_ev = true;
+  auto emit = [&](const char* s) {
+    if (!first_ev) out << ',';
+    first_ev = false;
+    out << '\n' << s;
+  };
+
+  // Metadata: name each socket's track group and each thread's track, so
+  // Perfetto groups worker tracks by socket (pid = socket id).
+  std::vector<bool> socket_named;
+  for (int tid = 0; tid < lsg::numa::kMaxThreads; ++tid) {
+    if (g_rings[static_cast<size_t>(tid)].written.load(
+            std::memory_order_acquire) == 0) {
+      continue;
+    }
+    int socket = lsg::numa::ThreadRegistry::node_of(tid);
+    if (socket < 0) socket = 0;
+    if (static_cast<size_t>(socket) >= socket_named.size()) {
+      socket_named.resize(static_cast<size_t>(socket) + 1, false);
+    }
+    if (!socket_named[static_cast<size_t>(socket)]) {
+      socket_named[static_cast<size_t>(socket)] = true;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                    "\"args\":{\"name\":\"socket %d\"}}",
+                    socket, socket);
+      emit(buf);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                  "\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"worker %d\"}}",
+                  socket, tid, tid);
+    emit(buf);
+  }
+
+  // Spans, per thread in ring order (oldest retained first).
+  for (int tid = 0; tid < lsg::numa::kMaxThreads; ++tid) {
+    const auto& tr = g_rings[static_cast<size_t>(tid)];
+    uint64_t n = tr.written.load(std::memory_order_acquire);
+    if (n == 0) continue;
+    int socket = lsg::numa::ThreadRegistry::node_of(tid);
+    if (socket < 0) socket = 0;
+    uint64_t count = std::min<uint64_t>(n, kSpanRingCapacity);
+    uint64_t first = n - count;
+    for (uint64_t i = 0; i < count; ++i) {
+      const SpanRec& s = tr.ring[(first + i) % kSpanRingCapacity];
+      Span kind = static_cast<Span>(s.kind);
+      double ts = static_cast<double>(s.t0 - base) / cpu;
+      double dur = s.t1 >= s.t0 ? static_cast<double>(s.t1 - s.t0) / cpu : 0;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+                    "\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,"
+                    "\"args\":{\"arg\":%llu}}",
+                    socket, tid, span_name(kind), span_category(kind), ts,
+                    dur, static_cast<unsigned long long>(s.arg));
+      emit(buf);
+    }
+  }
+  out << "\n]}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace lsg::obs

@@ -1,0 +1,227 @@
+// Cross-layer trace spans (obs tracing tier).
+//
+// Per-thread fixed-capacity span rings recording where time goes *inside*
+// operations: skip-graph maintenance (relink, commission expiry, retire,
+// finish_insert), epoch reclamation batches, range double-collect passes,
+// shard routing / stitching / hot-key-cache probe+publish, and the harness
+// phases (fill, measure). Each span is begin/end TSC timestamps, a kind, and
+// one 64-bit argument; the owning thread id is the ring index and the socket
+// is resolved from the ThreadRegistry at export time.
+//
+// Discipline mirrors src/obs/telemetry.hpp (and src/stats): one generation-
+// gated TLS handle re-validated with a single relaxed load, owner-only plain
+// writes into the ring cells plus a release store of the write counter, and
+// a compile-out tier — LSG_TRACE_LEVEL=0 (or -DLSG_NO_OBS) removes every
+// record site entirely, the same way LSG_STATS_LEVEL=0 removes the stats
+// counters. When compiled in but disabled (the default), the only per-span
+// cost is the cached-TLS enabled check in the TraceSpan constructor.
+//
+// Rings are exported as Chrome-trace/Perfetto JSON (write_trace_json): one
+// complete ("ph":"X") event per span, one track per thread, threads grouped
+// by socket (pid = socket id), loadable in ui.perfetto.dev or
+// chrome://tracing. The ring overwrites its oldest spans when full, so the
+// trace is the *suffix* of each thread's span stream; dropped counts are
+// reported in the export's otherData.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/padding.hpp"
+#include "common/tsc.hpp"
+#include "numa/pinning.hpp"
+
+// Trace compile-out tier. 1 (default): record sites compiled in, gated by a
+// runtime flag. 0: TraceSpan and LSG_TRACE_SPAN become no-ops with no code
+// or storage behind them. LSG_NO_OBS implies 0 (tracing is an obs tier).
+#ifndef LSG_TRACE_LEVEL
+#ifdef LSG_NO_OBS
+#define LSG_TRACE_LEVEL 0
+#else
+#define LSG_TRACE_LEVEL 1
+#endif
+#endif
+
+namespace lsg::obs {
+
+/// Span kinds. Grouped by category (span_category) for the trace viewer.
+enum class Span : uint8_t {
+  kPhaseFill = 0,      // harness preload phase (driver thread)
+  kPhaseMeasure,       // harness measured phase (driver thread)
+  kRelink,             // marked chain replaced/spliced by CAS (load_live)
+  kRetire,             // Alg. 15: upper-level marking after the claim CAS
+  kCommissionExpire,   // commission period expired -> retire attempt
+  kFinishInsert,       // Alg. 10: tower linking levels 1..height
+  kReclaim,            // epoch reclamation freeing a limbo batch
+  kRangeCollect,       // one collect pass of a snapshot scan (arg = pass #)
+  kShardRoute,         // routed point op on a shard (arg = shard id)
+  kShardStitch,        // stitched cross-shard scan (arg = shards touched)
+  kShardCacheProbe,    // hot-key cache probe (arg = 1 hit / 0 miss)
+  kShardCachePublish,  // cache miss path: shard lookup + seqlock publish
+};
+inline constexpr int kNumSpans = 12;
+const char* span_name(Span s);
+/// Export category: "harness", "maint", "range", or "shard".
+const char* span_category(Span s);
+
+/// One recorded span. Plain cells: written only by the owning thread,
+/// read only after recorders quiesce (the write counter is the sync point).
+struct SpanRec {
+  uint64_t t0 = 0;   // TSC at construction (common::timestamp)
+  uint64_t t1 = 0;   // TSC at end()
+  uint64_t arg = 0;  // kind-specific payload (shard id, pass #, ...)
+  uint32_t kind = 0;
+  uint32_t pad = 0;
+};
+static_assert(sizeof(SpanRec) == 32, "span cells should stay 2 per line");
+
+namespace trace_detail {
+
+inline std::atomic<bool> g_enabled{false};
+
+/// Generation gate, same protocol as obs::detail::g_gen: bumped by
+/// trace_set_enabled()/trace_reset() so the hot path re-validates one cached
+/// (tid, on) handle with a single relaxed load.
+inline std::atomic<uint32_t> g_gen{1};
+
+/// Spans kept per thread. The ring holds the newest kSpanRingCapacity spans;
+/// older ones are overwritten (dropped counts surface in the export).
+inline constexpr size_t kSpanRingCapacity = 8192;
+
+struct alignas(lsg::common::kCacheLine) ThreadTrace {
+  /// Lazily allocated on the owning thread's first span, so idle slots of
+  /// the kMaxThreads array cost one cache line, not a full ring.
+  std::unique_ptr<SpanRec[]> ring;
+  std::atomic<uint64_t> written{0};  // total spans ever recorded
+};
+inline std::array<ThreadTrace, lsg::numa::kMaxThreads> g_rings{};
+
+struct Tls {
+  int tid = -1;
+  bool on = false;
+  uint32_t gen = 0;
+};
+inline thread_local Tls tls;
+
+inline Tls& self() {
+  Tls& t = tls;
+  if (t.gen != g_gen.load(std::memory_order_relaxed)) [[unlikely]] {
+    t.gen = g_gen.load(std::memory_order_acquire);
+    t.tid = lsg::numa::ThreadRegistry::current();
+    t.on = g_enabled.load(std::memory_order_acquire);
+  }
+  return t;
+}
+
+inline void record(Span kind, uint64_t t0, uint64_t t1, uint64_t arg) {
+  Tls& t = self();
+  if (!t.on) return;  // toggled off between begin and end: drop the span
+  ThreadTrace& tr = g_rings[static_cast<size_t>(t.tid)];
+  if (tr.ring == nullptr) {
+    tr.ring = std::make_unique<SpanRec[]>(kSpanRingCapacity);
+  }
+  uint64_t n = tr.written.load(std::memory_order_relaxed);
+  SpanRec& cell = tr.ring[n % kSpanRingCapacity];
+  cell.t0 = t0;
+  cell.t1 = t1;
+  cell.arg = arg;
+  cell.kind = static_cast<uint32_t>(kind);
+  tr.written.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace trace_detail
+
+inline bool trace_enabled() {
+#if LSG_TRACE_LEVEL == 0
+  return false;
+#else
+  return trace_detail::self().on;
+#endif
+}
+
+/// Turn span recording on/off (driver: around fill + measure). Bumps the
+/// TLS generation so cached handles refresh.
+void trace_set_enabled(bool on);
+
+/// True when LSG_TRACE is set to anything but "0" in the environment.
+bool trace_env_enabled();
+
+/// Zero every ring's write counter (allocations are kept). Not thread-safe
+/// with concurrent recorders; call between trials.
+void trace_reset();
+
+/// Forget the calling thread's cached handle (trial boundaries; mirrors
+/// obs::forget_self).
+inline void trace_forget_self() {
+  trace_detail::tls.tid = -1;
+  trace_detail::tls.gen = 0;
+}
+
+/// RAII span: stamps TSC at construction when tracing is on, records the
+/// (t0, t1, kind, arg) tuple into the owning thread's ring at end() or
+/// destruction. When tracing is off (or compiled out) every member is a
+/// no-op — the constructor's cached-TLS check is the entire cost.
+class TraceSpan {
+ public:
+#if LSG_TRACE_LEVEL == 0
+  explicit TraceSpan(Span, uint64_t = 0) {}
+  void set_arg(uint64_t) {}
+  void end() {}
+#else
+  explicit TraceSpan(Span kind, uint64_t arg = 0) : kind_(kind), arg_(arg) {
+    t0_ = trace_enabled() ? lsg::common::timestamp() : 0;
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { end(); }
+
+  /// Attach/replace the payload before the span ends (e.g. shards touched,
+  /// elements merged — values only known at completion).
+  void set_arg(uint64_t arg) { arg_ = arg; }
+
+  /// Record now instead of at scope exit; idempotent.
+  void end() {
+    if (t0_ == 0) return;
+    trace_detail::record(kind_, t0_, lsg::common::timestamp(), arg_);
+    t0_ = 0;
+  }
+
+ private:
+  uint64_t t0_ = 0;
+  Span kind_{};
+  uint64_t arg_ = 0;
+#endif
+};
+
+/// Statement form for plain scoped spans. Compiles to nothing at
+/// LSG_TRACE_LEVEL=0 / LSG_NO_OBS.
+#if LSG_TRACE_LEVEL == 0
+#define LSG_TRACE_SPAN(...) \
+  do {                      \
+  } while (0)
+#else
+#define LSG_TRACE_CAT2(a, b) a##b
+#define LSG_TRACE_CAT(a, b) LSG_TRACE_CAT2(a, b)
+#define LSG_TRACE_SPAN(...) \
+  ::lsg::obs::TraceSpan LSG_TRACE_CAT(lsg_trace_span_, __LINE__) { __VA_ARGS__ }
+#endif
+
+/// --- aggregation / export (quiescent callers) ----------------------------
+
+/// Number of spans currently retained for `tid` (the ring suffix).
+std::size_t span_count(int tid);
+
+/// Total spans recorded across all threads (including overwritten ones).
+uint64_t total_spans_recorded();
+
+/// Write every thread's retained spans as Chrome-trace/Perfetto JSON
+/// (traceEvents with "ph":"X", ts/dur in microseconds, pid = socket id,
+/// tid = logical thread id, thread/process_name metadata). Timestamps are
+/// rebased to the earliest retained span. Only sound once recorders have
+/// quiesced. Returns false on I/O failure.
+bool write_trace_json(const std::string& path, const std::string& trial_id);
+
+}  // namespace lsg::obs

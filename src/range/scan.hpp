@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 
 namespace lsg::range {
 
@@ -63,13 +64,19 @@ template <class K, class V, class Collect>
 bool snapshot_collect(Collect&& collect, Items<K, V>& out,
                       const ScanOptions& opts = {}) {
   out.clear();
-  collect(out);
+  {
+    LSG_TRACE_SPAN(lsg::obs::Span::kRangeCollect, 1);
+    collect(out);
+  }
   uint64_t passes = 1;
   bool converged = false;
   Items<K, V>& scratch = detail::scratch<K, V>();
   for (int r = 0; r < opts.max_rescan; ++r) {
     scratch.clear();
-    collect(scratch);
+    {
+      LSG_TRACE_SPAN(lsg::obs::Span::kRangeCollect, passes + 1);
+      collect(scratch);
+    }
     ++passes;
     if (scratch == out) {
       converged = true;

@@ -52,6 +52,7 @@
 #include "core/layered_map.hpp"
 #include "numa/pinning.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "range/scan.hpp"
 #include "stats/counters.hpp"
 
@@ -144,14 +145,18 @@ class ShardedMap {
   }
 
   bool insert(const K& key, const V& value) {
-    Shard& s = route(key);
+    const int sid = shard_of(key);
+    LSG_TRACE_SPAN(lsg::obs::Span::kShardRoute, sid);
+    Shard& s = route_at(sid);
     bool ok = s.map.insert(key, value);
     if (ok) invalidate(key);
     return ok;
   }
 
   bool remove(const K& key) {
-    Shard& s = route(key);
+    const int sid = shard_of(key);
+    LSG_TRACE_SPAN(lsg::obs::Span::kShardRoute, sid);
+    Shard& s = route_at(sid);
     bool ok = s.map.remove(key);
     if (ok) invalidate(key);
     return ok;
@@ -159,24 +164,30 @@ class ShardedMap {
 
   bool contains(const K& key) {
     if (cache_mask_ != 0) {
+      lsg::obs::TraceSpan probe_span(lsg::obs::Span::kShardCacheProbe);
       bool present = false;
       if (cache_probe(key, present)) {
+        probe_span.set_arg(1);  // hit
         lsg::obs::event(lsg::obs::Event::kShardCacheHit);
         return present;
       }
+      probe_span.end();  // arg 0: miss
       lsg::obs::event(lsg::obs::Event::kShardCacheMiss);
+      LSG_TRACE_SPAN(lsg::obs::Span::kShardCachePublish);
       // Publisher protocol: counter snapshot BEFORE the shard lookup, so a
       // concurrent update either bumps past our snapshot (entry self-
       // expires) or its effect is already in what we cache.
       const size_t slot = static_cast<size_t>(mix(key)) & cache_mask_;
       uint64_t u = upd_[slot].load(std::memory_order_acquire);
-      Shard& s = route(key);
+      Shard& s = route_at(shard_of(key));
       V v{};
       present = s.map.get(key, v);
       cache_publish(slot, key, v, present, u);
       return present;
     }
-    return route(key).map.contains(key);
+    const int sid = shard_of(key);
+    LSG_TRACE_SPAN(lsg::obs::Span::kShardRoute, sid);
+    return route_at(sid).map.contains(key);
   }
 
   /// --- range interface ---------------------------------------------------
@@ -216,6 +227,7 @@ class ShardedMap {
             const lsg::range::ScanOptions& sopts = {}) {
     out.clear();
     if (hi < lo) return true;
+    lsg::obs::TraceSpan stitch_span(lsg::obs::Span::kShardStitch);
     bool converged = true;
     int touched = 0;
     if (opts_.policy == ShardPolicy::kRange) {
@@ -236,6 +248,7 @@ class ShardedMap {
       lsg::range::merge_sorted_disjoint(
           runs, std::numeric_limits<size_t>::max(), out);
     }
+    stitch_span.set_arg(static_cast<uint64_t>(touched));
     if (touched > 1) lsg::obs::event(lsg::obs::Event::kShardScanStitch);
     return converged;
   }
@@ -245,6 +258,7 @@ class ShardedMap {
               const lsg::range::ScanOptions& sopts = {}) {
     out.clear();
     if (n == 0) return true;
+    lsg::obs::TraceSpan stitch_span(lsg::obs::Span::kShardStitch);
     bool converged = true;
     int touched = 0;
     if (opts_.policy == ShardPolicy::kRange) {
@@ -264,6 +278,7 @@ class ShardedMap {
       }
       lsg::range::merge_sorted_disjoint(runs, n, out);
     }
+    stitch_span.set_arg(static_cast<uint64_t>(touched));
     if (touched > 1) lsg::obs::event(lsg::obs::Event::kShardScanStitch);
     return converged;
   }
@@ -376,8 +391,10 @@ class ShardedMap {
     return x ^ (x >> 31);
   }
 
-  Shard& route(const K& key) {
-    Shard& s = *shards_[static_cast<size_t>(shard_of(key))];
+  /// Routing by precomputed shard id, so call sites that also trace the
+  /// route (span arg = shard id) evaluate shard_of exactly once.
+  Shard& route_at(int sid) {
+    Shard& s = *shards_[static_cast<size_t>(sid)];
     if constexpr (lsg::stats::kStatsLevel >= 1) {
       auto& c = s.routed[static_cast<size_t>(
                              lsg::numa::ThreadRegistry::current()) %

@@ -34,6 +34,7 @@
 #include "common/rng.hpp"
 #include "common/tsc.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "skipgraph/node.hpp"
 #include "stats/counters.hpp"
 
@@ -255,6 +256,7 @@ class SkipGraph {
   template <class Refresh>
   bool finish_insert(Node* n, Node* start, Refresh&& refresh,
                      const SearchResult* seed = nullptr) {
+    LSG_TRACE_SPAN(lsg::obs::Span::kFinishInsert, n->height);
     const K key = n->key;
     SearchResult res;
     bool have = false;
@@ -682,6 +684,7 @@ class SkipGraph {
       return false;
     }
     lsg::obs::event(lsg::obs::Event::kCommissionExpired);
+    LSG_TRACE_SPAN(lsg::obs::Span::kCommissionExpire);
     return retire(n);
   }
 
@@ -692,6 +695,7 @@ class SkipGraph {
                             /*new_mark=*/true, /*new_valid=*/false)) {
       return false;
     }
+    LSG_TRACE_SPAN(lsg::obs::Span::kRetire, n->height);
     for (int lvl = n->height; lvl >= 1; --lvl) n->try_mark(lvl);
     lsg::obs::event(lsg::obs::Event::kRetire);
     return true;
@@ -770,6 +774,7 @@ class SkipGraph {
         // Non-lazy relink: substitute the whole marked chain in one CAS.
         // (In the lazy protocol chains are substituted only by inserting
         // nodes — paper's laziness rule (iii) — so we leave them.)
+        LSG_TRACE_SPAN(lsg::obs::Span::kRelink, level);
         uintptr_t expected = original;
         uintptr_t want = TP::with_ptr(original, cur);
         if (cas_slot<K, V>(slot, expected, want, slot_owner)) {

@@ -13,9 +13,13 @@
 #include "numa/pinning.hpp"
 #include "obs/export.hpp"
 #include "obs/histogram.hpp"
+#include "obs/perf.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/timeline.hpp"
+#include "obs/trace.hpp"
 #include "stats/counters.hpp"
+
+#include <unistd.h>
 
 namespace {
 
@@ -351,9 +355,222 @@ TEST_F(ObsTest, TrialIdsAreUniqueAndLabelled) {
   EXPECT_EQ(a.rfind("algo_t8_", 0), 0u);
 }
 
+TEST_F(ObsTest, TrialIdsCarryThePid) {
+  // Regression: a process-local sequence number alone collides when
+  // concurrent harness processes share one obs dir; the id must embed a
+  // per-process discriminator so ids are unique across processes too.
+  std::string id = obs::next_trial_id("algo", 8);
+  std::string pid_tag = "_p" + std::to_string(::getpid()) + "_";
+  EXPECT_NE(id.find(pid_tag), std::string::npos) << id;
+}
+
+TEST_F(ObsTest, TimelineExportSeedsRatesFromFirstRetainedSample) {
+  // Regression: after the sampler ring wraps, the first retained sample
+  // carries large cumulative counts. Differencing it against a zero
+  // baseline fabricated a massive rate spike in row one; the exporter must
+  // emit the first row with zero rates instead.
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "lsg_obs_wrap_test").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(obs::ensure_dir(dir));
+  std::vector<obs::TimelineSample> samples(3);
+  for (size_t i = 0; i < samples.size(); ++i) {
+    // Simulates a wrapped ring: cumulative counts are already huge at the
+    // first retained sample.
+    samples[i].t_us = 500000 + i * 10000;
+    samples[i].ops = 1000000 + i * 100;
+    samples[i].local_reads = 800000 + i * 80;
+    samples[i].remote_reads = 200000 + i * 20;
+  }
+  std::string path = dir + "/wrap.jsonl";
+  ASSERT_TRUE(obs::write_timeline_jsonl(path, samples));
+  std::string tl = slurp(path);
+  std::string first_line = tl.substr(0, tl.find('\n'));
+  // Row one: zero rates, not 1e6 ops differenced against nothing.
+  EXPECT_NE(first_line.find("\"ops_per_ms\":0.000"), std::string::npos)
+      << first_line;
+  // Rows two on: true inter-sample rates (100 ops / 10 ms).
+  EXPECT_NE(tl.find("\"ops_per_ms\":10.000"), std::string::npos);
+  EXPECT_EQ(tl.find("\"ops_per_ms\":2000"), std::string::npos) << tl;
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObsTest, SamplerWrapReturnsChronologicalSuffix) {
+  // Once written > capacity, samples() must be the newest `capacity`
+  // samples in chronological order, and steady_ops_per_ms must be computed
+  // from that suffix only.
+  obs::TimelineSampler sampler(obs::TimelineOptions{1, 4});
+  sampler.start();
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 100; ++i) lsg::stats::op_done();
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  sampler.stop();
+  auto s = sampler.samples();
+  ASSERT_EQ(s.size(), 4u);  // ring wrapped: ~30 samples written
+  for (size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s[i - 1].t_us, s[i].t_us);
+  }
+  // The retained suffix starts well after t=0 (the immediate first sample
+  // was overwritten) and ends with the full cumulative count.
+  EXPECT_GT(s.front().t_us, 0u);
+  EXPECT_EQ(s.back().ops, 1000u);
+  EXPECT_GE(obs::TimelineSampler::steady_ops_per_ms(s), 0.0);
+}
+
 TEST(ObsExport, JsonEscape) {
   EXPECT_EQ(obs::json_escape("plain"), "plain");
   EXPECT_EQ(obs::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+// --- trace spans -----------------------------------------------------------
+
+struct TraceTest : ::testing::Test {
+  void SetUp() override {
+    ThreadRegistry::configure(Topology::paper_machine());
+    ThreadRegistry::reset();
+    obs::trace_forget_self();
+    obs::trace_reset();
+    obs::trace_set_enabled(true);
+  }
+  void TearDown() override {
+    obs::trace_set_enabled(false);
+    obs::trace_reset();
+  }
+};
+
+#if LSG_TRACE_LEVEL >= 1
+
+TEST_F(TraceTest, SpanRecordsIntoOwningThreadRing) {
+  {
+    obs::TraceSpan s(obs::Span::kRelink, 7);
+  }
+  {
+    LSG_TRACE_SPAN(obs::Span::kRetire, 3);
+  }
+  int tid = ThreadRegistry::current();
+  EXPECT_EQ(obs::span_count(tid), 2u);
+  EXPECT_EQ(obs::total_spans_recorded(), 2u);
+}
+
+TEST_F(TraceTest, DisabledRecordsNoSpans) {
+  obs::trace_set_enabled(false);
+  {
+    obs::TraceSpan s(obs::Span::kRelink);
+    LSG_TRACE_SPAN(obs::Span::kReclaim, 5);
+  }
+  EXPECT_EQ(obs::total_spans_recorded(), 0u);
+  EXPECT_FALSE(obs::trace_enabled());
+}
+
+TEST_F(TraceTest, EndIsIdempotentAndSetArgSticks) {
+  obs::TraceSpan s(obs::Span::kShardStitch);
+  s.set_arg(42);
+  s.end();
+  s.end();  // second end must not record again
+  int tid = ThreadRegistry::current();
+  ASSERT_EQ(obs::span_count(tid), 1u);
+}
+
+TEST_F(TraceTest, RingWrapRetainsNewestSpans) {
+  const size_t cap = obs::trace_detail::kSpanRingCapacity;
+  for (size_t i = 0; i < cap + 10; ++i) {
+    LSG_TRACE_SPAN(obs::Span::kRelink, i);
+  }
+  int tid = ThreadRegistry::current();
+  EXPECT_EQ(obs::span_count(tid), cap);
+  EXPECT_EQ(obs::total_spans_recorded(), cap + 10);
+}
+
+TEST_F(TraceTest, ResetClearsRings) {
+  LSG_TRACE_SPAN(obs::Span::kRelink);
+  obs::trace_reset();
+  EXPECT_EQ(obs::total_spans_recorded(), 0u);
+}
+
+TEST_F(TraceTest, WriteTraceJsonEmitsCompleteEvents) {
+  {
+    obs::TraceSpan a(obs::Span::kFinishInsert, 3);
+  }
+  {
+    obs::TraceSpan b(obs::Span::kShardRoute, 1);
+  }
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "lsg_trace_test").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(obs::ensure_dir(dir));
+  std::string path = dir + "/t_trace.json";
+  ASSERT_TRUE(obs::write_trace_json(path, "trial_x"));
+  std::string j = slurp(path);
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"finish_insert\""), std::string::npos);
+  EXPECT_NE(j.find("\"shard_route\""), std::string::npos);
+  EXPECT_NE(j.find("\"trial\":\"trial_x\""), std::string::npos);
+  EXPECT_NE(j.find("\"dropped_spans\":0"), std::string::npos);
+  // Braces/brackets balance — cheap structural sanity without a parser.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(TraceTest, SpanNamesAndCategoriesAreTotal) {
+  for (int i = 0; i < obs::kNumSpans; ++i) {
+    obs::Span s = static_cast<obs::Span>(i);
+    EXPECT_STRNE(obs::span_name(s), "?");
+    EXPECT_STRNE(obs::span_category(s), "?");
+  }
+}
+
+#endif  // LSG_TRACE_LEVEL >= 1
+
+// --- hardware counters -----------------------------------------------------
+
+TEST(Perf, OpenDegradesGracefully) {
+  // This must pass both where perf_event_open works and where the kernel
+  // denies it (containers, perf_event_paranoid >= 3): the failure mode is
+  // valid == false, never a crash or nonzero garbage.
+  obs::PerfGroup g;
+  bool opened = g.open();
+  EXPECT_EQ(opened, g.is_open());
+  g.reset_and_enable();
+  obs::PerfCounts c = g.disable_and_read();
+  EXPECT_EQ(c.valid, opened);
+  if (!opened) {
+    EXPECT_EQ(c.cycles, 0u);
+    EXPECT_FALSE(c.has_node);
+    EXPECT_DOUBLE_EQ(c.locality(), -1.0);
+  } else {
+    // The group was enabled around this very code: cycles must have ticked.
+    EXPECT_GT(c.cycles, 0u);
+  }
+  g.close();
+  EXPECT_FALSE(g.is_open());
+  EXPECT_EQ(obs::PerfGroup::available(), opened);
+}
+
+TEST(Perf, CountsSumAndLocality) {
+  obs::PerfCounts a;
+  a.valid = true;
+  a.has_node = true;
+  a.cycles = 100;
+  a.node_loads = 80;
+  a.node_misses = 20;
+  obs::PerfCounts b;
+  b.valid = true;
+  b.cycles = 50;
+  b.llc_misses = 7;
+  a += b;
+  EXPECT_TRUE(a.valid);
+  EXPECT_EQ(a.cycles, 150u);
+  EXPECT_EQ(a.llc_misses, 7u);
+  EXPECT_DOUBLE_EQ(a.locality(), 0.8);
+  obs::PerfCounts none;
+  EXPECT_DOUBLE_EQ(none.locality(), -1.0);  // no NODE counters
+  none.has_node = true;
+  EXPECT_DOUBLE_EQ(none.locality(), -1.0);  // NODE counters idle
 }
 
 }  // namespace

@@ -23,6 +23,12 @@ run with --scan-frac > 0):
     tools/plot_results.py scan obs_out/<id>_hist.json
 two bucketed histograms: elements returned per scan (scan_len) and
 collect passes per scan (scan_retries; 1 = converged without re-scan).
+
+Trace span summary (from a per-trial <id>_trace.json artifact, produced
+by `lsg_cli --trace` / LSG_TRACE=1; the file itself loads in
+ui.perfetto.dev):
+    tools/plot_results.py trace obs_out/<id>_trace.json
+one row per span kind: count, total time, and mean duration.
 """
 
 import argparse
@@ -34,7 +40,7 @@ from collections import defaultdict
 
 WIDTH = 60
 
-MODES = ("latency", "timeline", "scan")
+MODES = ("latency", "timeline", "scan", "trace")
 PERCENTILE_KEYS = ["p50", "p90", "p99", "p999"]
 
 
@@ -172,6 +178,38 @@ def render_scan(path):
             doc["scan_retries"], "passes")
 
 
+# --- trace mode (<id>_trace.json) ------------------------------------------
+
+
+def render_trace(path):
+    with open(path) as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            sys.exit(f"{path}: bad JSON: {e}")
+    events = [e for e in doc.get("traceEvents", []) if e.get("ph") == "X"]
+    if not events:
+        sys.exit(f"{path}: no complete ('ph':'X') span events (was the "
+                 "trial run with --trace / LSG_TRACE=1?)")
+    by_kind = defaultdict(lambda: [0, 0.0])  # name -> [count, total_us]
+    threads = set()
+    for e in events:
+        agg = by_kind[(e.get("cat", "?"), e["name"])]
+        agg[0] += 1
+        agg[1] += float(e.get("dur", 0.0))
+        threads.add((e.get("pid", 0), e.get("tid", 0)))
+    dropped = doc.get("otherData", {}).get("dropped_spans", 0)
+    print(f"{len(events)} spans over {len(threads)} thread track(s)"
+          f" (dropped by ring overwrite: {dropped})")
+    peak = max(total for _, total in by_kind.values())
+    for (cat, name), (count, total) in sorted(
+            by_kind.items(), key=lambda kv: -kv[1][1]):
+        mean = total / count if count else 0.0
+        label = f"{cat}/{name}"
+        print(f"  {label:>26} | {bar(total, peak)} "
+              f"{total:.0f} us ({count} spans, mean {mean:.2f} us)")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("mode_or_path",
@@ -207,6 +245,10 @@ def main():
         if not args.path:
             sys.exit("scan mode needs a <id>_hist.json path")
         render_scan(args.path)
+    elif args.mode_or_path == "trace":
+        if not args.path:
+            sys.exit("trace mode needs a <id>_trace.json path")
+        render_trace(args.path)
     else:
         render_csv(load_csv(args.mode_or_path, metric), metric)
 
