@@ -151,7 +151,10 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   shared_map.store(map.get(), std::memory_order_release);
 
   {
-    // Phase marker on the driver thread's track (arg = preload target).
+    // Phase marker (arg = preload target). Phase spans land on the
+    // reserved driver track (obs::kDriverTid): recording them must not
+    // claim a worker id — that would break the spawn-order gate above —
+    // and must not attribute the driver's track to a socket row.
     lsg::obs::TraceSpan fill_span(lsg::obs::Span::kPhaseFill, preload_target);
     while (preload_done.load() != T) std::this_thread::yield();
   }

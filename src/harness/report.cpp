@@ -217,13 +217,14 @@ std::string to_json(const TrialResult& r) {
         buf, sizeof(buf),
         ",\"hw_cycles\":%llu,\"hw_instructions\":%llu,"
         "\"hw_llc_misses\":%llu,\"hw_node_loads\":%llu,"
-        "\"hw_remote_dram\":%llu,\"hw_locality\":%.4f",
+        "\"hw_remote_dram\":%llu,\"hw_locality\":%.4f,"
+        "\"hw_locality_inclusive\":%.4f",
         static_cast<unsigned long long>(r.perf.cycles),
         static_cast<unsigned long long>(r.perf.instructions),
         static_cast<unsigned long long>(r.perf.llc_misses),
         static_cast<unsigned long long>(r.perf.node_loads),
         static_cast<unsigned long long>(r.perf.node_misses),
-        r.perf.locality());
+        r.perf.locality(), r.perf.locality_inclusive());
     out += buf;
   }
   if (!r.obs_trace_file.empty()) {
@@ -348,10 +349,14 @@ void print_perf_summary(const TrialResult& r) {
               static_cast<unsigned long long>(r.perf.instructions), ipc,
               static_cast<unsigned long long>(r.perf.llc_misses));
   if (r.perf.locality() >= 0) {
-    std::printf("  DRAM loads: local %llu | remote %llu | hw locality %.4f\n",
+    // Two readings because the NODE mapping is per-arch: disjoint
+    // (ACCESS = local only) vs inclusive (MISS ⊂ ACCESS); the one that
+    // tracks the software locality is the PMU's actual mapping.
+    std::printf("  DRAM loads: local %llu | remote %llu | hw locality %.4f "
+                "(disjoint) / %.4f (inclusive mapping)\n",
                 static_cast<unsigned long long>(r.perf.node_loads),
                 static_cast<unsigned long long>(r.perf.node_misses),
-                r.perf.locality());
+                r.perf.locality(), r.perf.locality_inclusive());
   } else {
     std::printf("  DRAM NODE counters unavailable on this PMU "
                 "(hw locality not measured)\n");

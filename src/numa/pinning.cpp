@@ -104,6 +104,12 @@ int ThreadRegistry::register_self() {
 
 int ThreadRegistry::current() { return register_self(); }
 
+int ThreadRegistry::current_if_registered() {
+  if (tls_id < 0) return -1;
+  return tls_reg_gen == g_generation.load(std::memory_order_acquire) ? tls_id
+                                                                     : -1;
+}
+
 /// Pure thread-local reset: deliberately does NOT bump g_generation. A
 /// generation bump here would invalidate every other live thread's id and
 /// force them all to re-register with fresh monotonically-growing ids,

@@ -34,6 +34,13 @@ class ThreadRegistry {
   /// Logical id of the calling thread; registers it on first use.
   static int current();
 
+  /// Logical id of the calling thread if it is registered in the current
+  /// epoch, else -1. Never registers: safe to call from threads that must
+  /// not consume a dense worker id (the harness driver, samplers, ad-hoc
+  /// test threads) — a registering lookup from such a thread would steal
+  /// an id out from under the spawn-order gate workers register through.
+  static int current_if_registered();
+
   /// Forget the calling thread's registration only — a pure thread-local
   /// reset that leaves every other thread's id (and the generation)
   /// untouched. The id is NOT recycled; use reset() between trials.

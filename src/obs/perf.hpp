@@ -51,14 +51,32 @@ struct PerfCounts {
     return *this;
   }
 
-  /// Hardware NUMA locality: fraction of DRAM loads served locally.
-  /// Assumes the kernel's prevailing NODE mapping (ACCESS = local DRAM,
-  /// MISS = remote DRAM, disjoint); see DESIGN.md §11. Returns -1 when the
-  /// NODE counters were unavailable or saw no traffic.
+  /// Hardware NUMA locality: fraction of DRAM loads served locally, under
+  /// the *disjoint* NODE mapping (ACCESS counts only local-DRAM service,
+  /// MISS only remote). Returns -1 when the NODE counters were unavailable
+  /// or saw no traffic.
+  ///
+  /// The NODE events are not specified portably: some PMU mappings make
+  /// RESULT_ACCESS *inclusive* of misses (ACCESS = all DRAM loads, MISS =
+  /// the remote subset), in which case this formula double-counts remote
+  /// loads. locality_inclusive() is the same ratio under that mapping;
+  /// both are exported so a per-arch bias can be caught by comparing
+  /// against the software locality (DESIGN.md §11).
   double locality() const {
     uint64_t total = node_loads + node_misses;
     if (!has_node || total == 0) return -1.0;
     return static_cast<double>(node_loads) / static_cast<double>(total);
+  }
+
+  /// Hardware NUMA locality under the *inclusive* NODE mapping (ACCESS =
+  /// all DRAM loads, MISS = remote subset): (loads - misses) / loads.
+  /// Returns -1 when the NODE counters were unavailable, saw no traffic,
+  /// or contradict the inclusive mapping (misses > loads, which proves the
+  /// disjoint mapping and makes locality() the meaningful number).
+  double locality_inclusive() const {
+    if (!has_node || node_loads == 0 || node_misses > node_loads) return -1.0;
+    return static_cast<double>(node_loads - node_misses) /
+           static_cast<double>(node_loads);
   }
 };
 

@@ -109,29 +109,56 @@ bool write_trace_json(const std::string& path, const std::string& trial_id) {
   }
   if (base == std::numeric_limits<uint64_t>::max()) base = 0;
 
+  // The header embeds the caller's trial id, whose length we don't
+  // control; build it with std::string so an oversized id can never be
+  // snprintf-truncated into invalid JSON.
   const double cpu = cycles_per_us();
   char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"trial\":\"%s\","
-                "\"cycles_per_us\":%.3f,\"dropped_spans\":%llu},"
-                "\"traceEvents\":[",
-                json_escape(trial_id).c_str(), cpu,
+  std::snprintf(buf, sizeof(buf), "%.3f,\"dropped_spans\":%llu", cpu,
                 static_cast<unsigned long long>(dropped));
-  out << buf;
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"trial\":\""
+      << json_escape(trial_id) << "\",\"cycles_per_us\":" << buf
+      << "},\"traceEvents\":[";
 
+  // The fixed-format event lines below are bounded well under sizeof(buf),
+  // but a silent snprintf truncation would still emit broken JSON — fail
+  // the export loudly instead.
+  bool truncated = false;
   bool first_ev = true;
-  auto emit = [&](const char* s) {
+  auto emit = [&](int len) {
+    if (len < 0 || len >= static_cast<int>(sizeof(buf))) {
+      truncated = true;
+      return;
+    }
     if (!first_ev) out << ',';
     first_ev = false;
-    out << '\n' << s;
+    out << '\n' << buf;
   };
 
+  // pid of the reserved driver track; out of band of socket ids, which are
+  // bounded by the topology's (small) socket count.
+  constexpr int kDriverPid = lsg::numa::kMaxThreads;
+
   // Metadata: name each socket's track group and each thread's track, so
-  // Perfetto groups worker tracks by socket (pid = socket id).
+  // Perfetto groups worker tracks by socket (pid = socket id); the driver
+  // ring gets its own "driver" process so phase spans never sit on a
+  // socket row.
   std::vector<bool> socket_named;
-  for (int tid = 0; tid < lsg::numa::kMaxThreads; ++tid) {
+  for (int tid = 0; tid <= lsg::numa::kMaxThreads; ++tid) {
     if (g_rings[static_cast<size_t>(tid)].written.load(
             std::memory_order_acquire) == 0) {
+      continue;
+    }
+    if (tid == kDriverTid) {
+      emit(std::snprintf(buf, sizeof(buf),
+                         "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                         "\"args\":{\"name\":\"driver\"}}",
+                         kDriverPid));
+      emit(std::snprintf(buf, sizeof(buf),
+                         "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                         "\"name\":\"thread_name\","
+                         "\"args\":{\"name\":\"driver\"}}",
+                         kDriverPid, tid));
       continue;
     }
     int socket = lsg::numa::ThreadRegistry::node_of(tid);
@@ -141,26 +168,25 @@ bool write_trace_json(const std::string& path, const std::string& trial_id) {
     }
     if (!socket_named[static_cast<size_t>(socket)]) {
       socket_named[static_cast<size_t>(socket)] = true;
-      std::snprintf(buf, sizeof(buf),
-                    "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
-                    "\"args\":{\"name\":\"socket %d\"}}",
-                    socket, socket);
-      emit(buf);
+      emit(std::snprintf(buf, sizeof(buf),
+                         "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\","
+                         "\"args\":{\"name\":\"socket %d\"}}",
+                         socket, socket));
     }
-    std::snprintf(buf, sizeof(buf),
-                  "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
-                  "\"name\":\"thread_name\","
-                  "\"args\":{\"name\":\"worker %d\"}}",
-                  socket, tid, tid);
-    emit(buf);
+    emit(std::snprintf(buf, sizeof(buf),
+                       "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+                       "\"name\":\"thread_name\","
+                       "\"args\":{\"name\":\"worker %d\"}}",
+                       socket, tid, tid));
   }
 
   // Spans, per thread in ring order (oldest retained first).
-  for (int tid = 0; tid < lsg::numa::kMaxThreads; ++tid) {
+  for (int tid = 0; tid <= lsg::numa::kMaxThreads; ++tid) {
     const auto& tr = g_rings[static_cast<size_t>(tid)];
     uint64_t n = tr.written.load(std::memory_order_acquire);
     if (n == 0) continue;
-    int socket = lsg::numa::ThreadRegistry::node_of(tid);
+    int socket = tid == kDriverTid ? kDriverPid
+                                   : lsg::numa::ThreadRegistry::node_of(tid);
     if (socket < 0) socket = 0;
     uint64_t count = std::min<uint64_t>(n, kSpanRingCapacity);
     uint64_t first = n - count;
@@ -169,17 +195,16 @@ bool write_trace_json(const std::string& path, const std::string& trial_id) {
       Span kind = static_cast<Span>(s.kind);
       double ts = static_cast<double>(s.t0 - base) / cpu;
       double dur = s.t1 >= s.t0 ? static_cast<double>(s.t1 - s.t0) / cpu : 0;
-      std::snprintf(buf, sizeof(buf),
-                    "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
-                    "\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,"
-                    "\"args\":{\"arg\":%llu}}",
-                    socket, tid, span_name(kind), span_category(kind), ts,
-                    dur, static_cast<unsigned long long>(s.arg));
-      emit(buf);
+      emit(std::snprintf(buf, sizeof(buf),
+                         "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"name\":\"%s\","
+                         "\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f,"
+                         "\"args\":{\"arg\":%llu}}",
+                         socket, tid, span_name(kind), span_category(kind), ts,
+                         dur, static_cast<unsigned long long>(s.arg)));
     }
   }
   out << "\n]}\n";
-  return static_cast<bool>(out);
+  return !truncated && static_cast<bool>(out);
 }
 
 }  // namespace lsg::obs

@@ -8,6 +8,17 @@
 // one 64-bit argument; the owning thread id is the ring index and the socket
 // is resolved from the ThreadRegistry at export time.
 //
+// Thread-id resolution never registers: the TLS handle peeks the registry
+// (current_if_registered) so a span recorded on a thread outside the dense
+// worker id space — the harness driver above all — cannot consume a worker
+// id (which would break the driver's spawn-order registration gate and get
+// the span socket-attributed through a folded node_of lookup). Such spans,
+// and the harness phase spans always, land on a reserved driver ring
+// (kDriverTid) exported as its own "driver" track. That ring is written by
+// one thread at a time in practice (the driver between worker phases); any
+// other thread that records spans does map work first and is therefore
+// registered.
+//
 // Discipline mirrors src/obs/telemetry.hpp (and src/stats): one generation-
 // gated TLS handle re-validated with a single relaxed load, owner-only plain
 // writes into the ring cells plus a release store of the write counter, and
@@ -67,6 +78,12 @@ const char* span_name(Span s);
 /// Export category: "harness", "maint", "range", or "shard".
 const char* span_category(Span s);
 
+/// Reserved ring index for spans recorded outside the dense worker id
+/// space: the harness phase spans (always), and any recorder whose thread
+/// is not registered. Exported as a dedicated "driver" track rather than a
+/// socket-attributed worker track.
+inline constexpr int kDriverTid = lsg::numa::kMaxThreads;
+
 /// One recorded span. Plain cells: written only by the owning thread,
 /// read only after recorders quiesce (the write counter is the sync point).
 struct SpanRec {
@@ -97,7 +114,8 @@ struct alignas(lsg::common::kCacheLine) ThreadTrace {
   std::unique_ptr<SpanRec[]> ring;
   std::atomic<uint64_t> written{0};  // total spans ever recorded
 };
-inline std::array<ThreadTrace, lsg::numa::kMaxThreads> g_rings{};
+/// One ring per worker id plus the reserved driver slot (kDriverTid).
+inline std::array<ThreadTrace, lsg::numa::kMaxThreads + 1> g_rings{};
 
 struct Tls {
   int tid = -1;
@@ -110,7 +128,14 @@ inline Tls& self() {
   Tls& t = tls;
   if (t.gen != g_gen.load(std::memory_order_relaxed)) [[unlikely]] {
     t.gen = g_gen.load(std::memory_order_acquire);
-    t.tid = lsg::numa::ThreadRegistry::current();
+    // Peek, never register: a registering lookup here would let the first
+    // traced span on a non-worker thread (the harness driver) consume a
+    // dense worker id — deadlocking the driver's spawn-order registration
+    // gate if it fires before all workers hold their ids, and mis-
+    // attributing the thread's track to a socket via the folded node_of.
+    // Unregistered recorders share the reserved driver ring instead.
+    t.tid = lsg::numa::ThreadRegistry::current_if_registered();
+    if (t.tid < 0) t.tid = kDriverTid;
     t.on = g_enabled.load(std::memory_order_acquire);
   }
   return t;
@@ -119,7 +144,11 @@ inline Tls& self() {
 inline void record(Span kind, uint64_t t0, uint64_t t1, uint64_t arg) {
   Tls& t = self();
   if (!t.on) return;  // toggled off between begin and end: drop the span
-  ThreadTrace& tr = g_rings[static_cast<size_t>(t.tid)];
+  // Harness phase spans always frame the whole trial from the driver, so
+  // they live on the driver track even when the driver happens to hold a
+  // worker id (map construction registers it through stats/epoch paths).
+  const bool phase = kind == Span::kPhaseFill || kind == Span::kPhaseMeasure;
+  ThreadTrace& tr = g_rings[static_cast<size_t>(phase ? kDriverTid : t.tid)];
   if (tr.ring == nullptr) {
     tr.ring = std::make_unique<SpanRec[]>(kSpanRingCapacity);
   }

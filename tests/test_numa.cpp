@@ -203,6 +203,27 @@ TEST(Registry, RegistersAndResets) {
   EXPECT_EQ(ThreadRegistry::current(), 0);
 }
 
+/// current_if_registered is the side-effect-free peek used by recorders
+/// (trace spans) that must never consume a dense worker id: it reports the
+/// id only while the registration is valid for the current epoch and never
+/// registers.
+TEST(Registry, CurrentIfRegisteredNeverRegisters) {
+  ThreadRegistry::configure(Topology::paper_machine());
+  ThreadRegistry::reset();
+  EXPECT_EQ(ThreadRegistry::current_if_registered(), -1);
+  EXPECT_EQ(ThreadRegistry::registered_count(), 0);  // peek did not register
+  EXPECT_EQ(ThreadRegistry::register_self(), 0);
+  EXPECT_EQ(ThreadRegistry::current_if_registered(), 0);
+  std::thread t([] {
+    EXPECT_EQ(ThreadRegistry::current_if_registered(), -1);
+    EXPECT_EQ(ThreadRegistry::registered_count(), 1);
+  });
+  t.join();
+  ThreadRegistry::reset();  // stale epoch: the old id must not be reported
+  EXPECT_EQ(ThreadRegistry::current_if_registered(), -1);
+  EXPECT_EQ(ThreadRegistry::registered_count(), 0);
+}
+
 /// Regression: reset() used to clear only the *calling* thread's tls id, so
 /// a surviving worker kept its stale id and collided with freshly
 /// registered threads in the next trial. Registration is now generation-

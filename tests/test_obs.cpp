@@ -429,6 +429,10 @@ struct TraceTest : ::testing::Test {
   void SetUp() override {
     ThreadRegistry::configure(Topology::paper_machine());
     ThreadRegistry::reset();
+    // Register like a harness worker would: span recording itself never
+    // registers (unregistered recorders land on the driver ring), so the
+    // owning-ring tests below need the thread to hold a worker id first.
+    ThreadRegistry::register_self();
     obs::trace_forget_self();
     obs::trace_reset();
     obs::trace_set_enabled(true);
@@ -486,6 +490,80 @@ TEST_F(TraceTest, ResetClearsRings) {
   LSG_TRACE_SPAN(obs::Span::kRelink);
   obs::trace_reset();
   EXPECT_EQ(obs::total_spans_recorded(), 0u);
+}
+
+/// Regression: trace_detail::self() used to resolve the thread id through
+/// ThreadRegistry::current(), which *registers* — so the first traced span
+/// on a non-worker thread (the harness driver) consumed a dense worker id,
+/// able to deadlock the driver's spawn-order registration gate. Recording
+/// must be side-effect free on the registry.
+TEST_F(TraceTest, RecordingNeverRegistersTheThread) {
+  ThreadRegistry::reset();  // invalidates the fixture's registration
+  obs::trace_forget_self();
+  ASSERT_EQ(ThreadRegistry::registered_count(), 0);
+  {
+    obs::TraceSpan s(obs::Span::kRelink, 1);
+  }
+  EXPECT_EQ(ThreadRegistry::registered_count(), 0);
+  // The unregistered recorder's span lands on the reserved driver ring.
+  EXPECT_EQ(obs::span_count(obs::kDriverTid), 1u);
+}
+
+/// Harness phase spans always frame the trial from the driver; they belong
+/// on the reserved driver track even when the recording thread holds a
+/// worker id (socket attribution via node_of would be wrong for them).
+TEST_F(TraceTest, PhaseSpansRouteToDriverTrack) {
+  int tid = ThreadRegistry::current();
+  {
+    obs::TraceSpan fill(obs::Span::kPhaseFill, 100);
+  }
+  {
+    obs::TraceSpan measure(obs::Span::kPhaseMeasure, 4);
+  }
+  {
+    obs::TraceSpan maint(obs::Span::kRelink);
+  }
+  EXPECT_EQ(obs::span_count(obs::kDriverTid), 2u);
+  EXPECT_EQ(obs::span_count(tid), 1u);
+}
+
+TEST_F(TraceTest, WriteTraceJsonNamesDriverTrack) {
+  {
+    obs::TraceSpan fill(obs::Span::kPhaseFill, 7);
+  }
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "lsg_trace_drv").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(obs::ensure_dir(dir));
+  std::string path = dir + "/t_trace.json";
+  ASSERT_TRUE(obs::write_trace_json(path, "trial_drv"));
+  std::string j = slurp(path);
+  EXPECT_NE(j.find("\"name\":\"driver\""), std::string::npos);
+  EXPECT_NE(j.find("\"phase_fill\""), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+/// Regression: the export header used to pass the (caller-controlled,
+/// unbounded) trial id through a fixed snprintf buffer, silently
+/// truncating into invalid JSON. Oversized ids must round-trip intact.
+TEST_F(TraceTest, WriteTraceJsonHandlesLongTrialId) {
+  {
+    obs::TraceSpan s(obs::Span::kShardRoute, 1);
+  }
+  std::string long_id(300, 'x');
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "lsg_trace_long").string();
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(obs::ensure_dir(dir));
+  std::string path = dir + "/t_trace.json";
+  ASSERT_TRUE(obs::write_trace_json(path, long_id));
+  std::string j = slurp(path);
+  EXPECT_NE(j.find("\"trial\":\"" + long_id + "\""), std::string::npos);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(TraceTest, WriteTraceJsonEmitsCompleteEvents) {
@@ -571,6 +649,29 @@ TEST(Perf, CountsSumAndLocality) {
   EXPECT_DOUBLE_EQ(none.locality(), -1.0);  // no NODE counters
   none.has_node = true;
   EXPECT_DOUBLE_EQ(none.locality(), -1.0);  // NODE counters idle
+}
+
+/// The NODE events are not specified portably: ACCESS may be local-only
+/// (disjoint mapping) or include the remote MISS subset (inclusive).
+/// locality_inclusive() covers the second reading and must reject counts
+/// that contradict it.
+TEST(Perf, LocalityInclusiveMapping) {
+  obs::PerfCounts c;
+  c.valid = true;
+  c.has_node = true;
+  c.node_loads = 100;  // inclusive reading: all DRAM loads
+  c.node_misses = 25;  //                    remote subset
+  EXPECT_DOUBLE_EQ(c.locality_inclusive(), 0.75);
+  EXPECT_DOUBLE_EQ(c.locality(), 0.8);  // disjoint reading of same counts
+  // misses > loads proves the disjoint mapping; inclusive is meaningless.
+  c.node_loads = 10;
+  c.node_misses = 30;
+  EXPECT_DOUBLE_EQ(c.locality_inclusive(), -1.0);
+  EXPECT_DOUBLE_EQ(c.locality(), 0.25);
+  obs::PerfCounts none;
+  EXPECT_DOUBLE_EQ(none.locality_inclusive(), -1.0);  // no NODE counters
+  none.has_node = true;
+  EXPECT_DOUBLE_EQ(none.locality_inclusive(), -1.0);  // idle counters
 }
 
 }  // namespace
