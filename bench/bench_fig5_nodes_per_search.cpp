@@ -3,6 +3,11 @@
 // claim: layering yields shorter shared-structure traversals, and the lazy
 // variant does not traverse more than the non-lazy ones despite its
 // conservative commission policy.
+//
+// PR 8 adds the lines/op column (cache lines touched per operation) and the
+// fat-leaf tier: leaf_layered_sg visits FEWER lines per search than nodes —
+// each multi-key leaf visit is one block of 1-4 lines where the single-key
+// bottom list pays a line (and a dependent pointer chase) per node.
 #include <cstdio>
 
 #include "harness/driver.hpp"
@@ -18,8 +23,8 @@ int main() {
   print_banner("Fig. 5 — avg shared nodes per operation, MC-WH", cfg);
   print_nodes_per_search_header();
   const char* algos[] = {"layered_map_sg", "lazy_layered_sg",
-                         "layered_map_ssg", "layered_map_sl", "skiplist",
-                         "skipgraph"};
+                         "layered_map_ssg", "layered_map_sl",
+                         "leaf_layered_sg", "skiplist", "skipgraph"};
   for (const char* algo : algos) {
     for (int threads : bench_thread_counts()) {
       TrialConfig c = cfg;

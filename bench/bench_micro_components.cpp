@@ -7,6 +7,7 @@
 #include "cachesim/cache.hpp"
 #include "common/rng.hpp"
 #include "core/layered_map.hpp"
+#include "core/leaf_layered_map.hpp"
 #include "local/avl_map.hpp"
 #include "local/robin_hood.hpp"
 #include "local/std_map.hpp"
@@ -202,6 +203,81 @@ void BM_LayeredSingleThread(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LayeredSingleThread)->Arg(0)->Arg(1);
+
+// Fat-leaf level-0 search (PR 8): the same L1-resident (/8) vs
+// cache-spilling (/13) split as BM_SkipGraphLevel0Search, but the bottom
+// tier is LeafBlocks — the spilling case senses the lines-per-search win
+// (one 1-4-line block per ~kSlots keys vs one line per key). The second
+// arg is the prefetch mode (0 off, 1 dist1, 2 foresight); the /13 sweep
+// over all three modes is the prefetch ablation for the leaf walk.
+template <unsigned kWidth>
+void BM_LeafLayeredSearch(benchmark::State& state) {
+  setup_registry();
+  lsg::core::LayeredOptions o;
+  o.num_threads = 1;
+  o.prefetch = static_cast<lsg::skipgraph::PrefetchMode>(state.range(1));
+  lsg::core::LeafLayeredMap<uint64_t, uint64_t, kWidth> m(o);
+  lsg::common::Xoshiro256 rng(23);
+  const uint64_t n = uint64_t{1} << state.range(0);
+  for (uint64_t i = 0; i < n; ++i) m.insert(rng.next_bounded(n * 4), i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.contains(rng.next_bounded(n * 4)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeafLayeredSearch<2>)->Args({13, 1});
+BENCHMARK(BM_LeafLayeredSearch<6>)
+    ->Args({8, 1})
+    ->Args({13, 0})
+    ->Args({13, 1})
+    ->Args({13, 2});
+BENCHMARK(BM_LeafLayeredSearch<14>)->Args({13, 1});
+
+// Prefetch-mode ablation on the node-based layered map's descent (the arg
+// is the PrefetchMode): off vs dist1 vs foresight over an L2/L3-resident
+// structure, search-only so the descent is the whole op.
+void BM_LayeredSearchPrefetch(benchmark::State& state) {
+  setup_registry();
+  lsg::core::LayeredOptions o;
+  o.num_threads = 1;
+  o.prefetch = static_cast<lsg::skipgraph::PrefetchMode>(state.range(0));
+  lsg::core::LayeredMap<uint64_t, uint64_t> m(o);
+  lsg::common::Xoshiro256 rng(31);
+  const uint64_t n = uint64_t{1} << 14;
+  for (uint64_t i = 0; i < n / 2; ++i) m.insert(rng.next_bounded(n), i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.contains(rng.next_bounded(n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LayeredSearchPrefetch)->Arg(0)->Arg(1)->Arg(2);
+
+// Mixed single-thread ops on the fat-leaf tier (the leaf analogue of
+// BM_LayeredSingleThread): exercises insert/split, tombstone remove and
+// the seal fast path alongside searches.
+void BM_LeafLayeredSingleThread(benchmark::State& state) {
+  setup_registry();
+  lsg::core::LayeredOptions o;
+  o.num_threads = 1;
+  lsg::core::LeafLayeredMap<uint64_t, uint64_t, 6> m(o);
+  lsg::common::Xoshiro256 rng(17);
+  for (int i = 0; i < 4096; ++i) m.insert(rng.next_bounded(1 << 14), i);
+  for (auto _ : state) {
+    uint64_t k = rng.next_bounded(1 << 14);
+    switch (rng.next_bounded(4)) {
+      case 0:
+        benchmark::DoNotOptimize(m.insert(k, k));
+        break;
+      case 1:
+        benchmark::DoNotOptimize(m.remove(k));
+        break;
+      default:
+        benchmark::DoNotOptimize(m.contains(k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LeafLayeredSingleThread);
 
 }  // namespace
 

@@ -4,6 +4,10 @@
 // (DESIGN.md §3) and report misses/op per level for lazy_sg, map_sg,
 // map_ssg and the skip list, sweeping thread counts {8, 16, 32} like the
 // paper's rows.
+//
+// PR 8 adds the fat-leaf tier (leaf_layered_sg) and a ln/op sub-column:
+// cache lines touched per operation from the software line counter — the
+// level-0 line footprint the leaf blocks compress.
 #include <cstdio>
 #include <string>
 
@@ -20,11 +24,11 @@ int main() {
                base);
   std::printf("%-8s", "threads");
   const char* algos[] = {"lazy_layered_sg", "layered_map_sg",
-                         "layered_map_ssg", "skiplist"};
-  const char* labels[] = {"lazy_sg", "map_sg", "map_ssg", "sl"};
+                         "layered_map_ssg", "leaf_layered_sg", "skiplist"};
+  const char* labels[] = {"lazy_sg", "map_sg", "map_ssg", "leaf_sg", "sl"};
   for (const char* l : labels) {
-    std::printf(" | %-7s %-7s %-7s", (std::string(l) + ".L1").c_str(),
-                "L2", "L3");
+    std::printf(" | %-7s %-7s %-7s %-7s", (std::string(l) + ".L1").c_str(),
+                "L2", "L3", "ln/op");
   }
   std::printf("\n");
   int thread_rows[] = {8, 16, 32};
@@ -45,8 +49,8 @@ int main() {
       lsg::cachesim::ThreadLocalHierarchies::uninstall();
       auto agg = lsg::cachesim::ThreadLocalHierarchies::aggregate();
       double ops = r.total_ops == 0 ? 1 : static_cast<double>(r.total_ops);
-      std::printf(" | %7.2f %7.2f %7.2f", agg.l1_misses / ops,
-                  agg.l2_misses / ops, agg.l3_misses / ops);
+      std::printf(" | %7.2f %7.2f %7.2f %7.2f", agg.l1_misses / ops,
+                  agg.l2_misses / ops, agg.l3_misses / ops, r.lines_per_op);
       std::fflush(stdout);
     }
     std::printf("\n");

@@ -66,6 +66,9 @@ struct LayeredOptions {
   /// pointers are always safe to traverse, so this is the race-free
   /// realization of that sketch.
   bool use_neighbor_hints = false;
+  /// Descent prefetch policy (node.hpp PrefetchMode); kDist1 is the PR 3
+  /// scheme, kForesight adds predicted-descent + every-level prefetching.
+  lsg::skipgraph::PrefetchMode prefetch = lsg::skipgraph::PrefetchMode::kDist1;
 
   static constexpr unsigned kAutoLevel = 0xffffffffu;
 };
@@ -381,6 +384,7 @@ class LayeredMap {
     cfg.max_level = max_level;
     cfg.sparse = o.sparse;
     cfg.lazy = o.lazy;
+    cfg.prefetch = o.prefetch;
     cfg.commission_period =
         o.lazy ? (o.commission_cycles != 0
                       ? o.commission_cycles

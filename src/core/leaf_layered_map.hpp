@@ -1,0 +1,664 @@
+// Fat-leaf layered map (ROADMAP item 2): the level-0 tier of the layered
+// design rebuilt around packed multi-key LeafBlocks.
+//
+// Structure (DESIGN.md §12):
+//   - Ground truth is a singly linked, blink-style chain of LeafBlocks
+//     ordered by immutable anchor keys. The head leaf (anchor -inf) never
+//     dies, so the chain is always reachable.
+//   - A SkipGraph<K, LeafBlock*> maps each non-head live leaf's anchor to
+//     the leaf — the same NUMA-aware tower index the paper layers over
+//     single-key nodes, now routing to ~kSlots keys per terminal line.
+//     The index is best-effort: a search lands at most one leaf left of the
+//     target (pred_from is strict) or on a just-retired leaf, and the chain
+//     walk absorbs the slack exactly like a blink tree.
+//   - Per-thread local maps (the paper's hot layer) hold anchor -> index
+//     node associations for the anchors this thread inserted, seeding
+//     getStart-style NUMA-local descents into the index.
+//
+// Leaf lifecycle:
+//   split   — under the full leaf's seal: materialize the right sibling
+//             (born SEALED), insert its anchor into the index while it is
+//             still unreachable, link it into the chain, trim the left
+//             leaf, then unseal left and right. Readers either validate a
+//             pre-split snapshot (old next pointer — they never see the
+//             sibling) or a post-split one; a key can never be observed
+//             twice or not at all. Because the sibling is born sealed, its
+//             index entry exists before any writer can seal it — so the
+//             retire path below always finds an entry to remove.
+//   retire  — when a remove clears the last valid bit (non-head leaf):
+//             still under the seal, remove the anchor's index entry, THEN
+//             mark the leaf DEAD (release). Any thread that observes DEAD
+//             (acquire) also observes the entry removal, so re-routing
+//             through the index makes progress. Dead leaves are frozen:
+//             next/anchor stay readable until reclamation.
+//   unlink  — the next writer that seals the dead leaf's predecessor
+//             splices it out of the chain and retires the block through
+//             the EpochReclaimer; reclaimed blocks are recycled via a free
+//             list (arena chunks are never returned mid-run, PR 3 rule),
+//             and the EBR grace period is what makes recycling ABA-safe:
+//             every operation holds a Guard, so a block can only be
+//             reinitialized after every thread that could hold a stale
+//             pointer to it has moved on.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "alloc/epoch.hpp"
+#include "core/layered_map.hpp"
+#include "local/std_map.hpp"
+#include "numa/membership.hpp"
+#include "numa/pinning.hpp"
+#include "range/scan.hpp"
+#include "skipgraph/leaf_block.hpp"
+#include "skipgraph/skip_graph.hpp"
+#include "stats/counters.hpp"
+
+namespace lsg::core {
+
+template <class K, class V, unsigned kLeafSlots = 6,
+          class LocalMap = lsg::local::StdMapAdapter<
+              K, lsg::skipgraph::SgNode<K, lsg::skipgraph::LeafBlock<
+                                               K, V, kLeafSlots>*>*>>
+class LeafLayeredMap {
+ public:
+  using Leaf = lsg::skipgraph::LeafBlock<K, V, kLeafSlots>;
+  using Snapshot = typename Leaf::Snapshot;
+  using Index = lsg::skipgraph::SkipGraph<K, Leaf*>;
+  using IdxNode = typename Index::Node;
+  using LocalIter = typename LocalMap::iterator;
+  using PrefetchMode = lsg::skipgraph::PrefetchMode;
+
+  explicit LeafLayeredMap(const LayeredOptions& opts)
+      : opts_(opts),
+        assigner_(lsg::numa::ThreadRegistry::topology(), opts.num_threads,
+                  opts.policy,
+                  opts.max_level == LayeredOptions::kAutoLevel
+                      ? lsg::numa::MembershipAssigner::kNoOverride
+                      : opts.max_level),
+        index_(make_index_config(opts, assigner_.max_level())),
+        prefetch_(opts.prefetch) {
+    head_ = leaf_arena_.template create<Leaf>();
+    head_->reinit(K{}, 0, Leaf::kFlagHead);
+  }
+
+  ~LeafLayeredMap() { ebr_.drain_all(); }
+
+  LeafLayeredMap(const LeafLayeredMap&) = delete;
+  LeafLayeredMap& operator=(const LeafLayeredMap&) = delete;
+
+  unsigned max_level() const { return index_.max_level(); }
+  static constexpr unsigned leaf_slots() { return kLeafSlots; }
+
+  void thread_init() { (void)local_state(); }
+
+  // --- point operations ----------------------------------------------------
+
+  bool insert(const K& key, const V& value) {
+    lsg::alloc::EpochReclaimer::Guard g(ebr_);
+    LocalState& ls = local_state();
+    Leaf* lf = seal_leaf_for(ls, key);
+    bool ret = insert_sealed(ls, lf, key, value);
+    lsg::stats::op_done();
+    return ret;
+  }
+
+  bool remove(const K& key) {
+    lsg::alloc::EpochReclaimer::Guard g(ebr_);
+    LocalState& ls = local_state();
+    Leaf* lf = seal_leaf_for(ls, key);
+    const int i = lf->find_slot(key);
+    const uint32_t valid = lf->valid_bits();
+    if (i < 0 || ((valid >> i) & 1u) == 0) {
+      lf->unseal_publish();
+      lsg::stats::op_done();
+      return false;
+    }
+    const uint32_t remaining = valid & ~(uint32_t{1} << i);
+    lf->meta.store(Leaf::pack_meta(lf->used(), remaining),
+                   std::memory_order_relaxed);
+    if (remaining == 0 && !lf->is_head()) {
+      // Empty non-head leaf: retire. Entry removal must precede the DEAD
+      // mark (see file header); both happen under the seal we hold.
+      index_remove(ls, lf->anchor);
+      lf->mark_dead_and_unseal();
+    } else {
+      lf->unseal_publish();
+    }
+    lsg::stats::op_done();
+    return true;
+  }
+
+  bool contains(const K& key) {
+    V ignored;
+    return get(key, ignored);
+  }
+
+  bool get(const K& key, V& out) {
+    lsg::alloc::EpochReclaimer::Guard g(ebr_);
+    LocalState& ls = local_state();
+    Snapshot snap;
+    {
+      const lsg::stats::Recorder rec = lsg::stats::recorder();
+      lsg::stats::WalkTally wt(rec);
+      find_leaf(ls, key, snap, wt);
+    }
+    lsg::stats::op_done();
+    const unsigned n = snap.used();
+    for (unsigned i = 0; i < n; ++i) {
+      if (snap.keys[i] == key) {
+        if (!snap.slot_live(i)) return false;
+        out = snap.values[i];
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // --- range interface (src/range/) ----------------------------------------
+
+  /// One weakly-consistent collect pass over [lo, hi] (ascending, at most
+  /// `limit` elements): per-leaf atomic snapshots chained by the blink
+  /// walk. Dead leaves are empty and contribute nothing.
+  size_t collect_range(const K& lo, const K& hi, size_t limit,
+                       std::vector<std::pair<K, V>>& out) {
+    if (limit == 0) return 0;
+    lsg::alloc::EpochReclaimer::Guard g(ebr_);
+    LocalState& ls = local_state();
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    lsg::stats::WalkTally wt(rec);
+    Snapshot snap;
+    Leaf* lf = find_leaf(ls, lo, snap, wt);
+    size_t added = 0;
+    while (true) {
+      const unsigned n = snap.used();
+      for (unsigned i = 0; i < n && added < limit; ++i) {
+        if (!snap.slot_live(i)) continue;
+        const K& k = snap.keys[i];
+        if (k < lo || hi < k) continue;
+        out.emplace_back(k, snap.values[i]);
+        ++added;
+      }
+      Leaf* nxt = snap.next;
+      if (added >= limit || nxt == nullptr || hi < nxt->anchor) break;
+      leaf_prefetch_chain(nxt);
+      lf = nxt;
+      lf->snapshot(snap);
+      leaf_visit(wt, lf);
+    }
+    lsg::stats::op_done();
+    return added;
+  }
+
+  bool scan(const K& lo, const K& hi, std::vector<std::pair<K, V>>& out,
+            const lsg::range::ScanOptions& opts = {}) {
+    return lsg::range::scan(*this, lo, hi, out, opts);
+  }
+
+  bool scan_n(const K& lo, size_t n, std::vector<std::pair<K, V>>& out,
+              const lsg::range::ScanOptions& opts = {}) {
+    return lsg::range::scan_n(*this, lo, n, out, opts);
+  }
+
+  /// First element with key strictly greater than `key`.
+  bool succ(const K& key, K& out_key, V& out_value) {
+    lsg::alloc::EpochReclaimer::Guard g(ebr_);
+    LocalState& ls = local_state();
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    lsg::stats::WalkTally wt(rec);
+    Snapshot snap;
+    find_leaf(ls, key, snap, wt);
+    while (true) {
+      bool found = false;
+      const unsigned n = snap.used();
+      for (unsigned i = 0; i < n; ++i) {
+        if (!snap.slot_live(i) || !(key < snap.keys[i])) continue;
+        out_key = snap.keys[i];
+        out_value = snap.values[i];
+        found = true;
+        break;  // slots are sorted: first live hit is the successor
+      }
+      if (found) {
+        lsg::stats::op_done();
+        return true;
+      }
+      Leaf* nxt = snap.next;
+      if (nxt == nullptr) {
+        lsg::stats::op_done();
+        return false;
+      }
+      leaf_prefetch_chain(nxt);
+      nxt->snapshot(snap);
+      leaf_visit(wt, nxt);
+    }
+  }
+
+  /// Last element with key strictly less than `key`. A singly linked chain
+  /// cannot back up, so when the covering leaf holds no live key below the
+  /// target the search retargets to that leaf's anchor (strictly
+  /// decreasing, hence terminating) — the leaf-chain analogue of
+  /// SkipGraph::pred_from's retarget loop. Candidates are always filtered
+  /// against the ORIGINAL key: a leaf re-covering a retired sibling's
+  /// range may legitimately hold keys at or above the retarget point.
+  bool pred(const K& key, K& out_key, V& out_value) {
+    lsg::alloc::EpochReclaimer::Guard g(ebr_);
+    LocalState& ls = local_state();
+    const lsg::stats::Recorder rec = lsg::stats::recorder();
+    lsg::stats::WalkTally wt(rec);
+    Snapshot snap;
+    Leaf* lf = find_leaf(ls, key, snap, wt);
+    while (true) {
+      bool found = false;
+      const unsigned n = snap.used();
+      for (unsigned i = n; i-- > 0;) {
+        if (!snap.slot_live(i) || !(snap.keys[i] < key)) continue;
+        out_key = snap.keys[i];
+        out_value = snap.values[i];
+        found = true;
+        break;  // sorted: last live key below the target
+      }
+      if (found) {
+        lsg::stats::op_done();
+        return true;
+      }
+      if (lf->is_head()) {
+        lsg::stats::op_done();
+        return false;
+      }
+      lf = find_leaf_below(ls, lf->anchor, snap, wt);
+    }
+  }
+
+  /// Sorted bulk load with a leaf cursor: consecutive items usually land
+  /// in the same (or the freshly split right) leaf, so placement skips the
+  /// index descent, and the append-biased split rule fills leaves densely
+  /// for ascending input. Returns items that changed the abstract set.
+  size_t bulk_load(const std::vector<std::pair<K, V>>& sorted) {
+    lsg::alloc::EpochReclaimer::Guard g(ebr_);
+    LocalState& ls = local_state();
+    size_t added = 0;
+    Leaf* cursor = nullptr;
+    for (const auto& item : sorted) {
+      const K& key = item.first;
+      Leaf* lf = nullptr;
+      if (cursor != nullptr && !cursor->is_dead() &&
+          !(key < cursor->anchor)) {
+        lf = seal_covering(cursor, key);  // nullptr if the cursor died
+      }
+      if (lf == nullptr) lf = seal_leaf_for(ls, key);
+      if (insert_sealed(ls, lf, key, item.second)) ++added;
+      cursor = lf;
+    }
+    lsg::stats::op_done();
+    return added;
+  }
+
+  // --- introspection (tests; quiescent callers only) ------------------------
+
+  std::vector<K> abstract_set() {
+    std::vector<K> out;
+    for (Leaf* lf = head_; lf != nullptr;
+         lf = lf->next.load(std::memory_order_acquire)) {
+      Snapshot s;
+      lf->snapshot(s);
+      for (unsigned i = 0; i < s.used(); ++i) {
+        if (s.slot_live(i)) out.push_back(s.keys[i]);
+      }
+    }
+    return out;
+  }
+
+  /// Live leaves in the chain (head included).
+  size_t leaf_count() {
+    size_t n = 0;
+    for (Leaf* lf = head_; lf != nullptr;
+         lf = lf->next.load(std::memory_order_acquire)) {
+      if (!lf->is_dead()) ++n;
+    }
+    return n;
+  }
+
+  size_t recycled_leaves() {
+    std::lock_guard<std::mutex> lk(free_mu_);
+    return free_.size();
+  }
+
+ private:
+  struct LocalState {
+    LocalMap map;  // anchor -> index node, for getStart-style descents
+    uint32_t membership = 0;
+    int tid = 0;
+  };
+
+  static lsg::skipgraph::SgConfig make_index_config(
+      const LayeredOptions& o, unsigned max_level) {
+    lsg::skipgraph::SgConfig cfg;
+    cfg.max_level = max_level;
+    cfg.sparse = o.sparse;
+    // Anchor entries use the non-lazy protocol: a retired leaf's entry must
+    // become un-findable immediately (the retire ordering depends on it),
+    // not linger invalid-but-revivable.
+    cfg.lazy = false;
+    cfg.prefetch = o.prefetch;
+    return cfg;
+  }
+
+  LocalState& local_state() {
+    struct Cache {
+      uint64_t map_id = 0;
+      uint64_t reg_gen = 0;
+      LocalState* ls = nullptr;
+    };
+    thread_local Cache cache;
+    const uint64_t gen = lsg::numa::ThreadRegistry::generation();
+    if (cache.map_id == map_id_ && cache.reg_gen == gen) [[likely]] {
+      return *cache.ls;
+    }
+    int tid = lsg::numa::ThreadRegistry::current();
+    auto& slot = locals_[tid];
+    if (!slot) {
+      slot = std::make_unique<LocalState>();
+      slot->membership = assigner_.vector_of(tid);
+      slot->tid = tid;
+    }
+    cache.map_id = map_id_;
+    cache.reg_gen = gen;
+    cache.ls = slot.get();
+    return *slot;
+  }
+
+  // --- local hint layer ----------------------------------------------------
+
+  /// Closest preceding usable index node from the thread's local map
+  /// (anchors are inserted fully — insert_nonlazy completes the tower
+  /// before we associate — so only marked nodes need pruning).
+  IdxNode* hint_start(LocalState& ls, const K& key) {
+    LocalIter it = ls.map.max_lower_equal(key);
+    // The skip-graph searches only ever examine a start's SUCCESSORS, so a
+    // hint at the key itself would make them miss it — strictly below only.
+    if (it.valid() && !(it.key() < key)) it = it.prev();
+    while (it.valid()) {
+      IdxNode* n = it.value();
+      lsg::stats::read_access(n->owner, n);
+      if (!n->get_mark(0) || !n->get_mark(n->height)) return n;
+      LocalIter prev = it.prev();
+      K doomed = it.key();
+      ls.map.erase(doomed);
+      it = prev;
+    }
+    return nullptr;
+  }
+
+  // --- routing -------------------------------------------------------------
+
+  /// Best-effort index route: the live leaf with the greatest anchor
+  /// strictly below `key`, or the head leaf. The result may be up to one
+  /// leaf left of the covering leaf (blink absorbs it) or concurrently
+  /// retired (callers re-route on DEAD).
+  Leaf* route(LocalState& ls, const K& key) {
+    K anchor;
+    Leaf* lf = nullptr;
+    if (index_.pred_from(key, ls.membership, hint_start(ls, key), anchor,
+                         lf) &&
+        lf != nullptr) {
+      return lf;
+    }
+    return head_;
+  }
+
+  /// Validated snapshot of the leaf covering `key`; returns the leaf (its
+  /// snapshot in `snap`). Dead leaves encountered mid-chain are skipped
+  /// through their frozen next pointers — only a dead ROUTE TARGET forces
+  /// a re-route (safe: its index entry was removed before it died, so the
+  /// retry cannot pick it again).
+  Leaf* find_leaf(LocalState& ls, const K& key, Snapshot& snap,
+                  lsg::stats::WalkTally& wt) {
+    while (true) {
+      Leaf* lf = route(ls, key);
+      leaf_prefetch_chain(lf);
+      lf->snapshot(snap);
+      leaf_visit(wt, lf);
+      if (snap.dead()) continue;  // re-route
+      while (true) {
+        Leaf* nxt = snap.next;
+        if (nxt == nullptr || key < nxt->anchor) return lf;
+        leaf_prefetch_chain(nxt);
+        Snapshot s2;
+        nxt->snapshot(s2);
+        leaf_visit(wt, nxt);
+        if (!s2.dead()) {
+          lf = nxt;
+          snap = s2;
+        } else {
+          // Frozen dead leaf: its keys (if it ever had any at this point
+          // they were removed) belong to `lf` now — splice the view.
+          snap.next = s2.next;
+        }
+      }
+    }
+  }
+
+  /// Last LIVE leaf with anchor strictly below `target` (head when none):
+  /// the pred retarget step.
+  Leaf* find_leaf_below(LocalState& ls, const K& target, Snapshot& snap,
+                        lsg::stats::WalkTally& wt) {
+    while (true) {
+      Leaf* lf = route(ls, target);
+      lf->snapshot(snap);
+      leaf_visit(wt, lf);
+      if (snap.dead()) continue;
+      while (true) {
+        Leaf* nxt = snap.next;
+        if (nxt == nullptr || !(nxt->anchor < target)) return lf;
+        Snapshot s2;
+        nxt->snapshot(s2);
+        leaf_visit(wt, nxt);
+        if (!s2.dead()) {
+          lf = nxt;
+          snap = s2;
+        } else {
+          snap.next = s2.next;
+        }
+      }
+    }
+  }
+
+  /// Seal the live leaf covering `key`, hopping right from `lf` and
+  /// splicing out dead successors (their blocks are retired to the EBR
+  /// here — the only unlink site, serialized by the predecessor's seal).
+  /// Returns nullptr when `lf` or a hop target is dead (caller re-routes).
+  Leaf* seal_covering(Leaf* lf, const K& key) {
+    while (true) {
+      if (!lf->seal()) return nullptr;
+      Leaf* nxt = lf->next.load(std::memory_order_relaxed);
+      while (nxt != nullptr && nxt->is_dead()) {
+        Leaf* after = nxt->next.load(std::memory_order_acquire);
+        lf->next.store(after, std::memory_order_relaxed);
+        retire_leaf(nxt);
+        nxt = after;
+      }
+      if (nxt != nullptr && !(key < nxt->anchor)) {
+        lf->unseal_publish();
+        lf = nxt;
+        continue;
+      }
+      return lf;
+    }
+  }
+
+  Leaf* seal_leaf_for(LocalState& ls, const K& key) {
+    while (true) {
+      Leaf* lf = seal_covering(route(ls, key), key);
+      if (lf != nullptr) return lf;
+    }
+  }
+
+  // --- sealed mutations ----------------------------------------------------
+
+  /// Insert into the sealed covering leaf `lf` (which this call unseals).
+  bool insert_sealed(LocalState& ls, Leaf* lf, const K& key,
+                     const V& value) {
+    const int i = lf->find_slot(key);
+    if (i >= 0) {
+      const uint32_t valid = lf->valid_bits();
+      if ((valid >> i) & 1u) {
+        lf->unseal_publish();
+        return false;  // duplicate
+      }
+      // Revive the tombstone with the new value.
+      lf->values[i].store(value, std::memory_order_relaxed);
+      lf->meta.store(Leaf::pack_meta(lf->used(), valid | (uint32_t{1} << i)),
+                     std::memory_order_relaxed);
+      lf->unseal_publish();
+      return true;
+    }
+    if (lf->used() == kLeafSlots &&
+        lf->valid_bits() != (uint32_t{1} << kLeafSlots) - 1) {
+      lf->compact();  // drop tombstones before considering a split
+    }
+    if (lf->used() < kLeafSlots) {
+      lf->insert_pair(key, value);
+      lf->unseal_publish();
+      return true;
+    }
+    split_insert(ls, lf, key, value);
+    return true;
+  }
+
+  /// Split the full sealed leaf `lf` and place (key, value); unseals both
+  /// halves. See the file header for the publish ordering.
+  void split_insert(LocalState& ls, Leaf* lf, const K& key, const V& value) {
+    Leaf* right = alloc_leaf();
+    const auto tid = static_cast<uint16_t>(ls.tid);
+    const K last = lf->key_at(kLeafSlots - 1);
+    if (last < key) {
+      // Append-dense rule: the new key goes beyond the leaf's last key, so
+      // the right sibling starts with just the new pair and `lf` stays
+      // full — ascending loads (bulk_load) fill every leaf completely.
+      right->reinit(key, tid, 0);
+      right->insert_pair(key, value);
+    } else {
+      const unsigned half = kLeafSlots / 2;
+      right->reinit(lf->key_at(half), tid, 0);
+      for (unsigned i = half; i < kLeafSlots; ++i) {
+        right->insert_pair(lf->key_at(i), lf->value_at(i));
+      }
+      if (key < right->anchor) {
+        // Lands left: trim first, then there is room.
+        lf->meta.store(
+            Leaf::pack_meta(half, (uint32_t{1} << half) - 1),
+            std::memory_order_relaxed);
+        lf->insert_pair(key, value);
+      } else {
+        right->insert_pair(key, value);
+        lf->meta.store(
+            Leaf::pack_meta(half, (uint32_t{1} << half) - 1),
+            std::memory_order_relaxed);
+      }
+    }
+    // Born sealed: nobody can write the sibling until we unseal it below,
+    // which is what guarantees its index entry precedes any retire of it.
+    right->vseal.store(Leaf::kSeal, std::memory_order_relaxed);
+    index_insert(ls, right->anchor, right);
+    right->next.store(lf->next.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    lf->next.store(right, std::memory_order_relaxed);
+    lf->unseal_publish();
+    right->unseal_publish();
+    lsg::obs::event(lsg::obs::Event::kNodeAlloc);
+  }
+
+  // --- index maintenance ---------------------------------------------------
+
+  void index_insert(LocalState& ls, const K& anchor, Leaf* leaf) {
+    auto refresh = [&]() -> IdxNode* { return hint_start(ls, anchor); };
+    IdxNode* fresh = nullptr;
+    // Duplicate failure is impossible by the coverage invariant (a live
+    // leaf's anchor lies strictly inside its splitter's old range); if the
+    // protocol were ever violated the leaf would still be reachable via
+    // the chain, so we deliberately do not assert here.
+    index_.insert_nonlazy(anchor, leaf, ls.membership, hint_start(ls, anchor),
+                          refresh, &fresh);
+    if (fresh != nullptr && fresh->height == index_.max_level()) {
+      ls.map.insert(anchor, fresh);
+    }
+  }
+
+  void index_remove(LocalState& ls, const K& anchor) {
+    index_.remove_nonlazy(anchor, ls.membership, hint_start(ls, anchor));
+    ls.map.erase(anchor);  // other threads' maps prune lazily via hint_start
+  }
+
+  // --- leaf allocation / reclamation ---------------------------------------
+
+  Leaf* alloc_leaf() {
+    {
+      std::lock_guard<std::mutex> lk(free_mu_);
+      if (!free_.empty()) {
+        Leaf* lf = free_.back();
+        free_.pop_back();
+        return lf;
+      }
+    }
+    return leaf_arena_.template create<Leaf>();
+  }
+
+  void retire_leaf(Leaf* dead) {
+    struct Retired {
+      LeafLayeredMap* map;
+      Leaf* leaf;
+    };
+    ebr_.retire(new Retired{this, dead}, [](void* p) {
+      auto* r = static_cast<Retired*>(p);
+      std::lock_guard<std::mutex> lk(r->map->free_mu_);
+      r->map->free_.push_back(r->leaf);
+      delete r;
+    });
+    lsg::obs::event(lsg::obs::Event::kRetire);
+  }
+
+  // --- instrumentation / prefetch ------------------------------------------
+
+  void leaf_visit(lsg::stats::WalkTally& wt, const Leaf* lf) {
+    wt.node_visited(Leaf::kLines);
+    wt.read_access(lf->owner, lf);
+    for (unsigned l = 1; l < Leaf::kLines; ++l) {
+      wt.touch_line(reinterpret_cast<const char*>(lf) +
+                    l * lsg::common::kCacheLine);
+    }
+  }
+
+  /// Prefetch a leaf about to be snapshotted: dist1 pulls the first line
+  /// (chain-walk analogue of the node scheme); foresight pulls every line
+  /// of the block so the slot scan never stalls on the second line.
+  void leaf_prefetch_chain(const Leaf* lf) {
+    if (prefetch_ == PrefetchMode::kOff) return;
+    lsg::skipgraph::prefetch_line(lf);
+    if (prefetch_ == PrefetchMode::kForesight) {
+      for (unsigned l = 1; l < Leaf::kLines; ++l) {
+        lsg::skipgraph::prefetch_line(reinterpret_cast<const char*>(lf) +
+                                      l * lsg::common::kCacheLine);
+      }
+    }
+  }
+
+  LayeredOptions opts_;
+  lsg::numa::MembershipAssigner assigner_;
+  Index index_;
+  PrefetchMode prefetch_;
+  lsg::alloc::Arena leaf_arena_;
+  lsg::alloc::EpochReclaimer ebr_;
+  Leaf* head_ = nullptr;
+  std::mutex free_mu_;
+  std::vector<Leaf*> free_;
+  std::array<std::unique_ptr<LocalState>, lsg::numa::kMaxThreads> locals_{};
+  const uint64_t map_id_ =
+      detail::g_layered_map_ids.fetch_add(1, std::memory_order_relaxed);
+};
+
+}  // namespace lsg::core

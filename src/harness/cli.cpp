@@ -48,6 +48,9 @@ std::string cli_usage() {
       "  --shards N       shard count for sharded algorithms\n"
       "                   (0 = one shard per socket)                  [0]\n"
       "  --shard-policy P shard router: range | hash                  [range]\n"
+      "  --prefetch M     descent prefetch: off | dist1 | foresight   [dist1]\n"
+      "  --leaf-width N   slots per leaf block (leaf_layered_sg):\n"
+      "                   2 | 6 | 14 (1/2/4 cache lines)              [6]\n"
       "  -i PCT    initial fill, % of range      [20]\n"
       "  -s SEED   rng seed                      [42]\n"
       "  -n N      runs to average               [1]\n"
@@ -159,6 +162,31 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         return o;
       }
       o.cfg.shard_policy = v;
+    } else if (arg == "--prefetch") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--prefetch requires a mode";
+        return o;
+      }
+      if (std::strcmp(v, "off") != 0 && std::strcmp(v, "dist1") != 0 &&
+          std::strcmp(v, "foresight") != 0) {
+        o.error = "prefetch mode must be 'off', 'dist1' or 'foresight'";
+        return o;
+      }
+      o.cfg.prefetch = v;
+    } else if (arg == "--leaf-width") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--leaf-width requires a slot count";
+        return o;
+      }
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || (n != 2 && n != 6 && n != 14)) {
+        o.error = "leaf width must be 2, 6 or 14";
+        return o;
+      }
+      o.cfg.leaf_width = static_cast<int>(n);
     } else if (arg == "--obs") {
       o.cfg.collect_obs = true;
     } else if (arg == "--trace") {

@@ -220,6 +220,7 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   r.remote_cas_per_op = r.counters.remote_cas / ops;
   r.cas_success_rate = r.counters.cas_success_rate();
   r.nodes_per_op = r.counters.nodes_traversed / ops;
+  r.lines_per_op = r.counters.lines_traversed / ops;
   r.topology = cfg.topology.describe();
 
   r.perf_requested = perf_on;
@@ -277,6 +278,7 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
   avg.local_cas_per_op = avg.remote_cas_per_op = 0;
   avg.cas_success_rate = 0;
   avg.nodes_per_op = 0;
+  avg.lines_per_op = 0;
   avg.perf = lsg::obs::PerfCounts{};  // counters sum across runs
   for (const auto& r : runs) avg.perf += r.perf;
   for (const auto& r : runs) {
@@ -291,6 +293,7 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
     avg.remote_cas_per_op += r.remote_cas_per_op / n;
     avg.cas_success_rate += r.cas_success_rate / n;
     avg.nodes_per_op += r.nodes_per_op / n;
+    avg.lines_per_op += r.lines_per_op / n;
   }
   if (avg.obs.valid) {
     // Counts and events sum across runs; latency percentiles and steady

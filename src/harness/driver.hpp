@@ -44,6 +44,7 @@ struct TrialResult {
   double remote_cas_per_op = 0;  // maintenance CAS
   double cas_success_rate = 1.0;
   double nodes_per_op = 0;       // Fig. 5 metric
+  double lines_per_op = 0;       // cache lines touched per op (PR 8)
 
   std::string topology;  // cfg.topology.describe()
 

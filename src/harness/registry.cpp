@@ -7,6 +7,7 @@
 #include "baselines/rotating.hpp"
 #include "common/bits.hpp"
 #include "core/layered_map.hpp"
+#include "core/leaf_layered_map.hpp"
 #include "local/avl_map.hpp"
 #include "shard/sharded_map.hpp"
 #include "skipgraph/skip_graph_map.hpp"
@@ -22,10 +23,19 @@ using lsg::core::LayeredOptions;
 using Node = lsg::skipgraph::SgNode<Key, Value>;
 using AvlLocal = lsg::local::AvlMap<Key, Node*>;
 
+lsg::skipgraph::PrefetchMode parse_prefetch(const std::string& s) {
+  if (s == "off") return lsg::skipgraph::PrefetchMode::kOff;
+  if (s == "dist1") return lsg::skipgraph::PrefetchMode::kDist1;
+  if (s == "foresight") return lsg::skipgraph::PrefetchMode::kForesight;
+  throw std::out_of_range("unknown prefetch mode: " + s +
+                          " (expected off|dist1|foresight)");
+}
+
 LayeredOptions layered_base(const TrialConfig& cfg) {
   LayeredOptions o;
   o.num_threads = cfg.threads;
   o.policy = lsg::numa::MembershipPolicy::kNumaAware;
+  o.prefetch = parse_prefetch(cfg.prefetch);
   return o;
 }
 
@@ -108,6 +118,29 @@ std::vector<AlgoInfo> build() {
         return std::make_unique<
             MapAdapter<LayeredMap<Key, Value, AvlLocal>>>("layered_avl_sg",
                                                           layered_base(cfg));
+      });
+  add("leaf_layered_sg",
+      "fat level-0 leaf blocks under a skip-graph anchor index "
+      "(--leaf-width 2|6|14, --prefetch off|dist1|foresight)",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        LayeredOptions o = layered_base(cfg);
+        switch (cfg.leaf_width) {
+          case 2:
+            return std::make_unique<
+                MapAdapter<lsg::core::LeafLayeredMap<Key, Value, 2>>>(
+                "leaf_layered_sg", o);
+          case 6:
+            return std::make_unique<
+                MapAdapter<lsg::core::LeafLayeredMap<Key, Value, 6>>>(
+                "leaf_layered_sg", o);
+          case 14:
+            return std::make_unique<
+                MapAdapter<lsg::core::LeafLayeredMap<Key, Value, 14>>>(
+                "leaf_layered_sg", o);
+          default:
+            throw std::out_of_range(
+                "leaf_layered_sg: --leaf-width must be 2, 6 or 14");
+        }
       });
   add("sharded_layered_sg",
       "per-socket LayeredMap shards with cross-shard scan stitching "

@@ -52,12 +52,13 @@ void print_locality_row(const TrialResult& r) {
 }
 
 void print_nodes_per_search_header() {
-  std::printf("%-18s %8s %14s\n", "algorithm", "threads", "nodes/op");
+  std::printf("%-18s %8s %14s %14s\n", "algorithm", "threads", "nodes/op",
+              "lines/op");
 }
 
 void print_nodes_per_search_row(const TrialResult& r) {
-  std::printf("%-18s %8d %14.2f\n", r.algorithm.c_str(), r.threads,
-              r.nodes_per_op);
+  std::printf("%-18s %8d %14.2f %14.2f\n", r.algorithm.c_str(), r.threads,
+              r.nodes_per_op, r.lines_per_op);
 }
 
 void print_heatmap_report(const std::string& title, bool cas_map,
@@ -147,7 +148,7 @@ std::string csv_header() {
          "effective_update_pct,succ_inserts,succ_removes,contains_ops,"
          "scan_ops,scanned_keys,"
          "local_reads_per_op,remote_reads_per_op,local_cas_per_op,"
-         "remote_cas_per_op,cas_success_rate,nodes_per_op,"
+         "remote_cas_per_op,cas_success_rate,nodes_per_op,lines_per_op,"
          "perf_available,hw_llc_misses,hw_remote_dram,hw_locality";
 }
 
@@ -155,7 +156,7 @@ std::string to_csv_row(const TrialResult& r) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "%s,%d,%llu,%llu,%.3f,%.4f,%llu,%llu,%llu,%llu,%llu,%.4f,"
-                "%.4f,%.5f,%.5f,%.5f,%.3f",
+                "%.4f,%.5f,%.5f,%.5f,%.3f,%.3f",
                 r.algorithm.c_str(), r.threads,
                 static_cast<unsigned long long>(r.measured_ms),
                 static_cast<unsigned long long>(r.total_ops), r.ops_per_ms,
@@ -167,7 +168,7 @@ std::string to_csv_row(const TrialResult& r) {
                 static_cast<unsigned long long>(r.scanned_keys),
                 r.local_reads_per_op, r.remote_reads_per_op,
                 r.local_cas_per_op, r.remote_cas_per_op, r.cas_success_rate,
-                r.nodes_per_op);
+                r.nodes_per_op, r.lines_per_op);
   std::string out = buf;
   // hw_locality is -1 when the NODE counters were unavailable or idle.
   std::snprintf(buf, sizeof(buf), ",%d,%llu,%llu,%.4f", r.perf.valid ? 1 : 0,
@@ -182,7 +183,7 @@ std::string to_json(const TrialResult& r) {
   char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"schema\":\"lsg-trial-v3\",\"git\":\"%s\","
+      "{\"schema\":\"lsg-trial-v4\",\"git\":\"%s\","
       "\"algorithm\":\"%s\",\"threads\":%d,\"pinned_threads\":%d,"
       "\"topology\":\"%s\","
       "\"measured_ms\":%llu,"
@@ -192,7 +193,8 @@ std::string to_json(const TrialResult& r) {
       "\"scan_ops\":%llu,\"scanned_keys\":%llu,"
       "\"local_reads_per_op\":%.4f,\"remote_reads_per_op\":%.4f,"
       "\"local_cas_per_op\":%.5f,\"remote_cas_per_op\":%.5f,"
-      "\"cas_success_rate\":%.5f,\"nodes_per_op\":%.3f",
+      "\"cas_success_rate\":%.5f,\"nodes_per_op\":%.3f,"
+      "\"lines_per_op\":%.3f",
       lsg::obs::json_escape(LSG_GIT_DESCRIBE).c_str(), r.algorithm.c_str(),
       r.threads, r.pinned_threads, lsg::obs::json_escape(r.topology).c_str(),
       static_cast<unsigned long long>(r.measured_ms),
@@ -203,9 +205,9 @@ std::string to_json(const TrialResult& r) {
       static_cast<unsigned long long>(r.scan_ops),
       static_cast<unsigned long long>(r.scanned_keys), r.local_reads_per_op,
       r.remote_reads_per_op, r.local_cas_per_op, r.remote_cas_per_op,
-      r.cas_success_rate, r.nodes_per_op);
+      r.cas_success_rate, r.nodes_per_op, r.lines_per_op);
   std::string out = buf;
-  // v3: perf_available is always present so consumers can distinguish
+  // v3+: perf_available is always present so consumers can distinguish
   // "counters denied" from "never requested nor denied" (requested flag).
   std::snprintf(buf, sizeof(buf), ",\"perf_requested\":%s,"
                 "\"perf_available\":%s",

@@ -56,6 +56,12 @@ struct TrialConfig {
   /// Shard router: "range" (contiguous key slices; stitched scans
   /// concatenate) or "hash" (splitmix64 mod N; stitched scans merge).
   std::string shard_policy = "range";
+  /// Descent prefetch policy: "off" | "dist1" | "foresight" (node.hpp
+  /// PrefetchMode; dist1 is the PR 3 scheme).
+  std::string prefetch = "dist1";
+  /// Leaf width for the fat-leaf tier (leaf_layered_sg): 2, 6 or 14 slots
+  /// (1 / 2 / 4 cache lines per block).
+  int leaf_width = 6;
   /// Average over this many runs (paper: 5).
   int runs = 1;
   lsg::numa::Topology topology = lsg::numa::Topology::paper_machine();

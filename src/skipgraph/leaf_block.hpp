@@ -1,0 +1,274 @@
+// Packed multi-key leaf block for the fat bottom tier (ROADMAP item 2;
+// B-skiplist leaves, arXiv 2507.21492).
+//
+// A LeafBlock is a cache-line-aligned block of kSlots sorted key/value
+// slots plus a 32-byte header, so one leaf visit costs one line (width 2),
+// two lines (width 6, the default) or four (width 14) where the single-key
+// level-0 nodes of PR 3 cost one full line — and one dependent pointer
+// chase — PER KEY. The header keeps the SgNode 32-byte packing discipline:
+//
+//   [0..8)   vseal   — seqlock word: bit0 SEAL (writer present), bit1 DEAD
+//                      (permanently retired), version in bits 2+;
+//   [8..16)  next    — blink-style singly linked leaf chain (ground truth;
+//                      the skip-graph anchor index above it is best-effort);
+//   [16..24) anchor  — immutable lower bound of the leaf's key coverage;
+//   [24..28) meta    — low 16 bits: VALID bitmap over the used slots
+//                      (logical deletion = bit clear, the slot keeps its
+//                      key as a tombstone until compaction); bits 16..20:
+//                      used-slot count. Slots [0, used) are key-sorted.
+//   [28..30) owner   — allocating thread (NUMA locality instrumentation);
+//   [30]     flags   — kFlagHead marks the -inf head leaf (never dies);
+//   [31]     pad
+//
+// Concurrency protocol (DESIGN.md §12):
+//   - Readers take a seqlock snapshot: acquire-load vseal (spin while
+//     SEALED), relaxed-copy meta/next/keys/values, acquire fence, re-check
+//     vseal. A validated snapshot — including the next pointer — is a
+//     consistent point-in-time view, so a split (which rewrites slots AND
+//     next under one seal session) can never show a key twice or not at
+//     all to a chain walk.
+//   - Writers serialize per leaf via the SEAL bit (even->odd CAS). All slot
+//     mutation happens sealed; unseal_publish() bumps the version with a
+//     release store that pairs with the readers' acquire.
+//   - DEAD is set (under seal, leaf empty, index entry already removed)
+//     when a leaf retires; dead leaves are frozen — their next/anchor stay
+//     readable until epoch reclamation, like marked skip-graph nodes.
+//
+// All slots are std::atomic with relaxed access so optimistic readers are
+// race-free under TSan (same discipline as the PR 6 shard hot-key cache).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/padding.hpp"
+
+namespace lsg::skipgraph {
+
+template <class K, class V, unsigned kSlotsParam = 6>
+struct alignas(lsg::common::kCacheLine) LeafBlock {
+  static constexpr unsigned kSlots = kSlotsParam;
+  static_assert(kSlots >= 2 && kSlots <= 16, "valid bitmap is 16 bits");
+
+  // vseal bits.
+  static constexpr uint64_t kSeal = 1;
+  static constexpr uint64_t kDead = 2;
+  static constexpr uint64_t kVersionStep = 4;
+
+  // flags bits.
+  static constexpr uint8_t kFlagHead = 1u << 0;
+
+  std::atomic<uint64_t> vseal{0};
+  std::atomic<LeafBlock*> next{nullptr};
+  K anchor{};
+  std::atomic<uint32_t> meta{0};
+  uint16_t owner = 0;
+  uint8_t flags = 0;
+  uint8_t pad_ = 0;
+  std::atomic<K> keys[kSlots];
+  std::atomic<V> values[kSlots];
+
+  static constexpr uint32_t pack_meta(unsigned used, uint32_t valid) {
+    return (static_cast<uint32_t>(used) << 16) | (valid & 0xffffu);
+  }
+  static constexpr unsigned meta_used(uint32_t m) { return m >> 16; }
+  static constexpr uint32_t meta_valid(uint32_t m) { return m & 0xffffu; }
+
+  /// Cache lines one wholesale leaf read touches (the seqlock snapshot
+  /// copies the used prefix of both slot arrays, so the whole block is the
+  /// honest unit).
+  static constexpr unsigned kLines =
+      static_cast<unsigned>(sizeof(LeafBlock) / lsg::common::kCacheLine);
+
+  bool is_head() const { return (flags & kFlagHead) != 0; }
+
+  /// Sticky dead bit (acquire: pairs with the retirer's release unseal, so
+  /// an observer of DEAD also sees the index-entry removal that preceded
+  /// it).
+  bool is_dead() const {
+    return (vseal.load(std::memory_order_acquire) & kDead) != 0;
+  }
+
+  // --- reader side ---------------------------------------------------------
+
+  struct Snapshot {
+    uint64_t vseal = 0;
+    uint32_t meta = 0;
+    LeafBlock* next = nullptr;
+    K keys[kSlots];
+    V values[kSlots];
+
+    bool dead() const { return (vseal & kDead) != 0; }
+    unsigned used() const { return meta_used(meta); }
+    uint32_t valid() const { return meta_valid(meta); }
+    bool slot_live(unsigned i) const { return (valid() >> i) & 1u; }
+  };
+
+  /// Validated point-in-time copy. Spins while a writer holds the seal
+  /// (split/insert critical sections are a few dozen instructions; the
+  /// in-seal index update of a split is the long pole and still one
+  /// skip-graph insert).
+  void snapshot(Snapshot& out) const {
+    while (true) {
+      uint64_t v1 = vseal.load(std::memory_order_acquire);
+      if ((v1 & kSeal) != 0) {
+        cpu_relax();
+        continue;
+      }
+      out.meta = meta.load(std::memory_order_relaxed);
+      out.next = next.load(std::memory_order_relaxed);
+      const unsigned used = meta_used(out.meta);
+      for (unsigned i = 0; i < used && i < kSlots; ++i) {
+        out.keys[i] = keys[i].load(std::memory_order_relaxed);
+        out.values[i] = values[i].load(std::memory_order_relaxed);
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (vseal.load(std::memory_order_relaxed) == v1) {
+        out.vseal = v1;
+        return;
+      }
+    }
+  }
+
+  // --- writer side (hold the seal for everything below) --------------------
+
+  /// Acquire the leaf's writer seal. Returns false when the leaf is DEAD
+  /// (it can never be sealed again — the caller must re-route).
+  bool seal() {
+    uint64_t v = vseal.load(std::memory_order_relaxed);
+    while (true) {
+      if ((v & kDead) != 0) return false;
+      if ((v & kSeal) != 0) {
+        cpu_relax();
+        v = vseal.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (vseal.compare_exchange_weak(v, v | kSeal,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Publish sealed mutations: version bump + seal clear, release.
+  void unseal_publish() {
+    uint64_t v = vseal.load(std::memory_order_relaxed);
+    vseal.store((v & ~kSeal) + kVersionStep, std::memory_order_release);
+  }
+
+  /// Retire the leaf: set DEAD, bump the version, drop the seal. The caller
+  /// must have removed the leaf's index entry first (an observer of DEAD
+  /// must also observe that removal — acquire/release on vseal gives the
+  /// happens-before edge).
+  void mark_dead_and_unseal() {
+    uint64_t v = vseal.load(std::memory_order_relaxed);
+    vseal.store(((v | kDead) & ~kSeal) + kVersionStep,
+                std::memory_order_release);
+  }
+
+  unsigned used() const {
+    return meta_used(meta.load(std::memory_order_relaxed));
+  }
+  uint32_t valid_bits() const {
+    return meta_valid(meta.load(std::memory_order_relaxed));
+  }
+  K key_at(unsigned i) const {
+    return keys[i].load(std::memory_order_relaxed);
+  }
+  V value_at(unsigned i) const {
+    return values[i].load(std::memory_order_relaxed);
+  }
+
+  /// Index of `key` among the used slots, or -1. Linear scan: the whole
+  /// array is at most four lines and already in cache after the header.
+  int find_slot(const K& key) const {
+    const unsigned n = used();
+    for (unsigned i = 0; i < n; ++i) {
+      if (key_at(i) == key) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Drop tombstoned slots, keeping live pairs sorted and dense. Returns
+  /// the new used count.
+  unsigned compact() {
+    const uint32_t m = meta.load(std::memory_order_relaxed);
+    const unsigned n = meta_used(m);
+    const uint32_t valid = meta_valid(m);
+    unsigned w = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      if (((valid >> i) & 1u) == 0) continue;
+      if (w != i) {
+        keys[w].store(keys[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+        values[w].store(values[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      }
+      ++w;
+    }
+    meta.store(pack_meta(w, (uint32_t{1} << w) - 1),
+               std::memory_order_relaxed);
+    return w;
+  }
+
+  /// Insert a fresh (key, value) into sorted position. Requires a free
+  /// slot (used() < kSlots) and `key` not among the used slots.
+  void insert_pair(const K& key, const V& value) {
+    const uint32_t m = meta.load(std::memory_order_relaxed);
+    const unsigned n = meta_used(m);
+    const uint32_t valid = meta_valid(m);
+    unsigned pos = n;
+    for (unsigned i = 0; i < n; ++i) {
+      if (key < key_at(i)) {
+        pos = i;
+        break;
+      }
+    }
+    for (unsigned j = n; j > pos; --j) {
+      keys[j].store(keys[j - 1].load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      values[j].store(values[j - 1].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    keys[pos].store(key, std::memory_order_relaxed);
+    values[pos].store(value, std::memory_order_relaxed);
+    const uint32_t below = valid & ((uint32_t{1} << pos) - 1);
+    const uint32_t above = (valid >> pos) << (pos + 1);
+    meta.store(pack_meta(n + 1, below | above | (uint32_t{1} << pos)),
+               std::memory_order_relaxed);
+  }
+
+  /// Reinitialize a recycled (or freshly arena-allocated) block. The block
+  /// must be unreachable; publication happens via the owning structure.
+  void reinit(const K& anchor_key, uint16_t owner_tid, uint8_t flag_bits) {
+    vseal.store(0, std::memory_order_relaxed);
+    next.store(nullptr, std::memory_order_relaxed);
+    anchor = anchor_key;
+    meta.store(0, std::memory_order_relaxed);
+    owner = owner_tid;
+    flags = flag_bits;
+  }
+
+ private:
+  static void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+  }
+};
+
+// Layout pins (tests/test_leaf.cpp adds offsetof checks): for word-sized
+// keys and values the header is exactly half a cache line and the block is
+// 1 / 2 / 4 lines at widths 2 / 6 / 14.
+static_assert(sizeof(LeafBlock<uint64_t, uint64_t, 2>) == 64);
+static_assert(sizeof(LeafBlock<uint64_t, uint64_t, 6>) == 128);
+static_assert(sizeof(LeafBlock<uint64_t, uint64_t, 14>) == 256);
+static_assert(alignof(LeafBlock<uint64_t, uint64_t, 6>) ==
+              lsg::common::kCacheLine);
+
+}  // namespace lsg::skipgraph

@@ -40,6 +40,28 @@ namespace lsg::skipgraph {
 
 inline constexpr unsigned kMaxLevels = 20;
 
+/// Software-prefetch policy for descent walks (SgConfig::prefetch).
+///  - kOff:      no prefetching (ablation floor);
+///  - kDist1:    PR 3 scheme — during level-0 walks, prefetch the current
+///               node's successor one hop ahead;
+///  - kForesight: predicted-descent prefetching (Skiplists-with-Foresight,
+///               arXiv 2606.13321): distance-1 at EVERY level, plus — when a
+///               horizontal walk is about to drop a level — the predicted
+///               next-level target (the pointee of the predecessor's
+///               level-1-down reference), and for multi-line leaf blocks
+///               their second cache line, so the dependent load chain of
+///               the next comparison is already in flight.
+enum class PrefetchMode : uint8_t { kOff = 0, kDist1 = 1, kForesight = 2 };
+
+/// Prefetch one cache line for reading with high temporal locality.
+inline void prefetch_line(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
 template <class K, class V>
 struct SgNode {
   using TP = lsg::common::TaggedPtr<SgNode>;
@@ -93,6 +115,13 @@ struct SgNode {
     __builtin_prefetch(TP::ptr(next_array()[0].load(std::memory_order_relaxed)),
                        /*rw=*/0, /*locality=*/3);
 #endif
+  }
+
+  /// Distance-1 prefetch generalized to any level (foresight mode walks
+  /// prefetch at every level, not just the bottom list).
+  void prefetch_next(unsigned level) const {
+    prefetch_line(
+        TP::ptr(next_array()[level].load(std::memory_order_relaxed)));
   }
 
   /// Allocate a node with storage for height+1 next references, all

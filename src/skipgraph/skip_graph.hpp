@@ -31,6 +31,7 @@
 
 #include "alloc/arena.hpp"
 #include "common/bits.hpp"
+#include "common/padding.hpp"
 #include "common/rng.hpp"
 #include "common/tsc.hpp"
 #include "obs/telemetry.hpp"
@@ -46,6 +47,10 @@ struct SgConfig {
   bool lazy = true;                // valid-bit protocol + commission periods
   uint64_t commission_period = 0;  // cycles; 0 disables retiring via searches
   bool relink = true;              // chain splice vs. per-node splice (ablation)
+  /// Descent prefetch policy (see PrefetchMode in node.hpp). kDist1 is the
+  /// PR 3 scheme and the default; kForesight adds every-level distance-1
+  /// plus predicted next-level-target prefetching.
+  PrefetchMode prefetch = PrefetchMode::kDist1;
 };
 
 template <class K, class V>
@@ -112,19 +117,22 @@ class SkipGraph {
     lsg::stats::WalkTally wt(rec);
     Node* prev = start;
     const unsigned top = start ? start->height : cfg_.max_level;
+    const auto [pf0, fore] = prefetch_plan();
     for (int level = static_cast<int>(top); level >= 0; --level) {
       std::atomic<uintptr_t>* slot =
           prev ? prev->slot(level) : head_slot(level, m);
       int slot_owner = prev ? prev->owner : 0;
       uintptr_t original;
+      const bool pf = level == 0 ? pf0 : fore;
       Node* cur = load_live(wt, slot, slot_owner, level, original);
       while (!cur->is_tail() && cur->key < key) {
-        if (level == 0) cur->prefetch_next0();
+        if (pf) cur->prefetch_next(level);
         prev = cur;
         slot = prev->slot(level);
         slot_owner = prev->owner;
         cur = load_live(wt, slot, slot_owner, level, original);
       }
+      if (fore && level != 0) descend_prefetch(prev, level, m);
       out.pred_slot[level] = slot;
       out.pred_owner[level] = slot_owner;
       out.middle[level] = original;
@@ -143,19 +151,22 @@ class SkipGraph {
     lsg::stats::WalkTally wt(rec);
     Node* prev = start;
     const unsigned top = start ? start->height : cfg_.max_level;
+    const auto [pf0, fore] = prefetch_plan();
     for (int level = static_cast<int>(top); level >= 0; --level) {
       std::atomic<uintptr_t>* slot =
           prev ? prev->slot(level) : head_slot(level, m);
       int slot_owner = prev ? prev->owner : 0;
       uintptr_t original;
+      const bool pf = level == 0 ? pf0 : fore;
       Node* cur = load_live(wt, slot, slot_owner, level, original);
       while (!cur->is_tail() && cur->key < key) {
-        if (level == 0) cur->prefetch_next0();
+        if (pf) cur->prefetch_next(level);
         prev = cur;
         slot = prev->slot(level);
         slot_owner = prev->owner;
         cur = load_live(wt, slot, slot_owner, level, original);
       }
+      if (fore && level != 0) descend_prefetch(prev, level, m);
       if (!cur->is_tail() && cur->key == key && !cur->get_mark(0)) {
         return cur;
       }
@@ -400,8 +411,9 @@ class SkipGraph {
     Node* cur = bottom_seek(lo, m, start, wt);
     // Walk the bottom list raw (no cleanup): report live elements in
     // [lo, hi]. Marked/invalid nodes are skipped, not reported.
+    const bool pf = prefetch_plan().first;
     while (!cur->is_tail() && !(hi < cur->key)) {
-      cur->prefetch_next0();
+      if (pf) cur->prefetch_next0();
       auto [mk, valid] = cur->mark_valid0();
       if (!mk && valid && !(cur->key < lo)) {
         fn(cur->key, cur->load_value());
@@ -425,8 +437,9 @@ class SkipGraph {
     lsg::stats::WalkTally wt(rec);
     Node* cur = bottom_seek(lo, m, start, wt);
     size_t added = 0;
+    const bool pf = prefetch_plan().first;
     while (!cur->is_tail() && !(hi < cur->key) && added < limit) {
-      cur->prefetch_next0();
+      if (pf) cur->prefetch_next0();
       auto [mk, valid] = cur->mark_valid0();
       if (!mk && valid && !(cur->key < lo)) {
         out.emplace_back(cur->key, cur->load_value());
@@ -478,18 +491,22 @@ class SkipGraph {
       if (start != nullptr && !(start->key < target)) start = nullptr;
       Node* prev = start;
       const unsigned top = start ? start->height : cfg_.max_level;
+      const auto [pf0, fore] = prefetch_plan();
       for (int level = static_cast<int>(top); level >= 0; --level) {
         std::atomic<uintptr_t>* slot =
             prev ? prev->slot(level) : head_slot(level, m);
         int slot_owner = prev ? prev->owner : 0;
         uintptr_t original;
+        const bool pf = level == 0 ? pf0 : fore;
         Node* cur = load_live(wt, slot, slot_owner, level, original);
         while (!cur->is_tail() && cur->key < target) {
+          if (pf) cur->prefetch_next(level);
           prev = cur;
           slot = prev->slot(level);
           slot_owner = prev->owner;
           cur = load_live(wt, slot, slot_owner, level, original);
         }
+        if (fore && level != 0) descend_prefetch(prev, level, m);
       }
       if (prev == nullptr) return false;  // nothing precedes target
       auto [mk, valid] = prev->mark_valid0();
@@ -738,6 +755,44 @@ class SkipGraph {
   size_t arena_bytes() const { return arena_.bytes_allocated(); }
 
  private:
+  /// Horizontal-walk prefetch policy per cfg_.prefetch: dist1 keeps PR 3's
+  /// level-0-only one-hop-ahead scheme; foresight issues it at every level.
+  /// cfg_.prefetch is read ONCE per search — load_live can CAS, so the
+  /// compiler would otherwise reload the mode byte at every level, and the
+  /// sparse-descent micro bench sees every per-level instruction. Returns
+  /// {prefetch at level 0, prefetch above level 0 (foresight)}.
+  std::pair<bool, bool> prefetch_plan() const {
+    const PrefetchMode pm = cfg_.prefetch;
+    return {pm != PrefetchMode::kOff, pm == PrefetchMode::kForesight};
+  }
+
+  /// Foresight descent prefetch: the walk at `level` just found its
+  /// predecessor and is about to drop a level. The next comparison's target
+  /// is the pointee of the predecessor's level-1-down reference — issue its
+  /// line now so the load overlaps this level's bookkeeping. Callers gate
+  /// on foresight mode and level != 0.
+  void descend_prefetch(Node* prev, unsigned level, uint32_t m) {
+    std::atomic<uintptr_t>* down =
+        prev ? prev->slot(level - 1) : head_slot(level - 1, m);
+    prefetch_line(TP::ptr(down->load(std::memory_order_relaxed)));
+  }
+
+  /// One node visit during a walk: counts the visit, its touched cache
+  /// lines (towers whose next[level] slot spills past the node's first
+  /// line cost a second), and forwards the extra line to the trace hook.
+  void tally_visit(lsg::stats::WalkTally& wt, const Node* cur,
+                   unsigned level) {
+    const bool two_lines =
+        sizeof(Node) + (level + 1) * sizeof(std::atomic<uintptr_t>) >
+        lsg::common::kCacheLine;
+    wt.node_visited(two_lines ? 2 : 1);
+    wt.read_access(cur->owner, cur);
+    if (two_lines) {
+      wt.touch_line(reinterpret_cast<const char*>(cur) +
+                    lsg::common::kCacheLine);
+    }
+  }
+
   /// Read `slot`, skipping (and possibly unlinking / retiring) dead nodes;
   /// returns the first live node and the raw value actually stored in the
   /// slot (`original`, the paper's originalCurrent / middle). `wt` is the
@@ -751,8 +806,7 @@ class SkipGraph {
       Node* cur = TP::ptr(original);
       bool chain = false;
       while (!cur->is_tail() && (cur->get_mark(0) || check_retire(cur))) {
-        wt.node_visited();
-        wt.read_access(cur->owner, cur);
+        tally_visit(wt, cur, level);
         if (!cfg_.lazy && !cfg_.relink) {
           // Ablation: per-node splice (textbook). One CAS per dead node.
           uintptr_t nxt = cur->next_raw(level);
@@ -790,8 +844,7 @@ class SkipGraph {
         // caller's CAS fails harmlessly.
       }
       if (!cur->is_tail()) {
-        wt.node_visited();
-        wt.read_access(cur->owner, cur);
+        tally_visit(wt, cur, level);
       }
       return cur;
     }
@@ -809,19 +862,22 @@ class SkipGraph {
     Node* prev = start;
     const unsigned top = start ? start->height : cfg_.max_level;
     Node* cur = nullptr;
+    const auto [pf0, fore] = prefetch_plan();
     for (int level = static_cast<int>(top); level >= 0; --level) {
       std::atomic<uintptr_t>* slot =
           prev ? prev->slot(level) : head_slot(level, m);
       int slot_owner = prev ? prev->owner : 0;
       uintptr_t original;
+      const bool pf = level == 0 ? pf0 : fore;
       cur = load_live(wt, slot, slot_owner, level, original);
       while (!cur->is_tail() && cur->key < lo) {
-        if (level == 0) cur->prefetch_next0();
+        if (pf) cur->prefetch_next(level);
         prev = cur;
         slot = prev->slot(level);
         slot_owner = prev->owner;
         cur = load_live(wt, slot, slot_owner, level, original);
       }
+      if (fore && level != 0) descend_prefetch(prev, level, m);
     }
     return cur;
   }

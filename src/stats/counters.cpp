@@ -23,6 +23,7 @@ ThreadCounters snapshot(const detail::AtomicCounters& c) {
   out.cas_success = c.cas_success.load(std::memory_order_relaxed);
   out.cas_failure = c.cas_failure.load(std::memory_order_relaxed);
   out.nodes_traversed = c.nodes_traversed.load(std::memory_order_relaxed);
+  out.lines_traversed = c.lines_traversed.load(std::memory_order_relaxed);
   out.searches = c.searches.load(std::memory_order_relaxed);
   out.operations = c.operations.load(std::memory_order_relaxed);
   return out;
@@ -40,6 +41,7 @@ void reset() {
     c.cas_success.store(0, std::memory_order_relaxed);
     c.cas_failure.store(0, std::memory_order_relaxed);
     c.nodes_traversed.store(0, std::memory_order_relaxed);
+    c.lines_traversed.store(0, std::memory_order_relaxed);
     c.searches.store(0, std::memory_order_relaxed);
     c.operations.store(0, std::memory_order_relaxed);
   }

@@ -56,6 +56,7 @@ struct ThreadCounters {
   uint64_t cas_success = 0;      // maintenance CAS outcomes
   uint64_t cas_failure = 0;
   uint64_t nodes_traversed = 0;  // shared nodes visited during searches
+  uint64_t lines_traversed = 0;  // cache lines those visits touched
   uint64_t searches = 0;
   uint64_t operations = 0;       // completed map operations
 
@@ -67,6 +68,7 @@ struct ThreadCounters {
     cas_success += o.cas_success;
     cas_failure += o.cas_failure;
     nodes_traversed += o.nodes_traversed;
+    lines_traversed += o.lines_traversed;
     searches += o.searches;
     operations += o.operations;
     return *this;
@@ -90,6 +92,7 @@ struct AtomicCounters {
   std::atomic<uint64_t> cas_success{0};
   std::atomic<uint64_t> cas_failure{0};
   std::atomic<uint64_t> nodes_traversed{0};
+  std::atomic<uint64_t> lines_traversed{0};
   std::atomic<uint64_t> searches{0};
   std::atomic<uint64_t> operations{0};
 };
@@ -260,8 +263,30 @@ class Recorder {
     if constexpr (kStatsLevel >= 1) detail::bump(t_->c->searches);
   }
 
-  void node_visited() const {
-    if constexpr (kStatsLevel >= 1) detail::bump(t_->c->nodes_traversed);
+  /// `lines` is how many distinct cache lines the visit examined (1 for a
+  /// packed-header node whose touched fields fit the first line, 2 for a
+  /// tall tower or a two-line leaf block).
+  void node_visited(unsigned lines = 1) const {
+    if constexpr (kStatsLevel >= 1) {
+      detail::bump(t_->c->nodes_traversed);
+      detail::bump_by(t_->c->lines_traversed, lines);
+    }
+  }
+
+  /// Forward an additional touched line (beyond the node's base address,
+  /// which read_access already reports) to the trace hook so cache models
+  /// see every line of a multi-line visit. Counts nothing — pair it with
+  /// the `lines` argument of node_visited.
+  void touch_line(const void* addr) const {
+    if constexpr (kStatsLevel == 0) {
+      (void)addr;
+    } else {
+      if (t_->slow != 0) [[unlikely]] {
+        if (auto* fn = detail::g_trace.load(std::memory_order_relaxed)) {
+          fn(addr);
+        }
+      }
+    }
   }
 
   void op_done() const {
@@ -299,6 +324,7 @@ class WalkTally {
       if (local_reads_ != 0) detail::bump_by(c.local_reads, local_reads_);
       if (remote_reads_ != 0) detail::bump_by(c.remote_reads, remote_reads_);
       if (nodes_ != 0) detail::bump_by(c.nodes_traversed, nodes_);
+      if (lines_ != 0) detail::bump_by(c.lines_traversed, lines_);
     }
   }
   WalkTally(const WalkTally&) = delete;
@@ -325,15 +351,22 @@ class WalkTally {
   }
 
   /// Tallied equivalent of Recorder::node_visited.
-  void node_visited() {
-    if constexpr (kStatsLevel >= 1) ++nodes_;
+  void node_visited(unsigned lines = 1) {
+    if constexpr (kStatsLevel >= 1) {
+      ++nodes_;
+      lines_ += lines;
+    }
   }
+
+  /// Tallied equivalent of Recorder::touch_line (trace-hook-only).
+  void touch_line(const void* addr) { r_.touch_line(addr); }
 
  private:
   const Recorder& r_;
   uint32_t local_reads_ = 0;
   uint32_t remote_reads_ = 0;
   uint32_t nodes_ = 0;
+  uint32_t lines_ = 0;
 };
 
 /// Fetch the calling thread's recording handle: one thread_local access

@@ -1,0 +1,386 @@
+// Fat-leaf tier tests (PR 8): LeafBlock layout pins and seqlock protocol,
+// LeafLayeredMap split/retire lifecycle against a std::map oracle across
+// all three leaf widths, and split/retire racing concurrent scans — both
+// directly on the map and through every range-supporting registry variant
+// (the TSan hammer for the leaf seqlock + blink-chain protocol).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/leaf_layered_map.hpp"
+#include "harness/registry.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace lsg::harness;
+using lsg::skipgraph::LeafBlock;
+using lsg::test::run_threads;
+
+// --- layout pins -----------------------------------------------------------
+
+using Leaf2 = LeafBlock<uint64_t, uint64_t, 2>;
+using Leaf6 = LeafBlock<uint64_t, uint64_t, 6>;
+using Leaf14 = LeafBlock<uint64_t, uint64_t, 14>;
+
+// Whole-block budgets: 1 / 2 / 4 cache lines (the lines-per-search claim in
+// DESIGN.md §12 depends on these numbers; a silent growth past a line
+// boundary would invalidate every BENCH_pr8 comparison).
+static_assert(sizeof(Leaf2) == 64 && Leaf2::kLines == 1);
+static_assert(sizeof(Leaf6) == 128 && Leaf6::kLines == 2);
+static_assert(sizeof(Leaf14) == 256 && Leaf14::kLines == 4);
+static_assert(alignof(Leaf2) == 64 && alignof(Leaf6) == 64 &&
+              alignof(Leaf14) == 64);
+
+// The 32-byte header keeps the SgNode packing discipline: seqlock word,
+// chain pointer, anchor, meta/owner/flags — slots start at byte 32, so the
+// header plus the first two slots' keys share the leading cache line.
+static_assert(offsetof(Leaf6, vseal) == 0);
+static_assert(offsetof(Leaf6, next) == 8);
+static_assert(offsetof(Leaf6, anchor) == 16);
+static_assert(offsetof(Leaf6, meta) == 24);
+static_assert(offsetof(Leaf6, owner) == 28);
+static_assert(offsetof(Leaf6, flags) == 30);
+static_assert(offsetof(Leaf6, keys) == 32);
+static_assert(offsetof(Leaf2, keys) == 32 && offsetof(Leaf14, keys) == 32);
+
+TEST(LeafBlockLayout, HeaderAndSlotPlacement) {
+  // Runtime restatement so a failing pin shows up in ctest output too.
+  EXPECT_EQ(sizeof(Leaf6), 128u);
+  EXPECT_EQ(offsetof(Leaf6, keys), 32u);
+  EXPECT_EQ(offsetof(Leaf6, values), 32u + 6 * sizeof(uint64_t));
+}
+
+// --- LeafBlock unit: seqlock + slot mutation -------------------------------
+
+TEST(LeafBlockTest, InsertPairKeepsSlotsSorted) {
+  Leaf6 lf;
+  lf.reinit(/*anchor=*/0, /*owner=*/0, /*flags=*/0);
+  const uint64_t order[] = {40, 10, 30, 20, 50, 25};
+  for (uint64_t k : order) lf.insert_pair(k, k * 2);
+  ASSERT_EQ(lf.used(), 6u);
+  EXPECT_EQ(lf.valid_bits(), 0x3fu);
+  uint64_t prev = 0;
+  for (unsigned i = 0; i < 6; ++i) {
+    EXPECT_GT(lf.key_at(i), prev);
+    EXPECT_EQ(lf.value_at(i), lf.key_at(i) * 2);
+    prev = lf.key_at(i);
+  }
+}
+
+TEST(LeafBlockTest, TombstoneThenCompact) {
+  Leaf6 lf;
+  lf.reinit(0, 0, 0);
+  for (uint64_t k = 1; k <= 6; ++k) lf.insert_pair(k, k);
+  // Tombstone keys 2 and 5 (clear their valid bits, slots stay).
+  uint32_t valid = lf.valid_bits() & ~(1u << 1) & ~(1u << 4);
+  lf.meta.store(Leaf6::pack_meta(lf.used(), valid), std::memory_order_relaxed);
+  EXPECT_EQ(lf.find_slot(2), 1);  // tombstone still occupies its slot
+  EXPECT_EQ(lf.compact(), 4u);
+  EXPECT_EQ(lf.valid_bits(), 0xfu);
+  const uint64_t expect[] = {1, 3, 4, 6};
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(lf.key_at(i), expect[i]);
+  EXPECT_EQ(lf.find_slot(2), -1);
+}
+
+TEST(LeafBlockTest, SeqlockPublishAndDeath) {
+  Leaf6 lf;
+  lf.reinit(7, 3, 0);
+  Leaf6::Snapshot s1;
+  lf.snapshot(s1);
+  EXPECT_FALSE(s1.dead());
+  EXPECT_EQ(s1.used(), 0u);
+
+  ASSERT_TRUE(lf.seal());
+  lf.insert_pair(8, 80);
+  lf.unseal_publish();
+  Leaf6::Snapshot s2;
+  lf.snapshot(s2);
+  EXPECT_GT(s2.vseal, s1.vseal);  // version bumped by the publish
+  ASSERT_EQ(s2.used(), 1u);
+  EXPECT_EQ(s2.keys[0], 8u);
+  EXPECT_EQ(s2.values[0], 80u);
+
+  ASSERT_TRUE(lf.seal());
+  lf.mark_dead_and_unseal();
+  EXPECT_TRUE(lf.is_dead());
+  EXPECT_FALSE(lf.seal()) << "dead leaves can never be sealed again";
+  Leaf6::Snapshot s3;
+  lf.snapshot(s3);  // dead leaves stay snapshot-readable (frozen)
+  EXPECT_TRUE(s3.dead());
+}
+
+// --- LeafLayeredMap lifecycle (sequential, all widths) ---------------------
+
+template <unsigned kWidth>
+class LeafMapWidth : public lsg::test::RegistryFixture {
+ protected:
+  using Map = lsg::core::LeafLayeredMap<uint64_t, uint64_t, kWidth>;
+  lsg::core::LayeredOptions opts_{};
+  void SetUp() override {
+    lsg::test::RegistryFixture::SetUp();
+    opts_.num_threads = 4;
+  }
+};
+
+using Widths = ::testing::Types<std::integral_constant<unsigned, 2>,
+                                std::integral_constant<unsigned, 6>,
+                                std::integral_constant<unsigned, 14>>;
+
+template <class W>
+class LeafMapLifecycle : public LeafMapWidth<W::value> {};
+TYPED_TEST_SUITE(LeafMapLifecycle, Widths);
+
+TYPED_TEST(LeafMapLifecycle, SplitGrowsChainAndPreservesSet) {
+  constexpr unsigned kW = TypeParam::value;
+  typename TestFixture::Map m(this->opts_);
+  m.thread_init();
+  EXPECT_EQ(m.leaf_count(), 1u);  // head only
+  constexpr uint64_t kN = 200;
+  for (uint64_t k = 1; k <= kN; ++k) ASSERT_TRUE(m.insert(k * 3, k));
+  // kN keys at kW slots per leaf must have split into at least kN/kW leaves.
+  EXPECT_GE(m.leaf_count(), kN / kW);
+  auto set = m.abstract_set();
+  ASSERT_EQ(set.size(), kN);
+  EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+  for (uint64_t k = 1; k <= kN; ++k) EXPECT_TRUE(m.contains(k * 3));
+  EXPECT_FALSE(m.contains(1));
+}
+
+TYPED_TEST(LeafMapLifecycle, EmptiedLeavesRetireAndRecycle) {
+  typename TestFixture::Map m(this->opts_);
+  m.thread_init();
+  constexpr uint64_t kN = 120;
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.insert(k, k));
+  const size_t peak = m.leaf_count();
+  ASSERT_GT(peak, 1u);
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.remove(k));
+  EXPECT_TRUE(m.abstract_set().empty());
+  // Refill: writers splice the dead leaves out of the chain as they pass,
+  // and the EBR hands the blocks back through the free list.
+  for (uint64_t k = 0; k < kN; ++k) ASSERT_TRUE(m.insert(k, k + 1));
+  EXPECT_LE(m.leaf_count(), peak + 1);
+  uint64_t v = 0;
+  ASSERT_TRUE(m.get(7, v));
+  EXPECT_EQ(v, 8u);
+  EXPECT_GT(m.recycled_leaves() + (m.leaf_count() - 1), 0u);
+}
+
+TYPED_TEST(LeafMapLifecycle, TombstoneReviveTakesNewValue) {
+  typename TestFixture::Map m(this->opts_);
+  m.thread_init();
+  ASSERT_TRUE(m.insert(10, 100));
+  ASSERT_TRUE(m.insert(11, 110));  // keeps the leaf non-empty on remove
+  ASSERT_FALSE(m.insert(10, 999)) << "duplicate insert must fail";
+  ASSERT_TRUE(m.remove(10));
+  EXPECT_FALSE(m.contains(10));
+  ASSERT_TRUE(m.insert(10, 200)) << "reinsert over a tombstone";
+  uint64_t v = 0;
+  ASSERT_TRUE(m.get(10, v));
+  EXPECT_EQ(v, 200u);
+}
+
+TYPED_TEST(LeafMapLifecycle, OracleChurnWithRanges) {
+  typename TestFixture::Map m(this->opts_);
+  m.thread_init();
+  lsg::common::Xoshiro256 rng(0xF00D + TypeParam::value);
+  std::map<uint64_t, uint64_t> oracle;
+  constexpr uint64_t kSpace = 400;
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (int i = 0; i < 12000; ++i) {
+    uint64_t k = rng.next_bounded(kSpace);
+    switch (rng.next_bounded(4)) {
+      case 0:
+      case 1:
+        ASSERT_EQ(m.insert(k, k + i), oracle.emplace(k, k + i).second) << i;
+        break;
+      case 2:
+        ASSERT_EQ(m.remove(k), oracle.erase(k) > 0) << i;
+        break;
+      default:
+        ASSERT_EQ(m.contains(k), oracle.count(k) > 0) << i;
+    }
+    if (i % 500 != 0) continue;
+    out.clear();
+    ASSERT_EQ(m.collect_range(0, kSpace, kSpace + 1, out), oracle.size());
+    auto it = oracle.begin();
+    for (const auto& kv : out) {
+      ASSERT_EQ(kv.first, it->first) << i;
+      ASSERT_EQ(kv.second, it->second) << i;
+      ++it;
+    }
+    uint64_t probe = rng.next_bounded(kSpace);
+    uint64_t ok = 0, ov = 0;
+    auto ub = oracle.upper_bound(probe);
+    ASSERT_EQ(m.succ(probe, ok, ov), ub != oracle.end()) << i;
+    if (ub != oracle.end()) EXPECT_EQ(ok, ub->first);
+    auto lb = oracle.lower_bound(probe);
+    ASSERT_EQ(m.pred(probe, ok, ov), lb != oracle.begin()) << i;
+    if (lb != oracle.begin()) EXPECT_EQ(ok, std::prev(lb)->first);
+  }
+}
+
+TYPED_TEST(LeafMapLifecycle, BulkLoadCursorMatchesPointInserts) {
+  typename TestFixture::Map m(this->opts_);
+  m.thread_init();
+  std::vector<std::pair<uint64_t, uint64_t>> items;
+  for (uint64_t k = 0; k < 300; k += 2) items.emplace_back(k, k + 1);
+  EXPECT_EQ(m.bulk_load(items), items.size());
+  EXPECT_EQ(m.bulk_load(items), 0u) << "reload is all duplicates";
+  auto set = m.abstract_set();
+  ASSERT_EQ(set.size(), items.size());
+  EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+  // The append-dense split rule must not leave pathological one-key leaves:
+  // ascending load packs each leaf to capacity before opening the next.
+  EXPECT_LE(m.leaf_count(),
+            items.size() / TestFixture::Map::leaf_slots() + 2);
+}
+
+// --- split/retire under concurrent scans (the TSan hammer) -----------------
+
+/// Direct hammer at width 2: every third insert splits and every pair of
+/// removes empties a leaf, so the scanner's blink walk continuously crosses
+/// split/retire boundaries while the seqlock protects each block.
+TEST(LeafMapConcurrent, SplitRetireUnderScanWidth2) {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+  lsg::core::LayeredOptions o;
+  o.num_threads = 4;
+  lsg::core::LeafLayeredMap<uint64_t, uint64_t, 2> m(o);
+  constexpr uint64_t kSpace = 128;
+  constexpr uint64_t kStable = 64;  // keys >= kSpace: inserted once, kept
+  m.thread_init();
+  for (uint64_t k = kSpace; k < kSpace + kStable; ++k) {
+    ASSERT_TRUE(m.insert(k, k));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> scans{0};
+  run_threads(4, [&](int t) {
+    m.thread_init();
+    if (t == 0) {
+      std::vector<std::pair<uint64_t, uint64_t>> out;
+      do {
+        out.clear();
+        m.collect_range(0, kSpace + kStable, kSpace + kStable, out);
+        ASSERT_TRUE(std::is_sorted(out.begin(), out.end()));
+        size_t stable_seen = 0;
+        uint64_t prev_key = ~uint64_t{0};
+        for (const auto& kv : out) {
+          ASSERT_NE(kv.first, prev_key) << "duplicate key in collect";
+          prev_key = kv.first;
+          if (kv.first >= kSpace) {
+            ++stable_seen;
+            ASSERT_EQ(kv.second, kv.first) << "stable value corrupted";
+          }
+        }
+        ASSERT_EQ(stable_seen, kStable);
+        scans.fetch_add(1);
+        uint64_t ok = 0, ov = 0;
+        ASSERT_TRUE(m.pred(kSpace + kStable, ok, ov));
+        ASSERT_EQ(ok, kSpace + kStable - 1);
+        if (m.succ(kSpace - 1, ok, ov)) ASSERT_GE(ok, kSpace);
+      } while (!stop.load(std::memory_order_acquire));
+    } else {
+      lsg::common::Xoshiro256 rng(t * 131 + 17);
+      for (int i = 0; i < 4000; ++i) {
+        uint64_t k = rng.next_bounded(kSpace);
+        if (rng.next_bounded(2) == 0) {
+          m.insert(k, k);
+        } else {
+          m.remove(k);
+        }
+        if (i % 64 == 0) {
+          uint64_t v;
+          m.get(k, v);
+        }
+      }
+      if (t == 1) stop.store(true, std::memory_order_release);
+    }
+  }, /*reset_registry=*/false);
+  EXPECT_GT(scans.load(), 0);
+  auto set = m.abstract_set();
+  EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+  EXPECT_EQ(std::adjacent_find(set.begin(), set.end()), set.end());
+}
+
+/// The same protocol exercised through the registry for EVERY variant that
+/// supports ranges — scans race a churn pattern biased to drain and refill
+/// whole key blocks (maximum split/retire pressure on block-structured
+/// variants, plain churn elsewhere). Non-range variants skip.
+class SplitMergeScanHammer : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    lsg::numa::ThreadRegistry::configure(
+        lsg::numa::Topology::paper_machine());
+    lsg::numa::ThreadRegistry::reset();
+    lsg::stats::sync_topology();
+    lsg::stats::reset();
+    cfg_.algorithm = GetParam();
+    cfg_.threads = 4;
+    cfg_.key_space = 1 << 12;
+    map_ = make_map(GetParam(), cfg_);
+  }
+  TrialConfig cfg_;
+  std::unique_ptr<IMap> map_;
+};
+
+TEST_P(SplitMergeScanHammer, ScansSurviveBlockDrainRefill) {
+  if (!map_->supports_range()) {
+    GTEST_SKIP() << GetParam() << " does not support ranges";
+  }
+  constexpr uint64_t kBlocks = 8;
+  constexpr uint64_t kBlock = 16;  // churners drain/refill 16-key blocks
+  constexpr uint64_t kSpace = kBlocks * kBlock;
+  constexpr uint64_t kStable = 48;
+  IMap* map = map_.get();
+  for (uint64_t k = kSpace; k < kSpace + kStable; ++k) {
+    ASSERT_TRUE(map->insert(k, k));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> scans{0};
+  run_threads(4, [&](int t) {
+    map->thread_init();
+    if (t == 0) {
+      ScanBuffer out;
+      do {
+        map->scan(0, kSpace + kStable, out);
+        ASSERT_TRUE(std::is_sorted(out.begin(), out.end()));
+        size_t stable_seen = 0;
+        uint64_t prev_key = ~uint64_t{0};
+        for (const auto& kv : out) {
+          ASSERT_NE(kv.first, prev_key) << "duplicate key in scan";
+          prev_key = kv.first;
+          ASSERT_LT(kv.first, kSpace + kStable);
+          if (kv.first >= kSpace) ++stable_seen;
+        }
+        ASSERT_EQ(stable_seen, kStable);
+        scans.fetch_add(1);
+      } while (!stop.load(std::memory_order_acquire));
+    } else {
+      // Drain/refill sweeps: remove a whole contiguous block then reinsert
+      // it — on the leaf tier every sweep retires and re-splits leaves.
+      lsg::common::Xoshiro256 rng(t * 67 + 5);
+      for (int round = 0; round < 120; ++round) {
+        uint64_t base = rng.next_bounded(kBlocks) * kBlock;
+        for (uint64_t k = base; k < base + kBlock; ++k) map->insert(k, k);
+        for (uint64_t k = base; k < base + kBlock; ++k) map->remove(k);
+      }
+      if (t == 1) stop.store(true, std::memory_order_release);
+    }
+  }, /*reset_registry=*/false);
+  EXPECT_GT(scans.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SplitMergeScanHammer,
+                         ::testing::ValuesIn(algorithm_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace

@@ -3,21 +3,28 @@
 
 Usage:
   tools/compare_bench.py BEFORE.json AFTER.json [--threshold 0.10]
-  tools/compare_bench.py BENCH_pr3.json AFTER.json   # {before,after} wrapper
+  tools/compare_bench.py BENCH_pr8.json AFTER.json   # {before,after} wrapper
+  tools/compare_bench.py BASE.json AFTER.json \\
+      --tolerance 'BM_LeafLayered*=0.25' --tolerance BM_Xoshiro=0.50
 
 Inputs are either raw google-benchmark JSON files (--benchmark_out) or a
 wrapper object {"before": <gbench json>, "after": <gbench json>} like the
 committed BENCH_*.json baselines; for a wrapper passed as BEFORE, its
 "before" member is used (pass the same wrapper as AFTER to use its "after"
-member — i.e. `compare_bench.py BENCH_pr3.json BENCH_pr3.json` rechecks the
+member — i.e. `compare_bench.py BENCH_pr8.json BENCH_pr8.json` rechecks the
 committed pair).
 
-Prints a per-benchmark real_time delta table and exits non-zero when any
-shared benchmark regressed by more than the threshold (default +10%).
+Prints a per-benchmark real_time delta table. The exit status is nonzero
+ONLY for genuine regressions: a benchmark present in both files whose
+real_time grew past its tolerance (--tolerance glob override, else
+--threshold). Benchmarks with no baseline entry ("no baseline for <name>")
+and baseline entries with no candidate run are reported but never fail the
+comparison — renaming or adding benchmarks must not break CI.
 Stdlib only — no pip dependencies.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -46,6 +53,33 @@ def load_times(path, member):
     return times
 
 
+def parse_tolerances(specs):
+    """['GLOB=0.25', ...] -> [(glob, 0.25), ...], first match wins."""
+    out = []
+    for spec in specs:
+        pattern, eq, value = spec.rpartition("=")
+        if not eq or not pattern:
+            raise SystemExit(
+                f"--tolerance {spec!r}: expected GLOB=FRACTION "
+                "(e.g. 'BM_LeafLayered*=0.25')"
+            )
+        try:
+            frac = float(value)
+        except ValueError:
+            raise SystemExit(f"--tolerance {spec!r}: {value!r} is not a number")
+        if frac < 0:
+            raise SystemExit(f"--tolerance {spec!r}: fraction must be >= 0")
+        out.append((pattern, frac))
+    return out
+
+
+def tolerance_for(name, overrides, default):
+    for pattern, frac in overrides:
+        if fnmatch.fnmatchcase(name, pattern):
+            return frac
+    return default
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("before", help="baseline gbench JSON (or {before,after} wrapper)")
@@ -57,44 +91,69 @@ def main():
         help="relative real_time increase treated as a regression "
         "(default 0.10 = +10%%)",
     )
+    ap.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        metavar="GLOB=FRACTION",
+        help="per-benchmark override of --threshold; glob matched against "
+        "the benchmark name, first match wins (repeatable)",
+    )
     args = ap.parse_args()
+    overrides = parse_tolerances(args.tolerance)
 
     before = load_times(args.before, "before")
     after = load_times(args.after, "after")
 
     shared = sorted(set(before) & set(after))
+    no_baseline = sorted(set(after) - set(before))
+    not_rerun = sorted(set(before) - set(after))
+
     if not shared:
-        raise SystemExit("no benchmark names in common; nothing to compare")
+        # A disjoint pair means the candidate suite has no committed
+        # baseline yet (new bench binary, renamed roster). That is a
+        # coverage note, not a regression — report and succeed.
+        for name in no_baseline:
+            print(f"no baseline for {name} — skipped (not in {args.before})")
+        print(
+            f"\nOK: no benchmark names in common between {args.before} and "
+            f"{args.after}; nothing to compare (not a regression)"
+        )
+        return 0
 
     width = max(len(n) for n in shared)
-    print(f"{'benchmark':{width}}  {'before':>12}  {'after':>12}  {'delta':>8}")
+    print(
+        f"{'benchmark':{width}}  {'before':>12}  {'after':>12}  {'delta':>8}"
+        f"  {'tol':>6}"
+    )
     regressions = []
     for name in shared:
         b, a = before[name], after[name]
+        tol = tolerance_for(name, overrides, args.threshold)
         delta = (a - b) / b if b else 0.0
         flag = ""
-        if delta > args.threshold:
+        if delta > tol:
             flag = "  << REGRESSION"
-            regressions.append((name, delta))
-        print(f"{name:{width}}  {b:12.1f}  {a:12.1f}  {delta:+7.1%}{flag}")
+            regressions.append((name, delta, tol))
+        print(
+            f"{name:{width}}  {b:12.1f}  {a:12.1f}  {delta:+7.1%}"
+            f"  {tol:5.0%}{flag}"
+        )
 
-    only_before = sorted(set(before) - set(after))
-    only_after = sorted(set(after) - set(before))
-    if only_before:
-        print(f"missing from after: {', '.join(only_before)}")
-    if only_after:
-        print(f"new in after: {', '.join(only_after)}")
+    for name in no_baseline:
+        print(f"no baseline for {name} — skipped (not in {args.before})")
+    if not_rerun:
+        print(f"baseline-only (not re-run): {', '.join(not_rerun)}")
 
     if regressions:
         print(
-            f"\n{len(regressions)} benchmark(s) regressed more than "
-            f"{args.threshold:+.0%}:",
+            f"\n{len(regressions)} benchmark(s) regressed past tolerance:",
             file=sys.stderr,
         )
-        for name, delta in regressions:
-            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        for name, delta, tol in regressions:
+            print(f"  {name}: {delta:+.1%} (tolerance {tol:+.0%})", file=sys.stderr)
         return 1
-    print(f"\nOK: no benchmark regressed more than {args.threshold:+.0%}")
+    print(f"\nOK: no benchmark regressed past its tolerance")
     return 0
 
 
