@@ -1,5 +1,6 @@
 #include "harness/cli.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +55,27 @@ std::string cli_usage() {
       "  -i PCT    initial fill, % of range      [20]\n"
       "  -s SEED   rng seed                      [42]\n"
       "  -n N      runs to average               [1]\n"
+      "  --dist D         key distribution: uniform | zipf | hotspot |\n"
+      "                   affine (socket-sliced)               [uniform]\n"
+      "  --zipf-theta X   Zipfian exponent, (0, 1); only with --dist zipf\n"
+      "                   [0.99]\n"
+      "  --hot-frac X     hot-window fraction, (0, 1); only with\n"
+      "                   --dist hotspot                       [0.1]\n"
+      "  --hot-pct N      %% of draws landing in the window    [90]\n"
+      "  --hot-shift N    draws between hot-window shifts      [8192]\n"
+      "  --mix M          YCSB-style preset A|B|C|D|E|F (sets -u and\n"
+      "                   --scan-frac; conflicts with both)\n"
+      "  --phases SPEC    op-count phase schedule NAME:uU[sS]:OPS,...\n"
+      "                   e.g. load:u100:4000,read:u5:8000,churn:u50s10:8000\n"
+      "                   (phased trials run the schedule, not the clock;\n"
+      "                   conflicts with -d, -u, --scan-frac, --mix)\n"
+      "  --tenants N      concurrent map instances sharing the arena/EBR/\n"
+      "                   registry; worker w drives map w%%N       [1]\n"
+      "  --sockets N      simulated topology: socket count        [2]\n"
+      "  --cores N        cores per socket (0 = fit threads)      [0]\n"
+      "  --smt N          hardware threads per core               [2]\n"
+      "  --local-dist N   intra-socket numactl distance           [10]\n"
+      "  --remote-dist N  inter-socket numactl distance           [21]\n"
       "  -H        collect + print heatmaps\n"
       "  -L        print locality metrics\n"
       "  --csv F   append a CSV row per trial to F\n"
@@ -77,6 +99,12 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   CliOptions o;
   o.cfg.threads = 4;
   o.cfg.duration_ms = 200;
+  // Knob-misuse audit (PR 9): remember which workload knobs were given
+  // explicitly so combinations that would silently ignore one fail loudly
+  // at parse time instead.
+  bool saw_duration = false, saw_update = false, saw_scan_frac = false;
+  bool saw_mix = false, saw_zipf = false, saw_hot = false;
+  std::string mix_name;
   auto need = [&](int i) -> const char* {
     if (i + 1 >= argc) return nullptr;
     return argv[i + 1];
@@ -125,6 +153,135 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         return o;
       }
       o.cfg.scan_pct = static_cast<int>(n);
+      saw_scan_frac = true;
+    } else if (arg == "--dist") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--dist requires a distribution name";
+        return o;
+      }
+      try {
+        (void)parse_distribution(v);
+      } catch (const std::invalid_argument& e) {
+        o.error = e.what();
+        return o;
+      }
+      o.cfg.dist = v;
+    } else if (arg == "--zipf-theta") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--zipf-theta requires a value";
+        return o;
+      }
+      char* end = nullptr;
+      double x = std::strtod(v, &end);
+      if (end == v || *end != '\0' || x <= 0.0 || x >= 1.0) {
+        o.error = "zipf theta must be in (0, 1)";
+        return o;
+      }
+      o.cfg.zipf_theta = x;
+      saw_zipf = true;
+    } else if (arg == "--hot-frac") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--hot-frac requires a value";
+        return o;
+      }
+      char* end = nullptr;
+      double x = std::strtod(v, &end);
+      if (end == v || *end != '\0' || x <= 0.0 || x >= 1.0) {
+        o.error = "hot fraction must be in (0, 1)";
+        return o;
+      }
+      o.cfg.hot_frac = x;
+      saw_hot = true;
+    } else if (arg == "--hot-pct") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--hot-pct requires a percentage";
+        return o;
+      }
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0 || n > 100) {
+        o.error = "hot percentage must be in [0, 100]";
+        return o;
+      }
+      o.cfg.hot_pct = static_cast<int>(n);
+      saw_hot = true;
+    } else if (arg == "--hot-shift") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--hot-shift requires a draw count";
+        return o;
+      }
+      char* end = nullptr;
+      long long n = std::strtoll(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1) {
+        o.error = "hot shift cadence must be positive";
+        return o;
+      }
+      o.cfg.hot_shift_ops = static_cast<uint64_t>(n);
+      saw_hot = true;
+    } else if (arg == "--mix") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--mix requires a preset name (A..F)";
+        return o;
+      }
+      mix_name = v;
+      saw_mix = true;
+    } else if (arg == "--phases") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--phases requires a schedule spec";
+        return o;
+      }
+      try {
+        o.cfg.phases = parse_phases(v);
+      } catch (const std::invalid_argument& e) {
+        o.error = e.what();
+        return o;
+      }
+    } else if (arg == "--tenants") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--tenants requires a count";
+        return o;
+      }
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1 || n > 255) {
+        o.error = "tenants must be in [1, 255]";
+        return o;
+      }
+      o.cfg.tenants = static_cast<int>(n);
+    } else if (arg == "--sockets" || arg == "--cores" || arg == "--smt" ||
+               arg == "--local-dist" || arg == "--remote-dist") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = arg + " requires a value";
+        return o;
+      }
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      bool is_cores = arg == "--cores";
+      if (end == v || *end != '\0' || n < (is_cores ? 0 : 1) || n > 1024) {
+        o.error = arg + " must be a positive integer";
+        return o;
+      }
+      o.custom_topology = true;
+      if (arg == "--sockets") {
+        o.topo_sockets = static_cast<int>(n);
+      } else if (arg == "--cores") {
+        o.topo_cores = static_cast<int>(n);
+      } else if (arg == "--smt") {
+        o.topo_smt = static_cast<int>(n);
+      } else if (arg == "--local-dist") {
+        o.topo_local = static_cast<int>(n);
+      } else {
+        o.topo_remote = static_cast<int>(n);
+      }
     } else if (arg == "--scan-len") {
       const char* v = need(i++);
       if (!v) {
@@ -241,12 +398,14 @@ CliOptions parse_cli(int argc, const char* const* argv) {
           return o;
         }
         o.cfg.duration_ms = static_cast<int>(n);
+        saw_duration = true;
       } else if (arg == "-u") {
         if (n < 0 || n > 100) {
           o.error = "update percentage must be in [0, 100]";
           return o;
         }
         o.cfg.update_pct = static_cast<int>(n);
+        saw_update = true;
       } else if (arg == "-i") {
         if (n < 0 || n > 100) {
           o.error = "initial fill must be in [0, 100]";
@@ -270,6 +429,60 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   if (o.cfg.update_pct + o.cfg.scan_pct > 100) {
     o.error = "update percentage + scan fraction must not exceed 100";
     return o;
+  }
+  // Cross-flag audit: every combination where one knob would override or
+  // silently ignore another is an error, not a fold (DESIGN.md §13).
+  if (saw_mix && (saw_update || saw_scan_frac)) {
+    o.error = "--mix conflicts with -u/--scan-frac (the preset sets both)";
+    return o;
+  }
+  if (!o.cfg.phases.empty()) {
+    if (saw_mix) {
+      o.error = "--phases conflicts with --mix (phases carry per-phase mixes)";
+      return o;
+    }
+    if (saw_update || saw_scan_frac) {
+      o.error =
+          "--phases conflicts with -u/--scan-frac (phases carry per-phase "
+          "mixes)";
+      return o;
+    }
+    if (saw_duration) {
+      o.error =
+          "-d is unused by phased trials (the op-count schedule bounds the "
+          "run); remove it";
+      return o;
+    }
+  }
+  if (saw_zipf && o.cfg.dist != "zipf") {
+    o.error = "--zipf-theta requires --dist zipf (it would be ignored)";
+    return o;
+  }
+  if (saw_hot && o.cfg.dist != "hotspot") {
+    o.error =
+        "--hot-frac/--hot-pct/--hot-shift require --dist hotspot (they "
+        "would be ignored)";
+    return o;
+  }
+  if (o.cfg.dist == "zipf" && o.cfg.key_space > kMaxZipfKeySpace) {
+    o.error = "zipf key range is capped at 2^24 (zeta table size)";
+    return o;
+  }
+  if (o.cfg.tenants > o.cfg.threads) {
+    o.error = "tenants must not exceed threads (each tenant needs a worker)";
+    return o;
+  }
+  if (o.custom_topology && o.topo_remote < o.topo_local) {
+    o.error = "remote distance must be >= local distance";
+    return o;
+  }
+  if (saw_mix) {
+    try {
+      apply_mix(o.cfg, mix_name);
+    } catch (const std::invalid_argument& e) {
+      o.error = e.what();
+      return o;
+    }
   }
   return o;
 }
@@ -299,7 +512,17 @@ int run_cli(int argc, const char* const* argv) {
                  o.cfg.algorithm.c_str());
     return 2;
   }
-  o.cfg.topology = locality_topology(o.cfg.threads);
+  if (o.custom_topology) {
+    const int lanes = o.topo_sockets * o.topo_smt;
+    const int cores =
+        o.topo_cores > 0
+            ? o.topo_cores
+            : std::max(1, (o.cfg.threads + lanes - 1) / lanes);
+    o.cfg.topology = lsg::numa::Topology::uniform(
+        o.topo_sockets, cores, o.topo_smt, o.topo_local, o.topo_remote);
+  } else {
+    o.cfg.topology = locality_topology(o.cfg.threads);
+  }
   print_banner("lsg_cli", o.cfg);
   TrialResult r;
   try {
@@ -312,6 +535,8 @@ int run_cli(int argc, const char* const* argv) {
   }
   print_throughput_header();
   print_throughput_row(r);
+  print_phase_stats(r);   // no-op unless the trial was phased
+  print_tenant_stats(r);  // no-op unless tenants > 1
   if (o.locality_report) {
     print_locality_header();
     print_locality_row(r);

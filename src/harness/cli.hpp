@@ -17,6 +17,17 @@ struct CliOptions {
   std::string csv_path;          // append result rows to this CSV
   std::string json_path;         // append the JSON trial record here too
   std::string error;             // non-empty => parse failure
+
+  /// Simulated-topology overrides (--sockets/--cores/--smt/--local-dist/
+  /// --remote-dist). When custom_topology is set, run_cli builds
+  /// Topology::uniform from these instead of the thread-count heuristic
+  /// (topo_cores == 0 derives cores from the thread count).
+  bool custom_topology = false;
+  int topo_sockets = 2;
+  int topo_cores = 0;
+  int topo_smt = 2;
+  int topo_local = 10;
+  int topo_remote = 21;
 };
 
 /// Flags (Synchrobench-compatible where applicable):
@@ -28,6 +39,17 @@ struct CliOptions {
 ///   -i PCT    initial fill as a percentage of the key range
 ///   -s SEED   RNG seed
 ///   -n N      number of runs to average
+///   --dist D         key distribution: uniform | zipf | hotspot | affine
+///   --zipf-theta X   Zipfian exponent in (0, 1)        (needs --dist zipf)
+///   --hot-frac X     hot window fraction in (0, 1]  (needs --dist hotspot)
+///   --hot-pct N      percentage of draws in the window       (dito)
+///   --hot-shift N    draws between window shifts             (dito)
+///   --mix M          YCSB-style preset A..F (conflicts with -u/--scan-frac)
+///   --phases SPEC    op-count schedule NAME:uU[sS]:OPS,... (phased mode;
+///                    conflicts with -d/-u/--scan-frac/--mix)
+///   --tenants N      concurrent map instances on shared infrastructure
+///   --sockets/--cores/--smt/--local-dist/--remote-dist
+///                    simulated topology override (topo_sweep grid points)
 ///   -H        collect and print heatmaps
 ///   -L        print locality metrics (local/remote reads & CAS, CAS rate)
 ///   --csv F   append a CSV row per trial to file F

@@ -27,6 +27,22 @@ TrialResult run_trial(const TrialConfig& cfg) {
 TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   using clock = std::chrono::steady_clock;
 
+  const int T = cfg.threads;
+  const int tenants = cfg.tenants;
+  // Validate the workload shape before any thread exists, so bad configs
+  // fail fast and loud (the workload-knob audit: nothing is silently
+  // ignored or folded).
+  if (tenants < 1 || tenants > T) {
+    throw std::invalid_argument(
+        "tenants must be in [1, threads]: tenants=" + std::to_string(tenants) +
+        " threads=" + std::to_string(T));
+  }
+  // Constructing a ThreadWorkload validates the distribution parameters
+  // (keygen.hpp throws on out-of-range theta, hot window, zeta size).
+  { ThreadWorkload probe(cfg, /*thread_id=*/0); }
+  const bool phased = !cfg.phases.empty();
+  const size_t num_phases = phased ? cfg.phases.size() : 1;
+
   lsg::stats::disable_heatmaps();
   lsg::numa::ThreadRegistry::reset();
   lsg::numa::ThreadRegistry::configure(cfg.topology);
@@ -42,8 +58,10 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   lsg::obs::trace_reset();
   lsg::obs::trace_set_enabled(trace_on);
 
-  const int T = cfg.threads;
-  std::atomic<IMap*> shared_map{nullptr};
+  // Tenant maps are built after the workers park; workers read their own
+  // tenant's slot once maps_ready is released.
+  std::vector<std::unique_ptr<IMap>> maps(tenants);
+  std::atomic<bool> maps_ready{false};
   std::atomic<bool> abort_trial{false};
   std::atomic<int> ready{0};
   std::atomic<bool> start{false};
@@ -54,7 +72,9 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   const uint64_t preload_target = static_cast<uint64_t>(
       static_cast<double>(cfg.key_space) * cfg.preload_fraction);
 
-  std::vector<OpTally> tallies(T);
+  // tallies[w][p]: worker w's counts in phase p (one phase unless phased).
+  std::vector<std::vector<OpTally>> tallies(
+      T, std::vector<OpTally>(num_phases));
   std::vector<lsg::obs::PerfCounts> perf_counts(T);
   std::vector<std::thread> workers;
   workers.reserve(T);
@@ -78,22 +98,26 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
       }
       ready.fetch_add(1);
 
-      IMap* map = nullptr;
-      while ((map = shared_map.load(std::memory_order_acquire)) == nullptr) {
+      while (!maps_ready.load(std::memory_order_acquire)) {
         if (abort_trial.load(std::memory_order_acquire)) return;
         std::this_thread::yield();
       }
+      const int tenant = i % tenants;
+      IMap* map = maps[static_cast<size_t>(tenant)].get();
       map->thread_init();
 
-      // Preload phase: each worker owns an equal share of the preloaded
-      // population (a per-thread quota, not a shared counter: on machines
-      // with fewer cores than workers a shared counter lets the first
-      // scheduled worker insert everything, leaving the other local
+      // Preload phase: each worker owns an equal share of its tenant's
+      // preloaded population (a per-thread quota, not a shared counter: on
+      // machines with fewer cores than workers a shared counter lets the
+      // first scheduled worker insert everything, leaving the other local
       // structures empty — unlike the paper's parallel preload).
-      ThreadWorkload preload_wl(cfg, /*thread_id=*/i + 4096);
+      ThreadWorkload preload_wl(cfg, /*thread_id=*/i + 4096,
+                                /*affine_thread=*/i);
+      const int peers = T / tenants + (tenant < T % tenants ? 1 : 0);
+      const uint64_t within = static_cast<uint64_t>(i / tenants);
       const uint64_t quota =
-          preload_target / T +
-          (static_cast<uint64_t>(i) < preload_target % T ? 1 : 0);
+          preload_target / peers +
+          (within < preload_target % static_cast<uint64_t>(peers) ? 1 : 0);
       uint64_t mine = 0;
       while (mine < quota) {
         uint64_t k = preload_wl.random_key();
@@ -114,41 +138,48 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
       if (perf_on) perf_group.reset_and_enable();
 
       ThreadWorkload wl(cfg, i);
-      OpTally t;
       // One virtual call for the whole measured phase; MapAdapter's
       // override runs the loop with static per-op dispatch (imap.hpp).
-      map->run_op_loop(wl, stop, t);
+      if (phased) {
+        map->run_phased_op_loop(wl, stop, tallies[i]);
+      } else {
+        map->run_op_loop(wl, stop, tallies[i][0]);
+      }
       if (perf_on) perf_counts[i] = perf_group.disable_and_read();
-      tallies[i] = t;
     });
   }
 
-  // Wait for all workers to hold their ids, then build the structure (the
+  // Wait for all workers to hold their ids, then build the structures (the
   // constructing thread deliberately registers after the workers so worker
   // ids are 0..T-1, matching the pinning and heatmap conventions).
   while (ready.load() != T) std::this_thread::yield();
-  std::unique_ptr<IMap> map;
   try {
-    map = factory(cfg);
+    for (auto& slot : maps) slot = factory(cfg);
   } catch (...) {
     // Release the parked workers before propagating (e.g. an invalid shard
-    // configuration), or they would spin on shared_map forever.
+    // configuration), or they would spin on maps_ready forever.
     abort_trial.store(true, std::memory_order_release);
     for (auto& w : workers) w.join();
     throw;
   }
   // A scan workload against a map without the range primitives would count
   // no-op scans as successful ops and inflate throughput; reject it while
-  // the workers are still parked (they exit via abort_trial).
-  if (cfg.scan_pct > 0 && !map->supports_range()) {
-    abort_trial.store(true, std::memory_order_release);
-    for (auto& w : workers) w.join();
-    throw std::invalid_argument("scan workload (scan_pct=" +
-                                std::to_string(cfg.scan_pct) + ") needs "
-                                "range support, which map '" + map->name() +
-                                "' does not provide");
+  // the workers are still parked (they exit via abort_trial). The check
+  // covers every mix the trial can reach: the flat scan_pct, any phase's
+  // scan share, and every tenant instance (the PR 5 rejection, extended).
+  const int scan_demand = max_scan_pct(cfg);
+  if (scan_demand > 0) {
+    for (const auto& m : maps) {
+      if (m->supports_range()) continue;
+      abort_trial.store(true, std::memory_order_release);
+      for (auto& w : workers) w.join();
+      throw std::invalid_argument("scan workload (scan_pct=" +
+                                  std::to_string(scan_demand) + ") needs "
+                                  "range support, which map '" + m->name() +
+                                  "' does not provide");
+    }
   }
-  shared_map.store(map.get(), std::memory_order_release);
+  maps_ready.store(true, std::memory_order_release);
 
   {
     // Phase marker (arg = preload target). Phase spans land on the
@@ -179,9 +210,16 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
                                    static_cast<uint64_t>(T));
   auto t0 = clock::now();
   start.store(true, std::memory_order_release);
-  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
-  stop.store(true, std::memory_order_relaxed);
-  for (auto& w : workers) w.join();
+  if (phased) {
+    // Phased trials run the op-count schedule to completion — the
+    // schedule, not the clock, bounds the phase (that is what makes the
+    // stream replayable). duration_ms is not consulted.
+    for (auto& w : workers) w.join();
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& w : workers) w.join();
+  }
   auto t1 = clock::now();
   measure_span.end();
   lsg::obs::trace_set_enabled(false);
@@ -197,14 +235,58 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   r.measured_ms = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(t1 - t0).count());
   if (r.measured_ms == 0) r.measured_ms = 1;
-  for (const auto& t : tallies) {
-    r.total_ops += t.ops;
-    r.succ_inserts += t.succ_inserts;
-    r.succ_removes += t.succ_removes;
-    r.attempted_updates += t.attempted_updates;
-    r.contains_ops += t.contains_ops;
-    r.scan_ops += t.scan_ops;
-    r.scanned_keys += t.scanned_keys;
+  r.dist = cfg.dist;
+  r.zipf_theta = cfg.dist == "zipf" ? cfg.zipf_theta : 0;
+  r.mix = cfg.mix;
+  r.tenants = tenants;
+  for (const auto& worker_tallies : tallies) {
+    for (const auto& t : worker_tallies) {
+      r.total_ops += t.ops;
+      r.succ_inserts += t.succ_inserts;
+      r.succ_removes += t.succ_removes;
+      r.attempted_updates += t.attempted_updates;
+      r.contains_ops += t.contains_ops;
+      r.scan_ops += t.scan_ops;
+      r.scanned_keys += t.scanned_keys;
+    }
+  }
+  if (phased) {
+    r.phase_stats.resize(num_phases);
+    for (size_t p = 0; p < num_phases; ++p) {
+      PhaseStats& ps = r.phase_stats[p];
+      ps.name = cfg.phases[p].name;
+      ps.ops_per_thread = cfg.phases[p].ops;
+      ps.update_pct = cfg.phases[p].update_pct;
+      ps.scan_pct = cfg.phases[p].scan_pct;
+      for (int w = 0; w < T; ++w) {
+        const OpTally& t = tallies[w][p];
+        ps.ops += t.ops;
+        ps.succ_inserts += t.succ_inserts;
+        ps.succ_removes += t.succ_removes;
+        ps.contains_ops += t.contains_ops;
+        ps.scan_ops += t.scan_ops;
+        ps.scanned_keys += t.scanned_keys;
+      }
+    }
+  }
+  if (tenants > 1) {
+    r.tenant_stats.resize(static_cast<size_t>(tenants));
+    for (int w = 0; w < T; ++w) {
+      TenantStats& ts = r.tenant_stats[static_cast<size_t>(w % tenants)];
+      for (const OpTally& t : tallies[w]) {
+        ts.ops += t.ops;
+        ts.succ_inserts += t.succ_inserts;
+        ts.succ_removes += t.succ_removes;
+        ts.contains_ops += t.contains_ops;
+        ts.scan_ops += t.scan_ops;
+        ts.scanned_keys += t.scanned_keys;
+      }
+    }
+    for (int k = 0; k < tenants; ++k) {
+      r.tenant_stats[static_cast<size_t>(k)].tenant = k;
+      r.tenant_stats[static_cast<size_t>(k)].threads =
+          T / tenants + (k < T % tenants ? 1 : 0);
+    }
   }
   r.ops_per_ms = static_cast<double>(r.total_ops) / r.measured_ms;
   r.effective_update_pct =
@@ -281,6 +363,34 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
   avg.lines_per_op = 0;
   avg.perf = lsg::obs::PerfCounts{};  // counters sum across runs
   for (const auto& r : runs) avg.perf += r.perf;
+  // Phase/tenant outcome counts sum elementwise across runs (every run of
+  // one config has the same schedule shape; metadata stays the front
+  // run's).
+  for (size_t ri = 1; ri < runs.size(); ++ri) {
+    const TrialResult& r = runs[ri];
+    for (size_t p = 0; p < avg.phase_stats.size() && p < r.phase_stats.size();
+         ++p) {
+      PhaseStats& a = avg.phase_stats[p];
+      const PhaseStats& b = r.phase_stats[p];
+      a.ops += b.ops;
+      a.succ_inserts += b.succ_inserts;
+      a.succ_removes += b.succ_removes;
+      a.contains_ops += b.contains_ops;
+      a.scan_ops += b.scan_ops;
+      a.scanned_keys += b.scanned_keys;
+    }
+    for (size_t k = 0;
+         k < avg.tenant_stats.size() && k < r.tenant_stats.size(); ++k) {
+      TenantStats& a = avg.tenant_stats[k];
+      const TenantStats& b = r.tenant_stats[k];
+      a.ops += b.ops;
+      a.succ_inserts += b.succ_inserts;
+      a.succ_removes += b.succ_removes;
+      a.contains_ops += b.contains_ops;
+      a.scan_ops += b.scan_ops;
+      a.scanned_keys += b.scanned_keys;
+    }
+  }
   for (const auto& r : runs) {
     avg.total_ops += r.total_ops;
     avg.scan_ops += r.scan_ops;

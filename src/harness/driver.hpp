@@ -18,6 +18,33 @@
 
 namespace lsg::harness {
 
+/// Aggregated outcome counts of one phase of a phased trial (summed over
+/// workers; over runs too when averaging).
+struct PhaseStats {
+  std::string name;
+  uint64_t ops_per_thread = 0;  // the schedule's per-worker quota
+  int update_pct = 0;
+  int scan_pct = 0;
+  uint64_t ops = 0;
+  uint64_t succ_inserts = 0;
+  uint64_t succ_removes = 0;
+  uint64_t contains_ops = 0;
+  uint64_t scan_ops = 0;
+  uint64_t scanned_keys = 0;
+};
+
+/// Aggregated outcome counts of one tenant of a multi-tenant trial.
+struct TenantStats {
+  int tenant = 0;
+  int threads = 0;  // workers driving this tenant
+  uint64_t ops = 0;
+  uint64_t succ_inserts = 0;
+  uint64_t succ_removes = 0;
+  uint64_t contains_ops = 0;
+  uint64_t scan_ops = 0;
+  uint64_t scanned_keys = 0;
+};
+
 struct TrialResult {
   std::string algorithm;
   int threads = 0;
@@ -47,6 +74,14 @@ struct TrialResult {
   double lines_per_op = 0;       // cache lines touched per op (PR 8)
 
   std::string topology;  // cfg.topology.describe()
+
+  /// Workload shape (trial JSON, schema lsg-trial-v5).
+  std::string dist = "uniform";
+  double zipf_theta = 0;   // meaningful only when dist == "zipf"
+  std::string mix;         // YCSB preset name when one was applied
+  int tenants = 1;
+  std::vector<PhaseStats> phase_stats;    // empty unless phased
+  std::vector<TenantStats> tenant_stats;  // empty unless tenants > 1
 
   /// Telemetry summary (obs.valid only when the trial ran with
   /// cfg.collect_obs or LSG_OBS=1).

@@ -63,6 +63,46 @@ size_t scan_once(M& m, Key lo, size_t n, ScanBuffer& buf) {
   }
 }
 
+/// One workload operation against a concrete map, with the per-op
+/// bookkeeping shared by the timed and the phased loops. Inlined into both
+/// loop bodies (static dispatch), so factoring it out of run_op_loop_impl
+/// does not change the measured hot path.
+template <class M>
+inline void do_one_op(M& map, ThreadWorkload& wl, OpTally& t,
+                      ScanBuffer& scan_buf) {
+  ThreadWorkload::Op op = wl.next();
+  bool ok = false;
+  // op_begin returns 0 (and op_end no-ops) unless obs is recording.
+  uint64_t ts = lsg::obs::op_begin();
+  switch (op.kind) {
+    case ThreadWorkload::Kind::kInsert:
+      ok = map.insert(op.key, op.key);
+      lsg::obs::op_end(lsg::obs::Op::kInsert, ts);
+      ++t.attempted_updates;
+      if (ok) ++t.succ_inserts;
+      break;
+    case ThreadWorkload::Kind::kRemove:
+      ok = map.remove(op.key);
+      lsg::obs::op_end(lsg::obs::Op::kRemove, ts);
+      ++t.attempted_updates;
+      if (ok) ++t.succ_removes;
+      break;
+    case ThreadWorkload::Kind::kContains:
+      ok = map.contains(op.key);
+      lsg::obs::op_end(lsg::obs::Op::kContains, ts);
+      ++t.contains_ops;
+      break;
+    case ThreadWorkload::Kind::kScan:
+      t.scanned_keys += scan_once(map, op.key, wl.scan_len(), scan_buf);
+      lsg::obs::op_end(lsg::obs::Op::kScan, ts);
+      ++t.scan_ops;
+      ok = true;
+      break;
+  }
+  wl.report(op, ok);
+  ++t.ops;
+}
+
 /// The measured inner loop, shared by the static (MapAdapter) and dynamic
 /// (plain IMap) paths so both execute identical per-op bookkeeping. `stop`
 /// is polled once per 32-op batch, matching the driver's historical
@@ -73,38 +113,32 @@ void run_op_loop_impl(M& map, ThreadWorkload& wl,
   ScanBuffer scan_buf;
   while (!stop.load(std::memory_order_relaxed)) {
     for (int batch = 0; batch < 32; ++batch) {
-      ThreadWorkload::Op op = wl.next();
-      bool ok = false;
-      // op_begin returns 0 (and op_end no-ops) unless obs is recording.
-      uint64_t ts = lsg::obs::op_begin();
-      switch (op.kind) {
-        case ThreadWorkload::Kind::kInsert:
-          ok = map.insert(op.key, op.key);
-          lsg::obs::op_end(lsg::obs::Op::kInsert, ts);
-          ++t.attempted_updates;
-          if (ok) ++t.succ_inserts;
-          break;
-        case ThreadWorkload::Kind::kRemove:
-          ok = map.remove(op.key);
-          lsg::obs::op_end(lsg::obs::Op::kRemove, ts);
-          ++t.attempted_updates;
-          if (ok) ++t.succ_removes;
-          break;
-        case ThreadWorkload::Kind::kContains:
-          ok = map.contains(op.key);
-          lsg::obs::op_end(lsg::obs::Op::kContains, ts);
-          ++t.contains_ops;
-          break;
-        case ThreadWorkload::Kind::kScan:
-          t.scanned_keys += scan_once(map, op.key, wl.scan_len(), scan_buf);
-          lsg::obs::op_end(lsg::obs::Op::kScan, ts);
-          ++t.scan_ops;
-          ok = true;
-          break;
-      }
-      wl.report(op, ok);
-      ++t.ops;
+      do_one_op(map, wl, t, scan_buf);
     }
+  }
+}
+
+/// Phased-schedule loop (PR 9): runs the workload's op-count schedule to
+/// completion, tallying each phase separately (`per_phase` is sized to the
+/// schedule by the driver). `stop` only aborts (driver teardown on error);
+/// completion is wl.done(). Selected once per trial, so the classic timed
+/// loop above is untouched when no phases are configured.
+template <class M>
+void run_phased_loop_impl(M& map, ThreadWorkload& wl,
+                          const std::atomic<bool>& stop,
+                          std::vector<OpTally>& per_phase) {
+  ScanBuffer scan_buf;
+  int batch = 0;
+  while (!wl.done()) {
+    if (++batch == 32) {
+      batch = 0;
+      if (stop.load(std::memory_order_relaxed)) return;
+    }
+    // sync_phase() applies any pending phase switch up front so
+    // phase_index() names the phase of the op do_one_op is about to draw
+    // (next() re-checks, but the check is idempotent).
+    wl.sync_phase();
+    do_one_op(map, wl, per_phase[wl.phase_index()], scan_buf);
   }
 }
 
@@ -164,6 +198,15 @@ class IMap {
   virtual void run_op_loop(ThreadWorkload& wl, const std::atomic<bool>& stop,
                            OpTally& tally) {
     detail::run_op_loop_impl(*this, wl, stop, tally);
+  }
+
+  /// Run a phased workload schedule to completion, one tally per phase
+  /// (`per_phase` must be sized to the schedule). Same devirtualization
+  /// contract as run_op_loop.
+  virtual void run_phased_op_loop(ThreadWorkload& wl,
+                                  const std::atomic<bool>& stop,
+                                  std::vector<OpTally>& per_phase) {
+    detail::run_phased_loop_impl(*this, wl, stop, per_phase);
   }
 };
 
@@ -249,6 +292,11 @@ class MapAdapter final : public IMap {
   void run_op_loop(ThreadWorkload& wl, const std::atomic<bool>& stop,
                    OpTally& tally) override {
     detail::run_op_loop_impl(impl_, wl, stop, tally);
+  }
+
+  void run_phased_op_loop(ThreadWorkload& wl, const std::atomic<bool>& stop,
+                          std::vector<OpTally>& per_phase) override {
+    detail::run_phased_loop_impl(impl_, wl, stop, per_phase);
   }
 
   M& impl() { return impl_; }

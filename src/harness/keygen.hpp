@@ -1,0 +1,236 @@
+// Pluggable key-distribution generators for the workload harness (PR 9).
+//
+// The seed harness only drew uniform keys over the HC/MC/LC ranges, so
+// nothing validated behavior under the skewed, phased, contended traffic a
+// production store sees (ROADMAP open item 2). This module supplies the key
+// side of that suite:
+//
+//   - kUniform  — bit-identical to the historical generator when selected:
+//                 exactly one Xoshiro256::next_bounded(key_space) draw per
+//                 key, so every pre-PR-9 BENCH baseline stays valid.
+//   - kZipfian  — YCSB-style Zipfian over ranks [0, key_space) with the
+//                 zeta normalization table precomputed once per
+//                 (key_space, theta) and shared across threads. Rank 0 is
+//                 key 0: hot keys cluster at the low end of the key space
+//                 (one graph region), which is the worst case for the
+//                 layered structures and keeps the rank -> frequency map
+//                 directly checkable by the statistical tests (no YCSB
+//                 scramble; DESIGN.md §13).
+//   - kHotspot  — a contiguous hot window of hot_frac * key_space keys
+//                 receives hot_pct% of draws; the window advances by its
+//                 own width every hot_shift_ops draws of the *calling
+//                 generator* (op-count cadence, not wall clock, so streams
+//                 replay exactly).
+//   - kAffine   — socket-affine traffic: each worker draws uniformly from
+//                 its own socket's contiguous slice of the key space
+//                 (slice index = the socket its logical id pins to under
+//                 the trial topology). This is the traffic class the PR 6
+//                 sharded-tier locality claims are stated for, and what
+//                 tools/topo_sweep.py drives across simulated machines.
+//
+// Every generator is a pure function of (seed, config, draw index): it
+// consumes the caller-owned RNG deterministically and keeps no hidden
+// state, which the deterministic-replay tests exploit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace lsg::harness {
+
+enum class Distribution : uint8_t { kUniform, kZipfian, kHotspot, kAffine };
+
+inline Distribution parse_distribution(const std::string& s) {
+  if (s == "uniform") return Distribution::kUniform;
+  if (s == "zipf" || s == "zipfian") return Distribution::kZipfian;
+  if (s == "hotspot") return Distribution::kHotspot;
+  if (s == "affine") return Distribution::kAffine;
+  throw std::invalid_argument("unknown distribution: " + s +
+                              " (expected uniform|zipf|hotspot|affine)");
+}
+
+inline const char* distribution_name(Distribution d) {
+  switch (d) {
+    case Distribution::kUniform: return "uniform";
+    case Distribution::kZipfian: return "zipf";
+    case Distribution::kHotspot: return "hotspot";
+    case Distribution::kAffine: return "affine";
+  }
+  return "?";
+}
+
+/// Building the zeta normalizer is O(key_space); beyond this the CLI
+/// refuses --dist zipf instead of silently stalling (satellite: no knob is
+/// quietly unusable).
+inline constexpr uint64_t kMaxZipfKeySpace = uint64_t{1} << 24;
+
+namespace detail {
+
+/// zeta(n, theta) = sum_{i=1..n} 1 / i^theta, cached per (n, theta) under a
+/// mutex so T threads constructing generators pay the O(n) sum once.
+struct ZetaTable {
+  double zetan;   // zeta(n, theta)
+  double theta;
+  double alpha;   // 1 / (1 - theta)
+  double eta;     // YCSB eta term
+  uint64_t n;
+};
+
+inline std::shared_ptr<const ZetaTable> zeta_table(uint64_t n, double theta) {
+  static std::mutex mu;
+  static std::map<std::pair<uint64_t, double>, std::shared_ptr<const ZetaTable>>
+      cache;
+  std::lock_guard<std::mutex> g(mu);
+  auto key = std::make_pair(n, theta);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto t = std::make_shared<ZetaTable>();
+  t->n = n;
+  t->theta = theta;
+  double z = 0;
+  for (uint64_t i = 1; i <= n; ++i) z += 1.0 / std::pow(double(i), theta);
+  t->zetan = z;
+  t->alpha = 1.0 / (1.0 - theta);
+  double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+  t->eta = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+           (1.0 - zeta2 / z);
+  cache.emplace(key, t);
+  return t;
+}
+
+}  // namespace detail
+
+struct KeyGenConfig {
+  Distribution dist = Distribution::kUniform;
+  uint64_t key_space = uint64_t{1} << 14;
+  /// Zipfian skew exponent, in (0, 1). YCSB default 0.99.
+  double zipf_theta = 0.99;
+  /// Hot-window width as a fraction of the key space, in (0, 1).
+  double hot_frac = 0.1;
+  /// Percentage of draws landing in the hot window.
+  int hot_pct = 90;
+  /// The hot window advances by its own width every this many draws.
+  uint64_t hot_shift_ops = 8192;
+  /// kAffine: this generator's socket and the socket count (slice geometry).
+  int socket = 0;
+  int num_sockets = 1;
+};
+
+/// One thread's key generator. Draws consume the caller's RNG so the
+/// percentile draw and the key draw share one replayable stream (workload
+/// semantics unchanged for uniform).
+class KeyGen {
+ public:
+  explicit KeyGen(const KeyGenConfig& cfg) : cfg_(cfg) {
+    if (cfg_.key_space == 0) throw std::invalid_argument("empty key space");
+    switch (cfg_.dist) {
+      case Distribution::kUniform:
+        break;
+      case Distribution::kZipfian:
+        if (cfg_.zipf_theta <= 0.0 || cfg_.zipf_theta >= 1.0) {
+          throw std::invalid_argument("zipf theta must be in (0, 1)");
+        }
+        if (cfg_.key_space > kMaxZipfKeySpace) {
+          throw std::invalid_argument(
+              "zipf key space too large for the zeta table (max 2^24)");
+        }
+        zeta_ = detail::zeta_table(cfg_.key_space, cfg_.zipf_theta);
+        break;
+      case Distribution::kHotspot: {
+        if (cfg_.hot_frac <= 0.0 || cfg_.hot_frac >= 1.0) {
+          throw std::invalid_argument("hot fraction must be in (0, 1)");
+        }
+        if (cfg_.hot_pct < 0 || cfg_.hot_pct > 100) {
+          throw std::invalid_argument("hot percentage must be in [0, 100]");
+        }
+        if (cfg_.hot_shift_ops == 0) {
+          throw std::invalid_argument("hot shift cadence must be positive");
+        }
+        hot_size_ = static_cast<uint64_t>(
+            static_cast<double>(cfg_.key_space) * cfg_.hot_frac);
+        if (hot_size_ == 0) hot_size_ = 1;
+        break;
+      }
+      case Distribution::kAffine:
+        if (cfg_.num_sockets < 1 || cfg_.socket < 0 ||
+            cfg_.socket >= cfg_.num_sockets) {
+          throw std::invalid_argument("affine socket outside topology");
+        }
+        slice_lo_ = cfg_.key_space *
+                    static_cast<uint64_t>(cfg_.socket) /
+                    static_cast<uint64_t>(cfg_.num_sockets);
+        slice_size_ = cfg_.key_space *
+                          static_cast<uint64_t>(cfg_.socket + 1) /
+                          static_cast<uint64_t>(cfg_.num_sockets) -
+                      slice_lo_;
+        if (slice_size_ == 0) slice_size_ = 1;
+        break;
+    }
+  }
+
+  uint64_t next(lsg::common::Xoshiro256& rng) {
+    switch (cfg_.dist) {
+      case Distribution::kUniform:
+        return rng.next_bounded(cfg_.key_space);
+      case Distribution::kZipfian:
+        return next_zipf(rng);
+      case Distribution::kHotspot:
+        return next_hotspot(rng);
+      case Distribution::kAffine:
+        return slice_lo_ + rng.next_bounded(slice_size_);
+    }
+    return 0;
+  }
+
+  /// Hot-window start for the current draw index (kHotspot only; exposed
+  /// for the cadence tests).
+  uint64_t hot_window_start() const {
+    uint64_t window = draws_ / cfg_.hot_shift_ops;
+    return (window * hot_size_) % cfg_.key_space;
+  }
+
+  uint64_t hot_window_size() const { return hot_size_; }
+
+ private:
+  uint64_t next_zipf(lsg::common::Xoshiro256& rng) {
+    // Gray et al. rejection-free Zipfian (as in YCSB's ZipfianGenerator).
+    const detail::ZetaTable& z = *zeta_;
+    double u = rng.next_double();
+    double uz = u * z.zetan;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, z.theta)) return 1;
+    auto rank = static_cast<uint64_t>(
+        static_cast<double>(z.n) *
+        std::pow(z.eta * u - z.eta + 1.0, z.alpha));
+    return rank >= z.n ? z.n - 1 : rank;
+  }
+
+  uint64_t next_hotspot(lsg::common::Xoshiro256& rng) {
+    const uint64_t start = hot_window_start();
+    ++draws_;
+    if (rng.next_bounded(100) < static_cast<uint64_t>(cfg_.hot_pct)) {
+      return (start + rng.next_bounded(hot_size_)) % cfg_.key_space;
+    }
+    // Cold draw: uniform over the keys outside the window.
+    uint64_t cold = cfg_.key_space - hot_size_;
+    if (cold == 0) return rng.next_bounded(cfg_.key_space);
+    uint64_t off = rng.next_bounded(cold);
+    return (start + hot_size_ + off) % cfg_.key_space;
+  }
+
+  KeyGenConfig cfg_;
+  std::shared_ptr<const detail::ZetaTable> zeta_;
+  uint64_t hot_size_ = 0;
+  uint64_t draws_ = 0;  // hotspot cadence counter
+  uint64_t slice_lo_ = 0;
+  uint64_t slice_size_ = 0;
+};
+
+}  // namespace lsg::harness

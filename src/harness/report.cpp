@@ -20,14 +20,42 @@
 namespace lsg::harness {
 
 void print_banner(const std::string& experiment, const TrialConfig& cfg) {
+  char span[48];
+  if (cfg.phases.empty()) {
+    std::snprintf(span, sizeof(span), "%d ms/run", cfg.duration_ms);
+  } else {
+    // Phased trials are op-schedule-bounded; the clock is unused.
+    uint64_t total = 0;
+    for (const auto& p : cfg.phases) total += p.ops;
+    std::snprintf(span, sizeof(span), "%llu ops/thread/run",
+                  static_cast<unsigned long long>(total));
+  }
   std::printf(
       "\n=== %s ===\nkey space 2^%u | requested updates %d%% | preload "
-      "%.1f%% | %d ms/run x %d run(s) | topology: %s\n",
+      "%.1f%% | %s x %d run(s) | topology: %s\n",
       experiment.c_str(),
       static_cast<unsigned>(
           lsg::common::ceil_log2(cfg.key_space == 0 ? 1 : cfg.key_space)),
-      cfg.update_pct, cfg.preload_fraction * 100.0, cfg.duration_ms, cfg.runs,
+      cfg.update_pct, cfg.preload_fraction * 100.0, span, cfg.runs,
       cfg.topology.describe().c_str());
+  // Workload-shape line only when something beyond the classic uniform
+  // single-map timed trial is configured (keeps legacy banners stable).
+  const bool shaped = cfg.dist != "uniform" || !cfg.mix.empty() ||
+                      !cfg.phases.empty() || cfg.tenants > 1;
+  if (!shaped) return;
+  std::printf("workload: dist=%s", cfg.dist.c_str());
+  if (cfg.dist == "zipf") std::printf(" theta=%.2f", cfg.zipf_theta);
+  if (cfg.dist == "hotspot") {
+    std::printf(" hot=%.0f%%@%.0f%% shift=%llu", 100.0 * cfg.hot_frac,
+                static_cast<double>(cfg.hot_pct),
+                static_cast<unsigned long long>(cfg.hot_shift_ops));
+  }
+  if (!cfg.mix.empty()) std::printf(" | mix=%s", cfg.mix.c_str());
+  if (!cfg.phases.empty()) {
+    std::printf(" | phases=%s", describe_phases(cfg.phases).c_str());
+  }
+  if (cfg.tenants > 1) std::printf(" | tenants=%d", cfg.tenants);
+  std::printf("\n");
 }
 
 void print_throughput_header() {
@@ -59,6 +87,35 @@ void print_nodes_per_search_header() {
 void print_nodes_per_search_row(const TrialResult& r) {
   std::printf("%-18s %8d %14.2f %14.2f\n", r.algorithm.c_str(), r.threads,
               r.nodes_per_op, r.lines_per_op);
+}
+
+void print_phase_stats(const TrialResult& r) {
+  if (r.phase_stats.empty()) return;
+  std::printf("  %-12s %6s %6s %12s %10s %10s %10s %10s\n", "phase", "upd%",
+              "scan%", "ops", "inserts", "removes", "contains", "scans");
+  for (const PhaseStats& p : r.phase_stats) {
+    std::printf("  %-12s %6d %6d %12llu %10llu %10llu %10llu %10llu\n",
+                p.name.c_str(), p.update_pct, p.scan_pct,
+                static_cast<unsigned long long>(p.ops),
+                static_cast<unsigned long long>(p.succ_inserts),
+                static_cast<unsigned long long>(p.succ_removes),
+                static_cast<unsigned long long>(p.contains_ops),
+                static_cast<unsigned long long>(p.scan_ops));
+  }
+}
+
+void print_tenant_stats(const TrialResult& r) {
+  if (r.tenant_stats.empty()) return;
+  std::printf("  %-8s %8s %12s %10s %10s %10s %10s\n", "tenant", "threads",
+              "ops", "inserts", "removes", "contains", "scans");
+  for (const TenantStats& t : r.tenant_stats) {
+    std::printf("  %-8d %8d %12llu %10llu %10llu %10llu %10llu\n", t.tenant,
+                t.threads, static_cast<unsigned long long>(t.ops),
+                static_cast<unsigned long long>(t.succ_inserts),
+                static_cast<unsigned long long>(t.succ_removes),
+                static_cast<unsigned long long>(t.contains_ops),
+                static_cast<unsigned long long>(t.scan_ops));
+  }
 }
 
 void print_heatmap_report(const std::string& title, bool cas_map,
@@ -144,7 +201,7 @@ int bench_duration_ms() {
 int bench_runs() { return env_int("LSG_RUNS", full_scale() ? 5 : 1); }
 
 std::string csv_header() {
-  return "algorithm,threads,measured_ms,total_ops,ops_per_ms,"
+  return "algorithm,threads,dist,tenants,measured_ms,total_ops,ops_per_ms,"
          "effective_update_pct,succ_inserts,succ_removes,contains_ops,"
          "scan_ops,scanned_keys,"
          "local_reads_per_op,remote_reads_per_op,local_cas_per_op,"
@@ -155,9 +212,9 @@ std::string csv_header() {
 std::string to_csv_row(const TrialResult& r) {
   char buf[512];
   std::snprintf(buf, sizeof(buf),
-                "%s,%d,%llu,%llu,%.3f,%.4f,%llu,%llu,%llu,%llu,%llu,%.4f,"
-                "%.4f,%.5f,%.5f,%.5f,%.3f,%.3f",
-                r.algorithm.c_str(), r.threads,
+                "%s,%d,%s,%d,%llu,%llu,%.3f,%.4f,%llu,%llu,%llu,%llu,%llu,"
+                "%.4f,%.4f,%.5f,%.5f,%.5f,%.3f,%.3f",
+                r.algorithm.c_str(), r.threads, r.dist.c_str(), r.tenants,
                 static_cast<unsigned long long>(r.measured_ms),
                 static_cast<unsigned long long>(r.total_ops), r.ops_per_ms,
                 r.effective_update_pct,
@@ -183,7 +240,7 @@ std::string to_json(const TrialResult& r) {
   char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"schema\":\"lsg-trial-v4\",\"git\":\"%s\","
+      "{\"schema\":\"lsg-trial-v5\",\"git\":\"%s\","
       "\"algorithm\":\"%s\",\"threads\":%d,\"pinned_threads\":%d,"
       "\"topology\":\"%s\","
       "\"measured_ms\":%llu,"
@@ -207,6 +264,57 @@ std::string to_json(const TrialResult& r) {
       r.remote_reads_per_op, r.local_cas_per_op, r.remote_cas_per_op,
       r.cas_success_rate, r.nodes_per_op, r.lines_per_op);
   std::string out = buf;
+  // v5: workload shape is always recorded so a consumer can replay the
+  // trial from its JSON record alone ((seed, dist, mix, phases) determines
+  // the op stream; DESIGN.md §13).
+  std::snprintf(buf, sizeof(buf), ",\"dist\":\"%s\",\"zipf_theta\":%.4f,"
+                "\"mix\":\"%s\",\"tenants\":%d",
+                lsg::obs::json_escape(r.dist).c_str(), r.zipf_theta,
+                lsg::obs::json_escape(r.mix).c_str(), r.tenants);
+  out += buf;
+  if (!r.phase_stats.empty()) {
+    out += ",\"phases\":[";
+    for (size_t p = 0; p < r.phase_stats.size(); ++p) {
+      const PhaseStats& ps = r.phase_stats[p];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"name\":\"%s\",\"ops_per_thread\":%llu,"
+                    "\"update_pct\":%d,\"scan_pct\":%d,\"ops\":%llu,"
+                    "\"succ_inserts\":%llu,\"succ_removes\":%llu,"
+                    "\"contains_ops\":%llu,\"scan_ops\":%llu,"
+                    "\"scanned_keys\":%llu}",
+                    p == 0 ? "" : ",", lsg::obs::json_escape(ps.name).c_str(),
+                    static_cast<unsigned long long>(ps.ops_per_thread),
+                    ps.update_pct, ps.scan_pct,
+                    static_cast<unsigned long long>(ps.ops),
+                    static_cast<unsigned long long>(ps.succ_inserts),
+                    static_cast<unsigned long long>(ps.succ_removes),
+                    static_cast<unsigned long long>(ps.contains_ops),
+                    static_cast<unsigned long long>(ps.scan_ops),
+                    static_cast<unsigned long long>(ps.scanned_keys));
+      out += buf;
+    }
+    out += "]";
+  }
+  if (!r.tenant_stats.empty()) {
+    out += ",\"tenant_stats\":[";
+    for (size_t k = 0; k < r.tenant_stats.size(); ++k) {
+      const TenantStats& ts = r.tenant_stats[k];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"tenant\":%d,\"threads\":%d,\"ops\":%llu,"
+                    "\"succ_inserts\":%llu,\"succ_removes\":%llu,"
+                    "\"contains_ops\":%llu,\"scan_ops\":%llu,"
+                    "\"scanned_keys\":%llu}",
+                    k == 0 ? "" : ",", ts.tenant, ts.threads,
+                    static_cast<unsigned long long>(ts.ops),
+                    static_cast<unsigned long long>(ts.succ_inserts),
+                    static_cast<unsigned long long>(ts.succ_removes),
+                    static_cast<unsigned long long>(ts.contains_ops),
+                    static_cast<unsigned long long>(ts.scan_ops),
+                    static_cast<unsigned long long>(ts.scanned_keys));
+      out += buf;
+    }
+    out += "]";
+  }
   // v3+: perf_available is always present so consumers can distinguish
   // "counters denied" from "never requested nor denied" (requested flag).
   std::snprintf(buf, sizeof(buf), ",\"perf_requested\":%s,"

@@ -23,6 +23,14 @@ void print_locality_row(const TrialResult& r);
 void print_nodes_per_search_header();
 void print_nodes_per_search_row(const TrialResult& r);
 
+/// Per-phase outcome table for phased trials; no-op when r.phase_stats is
+/// empty.
+void print_phase_stats(const TrialResult& r);
+
+/// Per-tenant outcome table for multi-tenant trials; no-op when
+/// r.tenant_stats is empty.
+void print_tenant_stats(const TrialResult& r);
+
 /// Heatmap report: per-NUMA-node aggregate matrix, overall locality ratio,
 /// mean access distance, and an ASCII rendering; optionally dumps the full
 /// T x T matrix to `csv_path`.

@@ -1,4 +1,149 @@
 #include "harness/workload.hpp"
 
-// TrialConfig and ThreadWorkload are header-only; this TU anchors the
-// library and hosts nothing else at present.
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace lsg::harness {
+namespace {
+
+/// Strict non-negative integer parse of [begin, end); throws on anything
+/// else (phase specs must never be half-understood).
+uint64_t parse_u64(const std::string& s, const char* what) {
+  if (s.empty()) throw std::invalid_argument(std::string(what) + " is empty");
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument(std::string(what) + " is not a number: " +
+                                  s);
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<PhaseSpec> parse_phases(const std::string& spec) {
+  std::vector<PhaseSpec> out;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    std::string elem = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (elem.empty()) {
+      throw std::invalid_argument("empty phase element in: " + spec);
+    }
+    size_t c1 = elem.find(':');
+    size_t c2 = c1 == std::string::npos ? std::string::npos
+                                        : elem.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      throw std::invalid_argument(
+          "phase element must be NAME:uU[sS]:OPS, got: " + elem);
+    }
+    PhaseSpec p;
+    p.name = elem.substr(0, c1);
+    if (p.name.empty()) {
+      throw std::invalid_argument("phase name is empty in: " + elem);
+    }
+    std::string mix = elem.substr(c1 + 1, c2 - c1 - 1);
+    if (mix.empty() || mix[0] != 'u') {
+      throw std::invalid_argument("phase mix must start with u<pct>: " + elem);
+    }
+    size_t s_at = mix.find('s');
+    std::string u_str = mix.substr(1, s_at == std::string::npos
+                                          ? std::string::npos
+                                          : s_at - 1);
+    p.update_pct = static_cast<int>(parse_u64(u_str, "phase update pct"));
+    p.scan_pct = s_at == std::string::npos
+                     ? 0
+                     : static_cast<int>(
+                           parse_u64(mix.substr(s_at + 1), "phase scan pct"));
+    if (p.update_pct < 0 || p.update_pct > 100 || p.scan_pct < 0 ||
+        p.scan_pct > 100 || p.update_pct + p.scan_pct > 100) {
+      throw std::invalid_argument(
+          "phase update+scan percentages must fit in [0, 100]: " + elem);
+    }
+    p.ops = parse_u64(elem.substr(c2 + 1), "phase op count");
+    if (p.ops == 0) {
+      throw std::invalid_argument("phase op count must be positive: " + elem);
+    }
+    out.push_back(std::move(p));
+  }
+  if (out.empty()) throw std::invalid_argument("empty phase schedule");
+  return out;
+}
+
+std::string describe_phases(const std::vector<PhaseSpec>& phases) {
+  std::string out;
+  for (const PhaseSpec& p : phases) {
+    if (!out.empty()) out += ",";
+    out += p.name + ":u" + std::to_string(p.update_pct);
+    if (p.scan_pct > 0) out += "s" + std::to_string(p.scan_pct);
+    out += ":" + std::to_string(p.ops);
+  }
+  return out;
+}
+
+void apply_mix(TrialConfig& cfg, const std::string& mix) {
+  // YCSB core-workload shapes mapped onto the harness's op vocabulary.
+  // D (read-latest) and F (read-modify-write) keep their read/update
+  // ratios; the recency distribution and the RMW composite op are out of
+  // scope for this harness and documented as approximations.
+  char m = mix.size() == 1 ? static_cast<char>(std::toupper(
+                                 static_cast<unsigned char>(mix[0])))
+                           : '?';
+  if (m == 'A') {         // 50% read / 50% update
+    cfg.update_pct = 50;
+    cfg.scan_pct = 0;
+  } else if (m == 'B') {  // 95% read / 5% update
+    cfg.update_pct = 5;
+    cfg.scan_pct = 0;
+  } else if (m == 'C') {  // read-only
+    cfg.update_pct = 0;
+    cfg.scan_pct = 0;
+  } else if (m == 'D') {  // 95% read / 5% insert
+    cfg.update_pct = 5;
+    cfg.scan_pct = 0;
+  } else if (m == 'E') {  // scan-heavy: 95% scan / 5% upd
+    cfg.update_pct = 5;
+    cfg.scan_pct = 95;
+  } else if (m == 'F') {  // 50% read / 50% RMW-as-update
+    cfg.update_pct = 50;
+    cfg.scan_pct = 0;
+  } else {
+    throw std::invalid_argument("unknown mix '" + mix +
+                                "' (expected A|B|C|D|E|F)");
+  }
+  cfg.mix = std::string(1, m);  // canonical uppercase
+}
+
+int max_scan_pct(const TrialConfig& cfg) {
+  int m = cfg.phases.empty() ? cfg.scan_pct : 0;
+  for (const PhaseSpec& p : cfg.phases) m = p.scan_pct > m ? p.scan_pct : m;
+  return m;
+}
+
+KeyGenConfig keygen_config(const TrialConfig& cfg, int affine_thread) {
+  KeyGenConfig k;
+  k.dist = parse_distribution(cfg.dist);
+  k.key_space = cfg.key_space;
+  k.zipf_theta = cfg.zipf_theta;
+  k.hot_frac = cfg.hot_frac;
+  k.hot_pct = cfg.hot_pct;
+  k.hot_shift_ops = cfg.hot_shift_ops;
+  if (k.dist == Distribution::kAffine) {
+    // The worker's socket under the trial topology: logical ids follow the
+    // pin order (sockets fill before spilling), so this is deterministic
+    // from cfg alone — no live registry needed, which keeps replay offline.
+    const lsg::numa::Topology& topo = cfg.topology;
+    std::vector<int> order = topo.pin_order();
+    int hw = order[static_cast<size_t>(affine_thread) % order.size()];
+    k.socket = topo.hw_thread(hw).socket;
+    k.num_sockets = topo.num_sockets();
+  }
+  return k;
+}
+
+}  // namespace lsg::harness

@@ -1,16 +1,47 @@
 // Synchrobench-style workload description and per-thread operation stream
-// (paper §5, "Experiment setup": Synchrobench testing procedure with -f 1).
+// (paper §5, "Experiment setup": Synchrobench testing procedure with -f 1),
+// extended (PR 9) with pluggable key distributions (keygen.hpp), YCSB-style
+// op mixes, op-count-phased schedules, and multi-tenant trials.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "harness/keygen.hpp"
 #include "numa/topology.hpp"
 
 namespace lsg::harness {
+
+/// One segment of a phased schedule. Phases are *op-count* based — each
+/// worker runs exactly `ops` operations under this mix before advancing —
+/// not wall-clock based: that is what makes a phased trial's op stream a
+/// pure function of (seed, dist, mix, phases) and therefore replayable
+/// byte for byte (DESIGN.md §13).
+struct PhaseSpec {
+  std::string name;
+  uint64_t ops = 0;    // operations per worker in this phase
+  int update_pct = 50;
+  int scan_pct = 0;
+};
+
+/// Parse a phase schedule: comma-separated `NAME:uU[sS]:OPS` elements,
+/// e.g. "load:u100:4000,read:u5:8000,churn:u50s10:8000". Throws
+/// std::invalid_argument on malformed specs (no knob is silently ignored).
+std::vector<PhaseSpec> parse_phases(const std::string& spec);
+
+/// Render a schedule back to its spec string (banners, JSON).
+std::string describe_phases(const std::vector<PhaseSpec>& phases);
+
+/// Apply a YCSB-style mix preset (A-F) to update_pct/scan_pct. E is the
+/// scan-heavy mix and requires range support; D and F approximate
+/// read-latest and read-modify-write with their update ratios (the harness
+/// has no dedicated RMW op). Throws std::invalid_argument on unknown names.
+struct TrialConfig;
+void apply_mix(TrialConfig& cfg, const std::string& mix);
 
 struct TrialConfig {
   std::string algorithm = "layered_map_sg";
@@ -25,6 +56,26 @@ struct TrialConfig {
   int scan_pct = 0;
   /// Elements each scan asks for (scan_n length).
   int scan_len = 64;
+  /// Key distribution (keygen.hpp): "uniform" | "zipf" | "hotspot" |
+  /// "affine". Uniform is bit-identical to the pre-PR-9 generator.
+  std::string dist = "uniform";
+  /// Zipfian skew exponent (dist == "zipf"), in (0, 1).
+  double zipf_theta = 0.99;
+  /// Hot-window fraction / hit percentage / shift cadence in draws
+  /// (dist == "hotspot").
+  double hot_frac = 0.1;
+  int hot_pct = 90;
+  uint64_t hot_shift_ops = 8192;
+  /// YCSB-style mix preset name ("" = explicit update/scan percentages);
+  /// recorded for the banner and trial JSON.
+  std::string mix;
+  /// Op-count-phased schedule; non-empty switches the trial to phased mode
+  /// (each worker runs the schedule to completion; duration_ms is unused).
+  std::vector<PhaseSpec> phases;
+  /// Concurrent map instances sharing the arena/EBR/ThreadRegistry
+  /// machinery; worker w drives tenant w % tenants. 1 = the classic
+  /// single-map trial.
+  int tenants = 1;
   /// Structures are preloaded to this fraction of key_space before
   /// measuring. Paper: 20% (2.5% for LC).
   double preload_fraction = 0.2;
@@ -85,11 +136,27 @@ struct TrialConfig {
   }
 };
 
+/// The largest scan percentage any part of the workload can request: the
+/// flat scan_pct or any phase's. run_trial rejects maps without range
+/// support when this is positive (the PR 5 rejection, extended to phased
+/// and multi-tenant configs).
+int max_scan_pct(const TrialConfig& cfg);
+
+/// KeyGen configuration for logical worker `affine_thread` under `cfg`
+/// (the affine distribution derives the worker's socket from the trial
+/// topology's pin order; every other distribution ignores it).
+KeyGenConfig keygen_config(const TrialConfig& cfg, int affine_thread);
+
 /// Per-thread operation stream implementing Synchrobench's "effective
 /// update" mode (-f 1): update slots alternate between inserting a fresh
 /// random key and removing the key from the thread's last successful
 /// insert, so the requested update ratio is met by *successful* updates as
 /// closely as the key space allows, and the structure size stays stable.
+///
+/// `thread_id` salts the RNG stream; `affine_thread` is the logical worker
+/// identity used for socket-affine key slicing (defaults to thread_id; the
+/// driver's preload streams use a salted thread_id with the worker's
+/// affine identity so preload populates the worker's own slice).
 class ThreadWorkload {
  public:
   enum class Kind : uint8_t { kInsert, kRemove, kContains, kScan };
@@ -99,14 +166,27 @@ class ThreadWorkload {
     uint64_t key;
   };
 
-  ThreadWorkload(const TrialConfig& cfg, int thread_id)
+  ThreadWorkload(const TrialConfig& cfg, int thread_id,
+                 int affine_thread = -1)
       : key_space_(cfg.key_space),
         update_pct_(static_cast<uint32_t>(cfg.update_pct)),
         scan_pct_(static_cast<uint32_t>(cfg.scan_pct)),
         scan_len_(static_cast<size_t>(cfg.scan_len)),
-        rng_(cfg.seed ^ (0x9e3779b97f4a7c15ull * (thread_id + 1))) {}
+        rng_(cfg.seed ^ (0x9e3779b97f4a7c15ull * (thread_id + 1))),
+        keygen_(keygen_config(
+            cfg, affine_thread >= 0 ? affine_thread : thread_id)),
+        phases_(cfg.phases) {
+    if (!phases_.empty()) {
+      update_pct_ = static_cast<uint32_t>(phases_[0].update_pct);
+      scan_pct_ = static_cast<uint32_t>(phases_[0].scan_pct);
+      phase_end_ = phases_[0].ops;
+      for (const PhaseSpec& p : phases_) total_ops_ += p.ops;
+    }
+  }
 
   Op next() {
+    if (!phases_.empty()) advance_phase();
+    ++drawn_;
     // One percentile draw partitions [0, 100) into scan / update / read
     // bands. With scan_pct 0 this consumes the RNG stream exactly like the
     // historical percent_chance(update_pct) call, so scan-free trials stay
@@ -132,18 +212,46 @@ class ThreadWorkload {
     }
   }
 
-  uint64_t random_key() { return rng_.next_bounded(key_space_); }
+  uint64_t random_key() { return keygen_.next(rng_); }
 
   size_t scan_len() const { return scan_len_; }
 
+  /// --- phased-mode accessors (phases non-empty) ------------------------
+  bool phased() const { return !phases_.empty(); }
+  /// Phase of the upcoming op after sync_phase() (equivalently, of the
+  /// most recently drawn op right after next(), which syncs internally).
+  size_t phase_index() const { return phase_idx_; }
+  /// Apply any pending phase switch (idempotent; next() calls it too).
+  void sync_phase() {
+    if (!phases_.empty()) advance_phase();
+  }
+  size_t num_phases() const { return phases_.size(); }
+  /// True once every scheduled op has been drawn.
+  bool done() const { return !phases_.empty() && drawn_ >= total_ops_; }
+
  private:
+  void advance_phase() {
+    while (phase_idx_ + 1 < phases_.size() && drawn_ >= phase_end_) {
+      ++phase_idx_;
+      phase_end_ += phases_[phase_idx_].ops;
+      update_pct_ = static_cast<uint32_t>(phases_[phase_idx_].update_pct);
+      scan_pct_ = static_cast<uint32_t>(phases_[phase_idx_].scan_pct);
+    }
+  }
+
   uint64_t key_space_;
   uint32_t update_pct_;
   uint32_t scan_pct_ = 0;
   size_t scan_len_ = 64;
   lsg::common::Xoshiro256 rng_;
+  KeyGen keygen_;
   bool pending_remove_ = false;
   uint64_t last_inserted_ = 0;
+  std::vector<PhaseSpec> phases_;
+  size_t phase_idx_ = 0;
+  uint64_t drawn_ = 0;
+  uint64_t phase_end_ = 0;  // cumulative op count where the current phase ends
+  uint64_t total_ops_ = 0;
 };
 
 }  // namespace lsg::harness

@@ -231,6 +231,105 @@ TEST(Cli, HelpAndList) {
   EXPECT_FALSE(lsg::harness::cli_usage().empty());
 }
 
+TEST(Cli, ParsesWorkloadShapeFlags) {
+  const char* argv[] = {"lsg_cli",      "--dist", "zipf", "--zipf-theta",
+                        "0.8",          "-t",     "8",    "--tenants",
+                        "2",            "--mix",  "e",    "-r",
+                        "2^16"};
+  auto o = lsg::harness::parse_cli(13, argv);
+  ASSERT_TRUE(o.error.empty()) << o.error;
+  EXPECT_EQ(o.cfg.dist, "zipf");
+  EXPECT_DOUBLE_EQ(o.cfg.zipf_theta, 0.8);
+  EXPECT_EQ(o.cfg.tenants, 2);
+  // YCSB-E preset: scan-heavy (5% insert, 95% scan), case-insensitive.
+  EXPECT_EQ(o.cfg.mix, "E");
+  EXPECT_EQ(o.cfg.update_pct, 5);
+  EXPECT_EQ(o.cfg.scan_pct, 95);
+}
+
+TEST(Cli, ParsesHotspotAndPhases) {
+  const char* argv[] = {"lsg_cli",    "--dist",     "hotspot", "--hot-frac",
+                        "0.05",       "--hot-pct",  "95",      "--hot-shift",
+                        "4096",       "--phases",   "load:u100:1000,run:u5s10:2000"};
+  auto o = lsg::harness::parse_cli(11, argv);
+  ASSERT_TRUE(o.error.empty()) << o.error;
+  EXPECT_EQ(o.cfg.dist, "hotspot");
+  EXPECT_DOUBLE_EQ(o.cfg.hot_frac, 0.05);
+  EXPECT_EQ(o.cfg.hot_pct, 95);
+  EXPECT_EQ(o.cfg.hot_shift_ops, 4096u);
+  ASSERT_EQ(o.cfg.phases.size(), 2u);
+  EXPECT_EQ(o.cfg.phases[0].name, "load");
+  EXPECT_EQ(o.cfg.phases[0].ops, 1000u);
+  EXPECT_EQ(o.cfg.phases[1].update_pct, 5);
+  EXPECT_EQ(o.cfg.phases[1].scan_pct, 10);
+}
+
+TEST(Cli, ParsesTopologyOverride) {
+  const char* argv[] = {"lsg_cli", "--sockets",     "4",  "--smt",
+                        "1",       "--local-dist",  "10", "--remote-dist",
+                        "32",      "--cores",       "6"};
+  auto o = lsg::harness::parse_cli(11, argv);
+  ASSERT_TRUE(o.error.empty()) << o.error;
+  EXPECT_TRUE(o.custom_topology);
+  EXPECT_EQ(o.topo_sockets, 4);
+  EXPECT_EQ(o.topo_smt, 1);
+  EXPECT_EQ(o.topo_local, 10);
+  EXPECT_EQ(o.topo_remote, 32);
+  EXPECT_EQ(o.topo_cores, 6);
+}
+
+/// DESIGN.md §13: a workload knob that would be silently ignored is a
+/// hard parse error, never a warning or a fold.
+TEST(Cli, RejectsSilentlyIgnoredKnobs) {
+  auto err = [](std::initializer_list<const char*> extra) {
+    std::vector<const char*> argv{"lsg_cli"};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    return lsg::harness::parse_cli(static_cast<int>(argv.size()),
+                                   argv.data())
+        .error;
+  };
+  // Skew knobs without their distribution.
+  EXPECT_FALSE(err({"--zipf-theta", "0.9"}).empty());
+  EXPECT_FALSE(err({"--hot-pct", "80"}).empty());
+  EXPECT_FALSE(err({"--hot-frac", "0.2", "--dist", "zipf"}).empty());
+  // Mix vs explicit op-mix flags.
+  EXPECT_FALSE(err({"--mix", "A", "-u", "10"}).empty());
+  EXPECT_FALSE(err({"--mix", "A", "--scan-frac", "5"}).empty());
+  // Phases own the mix and the run length.
+  EXPECT_FALSE(err({"--phases", "a:u50:100", "--mix", "B"}).empty());
+  EXPECT_FALSE(err({"--phases", "a:u50:100", "-u", "10"}).empty());
+  EXPECT_FALSE(err({"--phases", "a:u50:100", "-d", "500"}).empty());
+  // Malformed values.
+  EXPECT_FALSE(err({"--dist", "nonesuch"}).empty());
+  EXPECT_FALSE(err({"--zipf-theta", "1.5", "--dist", "zipf"}).empty());
+  EXPECT_FALSE(err({"--hot-frac", "1.0", "--dist", "hotspot"}).empty());
+  EXPECT_FALSE(err({"--phases", "a:u50"}).empty());
+  EXPECT_FALSE(err({"--phases", "a:x50:100"}).empty());
+  EXPECT_FALSE(err({"--mix", "Q"}).empty());
+  // Structural impossibilities.
+  EXPECT_FALSE(err({"--tenants", "8", "-t", "4"}).empty());
+  EXPECT_FALSE(err({"--tenants", "0"}).empty());
+  EXPECT_FALSE(err({"--dist", "zipf", "-r", "2^25"}).empty());
+  EXPECT_FALSE(
+      err({"--remote-dist", "5", "--local-dist", "10"}).empty());
+  // ...and the valid versions of the same shapes still parse.
+  EXPECT_TRUE(err({"--zipf-theta", "0.9", "--dist", "zipf"}).empty());
+  EXPECT_TRUE(err({"--hot-pct", "80", "--dist", "hotspot"}).empty());
+  EXPECT_TRUE(err({"--phases", "a:u50:100,b:u5s10:200"}).empty());
+  EXPECT_TRUE(err({"--tenants", "4", "-t", "4"}).empty());
+}
+
+/// The binary-level contract topo_sweep and CI scripts rely on: knob
+/// misuse exits 2 (run_cli), before any trial starts.
+TEST(Cli, RunCliExitsTwoOnKnobMisuse) {
+  const char* bad1[] = {"lsg_cli", "--zipf-theta", "0.9"};
+  EXPECT_EQ(lsg::harness::run_cli(3, bad1), 2);
+  const char* bad2[] = {"lsg_cli", "--phases", "a:u50:100", "-d", "10"};
+  EXPECT_EQ(lsg::harness::run_cli(5, bad2), 2);
+  const char* bad3[] = {"lsg_cli", "--tenants", "9", "-t", "2"};
+  EXPECT_EQ(lsg::harness::run_cli(5, bad3), 2);
+}
+
 TEST(Export, CsvRowMatchesHeaderArity) {
   lsg::harness::TrialResult r;
   r.algorithm = "x";

@@ -2,12 +2,14 @@
 // (Synchrobench -f 1), registry, trial execution, and result accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 
 #include "harness/driver.hpp"
+#include "harness/keygen.hpp"
 #include "harness/registry.hpp"
 #include "harness/report.hpp"
 #include "harness/workload.hpp"
@@ -321,6 +323,160 @@ TEST(Driver, RejectsScanWorkloadWithoutRangeSupport) {
   TrialResult r = run_trial(cfg, factory);
   EXPECT_GT(r.total_ops, 0u);
   EXPECT_EQ(r.scan_ops, 0u);
+}
+
+TEST(Driver, PhasedTrialRunsScheduleExactly) {
+  TrialConfig cfg;
+  cfg.algorithm = "layered_map_sg";
+  cfg.threads = 3;
+  cfg.key_space = 1 << 10;
+  cfg.phases = parse_phases("load:u100:400,read:u0:800,churn:u50:600");
+  TrialResult r = run_trial(cfg);
+  // Phased mode is op-count bounded: exactly threads x sum(phase.ops).
+  EXPECT_EQ(r.total_ops, 3u * (400 + 800 + 600));
+  ASSERT_EQ(r.phase_stats.size(), 3u);
+  EXPECT_EQ(r.phase_stats[0].name, "load");
+  EXPECT_EQ(r.phase_stats[0].ops, 3u * 400);
+  EXPECT_EQ(r.phase_stats[1].ops, 3u * 800);
+  EXPECT_EQ(r.phase_stats[2].ops, 3u * 600);
+  // The read phase (u0) performed no updates at all...
+  EXPECT_EQ(r.phase_stats[1].succ_inserts, 0u);
+  EXPECT_EQ(r.phase_stats[1].succ_removes, 0u);
+  EXPECT_EQ(r.phase_stats[1].contains_ops, 3u * 800);
+  // ...while the load phase (u100) performed nothing but.
+  EXPECT_EQ(r.phase_stats[0].contains_ops, 0u);
+  EXPECT_GT(r.phase_stats[0].succ_inserts, 0u);
+  // Per-phase tallies partition the totals.
+  uint64_t phase_sum = 0;
+  for (const auto& p : r.phase_stats) phase_sum += p.ops;
+  EXPECT_EQ(phase_sum, r.total_ops);
+}
+
+TEST(Driver, TenantTrialSplitsWorkersAndStats) {
+  TrialConfig cfg;
+  cfg.algorithm = "layered_map_sg";
+  cfg.threads = 5;
+  cfg.tenants = 2;  // tenant 0 gets 3 workers, tenant 1 gets 2
+  cfg.key_space = 1 << 10;
+  cfg.phases = parse_phases("churn:u50:1000");
+  TrialResult r = run_trial(cfg);
+  EXPECT_EQ(r.tenants, 2);
+  ASSERT_EQ(r.tenant_stats.size(), 2u);
+  EXPECT_EQ(r.tenant_stats[0].tenant, 0);
+  EXPECT_EQ(r.tenant_stats[0].threads, 3);
+  EXPECT_EQ(r.tenant_stats[1].threads, 2);
+  EXPECT_EQ(r.tenant_stats[0].ops, 3u * 1000);
+  EXPECT_EQ(r.tenant_stats[1].ops, 2u * 1000);
+  EXPECT_EQ(r.tenant_stats[0].ops + r.tenant_stats[1].ops, r.total_ops);
+  // Both tenants actually took traffic.
+  EXPECT_GT(r.tenant_stats[0].succ_inserts, 0u);
+  EXPECT_GT(r.tenant_stats[1].succ_inserts, 0u);
+}
+
+TEST(Driver, RejectsBadTenantCount) {
+  TrialConfig cfg;
+  cfg.algorithm = "layered_map_sg";
+  cfg.threads = 2;
+  cfg.duration_ms = 5;
+  cfg.tenants = 3;  // more tenants than workers: someone would be idle
+  EXPECT_THROW(run_trial(cfg), std::invalid_argument);
+  cfg.tenants = 0;
+  EXPECT_THROW(run_trial(cfg), std::invalid_argument);
+}
+
+TEST(Driver, RejectsPhasedAndTenantScanWithoutRangeSupport) {
+  TrialConfig cfg;
+  cfg.algorithm = "point_only";
+  cfg.threads = 2;
+  cfg.key_space = 1 << 8;
+  MapFactory factory = [](const TrialConfig&) -> std::unique_ptr<IMap> {
+    return std::make_unique<MapAdapter<PointOnlyMap>>("point_only");
+  };
+  // The PR 5 rejection extended: a scan share hiding inside a *phase* must
+  // be refused just like a flat --scan-frac...
+  cfg.phases = parse_phases("load:u100:100,scanny:u5s10:100");
+  EXPECT_THROW(run_trial(cfg, factory), std::invalid_argument);
+  // ...including when the config is multi-tenant (every tenant instance is
+  // checked).
+  cfg.tenants = 2;
+  EXPECT_THROW(run_trial(cfg, factory), std::invalid_argument);
+  // Scan-free phased multi-tenant configs of the same shape are fine.
+  cfg.phases = parse_phases("load:u100:100,read:u5:100");
+  TrialResult r = run_trial(cfg, factory);
+  EXPECT_EQ(r.total_ops, 2u * 200);
+  EXPECT_EQ(r.scan_ops, 0u);
+}
+
+TEST(Driver, RejectsInvalidDistributionConfig) {
+  TrialConfig cfg;
+  cfg.algorithm = "layered_map_sg";
+  cfg.threads = 2;
+  cfg.duration_ms = 5;
+  cfg.dist = "zipf";
+  cfg.key_space = kMaxZipfKeySpace * 2;  // zeta table would be absurd
+  EXPECT_THROW(run_trial(cfg), std::invalid_argument);
+  cfg.key_space = 1 << 10;
+  cfg.zipf_theta = 1.5;
+  EXPECT_THROW(run_trial(cfg), std::invalid_argument);
+  cfg.dist = "nonesuch";
+  EXPECT_THROW(run_trial(cfg), std::invalid_argument);
+}
+
+TEST(Driver, SkewedTimedTrialRuns) {
+  TrialConfig cfg;
+  cfg.algorithm = "layered_map_sg";
+  cfg.threads = 4;
+  cfg.duration_ms = 30;
+  cfg.key_space = 1 << 10;
+  cfg.dist = "zipf";
+  cfg.zipf_theta = 0.99;
+  TrialResult r = run_trial(cfg);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_EQ(r.dist, "zipf");
+  EXPECT_DOUBLE_EQ(r.zipf_theta, 0.99);
+}
+
+TEST(Report, TrialJsonCarriesWorkloadShape) {
+  TrialConfig cfg;
+  cfg.algorithm = "layered_map_sg";
+  cfg.threads = 4;
+  cfg.tenants = 2;
+  cfg.key_space = 1 << 9;
+  cfg.dist = "hotspot";
+  cfg.phases = parse_phases("load:u100:200,churn:u50:400");
+  TrialResult r = run_trial(cfg);
+  std::string j = to_json(r);
+  EXPECT_NE(j.find("\"schema\":\"lsg-trial-v5\""), std::string::npos);
+  EXPECT_NE(j.find("\"dist\":\"hotspot\""), std::string::npos);
+  EXPECT_NE(j.find("\"tenants\":2"), std::string::npos);
+  EXPECT_NE(j.find("\"phases\":[{\"name\":\"load\""), std::string::npos);
+  EXPECT_NE(j.find("\"tenant_stats\":[{\"tenant\":0"), std::string::npos);
+  // CSV row arity always matches the header (dist/tenants columns added).
+  std::string header = csv_header();
+  std::string row = to_csv_row(r);
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+  EXPECT_NE(header.find(",dist,tenants,"), std::string::npos);
+}
+
+TEST(Report, AverageSumsPhaseAndTenantStats) {
+  std::vector<TrialResult> runs(2);
+  for (auto& r : runs) {
+    r.phase_stats.resize(1);
+    r.phase_stats[0].name = "p";
+    r.phase_stats[0].ops = 10;
+    r.phase_stats[0].succ_inserts = 4;
+    r.tenant_stats.resize(1);
+    r.tenant_stats[0].ops = 10;
+    r.tenant_stats[0].scan_ops = 1;
+  }
+  TrialResult avg = TrialResult::average(runs);
+  ASSERT_EQ(avg.phase_stats.size(), 1u);
+  EXPECT_EQ(avg.phase_stats[0].ops, 20u);
+  EXPECT_EQ(avg.phase_stats[0].succ_inserts, 8u);
+  ASSERT_EQ(avg.tenant_stats.size(), 1u);
+  EXPECT_EQ(avg.tenant_stats[0].ops, 20u);
+  EXPECT_EQ(avg.tenant_stats[0].scan_ops, 2u);
 }
 
 TEST(Driver, EffectiveUpdateModeKeepsSizeStable) {

@@ -1,0 +1,449 @@
+// Statistical and determinism tests for the key-distribution generators
+// (harness/keygen.hpp) and the phased workload machinery (PR 9): Zipfian
+// empirical frequencies vs the analytic law, hot-spot window cadence,
+// affine slice geometry, uniform bit-compatibility with the pre-PR-9
+// generator, byte-identical replay, and exact phase boundaries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harness/keygen.hpp"
+#include "harness/workload.hpp"
+
+namespace {
+
+using namespace lsg::harness;
+using lsg::common::Xoshiro256;
+
+// --- uniform: bit-identical to the historical generator -------------------
+
+TEST(KeyGenUniform, BitIdenticalToRawBoundedDraws) {
+  KeyGenConfig kc;
+  kc.dist = Distribution::kUniform;
+  kc.key_space = 1 << 14;
+  KeyGen gen(kc);
+  Xoshiro256 a(12345), b(12345);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(gen.next(a), b.next_bounded(kc.key_space)) << i;
+  }
+}
+
+/// The full ThreadWorkload stream under dist=uniform must replicate the
+/// historical draw sequence exactly: one next_bounded(100) percentile draw,
+/// then (for key-bearing ops) one next_bounded(key_space) draw, with the
+/// effective-update insert/remove alternation. This is what keeps every
+/// pre-PR-9 BENCH baseline comparable.
+TEST(KeyGenUniform, WorkloadStreamMatchesHistoricalGenerator) {
+  TrialConfig cfg;
+  cfg.key_space = 1 << 10;
+  cfg.update_pct = 37;
+  cfg.seed = 99;
+  const int tid = 3;
+  ThreadWorkload wl(cfg, tid);
+  Xoshiro256 rng(cfg.seed ^ (0x9e3779b97f4a7c15ull * (tid + 1)));
+  bool pending = false;
+  uint64_t last = 0;
+  for (int i = 0; i < 20000; ++i) {
+    ThreadWorkload::Op op = wl.next();
+    uint64_t u = rng.next_bounded(100);
+    if (u < static_cast<uint64_t>(cfg.update_pct)) {
+      if (pending) {
+        pending = false;
+        ASSERT_EQ(op.kind, ThreadWorkload::Kind::kRemove) << i;
+        ASSERT_EQ(op.key, last) << i;
+      } else {
+        ASSERT_EQ(op.kind, ThreadWorkload::Kind::kInsert) << i;
+        ASSERT_EQ(op.key, rng.next_bounded(cfg.key_space)) << i;
+        // Mirror the harness's success feedback (every insert "succeeds").
+        last = op.key;
+        pending = true;
+      }
+      wl.report(op, op.kind == ThreadWorkload::Kind::kInsert);
+    } else {
+      ASSERT_EQ(op.kind, ThreadWorkload::Kind::kContains) << i;
+      ASSERT_EQ(op.key, rng.next_bounded(cfg.key_space)) << i;
+      wl.report(op, false);
+    }
+  }
+}
+
+// --- Zipfian --------------------------------------------------------------
+
+double zeta(uint64_t n, double theta) {
+  double z = 0;
+  for (uint64_t i = 1; i <= n; ++i) z += 1.0 / std::pow(double(i), theta);
+  return z;
+}
+
+/// Empirical rank frequencies must track the analytic Zipf law
+/// p(rank r) = (1 / (r+1)^theta) / zeta(n, theta) at both skew levels the
+/// conformance suite uses.
+class ZipfLaw : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfLaw, EmpiricalMatchesAnalytic) {
+  const double theta = GetParam();
+  constexpr uint64_t kSpace = 1024;
+  constexpr int kDraws = 400000;
+  KeyGenConfig kc;
+  kc.dist = Distribution::kZipfian;
+  kc.key_space = kSpace;
+  kc.zipf_theta = theta;
+  KeyGen gen(kc);
+  Xoshiro256 rng(0xFEED);
+  std::vector<uint64_t> freq(kSpace, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t k = gen.next(rng);
+    ASSERT_LT(k, kSpace);
+    ++freq[k];
+  }
+  const double zn = zeta(kSpace, theta);
+  // Ranks 0 and 1 are produced by the generator's exact branches
+  // (uz < 1, uz < 1 + 0.5^theta): hold them tight...
+  for (uint64_t r = 0; r < 2; ++r) {
+    double expect = kDraws / (std::pow(double(r + 1), theta) * zn);
+    double got = static_cast<double>(freq[r]);
+    EXPECT_NEAR(got, expect, 0.05 * expect + 30)
+        << "rank " << r << " theta " << theta;
+  }
+  // ...ranks >= 2 come from the Gray et al. continuous approximation,
+  // which is known to overshoot rank 2 by ~10-18% (decaying with rank):
+  // bound them loosely, individually...
+  for (uint64_t r = 2; r < 6; ++r) {
+    double expect = kDraws / (std::pow(double(r + 1), theta) * zn);
+    double got = static_cast<double>(freq[r]);
+    EXPECT_NEAR(got, expect, 0.25 * expect + 30)
+        << "rank " << r << " theta " << theta;
+  }
+  // ...and tail mass in aggregate, where the approximation is tight again
+  // (per-rank counts are tiny out there).
+  double tail_expect = 0;
+  uint64_t tail_got = 0;
+  for (uint64_t r = kSpace / 2; r < kSpace; ++r) {
+    tail_expect += kDraws / (std::pow(double(r + 1), theta) * zn);
+    tail_got += freq[r];
+  }
+  EXPECT_NEAR(static_cast<double>(tail_got), tail_expect,
+              0.08 * tail_expect + 50);
+  // The head must still be ordered by rank despite the rank-2 bump being
+  // tolerated above.
+  EXPECT_GT(freq[0], freq[2]);
+  EXPECT_GT(freq[1] + freq[0], freq[2] + freq[3]);
+  // Monotone skew: rank 0 strictly dominates the median rank.
+  EXPECT_GT(freq[0], freq[kSpace / 2] * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfLaw, ::testing::Values(0.5, 0.99),
+                         [](const auto& info) {
+                           return info.param == 0.5 ? "theta05" : "theta099";
+                         });
+
+TEST(KeyGenZipf, DeterministicAndCached) {
+  KeyGenConfig kc;
+  kc.dist = Distribution::kZipfian;
+  kc.key_space = 4096;
+  kc.zipf_theta = 0.99;
+  // Two generators over identically seeded RNGs yield identical streams
+  // (the zeta table is shared state but read-only).
+  KeyGen g1(kc), g2(kc);
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 5000; ++i) ASSERT_EQ(g1.next(a), g2.next(b)) << i;
+  // The cache returns one table per (n, theta).
+  auto t1 = detail::zeta_table(4096, 0.99);
+  auto t2 = detail::zeta_table(4096, 0.99);
+  EXPECT_EQ(t1.get(), t2.get());
+  EXPECT_NE(detail::zeta_table(4096, 0.5).get(), t1.get());
+}
+
+TEST(KeyGenZipf, RejectsBadConfig) {
+  KeyGenConfig kc;
+  kc.dist = Distribution::kZipfian;
+  kc.key_space = kMaxZipfKeySpace * 2;
+  EXPECT_THROW(KeyGen{kc}, std::invalid_argument);
+  kc.key_space = 1024;
+  kc.zipf_theta = 1.0;
+  EXPECT_THROW(KeyGen{kc}, std::invalid_argument);
+  kc.zipf_theta = 0.0;
+  EXPECT_THROW(KeyGen{kc}, std::invalid_argument);
+}
+
+// --- hotspot --------------------------------------------------------------
+
+TEST(KeyGenHotspot, WindowShiftsOnExactCadence) {
+  KeyGenConfig kc;
+  kc.dist = Distribution::kHotspot;
+  kc.key_space = 10000;
+  kc.hot_frac = 0.1;  // window of 1000 keys
+  kc.hot_pct = 100;   // every draw lands in the window
+  kc.hot_shift_ops = 500;
+  KeyGen gen(kc);
+  ASSERT_EQ(gen.hot_window_size(), 1000u);
+  Xoshiro256 rng(42);
+  // Across 12 windows (the start wraps mod key_space after 10): every draw
+  // in window w must land in [w*1000 % 10000, +1000).
+  for (uint64_t w = 0; w < 12; ++w) {
+    const uint64_t start = (w * 1000) % 10000;
+    for (uint64_t d = 0; d < 500; ++d) {
+      ASSERT_EQ(gen.hot_window_start(), start) << "w=" << w << " d=" << d;
+      uint64_t k = gen.next(rng);
+      uint64_t rel = (k + 10000 - start) % 10000;
+      ASSERT_LT(rel, 1000u) << "w=" << w << " d=" << d << " k=" << k;
+    }
+  }
+}
+
+TEST(KeyGenHotspot, ColdDrawsAvoidWindowAndHitRateMatches) {
+  KeyGenConfig kc;
+  kc.dist = Distribution::kHotspot;
+  kc.key_space = 10000;
+  kc.hot_frac = 0.1;
+  kc.hot_pct = 90;
+  kc.hot_shift_ops = 1u << 30;  // never shifts in this test
+  KeyGen gen(kc);
+  Xoshiro256 rng(7);
+  constexpr int kDraws = 100000;
+  int hot = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t k = gen.next(rng);
+    ASSERT_LT(k, kc.key_space);
+    if (k < 1000) ++hot;  // window starts at 0 and never moves
+  }
+  // 90% of draws hit the window; cold draws are uniform over the other
+  // 9000 keys, so the binomial noise at n=100k is well under 1%.
+  EXPECT_NEAR(hot / double(kDraws), 0.90, 0.01);
+}
+
+TEST(KeyGenHotspot, RejectsBadConfig) {
+  KeyGenConfig kc;
+  kc.dist = Distribution::kHotspot;
+  kc.hot_frac = 0.0;
+  EXPECT_THROW(KeyGen{kc}, std::invalid_argument);
+  kc.hot_frac = 1.0;
+  EXPECT_THROW(KeyGen{kc}, std::invalid_argument);
+  kc.hot_frac = 0.1;
+  kc.hot_pct = 101;
+  EXPECT_THROW(KeyGen{kc}, std::invalid_argument);
+  kc.hot_pct = 90;
+  kc.hot_shift_ops = 0;
+  EXPECT_THROW(KeyGen{kc}, std::invalid_argument);
+}
+
+// --- affine ---------------------------------------------------------------
+
+TEST(KeyGenAffine, DrawsStayInsideSocketSlice) {
+  for (int socket = 0; socket < 3; ++socket) {
+    KeyGenConfig kc;
+    kc.dist = Distribution::kAffine;
+    kc.key_space = 9001;  // deliberately not divisible by 3
+    kc.socket = socket;
+    kc.num_sockets = 3;
+    KeyGen gen(kc);
+    Xoshiro256 rng(socket + 1);
+    const uint64_t lo = kc.key_space * socket / 3;
+    const uint64_t hi = kc.key_space * (socket + 1) / 3;
+    for (int i = 0; i < 20000; ++i) {
+      uint64_t k = gen.next(rng);
+      ASSERT_GE(k, lo) << "socket " << socket;
+      ASSERT_LT(k, hi) << "socket " << socket;
+    }
+  }
+}
+
+TEST(KeyGenAffine, SocketDerivedFromTopologyPinOrder) {
+  TrialConfig cfg;
+  cfg.dist = "affine";
+  // 2 sockets x 2 cores x 1 SMT: pin order fills socket 0 (threads 0, 1)
+  // before socket 1 (threads 2, 3).
+  cfg.topology = lsg::numa::Topology::uniform(2, 2, 1);
+  EXPECT_EQ(keygen_config(cfg, 0).socket, 0);
+  EXPECT_EQ(keygen_config(cfg, 1).socket, 0);
+  EXPECT_EQ(keygen_config(cfg, 2).socket, 1);
+  EXPECT_EQ(keygen_config(cfg, 3).socket, 1);
+  EXPECT_EQ(keygen_config(cfg, 0).num_sockets, 2);
+  // Beyond the topology the assignment wraps (thread 4 folds onto lane 0).
+  EXPECT_EQ(keygen_config(cfg, 4).socket, 0);
+}
+
+// --- phased schedules -----------------------------------------------------
+
+TEST(PhasedWorkload, ExactPhaseBoundaries) {
+  TrialConfig cfg;
+  cfg.seed = 5;
+  cfg.phases = parse_phases("load:u100:100,read:u0:200,churn:u50s0:300");
+  ThreadWorkload wl(cfg, 0);
+  ASSERT_TRUE(wl.phased());
+  ASSERT_EQ(wl.num_phases(), 3u);
+  std::vector<uint64_t> per_phase(3, 0);
+  uint64_t drawn = 0;
+  while (!wl.done()) {
+    wl.sync_phase();
+    size_t ph = wl.phase_index();
+    ThreadWorkload::Op op = wl.next();
+    ASSERT_EQ(wl.phase_index(), ph) << "next() crossed a synced boundary";
+    ++per_phase[ph];
+    ++drawn;
+    // Phase mixes are actually in force: load is all updates, read is all
+    // contains.
+    if (ph == 0) {
+      ASSERT_NE(op.kind, ThreadWorkload::Kind::kContains);
+    }
+    if (ph == 1) {
+      ASSERT_EQ(op.kind, ThreadWorkload::Kind::kContains);
+    }
+    wl.report(op, op.kind == ThreadWorkload::Kind::kInsert);
+    ASSERT_LE(drawn, 600u) << "schedule overran";
+  }
+  EXPECT_EQ(per_phase[0], 100u);
+  EXPECT_EQ(per_phase[1], 200u);
+  EXPECT_EQ(per_phase[2], 300u);
+  EXPECT_TRUE(wl.done());
+}
+
+TEST(PhasedWorkload, ParsePhasesRoundTripAndErrors) {
+  auto phases = parse_phases("load:u100:4000,read:u5:8000,churn:u50s10:8000");
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].name, "load");
+  EXPECT_EQ(phases[0].update_pct, 100);
+  EXPECT_EQ(phases[0].scan_pct, 0);
+  EXPECT_EQ(phases[0].ops, 4000u);
+  EXPECT_EQ(phases[2].scan_pct, 10);
+  EXPECT_EQ(describe_phases(phases),
+            "load:u100:4000,read:u5:8000,churn:u50s10:8000");
+  EXPECT_THROW(parse_phases(""), std::invalid_argument);
+  EXPECT_THROW(parse_phases("a:u50:100,"), std::invalid_argument);
+  EXPECT_THROW(parse_phases(":u50:100"), std::invalid_argument);
+  EXPECT_THROW(parse_phases("a:50:100"), std::invalid_argument);
+  EXPECT_THROW(parse_phases("a:u50"), std::invalid_argument);
+  EXPECT_THROW(parse_phases("a:u101:100"), std::invalid_argument);
+  EXPECT_THROW(parse_phases("a:u60s50:100"), std::invalid_argument);
+  EXPECT_THROW(parse_phases("a:u50:0"), std::invalid_argument);
+  EXPECT_THROW(parse_phases("a:u50:9x"), std::invalid_argument);
+}
+
+TEST(PhasedWorkload, ApplyMixPresets) {
+  TrialConfig cfg;
+  apply_mix(cfg, "A");
+  EXPECT_EQ(cfg.update_pct, 50);
+  EXPECT_EQ(cfg.scan_pct, 0);
+  apply_mix(cfg, "b");
+  EXPECT_EQ(cfg.update_pct, 5);
+  apply_mix(cfg, "C");
+  EXPECT_EQ(cfg.update_pct, 0);
+  apply_mix(cfg, "E");
+  EXPECT_EQ(cfg.update_pct, 5);
+  EXPECT_EQ(cfg.scan_pct, 95);
+  EXPECT_EQ(cfg.mix, "E");
+  EXPECT_THROW(apply_mix(cfg, "G"), std::invalid_argument);
+}
+
+TEST(PhasedWorkload, MaxScanPctCoversPhases) {
+  TrialConfig cfg;
+  cfg.scan_pct = 7;
+  EXPECT_EQ(max_scan_pct(cfg), 7);
+  cfg.phases = parse_phases("a:u50:10,b:u5s20:10");
+  // Phased mode: the flat scan_pct is not part of the schedule.
+  EXPECT_EQ(max_scan_pct(cfg), 20);
+}
+
+// --- deterministic replay -------------------------------------------------
+
+/// Same (seed, distribution, mix, phase schedule) tuple => byte-identical
+/// op streams, for every distribution.
+TEST(Replay, StreamsAreByteIdentical) {
+  for (const char* dist : {"uniform", "zipf", "hotspot", "affine"}) {
+    TrialConfig cfg;
+    cfg.dist = dist;
+    cfg.key_space = 1 << 12;
+    cfg.seed = 2026;
+    cfg.phases = parse_phases("load:u100:500,mix:u30s5:1500");
+    cfg.topology = lsg::numa::Topology::uniform(2, 2, 2);
+    for (int tid : {0, 3}) {
+      ThreadWorkload w1(cfg, tid), w2(cfg, tid);
+      while (!w1.done()) {
+        ASSERT_FALSE(w2.done());
+        ThreadWorkload::Op a = w1.next();
+        ThreadWorkload::Op b = w2.next();
+        ASSERT_EQ(a.kind, b.kind) << dist << " tid " << tid;
+        ASSERT_EQ(a.key, b.key) << dist << " tid " << tid;
+        bool ok = a.kind != ThreadWorkload::Kind::kContains;
+        w1.report(a, ok);
+        w2.report(b, ok);
+      }
+      EXPECT_TRUE(w2.done());
+    }
+    // Different seeds diverge (the tuple really is the whole identity).
+    TrialConfig other = cfg;
+    other.seed = 2027;
+    ThreadWorkload w1(cfg, 0), w2(other, 0);
+    int diffs = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (w1.next().key != w2.next().key) ++diffs;
+    }
+    EXPECT_GT(diffs, 0) << dist;
+  }
+}
+
+/// Replaying a single-worker stream against a plain std::map twice yields
+/// identical final key sets (the concurrent-map version of this check lives
+/// in test_workloads.cpp).
+TEST(Replay, FinalKeySetIdentical) {
+  // Note the effective-update discipline (Synchrobench -f 1) pairs every
+  // successful insert with a remove of that key, so a single worker's
+  // final set is tiny by construction — the trajectory fingerprint (every
+  // op kind, key, and oracle result) is the strong part of this check.
+  struct Trace {
+    std::set<uint64_t> final_keys;
+    uint64_t fingerprint = 0xcbf29ce484222325ull;  // FNV over the stream
+    uint64_t ops = 0;
+  };
+  auto run_once = [] {
+    TrialConfig cfg;
+    cfg.dist = "zipf";
+    cfg.key_space = 2048;
+    cfg.seed = 77;
+    cfg.phases = parse_phases("load:u100:2000,churn:u50:4000");
+    ThreadWorkload wl(cfg, 0);
+    Trace tr;
+    while (!wl.done()) {
+      ThreadWorkload::Op op = wl.next();
+      bool ok = false;
+      switch (op.kind) {
+        case ThreadWorkload::Kind::kInsert:
+          ok = tr.final_keys.insert(op.key).second;
+          break;
+        case ThreadWorkload::Kind::kRemove:
+          ok = tr.final_keys.erase(op.key) > 0;
+          break;
+        default:
+          break;
+      }
+      wl.report(op, ok);
+      uint64_t word = (op.key << 3) | (uint64_t(op.kind) << 1) | uint64_t(ok);
+      tr.fingerprint = (tr.fingerprint ^ word) * 0x100000001b3ull;
+      ++tr.ops;
+    }
+    return tr;
+  };
+  Trace a = run_once();
+  Trace b = run_once();
+  EXPECT_EQ(a.ops, 6000u);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.final_keys, b.final_keys);
+}
+
+TEST(ParseDistribution, NamesRoundTrip) {
+  EXPECT_EQ(parse_distribution("uniform"), Distribution::kUniform);
+  EXPECT_EQ(parse_distribution("zipf"), Distribution::kZipfian);
+  EXPECT_EQ(parse_distribution("zipfian"), Distribution::kZipfian);
+  EXPECT_EQ(parse_distribution("hotspot"), Distribution::kHotspot);
+  EXPECT_EQ(parse_distribution("affine"), Distribution::kAffine);
+  EXPECT_THROW(parse_distribution("pareto"), std::invalid_argument);
+  EXPECT_STREQ(distribution_name(Distribution::kZipfian), "zipf");
+}
+
+}  // namespace

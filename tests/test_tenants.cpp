@@ -1,0 +1,205 @@
+// Multi-tenant stress (PR 9): several map instances share one
+// ThreadRegistry / arena / EBR universe. The risks are (a) the per-thread
+// local-state cache handing one tenant's state to another (it is a single
+// thread_local keyed on (map id, registry generation)), (b) logical-id or
+// epoch leakage when a tenant is torn down mid-trial while the others keep
+// running, and (c) plain data races between tenants — which is why CI runs
+// this suite under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/layered_map.hpp"
+#include "harness/registry.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using namespace lsg::harness;
+using lsg::test::RegistryFixture;
+using lsg::test::run_threads;
+using Map = lsg::core::LayeredMap<uint64_t, uint64_t>;
+
+struct TenantsTest : RegistryFixture {};
+
+/// Every thread interleaves operations across all tenants op by op — the
+/// hardest pattern for the thread-local state cache, which must re-resolve
+/// on every switch. Tenants hold disjoint congruence classes so the final
+/// contents are exactly checkable.
+TEST_F(TenantsTest, InterleavedTenantsStayDisjoint) {
+  constexpr int kTenants = 3;
+  constexpr int kThreads = 4;
+  constexpr uint64_t kSpace = 1 << 9;
+  lsg::core::LayeredOptions opts;
+  opts.num_threads = kThreads;
+  std::vector<std::unique_ptr<Map>> maps;
+  for (int i = 0; i < kTenants; ++i) maps.push_back(std::make_unique<Map>(opts));
+
+  // expect[tenant][thread]: per-thread key stripes inside each tenant.
+  std::vector<std::vector<std::set<uint64_t>>> expect(
+      kTenants, std::vector<std::set<uint64_t>>(kThreads));
+  run_threads(kThreads, [&](int t) {
+    for (auto& m : maps) m->thread_init();
+    lsg::common::Xoshiro256 rng(90 + t);
+    for (int i = 0; i < 4000; ++i) {
+      int tenant = i % kTenants;  // switch tenant on every op
+      Map& m = *maps[static_cast<size_t>(tenant)];
+      auto& mine = expect[static_cast<size_t>(tenant)][static_cast<size_t>(t)];
+      // Stripe keys by (thread, tenant) so oracle checks are exact.
+      uint64_t k = rng.next_bounded(kSpace) * kThreads * kTenants +
+                   static_cast<uint64_t>(t) * kTenants +
+                   static_cast<uint64_t>(tenant);
+      if (rng.next_bounded(100) < 70) {
+        ASSERT_EQ(m.insert(k, k ^ 0xABCD), mine.insert(k).second);
+      } else {
+        ASSERT_EQ(m.remove(k), mine.erase(k) > 0);
+      }
+    }
+  });
+
+  for (int tenant = 0; tenant < kTenants; ++tenant) {
+    std::set<uint64_t> all;
+    for (const auto& s : expect[static_cast<size_t>(tenant)]) {
+      all.insert(s.begin(), s.end());
+    }
+    Map& m = *maps[static_cast<size_t>(tenant)];
+    EXPECT_EQ(m.abstract_set().size(), all.size()) << "tenant " << tenant;
+    for (uint64_t k : all) {
+      ASSERT_TRUE(m.contains(k)) << "tenant " << tenant << " key " << k;
+    }
+    // No cross-tenant bleed: keys of the other tenants' congruence classes
+    // must be absent (sample the other classes of the same ranks).
+    int other = (tenant + 1) % kTenants;
+    int checked = 0;
+    for (uint64_t k : all) {
+      uint64_t foreign = k - static_cast<uint64_t>(tenant) +
+                         static_cast<uint64_t>(other);
+      if (all.count(foreign)) continue;
+      bool in_other =
+          expect[static_cast<size_t>(other)][0].count(foreign) ||
+          expect[static_cast<size_t>(other)][1].count(foreign) ||
+          expect[static_cast<size_t>(other)][2].count(foreign) ||
+          expect[static_cast<size_t>(other)][3].count(foreign);
+      if (in_other) continue;
+      ASSERT_FALSE(m.contains(foreign)) << "tenant " << tenant;
+      if (++checked == 64) break;
+    }
+  }
+}
+
+/// One tenant is destroyed mid-trial while the others keep churning; a
+/// replacement tenant created afterwards must come up empty and fully
+/// usable from threads whose thread-local cache still points at the dead
+/// tenant's (freed) local state. The globally-unique map id is what makes
+/// the stale cache unmatchable.
+TEST_F(TenantsTest, MidTrialTeardownLeaksNothing) {
+  constexpr int kThreads = 4;
+  constexpr uint64_t kSpace = 1 << 9;
+  lsg::core::LayeredOptions opts;
+  opts.num_threads = kThreads;
+  auto keeper = std::make_unique<Map>(opts);    // lives the whole trial
+  auto doomed = std::make_unique<Map>(opts);    // torn down mid-trial
+  std::unique_ptr<Map> replacement;             // born after the teardown
+
+  std::atomic<int> phase1_done{0};
+  std::atomic<bool> teardown_complete{false};
+  run_threads(kThreads, [&](int t) {
+    keeper->thread_init();
+    doomed->thread_init();
+    lsg::common::Xoshiro256 rng(7 + t);
+    // Phase 1: both tenants take traffic; every worker caches local state
+    // in both.
+    for (int i = 0; i < 1500; ++i) {
+      uint64_t k = rng.next_bounded(kSpace) * kThreads +
+                   static_cast<uint64_t>(t);
+      keeper->insert(k, k);
+      doomed->insert(k, k);
+      if (i % 3 == 0) {
+        keeper->remove(k);
+        doomed->remove(k);
+      }
+    }
+    phase1_done.fetch_add(1);
+    if (t == 0) {
+      // Worker 0 performs the teardown while its peers keep hitting the
+      // surviving tenant: the reclamation epochs of the two tenants are
+      // independent, so this must not stall or corrupt the keeper.
+      while (phase1_done.load(std::memory_order_acquire) != kThreads) {
+        std::this_thread::yield();
+      }
+      doomed.reset();
+      replacement = std::make_unique<Map>(opts);
+      teardown_complete.store(true, std::memory_order_release);
+    }
+    // Phase 2: churn the keeper through the teardown window.
+    lsg::common::Xoshiro256 rng2(100 + t);
+    while (!teardown_complete.load(std::memory_order_acquire)) {
+      uint64_t k = rng2.next_bounded(kSpace) * kThreads +
+                   static_cast<uint64_t>(t);
+      keeper->insert(k, k);
+      keeper->remove(k);
+    }
+    // Phase 3: the replacement must be empty for this thread's stripe and
+    // accept writes, even though this thread's cache pointed at the dead
+    // tenant moments ago.
+    replacement->thread_init();
+    for (uint64_t r = 0; r < 64; ++r) {
+      uint64_t k = r * kThreads + static_cast<uint64_t>(t);
+      ASSERT_FALSE(replacement->contains(k)) << "leaked key " << k;
+      ASSERT_TRUE(replacement->insert(k, k + 5));
+    }
+    for (uint64_t r = 0; r < 64; ++r) {
+      uint64_t k = r * kThreads + static_cast<uint64_t>(t);
+      ASSERT_TRUE(replacement->contains(k));
+    }
+  });
+  EXPECT_EQ(replacement->abstract_set().size(), 64u * kThreads);
+  // The registry's id space was shared by three tenants and a teardown:
+  // worker ids must still be exactly 0..kThreads-1 (no leaked
+  // registrations).
+  EXPECT_EQ(lsg::numa::ThreadRegistry::registered_count(), kThreads);
+}
+
+/// Registry-level trial: the harness's own multi-tenant mode on the full
+/// stack (factory per tenant over shared infrastructure), heavier thread
+/// counts, all tenants checked for liveness afterwards. Exists mostly for
+/// the TSan job, which needs the exact worker code path the driver uses.
+TEST_F(TenantsTest, DriverStyleTenantChurn) {
+  constexpr int kThreads = 6;
+  constexpr int kTenants = 2;
+  TrialConfig cfg;
+  cfg.algorithm = "layered_map_sg";
+  cfg.threads = kThreads;
+  cfg.key_space = 1 << 10;
+  cfg.dist = "hotspot";  // cross-thread contention inside each tenant
+  cfg.hot_frac = 0.1;
+  cfg.hot_pct = 90;
+  cfg.hot_shift_ops = 512;
+  cfg.phases = parse_phases("load:u100:1500,churn:u50:3000");
+  std::vector<std::unique_ptr<IMap>> maps;
+  for (int i = 0; i < kTenants; ++i) {
+    maps.push_back(make_map(cfg.algorithm, cfg));
+  }
+  std::atomic<bool> stop{false};
+  run_threads(kThreads, [&](int t) {
+    IMap* m = maps[static_cast<size_t>(t % kTenants)].get();
+    m->thread_init();
+    ThreadWorkload wl(cfg, t);
+    // The real measured-phase code path (devirtualized phased loop), run
+    // to schedule completion.
+    std::vector<OpTally> per_phase(wl.num_phases());
+    m->run_phased_op_loop(wl, stop, per_phase);
+    EXPECT_EQ(per_phase[0].ops + per_phase[1].ops, 4500u);
+  });
+  for (auto& m : maps) {
+    ScanBuffer out;
+    m->scan(0, cfg.key_space, out);  // must not crash; snapshot is sane
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Simulated-topology validation grid (PR 9).
+
+Re-runs the socket-affine workload suite over a grid of simulated machine
+shapes (socket count x remote NUMA distance) using lsg_cli's topology
+override flags, and asserts the cross-PR locality invariants on every
+grid point:
+
+  I1  every worker pinned: pinned_threads == threads
+  I2  a single-socket machine has no remote traffic at all:
+      remote_cas_per_op == remote_reads_per_op == 0 (exactly)
+  I3  CAS locality fraction local/(local+remote) is a valid fraction and,
+      on multi-socket points with socket-affine traffic, stays above a
+      floor (the PR 6 claim: affine traffic localizes)
+  I4  the NUMA-sharded tier (PR 6) is at least as CAS-local as the
+      unsharded layered map on the same grid point, minus a small margin
+  I5  the fat-leaf tier (PR 8) touches no more cache lines per op than
+      the pointer-chased layered map, within a margin
+
+Any violation prints a FAIL line and the process exits nonzero, so CI can
+gate on it directly.  Results additionally land in --out as JSONL (one
+record per trial, lsg-trial-v5 schema) for offline comparison.
+
+Usage:
+  python3 tools/topo_sweep.py --cli build/bench/lsg_cli            # 2x2 grid
+  python3 tools/topo_sweep.py --cli build/bench/lsg_cli \
+      --sockets 1,2,4 --remote-dists 21,40 --threads 8 --duration 400
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+# Margins for the comparative invariants.  Trials are short and CI
+# machines are noisy; these catch inversions, not percentage points.
+AFFINE_LOCALITY_FLOOR = 0.50   # I3: affine traffic must be majority-local
+SHARDED_MARGIN = 0.10          # I4: sharded >= unsharded - margin
+LEAF_LINES_MARGIN = 1.25       # I5: leaf lines/op <= layered * margin
+
+
+def run_trial(cli, algo, sockets, remote, args, extra=None):
+    """One lsg_cli run on a simulated machine; returns the trial record."""
+    out = os.path.join(args.out_dir, "sweep.jsonl")
+    cmd = [
+        cli, "-a", algo,
+        "-t", str(args.threads),
+        "-d", str(args.duration),
+        "-r", str(args.key_space),
+        "-s", str(args.seed),
+        "--dist", "affine",
+        "--sockets", str(sockets),
+        "--smt", str(args.smt),
+        "--local-dist", "10",
+        "--remote-dist", str(remote),
+        "--json", out,
+    ]
+    if extra:
+        cmd += extra
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise RuntimeError(
+            f"{algo} @ sockets={sockets} remote={remote}: "
+            f"lsg_cli exited {proc.returncode}")
+    with open(out) as f:
+        rec = json.loads(f.read().splitlines()[-1])
+    if rec.get("schema") != "lsg-trial-v5":
+        raise RuntimeError(f"unexpected trial schema: {rec.get('schema')}")
+    return rec
+
+
+def cas_locality(rec):
+    local = rec["local_cas_per_op"]
+    remote = rec["remote_cas_per_op"]
+    total = local + remote
+    return 1.0 if total == 0 else local / total
+
+
+class Checker:
+    def __init__(self):
+        self.failures = []
+        self.checks = 0
+
+    def expect(self, cond, point, message):
+        self.checks += 1
+        if not cond:
+            self.failures.append(f"[{point}] {message}")
+            print(f"  FAIL {message}")
+        return cond
+
+
+def check_point(chk, sockets, remote, recs):
+    """Assert I1..I5 on one grid point. recs: algo -> trial record."""
+    point = f"sockets={sockets} remote={remote}"
+    for algo, rec in recs.items():
+        chk.expect(rec["pinned_threads"] == rec["threads"], point,
+                   f"I1 {algo}: pinned {rec['pinned_threads']} != "
+                   f"threads {rec['threads']}")
+        chk.expect(rec["total_ops"] > 0, point, f"I1 {algo}: trial ran dry")
+        loc = cas_locality(rec)
+        chk.expect(0.0 <= loc <= 1.0, point,
+                   f"I3 {algo}: cas locality {loc} outside [0, 1]")
+        if sockets == 1:
+            chk.expect(rec["remote_cas_per_op"] == 0, point,
+                       f"I2 {algo}: remote CAS on a 1-socket machine "
+                       f"({rec['remote_cas_per_op']}/op)")
+            chk.expect(rec["remote_reads_per_op"] == 0, point,
+                       f"I2 {algo}: remote reads on a 1-socket machine "
+                       f"({rec['remote_reads_per_op']}/op)")
+
+    if sockets > 1:
+        sharded = recs["sharded_layered_sg"]
+        layered = recs["layered_map_sg"]
+        chk.expect(cas_locality(sharded) >= AFFINE_LOCALITY_FLOOR, point,
+                   f"I3 sharded: affine locality "
+                   f"{cas_locality(sharded):.3f} < {AFFINE_LOCALITY_FLOOR}")
+        chk.expect(
+            cas_locality(sharded) >= cas_locality(layered) - SHARDED_MARGIN,
+            point,
+            f"I4: sharded locality {cas_locality(sharded):.3f} < "
+            f"layered {cas_locality(layered):.3f} - {SHARDED_MARGIN}")
+
+    leaf = recs["leaf_layered_sg"]
+    layered = recs["layered_map_sg"]
+    if leaf["lines_per_op"] > 0 and layered["lines_per_op"] > 0:
+        chk.expect(
+            leaf["lines_per_op"] <= layered["lines_per_op"] * LEAF_LINES_MARGIN,
+            point,
+            f"I5: leaf lines/op {leaf['lines_per_op']:.2f} > "
+            f"layered {layered['lines_per_op']:.2f} * {LEAF_LINES_MARGIN}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--cli", default="build/bench/lsg_cli",
+                    help="path to the lsg_cli binary")
+    ap.add_argument("--sockets", default="1,2",
+                    help="comma-separated socket counts (default 1,2)")
+    ap.add_argument("--remote-dists", default="21,40",
+                    help="comma-separated remote NUMA distances")
+    ap.add_argument("--threads", type=int, default=8)
+    ap.add_argument("--smt", type=int, default=2)
+    ap.add_argument("--duration", type=int, default=300,
+                    help="per-trial measured milliseconds")
+    ap.add_argument("--key-space", default=str(1 << 16))
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--out-dir", default="topo_sweep_out")
+    args = ap.parse_args()
+
+    sockets_grid = [int(s) for s in args.sockets.split(",") if s]
+    remote_grid = [int(r) for r in args.remote_dists.split(",") if r]
+    if len(sockets_grid) * len(remote_grid) < 2:
+        ap.error("grid must have at least 2 points")
+    os.makedirs(args.out_dir, exist_ok=True)
+
+    algos = ["layered_map_sg", "sharded_layered_sg", "leaf_layered_sg"]
+    chk = Checker()
+    for sockets in sockets_grid:
+        for remote in remote_grid:
+            print(f"== grid point: sockets={sockets} remote-dist={remote} "
+                  f"({args.threads} threads, affine keys)")
+            recs = {}
+            for algo in algos:
+                extra = []
+                if algo == "sharded_layered_sg":
+                    # Range-routed shards, one per simulated socket: the
+                    # configuration the PR 6 locality claim is stated for.
+                    extra = ["--shards", str(max(2, sockets)),
+                             "--shard-policy", "range"]
+                recs[algo] = run_trial(args.cli, algo, sockets, remote,
+                                       args, extra)
+                print(f"  {algo:20s} {recs[algo]['ops_per_ms']:10.1f} ops/ms"
+                      f"  cas-local {cas_locality(recs[algo]):.3f}"
+                      f"  lines/op {recs[algo]['lines_per_op']:.2f}")
+            check_point(chk, sockets, remote, recs)
+
+    print(f"\n{chk.checks} invariant checks over "
+          f"{len(sockets_grid) * len(remote_grid)} grid points; "
+          f"{len(chk.failures)} failure(s)")
+    if chk.failures:
+        for f in chk.failures:
+            print(f"  {f}")
+        return 1
+    print("topology grid: all locality invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
