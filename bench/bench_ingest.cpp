@@ -1,0 +1,368 @@
+// Ingest-tier benchmarks (src/ingest/), two modes in one binary:
+//
+//  default   google-benchmark micros: the linearizable ack path vs direct
+//            map ops, overlay reads with hot and drained memtables, and
+//            log replay cost per recovered record. These are the CI-gated
+//            numbers (BENCH_pr10.json "after"): single-threaded per-op
+//            costs, not a machine-dependent scaling claim.
+//  --burst   burst-ingest evidence (BENCH_pr10.json "evidence"): T writers
+//            ack N distinct keys as fast as they can — direct inserts vs
+//            tier acks, plus the background drain-to-quiescence time —
+//            printed as JSON lines. The ack/direct ratio is the paper-side
+//            claim: acks cost a memtable upsert + log append instead of a
+//            full skip-graph descent, so burst ingest acks faster than
+//            direct insertion and the structure catches up off the
+//            writers' critical path.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/layered_map.hpp"
+#include "harness/report.hpp"
+#include "ingest/ingest.hpp"
+#include "numa/pinning.hpp"
+#include "stats/counters.hpp"
+
+namespace {
+
+using K = uint64_t;
+using V = uint64_t;
+using Layered = lsg::core::LayeredMap<K, V>;
+using Tier = lsg::ingest::IngestTier<Layered>;
+
+constexpr uint64_t kSpace = 1 << 12;
+
+void fresh_registry() {
+  lsg::numa::ThreadRegistry::configure(lsg::numa::Topology::paper_machine());
+  lsg::numa::ThreadRegistry::reset();
+  lsg::stats::sync_topology();
+  lsg::stats::reset();
+}
+
+lsg::core::LayeredOptions layered_opts(int threads) {
+  lsg::core::LayeredOptions o;
+  o.num_threads = threads;
+  o.policy = lsg::numa::MembershipPolicy::kNumaAware;
+  return o;
+}
+
+std::string bench_dir(const char* tag) {
+  static std::atomic<uint64_t> n{0};
+  return "ingest_bench_logs/" + std::string(tag) + "_" +
+         std::to_string(n.fetch_add(1));
+}
+
+Tier::Options tier_opts(const char* tag, size_t segment_bytes) {
+  Tier::Options o;
+  o.dir = bench_dir(tag);
+  o.segment_bytes = segment_bytes;
+  o.mergers = 1;
+  o.remove_on_close = true;
+  return o;
+}
+
+/// All-effective churn: pass 0 inserts every key in [0, kSpace), pass 1
+/// removes them, and so on — every op changes the set, the ack path's
+/// worst case (a log record per op).
+struct Churn {
+  uint64_t i = 0;
+  bool inserting = true;
+  template <class M>
+  void step(M& m) {
+    const K k = i % kSpace;
+    if (inserting) {
+      m.insert(k, k);
+    } else {
+      m.remove(k);
+    }
+    if (++i % kSpace == 0) inserting = !inserting;
+  }
+};
+
+/// Baseline: the same churn against the layered map directly (full
+/// skip-graph descent per op).
+void BM_DirectChurn(benchmark::State& state) {
+  fresh_registry();
+  Layered m(layered_opts(1));
+  m.thread_init();
+  Churn c;
+  for (auto _ : state) c.step(m);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectChurn);
+
+/// Tier ack path, segment large enough that nothing seals within a run:
+/// memtable shard decision + arena append only (the pure front-end cost).
+/// The first append arena-allocates the whole segment buffer; one warmup
+/// op keeps that first-touch out of the timed loop.
+void BM_IngestAck(benchmark::State& state) {
+  fresh_registry();
+  Layered m(layered_opts(1));
+  m.thread_init();
+  Tier tier(m, tier_opts("ack", size_t{1} << 26));
+  Churn c;
+  c.step(tier);
+  for (auto _ : state) c.step(tier);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IngestAck);
+
+/// Tier ack path with 32 KiB segments: group-commit seals and merger
+/// hand-off amortized into the per-op cost.
+void BM_IngestAckSealed(benchmark::State& state) {
+  fresh_registry();
+  Layered m(layered_opts(1));
+  m.thread_init();
+  Tier tier(m, tier_opts("seal", size_t{1} << 15));
+  Churn c;
+  c.step(tier);
+  for (auto _ : state) c.step(tier);
+  tier.flush();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IngestAckSealed);
+
+void BM_DirectContains(benchmark::State& state) {
+  fresh_registry();
+  Layered m(layered_opts(1));
+  m.thread_init();
+  for (K k = 0; k < kSpace; k += 2) m.insert(k, k);
+  K k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.contains(k % kSpace));
+    k += 7;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectContains);
+
+/// Overlay contains while every key still lives in the memtable (hot
+/// ingest): a sharded hash probe, no skip-graph descent.
+void BM_IngestContainsMemtable(benchmark::State& state) {
+  fresh_registry();
+  Layered m(layered_opts(1));
+  m.thread_init();
+  Tier tier(m, tier_opts("mem", size_t{1} << 28));
+  for (K k = 0; k < kSpace; k += 2) tier.insert(k, k);
+  K k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tier.contains(k % kSpace));
+    k += 7;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IngestContainsMemtable);
+
+/// Overlay contains after a full drain (memtable empty): a shard-lock
+/// overlay miss answered by the shard's presence mirror — O(1) regardless
+/// of who merged the keys. Before the mirror this probe was a cold
+/// membership-restricted descent of the inner graph (~3 µs: the merger did
+/// the bulk_load, so this thread had no local associations); the mirror is
+/// what keeps post-hand-off reads off that path.
+void BM_IngestContainsDrained(benchmark::State& state) {
+  fresh_registry();
+  Layered m(layered_opts(1));
+  m.thread_init();
+  Tier tier(m, tier_opts("drained", size_t{1} << 15));
+  for (K k = 0; k < kSpace; k += 2) tier.insert(k, k);
+  tier.flush();
+  K k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tier.contains(k % kSpace));
+    k += 7;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IngestContainsDrained);
+
+/// Crash-recovery replay: per-record cost of folding a sealed log back
+/// into a fresh layered map. The log dir is built once per record count
+/// and recovered repeatedly into fresh maps.
+void BM_RecoveryReplay(benchmark::State& state) {
+  fresh_registry();
+  const auto records = static_cast<uint64_t>(state.range(0));
+  const std::string dir = bench_dir("replay");
+  {
+    Layered m(layered_opts(1));
+    m.thread_init();
+    Tier::Options o;
+    o.dir = dir;
+    o.segment_bytes = size_t{1} << 15;
+    o.mergers = 1;
+    Tier tier(m, o);
+    Churn c;
+    for (uint64_t i = 0; i < records; ++i) c.step(tier);
+    tier.finish();
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    Layered fresh(layered_opts(1));
+    fresh.thread_init();
+    Tier::Options o;
+    o.dir = dir;
+    o.mergers = 1;
+    Tier tier(fresh, o);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(tier.recover());
+    state.PauseTiming();
+    tier.finish();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(records));
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+BENCHMARK(BM_RecoveryReplay)->Arg(4096)->Arg(32768);
+
+/// --- --burst evidence mode ------------------------------------------------
+
+struct BurstPoint {
+  int threads = 0;
+  uint64_t keys = 0;
+  double direct_ops_per_ms = 0;
+  double ack_ops_per_ms = 0;
+  double drain_ms = 0;
+};
+
+/// T pinned-order writers insert disjoint key slices as fast as possible.
+/// `use_tier` routes the burst through the ack path; the returned window is
+/// go-to-last-ack wall time. The tier's drain time is measured separately.
+BurstPoint run_burst_point(int threads, uint64_t total_keys, bool use_tier,
+                           BurstPoint base) {
+  fresh_registry();
+  const uint64_t slice = total_keys / static_cast<uint64_t>(threads);
+  Layered map(layered_opts(threads));
+  std::unique_ptr<Tier> tier;
+  if (use_tier) {
+    Tier::Options o;
+    o.dir = bench_dir("burst");
+    // Sized so no writer seals mid-window: the ack window then measures
+    // the pure front-end (memtable + log append), and drain_ms carries the
+    // entire seal + merge cost — the work the tier moved off the writers'
+    // critical path.
+    o.segment_bytes = (slice + 64) * lsg::ingest::kRecordBytes;
+    o.remove_on_close = true;
+    tier = std::make_unique<Tier>(map, o);  // mergers: one per socket
+  }
+
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      lsg::numa::ThreadRegistry::register_self();
+      lsg::numa::ThreadRegistry::pin_self_if_possible();
+      map.thread_init();
+      const K lo = static_cast<K>(t) * slice * 4;  // disjoint, sparse
+      ready.fetch_add(1, std::memory_order_release);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      if (use_tier) {
+        for (uint64_t i = 0; i < slice; ++i) tier->insert(lo + i * 2, i);
+      } else {
+        for (uint64_t i = 0; i < slice; ++i) map.insert(lo + i * 2, i);
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) != threads) {
+    std::this_thread::yield();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ack_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  double drain_ms = 0;
+  if (use_tier) {
+    tier->flush();
+    const auto t2 = std::chrono::steady_clock::now();
+    drain_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    tier->finish();
+  }
+
+  BurstPoint p = base;
+  p.threads = threads;
+  p.keys = slice * static_cast<uint64_t>(threads);
+  const double ops_per_ms =
+      static_cast<double>(p.keys) / (ack_ms > 0 ? ack_ms : 1e-9);
+  if (use_tier) {
+    p.ack_ops_per_ms = ops_per_ms;
+    p.drain_ms = drain_ms;
+  } else {
+    p.direct_ops_per_ms = ops_per_ms;
+  }
+  return p;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n == 0 ? 0.0 : (n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]));
+}
+
+int run_burst() {
+  const uint64_t total_keys =
+      lsg::harness::full_scale() ? uint64_t{1} << 21 : uint64_t{1} << 18;
+  // Each rep runs the direct and ack windows back-to-back, and the
+  // reported ratio is the median of the per-rep ratios: machine-wide noise
+  // (a shared box) moves adjacent windows together, so it mostly cancels
+  // in the quotient — unlike the quotient of independently-taken medians.
+  constexpr int kReps = 5;
+  std::printf("[\n");
+  bool first = true;
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<double> direct, ack, ratio, drain;
+    uint64_t keys = 0;
+    for (int r = 0; r < kReps; ++r) {
+      BurstPoint p = run_burst_point(threads, total_keys, /*use_tier=*/false,
+                                     BurstPoint{});
+      p = run_burst_point(threads, total_keys, /*use_tier=*/true, p);
+      direct.push_back(p.direct_ops_per_ms);
+      ack.push_back(p.ack_ops_per_ms);
+      ratio.push_back(p.direct_ops_per_ms > 0
+                          ? p.ack_ops_per_ms / p.direct_ops_per_ms
+                          : 0);
+      drain.push_back(p.drain_ms);
+      keys = p.keys;
+    }
+    std::printf(
+        "%s  {\"threads\": %d, \"keys\": %llu, "
+        "\"direct_ops_per_ms\": %.1f, \"ingest_ack_ops_per_ms\": %.1f, "
+        "\"ack_vs_direct\": %.3f, \"drain_ms\": %.1f}",
+        first ? "" : ",\n", threads, static_cast<unsigned long long>(keys),
+        median(direct), median(ack), median(ratio), median(drain));
+    first = false;
+    std::fflush(stdout);
+  }
+  std::printf("\n]\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::atexit([] {
+    std::error_code ec;
+    std::filesystem::remove_all("ingest_bench_logs", ec);
+  });
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--burst") == 0) return run_burst();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <atomic>
+#include <thread>
 
 #include "common/backoff.hpp"
 
@@ -12,9 +13,21 @@ class SpinLock {
  public:
   void lock() {
     Backoff bo(256);
+    uint32_t spins = 0;
     while (true) {
       if (!flag_.exchange(true, std::memory_order_acquire)) return;
-      while (flag_.load(std::memory_order_relaxed)) bo.pause();
+      while (flag_.load(std::memory_order_relaxed)) {
+        // Long waits mean the holder is likely preempted (more runnable
+        // threads than cores): burning the rest of this quantum spinning
+        // just delays the release. Yield so the holder can run. On a
+        // single-CPU machine a held lock *proves* the holder is preempted
+        // (it isn't running — we are), so skip the spin phase entirely.
+        if (!single_cpu() && ++spins < 64) {
+          bo.pause();
+        } else {
+          std::this_thread::yield();
+        }
+      }
     }
   }
 
@@ -26,6 +39,11 @@ class SpinLock {
   void unlock() { flag_.store(false, std::memory_order_release); }
 
  private:
+  static bool single_cpu() {
+    static const bool s = std::thread::hardware_concurrency() <= 1;
+    return s;
+  }
+
   std::atomic<bool> flag_{false};
 };
 

@@ -52,6 +52,16 @@ std::string cli_usage() {
       "  --prefetch M     descent prefetch: off | dist1 | foresight   [dist1]\n"
       "  --leaf-width N   slots per leaf block (leaf_layered_sg):\n"
       "                   2 | 6 | 14 (1/2/4 cache lines)              [6]\n"
+      "  --ingest         layer the log-structured ingest tier (src/ingest)\n"
+      "                   over the selected algorithm: per-thread WAL\n"
+      "                   segments + memtable acks, background mergers\n"
+      "  --log-dir D      persistent ingest log directory, replayed at\n"
+      "                   startup (default: fresh per-trial dir, deleted on\n"
+      "                   close); requires --ingest, conflicts with --tenants\n"
+      "  --segment-bytes N  ingest segment seal threshold, bytes (int or\n"
+      "                   2^x; >= 32); requires --ingest            [2^20]\n"
+      "  --checkpoint-every MS  background checkpoint cadence; requires\n"
+      "                   --ingest and --log-dir                    [off]\n"
       "  -i PCT    initial fill, % of range      [20]\n"
       "  -s SEED   rng seed                      [42]\n"
       "  -n N      runs to average               [1]\n"
@@ -104,6 +114,7 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   // at parse time instead.
   bool saw_duration = false, saw_update = false, saw_scan_frac = false;
   bool saw_mix = false, saw_zipf = false, saw_hot = false;
+  bool saw_log_dir = false, saw_segment_bytes = false, saw_ckpt_every = false;
   std::string mix_name;
   auto need = [&](int i) -> const char* {
     if (i + 1 >= argc) return nullptr;
@@ -344,6 +355,43 @@ CliOptions parse_cli(int argc, const char* const* argv) {
         return o;
       }
       o.cfg.leaf_width = static_cast<int>(n);
+    } else if (arg == "--ingest") {
+      o.cfg.ingest = true;
+    } else if (arg == "--log-dir") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--log-dir requires a path";
+        return o;
+      }
+      o.cfg.log_dir = v;
+      saw_log_dir = true;
+    } else if (arg == "--segment-bytes") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--segment-bytes requires a byte count";
+        return o;
+      }
+      uint64_t bytes = 0;
+      if (!parse_range(v, bytes) || bytes < 32) {
+        o.error = "segment bytes must be >= 32 (one record), int or 2^x";
+        return o;
+      }
+      o.cfg.segment_bytes = bytes;
+      saw_segment_bytes = true;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = need(i++);
+      if (!v) {
+        o.error = "--checkpoint-every requires a value in ms";
+        return o;
+      }
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1) {
+        o.error = "checkpoint cadence must be a positive ms count";
+        return o;
+      }
+      o.cfg.checkpoint_every_ms = static_cast<int>(n);
+      saw_ckpt_every = true;
     } else if (arg == "--obs") {
       o.cfg.collect_obs = true;
     } else if (arg == "--trace") {
@@ -474,6 +522,29 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   }
   if (o.custom_topology && o.topo_remote < o.topo_local) {
     o.error = "remote distance must be >= local distance";
+    return o;
+  }
+  // Ingest-family audit: the ingest knobs are dead weight without the tier
+  // (PR 9 discipline — no knob is silently ignored). An ingest_* algorithm
+  // carries its own tier, so it activates the family too.
+  const bool ingest_active =
+      o.cfg.ingest || o.cfg.algorithm.rfind("ingest_", 0) == 0;
+  if ((saw_log_dir || saw_segment_bytes || saw_ckpt_every) && !ingest_active) {
+    o.error =
+        "--log-dir/--segment-bytes/--checkpoint-every require --ingest or "
+        "an ingest_* algorithm (they would be ignored)";
+    return o;
+  }
+  if (saw_ckpt_every && !saw_log_dir) {
+    o.error =
+        "--checkpoint-every requires --log-dir (checkpoints in a per-trial "
+        "temp dir are deleted with it; give them a persistent home)";
+    return o;
+  }
+  if (saw_log_dir && o.cfg.tenants > 1) {
+    o.error =
+        "--log-dir conflicts with --tenants > 1 (each tenant map needs its "
+        "own log directory; omit --log-dir for per-tenant temp dirs)";
     return o;
   }
   if (saw_mix) {

@@ -221,6 +221,11 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
     for (auto& w : workers) w.join();
   }
   auto t1 = clock::now();
+  // Quiesce background machinery (ingest mergers, checkpoint threads)
+  // before the trace window closes and stats are read: the final drain is
+  // part of the trial, its spans belong on the timeline, and the tier's
+  // counters are only exact once its threads have joined.
+  for (auto& m : maps) m->finish_background();
   measure_span.end();
   lsg::obs::trace_set_enabled(false);
   if (obs_on) {
@@ -305,6 +310,14 @@ TrialResult run_trial(const TrialConfig& cfg, const MapFactory& factory) {
   r.lines_per_op = r.counters.lines_traversed / ops;
   r.topology = cfg.topology.describe();
 
+  for (const auto& m : maps) {
+    lsg::ingest::TierStats ts;
+    if (m->ingest_stats(ts)) {
+      r.ingest = true;
+      r.ingest_stats += ts;
+    }
+  }
+
   r.perf_requested = perf_on;
   if (perf_on) {
     for (const auto& pc : perf_counts) r.perf += pc;
@@ -363,6 +376,12 @@ TrialResult TrialResult::average(const std::vector<TrialResult>& runs) {
   avg.lines_per_op = 0;
   avg.perf = lsg::obs::PerfCounts{};  // counters sum across runs
   for (const auto& r : runs) avg.perf += r.perf;
+  if (avg.ingest) {
+    // Tier counters sum like the other counters (gauges fold via += rules:
+    // checkpoint_seq and backlog_peak keep their max).
+    avg.ingest_stats = lsg::ingest::TierStats{};
+    for (const auto& r : runs) avg.ingest_stats += r.ingest_stats;
+  }
   // Phase/tenant outcome counts sum elementwise across runs (every run of
   // one config has the same schedule shape; metadata stays the front
   // run's).

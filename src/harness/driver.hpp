@@ -12,6 +12,7 @@
 
 #include "harness/imap.hpp"
 #include "harness/workload.hpp"
+#include "ingest/stats.hpp"
 #include "obs/perf.hpp"
 #include "obs/telemetry.hpp"
 #include "stats/counters.hpp"
@@ -75,7 +76,13 @@ struct TrialResult {
 
   std::string topology;  // cfg.topology.describe()
 
-  /// Workload shape (trial JSON, schema lsg-trial-v5).
+  /// Ingest-tier lifetime counters, summed across tenant maps (trial JSON
+  /// "ingest" block). `ingest` is true only when the trial ran with an
+  /// ingest front (--ingest or an ingest_* variant).
+  bool ingest = false;
+  lsg::ingest::TierStats ingest_stats;
+
+  /// Workload shape (trial JSON, schema lsg-trial-v6).
   std::string dist = "uniform";
   double zipf_theta = 0;   // meaningful only when dist == "zipf"
   std::string mix;         // YCSB preset name when one was applied

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "harness/workload.hpp"
+#include "ingest/stats.hpp"
 #include "obs/telemetry.hpp"
 #include "range/scan.hpp"
 
@@ -191,6 +192,18 @@ class IMap {
   /// Called once per worker before the measured phase.
   virtual void thread_init() {}
   virtual const std::string& name() const = 0;
+
+  /// Quiesce background machinery (ingest mergers, checkpoint threads)
+  /// after the workers have joined, so end-of-trial statistics are exact.
+  /// Maps without background threads need not override this.
+  virtual void finish_background() {}
+
+  /// Ingest-tier counters when this map carries an ingest front
+  /// (ingest_adapter.hpp); false for every other variant.
+  virtual bool ingest_stats(lsg::ingest::TierStats& out) const {
+    (void)out;
+    return false;
+  }
 
   /// Run the measured phase's operation loop until `stop`. The base
   /// implementation dispatches every op through the virtual interface;

@@ -8,6 +8,7 @@
 #include "common/bits.hpp"
 #include "core/layered_map.hpp"
 #include "core/leaf_layered_map.hpp"
+#include "harness/ingest_adapter.hpp"
 #include "local/avl_map.hpp"
 #include "shard/sharded_map.hpp"
 #include "skipgraph/skip_graph_map.hpp"
@@ -201,6 +202,15 @@ std::vector<AlgoInfo> build() {
         return std::make_unique<
             MapAdapter<lsg::baselines::NumaskSkipList<Key, Value>>>("numask");
       });
+  add("ingest_layered_sg",
+      "log-structured ingest tier (src/ingest) over layered_map_sg "
+      "(--log-dir / --segment-bytes / --checkpoint-every)",
+      [](const TrialConfig& cfg) -> std::unique_ptr<IMap> {
+        auto inner = std::make_unique<MapAdapter<LayeredMap<Key, Value>>>(
+            "layered_map_sg", layered_base(cfg));
+        return std::make_unique<IngestMap>("ingest_layered_sg",
+                                           std::move(inner), cfg);
+      });
   return v;
 }
 
@@ -214,7 +224,14 @@ const std::vector<AlgoInfo>& algorithms() {
 std::unique_ptr<IMap> make_map(const std::string& name,
                                const TrialConfig& cfg) {
   for (const auto& a : algorithms()) {
-    if (a.name == name) return a.make(cfg);
+    if (a.name != name) continue;
+    std::unique_ptr<IMap> m = a.make(cfg);
+    // --ingest layers the tier over whatever was selected; the ingest_*
+    // entries already carry one (double-wrapping would log twice).
+    if (cfg.ingest && name.rfind("ingest_", 0) != 0) {
+      return std::make_unique<IngestMap>("ingest+" + name, std::move(m), cfg);
+    }
+    return m;
   }
   throw std::out_of_range("unknown algorithm: " + name);
 }

@@ -240,7 +240,7 @@ std::string to_json(const TrialResult& r) {
   char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
-      "{\"schema\":\"lsg-trial-v5\",\"git\":\"%s\","
+      "{\"schema\":\"lsg-trial-v6\",\"git\":\"%s\","
       "\"algorithm\":\"%s\",\"threads\":%d,\"pinned_threads\":%d,"
       "\"topology\":\"%s\","
       "\"measured_ms\":%llu,"
@@ -314,6 +314,37 @@ std::string to_json(const TrialResult& r) {
       out += buf;
     }
     out += "]";
+  }
+  // v6: ingest-tier lifetime counters, present only when the trial ran
+  // with an ingest front (--ingest / ingest_* variant).
+  if (r.ingest) {
+    const lsg::ingest::TierStats& ig = r.ingest_stats;
+    std::snprintf(
+        buf, sizeof(buf),
+        ",\"ingest\":{\"appends\":%llu,\"appended_bytes\":%llu,"
+        "\"sealed_segments\":%llu,\"sealed_bytes\":%llu,"
+        "\"merge_batches\":%llu,\"merged_segments\":%llu,"
+        "\"drained_keys\":%llu,\"bulk_loaded_keys\":%llu,"
+        "\"repainted_keys\":%llu,\"stale_skipped\":%llu,"
+        "\"checkpoints\":%llu,\"checkpoint_keys\":%llu,"
+        "\"checkpoint_seq\":%llu,\"segments_gced\":%llu,"
+        "\"backlog_peak\":%llu}",
+        static_cast<unsigned long long>(ig.appends),
+        static_cast<unsigned long long>(ig.appended_bytes),
+        static_cast<unsigned long long>(ig.sealed_segments),
+        static_cast<unsigned long long>(ig.sealed_bytes),
+        static_cast<unsigned long long>(ig.merge_batches),
+        static_cast<unsigned long long>(ig.merged_segments),
+        static_cast<unsigned long long>(ig.drained_keys),
+        static_cast<unsigned long long>(ig.bulk_loaded_keys),
+        static_cast<unsigned long long>(ig.repainted_keys),
+        static_cast<unsigned long long>(ig.stale_skipped),
+        static_cast<unsigned long long>(ig.checkpoints),
+        static_cast<unsigned long long>(ig.checkpoint_keys),
+        static_cast<unsigned long long>(ig.checkpoint_seq),
+        static_cast<unsigned long long>(ig.segments_gced),
+        static_cast<unsigned long long>(ig.backlog_peak));
+    out += buf;
   }
   // v3+: perf_available is always present so consumers can distinguish
   // "counters denied" from "never requested nor denied" (requested flag).

@@ -113,6 +113,20 @@ struct TrialConfig {
   /// Leaf width for the fat-leaf tier (leaf_layered_sg): 2, 6 or 14 slots
   /// (1 / 2 / 4 cache lines per block).
   int leaf_width = 6;
+  /// Layer the log-structured ingest tier (src/ingest) in front of the
+  /// selected algorithm (or pick an ingest_* registry variant directly).
+  bool ingest = false;
+  /// Ingest log directory. Empty = a fresh per-trial directory under
+  /// ./ingest_logs, removed when the trial's maps are destroyed; an
+  /// explicit directory persists (and is replayed by --recover tooling).
+  std::string log_dir;
+  /// Ingest segment size: records are sealed to disk (group commit) once a
+  /// thread's segment buffer reaches this many bytes.
+  uint64_t segment_bytes = uint64_t{1} << 20;
+  /// Background checkpoint cadence in ms (0 = no checkpoint thread).
+  /// Requires an inner map with range support (the checkpoint is an
+  /// epoch-consistent scan through the range engine).
+  int checkpoint_every_ms = 0;
   /// Average over this many runs (paper: 5).
   int runs = 1;
   lsg::numa::Topology topology = lsg::numa::Topology::paper_machine();

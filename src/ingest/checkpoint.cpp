@@ -1,0 +1,193 @@
+#include "ingest/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "ingest/crash.hpp"
+#include "ingest/segment.hpp"
+
+namespace lsg::ingest {
+
+std::string checkpoint_file_name(uint64_t gen) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "ckpt_%06llu.ckpt",
+                static_cast<unsigned long long>(gen));
+  return buf;
+}
+
+namespace {
+
+bool parse_checkpoint_name(const std::string& name, uint64_t& gen) {
+  unsigned long long g = 0;
+  if (std::sscanf(name.c_str(), "ckpt_%llu.ckpt", &g) != 1) return false;
+  if (name.size() < 6 || name.rfind(".ckpt") != name.size() - 5) return false;
+  gen = g;
+  return true;
+}
+
+}  // namespace
+
+CheckpointWriter::~CheckpointWriter() { abandon(); }
+
+bool CheckpointWriter::open(const std::string& dir, uint64_t gen,
+                            uint64_t watermark) {
+  final_path_ = dir + "/" + checkpoint_file_name(gen);
+  tmp_path_ = final_path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp_path_.c_str(), "wb");
+  if (f == nullptr) return false;
+  file_ = f;
+  CkptHeader h;
+  h.watermark = watermark;
+  crc_ = crc32(&h, sizeof(h));
+  count_ = 0;
+  return std::fwrite(&h, sizeof(h), 1, f) == 1;
+}
+
+bool CheckpointWriter::add(const std::pair<Key, Value>* items, size_t n) {
+  auto* f = static_cast<std::FILE*>(file_);
+  if (f == nullptr) return false;
+  for (size_t i = 0; i < n; ++i) {
+    CkptItem it{items[i].first, items[i].second};
+    crc_ = crc32(&it, sizeof(it), crc_);
+    if (std::fwrite(&it, sizeof(it), 1, f) != 1) return false;
+  }
+  count_ += n;
+  if (count_ > 0) {
+    // First items are on their way to the temp file: the mid-checkpoint
+    // crash leaves a .tmp recovery must ignore.
+    std::fflush(f);
+    maybe_crash(CrashPoint::kMidCheckpoint);
+  }
+  return true;
+}
+
+bool CheckpointWriter::finish(std::string& out_path) {
+  auto* f = static_cast<std::FILE*>(file_);
+  if (f == nullptr) return false;
+  CkptFooter ft;
+  ft.count = count_;
+  ft.crc = crc_;
+  bool ok = std::fwrite(&ft, sizeof(ft), 1, f) == 1 && std::fflush(f) == 0;
+  std::fclose(f);
+  file_ = nullptr;
+  if (!ok) {
+    remove_file(tmp_path_);
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, final_path_, ec);
+  if (ec) {
+    remove_file(tmp_path_);
+    return false;
+  }
+  out_path = final_path_;
+  return true;
+}
+
+void CheckpointWriter::abandon() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+    remove_file(tmp_path_);
+  }
+}
+
+bool read_checkpoint(const std::string& path, uint64_t& watermark,
+                     std::vector<std::pair<Key, Value>>& items) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const auto size = static_cast<uint64_t>(in.tellg());
+  if (size < sizeof(CkptHeader) + sizeof(CkptFooter)) return false;
+  in.seekg(0);
+  CkptHeader h;
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || h.magic != kCkptMagic) return false;
+  const uint64_t body = size - sizeof(CkptHeader) - sizeof(CkptFooter);
+  if (body % sizeof(CkptItem) != 0) return false;
+  const uint64_t count = body / sizeof(CkptItem);
+  uint32_t crc = crc32(&h, sizeof(h));
+  std::vector<std::pair<Key, Value>> got;
+  got.reserve(count);
+  CkptItem it;
+  for (uint64_t i = 0; i < count; ++i) {
+    in.read(reinterpret_cast<char*>(&it), sizeof(it));
+    if (!in) return false;
+    crc = crc32(&it, sizeof(it), crc);
+    got.emplace_back(it.key, it.value);
+  }
+  CkptFooter ft;
+  in.read(reinterpret_cast<char*>(&ft), sizeof(ft));
+  if (!in || ft.count != count || ft.crc != crc) return false;
+  watermark = h.watermark;
+  items = std::move(got);
+  return true;
+}
+
+void delete_checkpoints_below(const std::string& dir, uint64_t keep_gen) {
+  std::error_code ec;
+  for (const auto& ent : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t gen = 0;
+    if (parse_checkpoint_name(ent.path().filename().string(), gen) &&
+        gen < keep_gen) {
+      remove_file(ent.path().string());
+    }
+  }
+}
+
+bool scan_log_dir(const std::string& dir, RecoveredDir& out) {
+  out = RecoveredDir{};
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return true;  // nothing on disk: recover to the empty state
+  }
+
+  // Newest valid checkpoint wins; invalid/torn candidates (and .tmp files
+  // from interrupted writers) are skipped, falling back to older ones.
+  std::vector<std::pair<uint64_t, std::string>> ckpts;
+  std::vector<std::string> segs;
+  for (const auto& ent : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    uint64_t gen = 0;
+    int tid = 0;
+    uint64_t index = 0;
+    if (parse_checkpoint_name(name, gen)) {
+      ckpts.emplace_back(gen, ent.path().string());
+    } else if (parse_segment_name(name, tid, index)) {
+      segs.push_back(ent.path().string());
+    }
+  }
+  if (ec) return false;
+  std::sort(ckpts.rbegin(), ckpts.rend());
+  for (const auto& [gen, path] : ckpts) {
+    if (read_checkpoint(path, out.watermark, out.checkpoint_items)) {
+      out.stats.checkpoint_loaded = true;
+      out.stats.checkpoint_items = out.checkpoint_items.size();
+      out.stats.watermark = out.watermark;
+      break;
+    }
+  }
+
+  std::vector<LogRecord> all;
+  for (const std::string& path : segs) {
+    read_segment_file(path, all, out.stats);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const LogRecord& a, const LogRecord& b) { return a.seq < b.seq; });
+  uint64_t prev = out.watermark;
+  for (const LogRecord& r : all) {
+    out.stats.max_seq = r.seq;
+    if (r.seq <= out.watermark) continue;  // already reflected in the ckpt
+    if (r.seq == prev) continue;           // duplicate (re-sealed segment)
+    if (r.seq > prev + 1) out.stats.seq_gaps += r.seq - prev - 1;
+    prev = r.seq;
+    out.replay.push_back(r);
+  }
+  out.stats.records_replayed = out.replay.size();
+  return true;
+}
+
+}  // namespace lsg::ingest

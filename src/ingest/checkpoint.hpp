@@ -1,0 +1,72 @@
+// Checkpoint file I/O (write-temp-then-rename) and log-directory recovery
+// scanning. The templated apply side lives in ingest.hpp; everything here is
+// plain file handling so it compiles once into lsg_ingest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ingest/log_format.hpp"
+#include "ingest/stats.hpp"
+
+namespace lsg::ingest {
+
+/// Streaming checkpoint writer: header(watermark), items, CRC footer — into
+/// `dir/ckpt_<gen>.tmp`, renamed to .ckpt by finish(). A process death
+/// before finish() leaves only the temp file, which the recovery scan
+/// ignores (the kMidCheckpoint crash hook fires between the first item batch
+/// and the rename).
+class CheckpointWriter {
+ public:
+  CheckpointWriter() = default;
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  bool open(const std::string& dir, uint64_t gen, uint64_t watermark);
+  bool add(const std::pair<Key, Value>* items, size_t n);
+  /// Footer + flush + rename into place. Returns the final path.
+  bool finish(std::string& out_path);
+  void abandon();  // close + delete the temp file
+
+  uint64_t items_written() const { return count_; }
+
+ private:
+  void* file_ = nullptr;  // std::FILE*
+  std::string tmp_path_;
+  std::string final_path_;
+  uint64_t count_ = 0;
+  uint32_t crc_ = 0;
+};
+
+/// Parse a checkpoint file. Returns false (leaving outputs untouched) when
+/// the file is missing, truncated, or fails the CRC.
+bool read_checkpoint(const std::string& path, uint64_t& watermark,
+                     std::vector<std::pair<Key, Value>>& items);
+
+/// Everything recovery needs from a log directory: the newest valid
+/// checkpoint (older and invalid ones ignored) and every surviving segment
+/// record with seq > watermark, sorted by seq. `stats.seq_gaps` counts
+/// missing sequence numbers in (watermark, max_seq] — ops lost in unsealed
+/// buffers; replay is gap-tolerant (DESIGN.md §14).
+struct RecoveredDir {
+  uint64_t watermark = 0;
+  std::vector<std::pair<Key, Value>> checkpoint_items;
+  std::vector<LogRecord> replay;  // sorted by seq, all seq > watermark
+  RecoveryStats stats;
+};
+
+/// Scan `dir`. Returns false only when the directory cannot be read (a
+/// missing/empty dir recovers to an empty state successfully).
+bool scan_log_dir(const std::string& dir, RecoveredDir& out);
+
+/// Checkpoint file name for generation `gen`.
+std::string checkpoint_file_name(uint64_t gen);
+
+/// Delete checkpoint files in `dir` with generation < `keep_gen` (checkpoint
+/// GC: only the newest checkpoint is ever read). Best effort.
+void delete_checkpoints_below(const std::string& dir, uint64_t keep_gen);
+
+}  // namespace lsg::ingest

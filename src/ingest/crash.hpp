@@ -1,0 +1,59 @@
+// Fault-injection hooks for the durability boundary (tests only).
+//
+// The crash matrix (tests/test_ingest.cpp, DESIGN.md §14) forks a child,
+// arms one point, runs ingest churn, and lets the hook SIGKILL the process
+// mid-protocol; the parent then recovers from whatever reached the disk and
+// compares against a reference fold of the surviving records. Points sit at
+// the three protocol edges where on-disk state is intentionally incomplete:
+//
+//   kMidSegmentWrite    after a partial segment write — the sealed file ends
+//                       in a torn record, exercising CRC/tail truncation;
+//   kPostSealPreMerge   after a seal is fully durable but before the merger
+//                       ever sees the segment — recovery must replay it;
+//   kMidCheckpoint      after checkpoint items hit the temp file but before
+//                       the rename — recovery must ignore the temp and use
+//                       the previous checkpoint.
+//
+// Disarmed cost is one relaxed load; the hooks are compiled in always so the
+// tested binary is the shipped binary.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+
+namespace lsg::ingest {
+
+enum class CrashPoint : uint32_t {
+  kNone = 0,
+  kMidSegmentWrite,
+  kPostSealPreMerge,
+  kMidCheckpoint,
+};
+
+namespace crash_detail {
+inline std::atomic<uint32_t> g_armed{0};
+}
+
+/// Arm one crash point (kNone disarms). The first thread to reach the
+/// matching hook kills the whole process with SIGKILL — no atexit, no
+/// flushes, exactly like power loss as far as user-space buffers go.
+inline void arm_crash(CrashPoint p) {
+  crash_detail::g_armed.store(static_cast<uint32_t>(p),
+                              std::memory_order_release);
+}
+
+inline CrashPoint armed_crash() {
+  return static_cast<CrashPoint>(
+      crash_detail::g_armed.load(std::memory_order_acquire));
+}
+
+inline void maybe_crash(CrashPoint here) {
+  if (crash_detail::g_armed.load(std::memory_order_relaxed) ==
+      static_cast<uint32_t>(here)) [[unlikely]] {
+    ::raise(SIGKILL);
+    for (;;) {}  // signal delivery can lag the raise() return
+  }
+}
+
+}  // namespace lsg::ingest

@@ -1,0 +1,858 @@
+// Log-structured ingest tier layered in front of any registry map.
+//
+// Write path: the acking thread decides the op's outcome under a memtable
+// shard lock (memtable entry, else inner-map contains), assigns a global
+// sequence number only when the op changed the abstract set, records the
+// newest action in the memtable, and appends a 32-byte record to its own
+// NUMA-local append-only segment (arena-backed, one owner thread). Full
+// segments are sealed to disk with one write(2) (group commit) and handed to
+// a per-socket background merger, which folds batches to one newest action
+// per key, bulk-loads the sorted fresh keys through the range engine's
+// sorted cursor, and repaints/removes the rest. Readers overlay the memtable
+// on the inner map, so acks are linearizable the moment they return even
+// though the inner structure learns about the op later (DESIGN.md §14).
+//
+// Durability contract: an acked op is durable once its segment seals; a
+// checkpoint (epoch-consistent scan of the inner map) raises the replay
+// floor W so sealed segments whose effects were applied before the scan can
+// be deleted. Recovery = newest valid checkpoint + per-key newest surviving
+// record with seq > W (gap-tolerant: ops lost in unsealed buffers leave seq
+// holes, counted but not fatal).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "common/padding.hpp"
+#include "ingest/checkpoint.hpp"
+#include "ingest/crash.hpp"
+#include "ingest/log_format.hpp"
+#include "ingest/memtable.hpp"
+#include "ingest/segment.hpp"
+#include "ingest/stats.hpp"
+#include "numa/pinning.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "range/scan.hpp"
+
+namespace lsg::ingest {
+
+/// Write-ahead ingest tier over an inner map M (the harness instantiates it
+/// over IMap; tests may use any map with insert/remove/contains and,
+/// for overlay range reads and checkpoints, scan/scan_n/succ/pred or
+/// collect_range). The tier does not own the inner map's storage, but it
+/// does own its mutations: data present at construction is absorbed (the
+/// presence index seeds from a full-range scan), while out-of-band inner
+/// writes after construction break the ack protocol's presence mirror and
+/// are unsupported.
+template <class M>
+class IngestTier {
+ public:
+  using Buf = lsg::range::Items<Key, Value>;
+
+  struct Options {
+    std::string dir;                 // log directory (created if missing)
+    size_t segment_bytes = size_t{1} << 20;
+    int checkpoint_every_ms = 0;     // 0 = no background checkpoint thread
+    int mergers = 0;                 // 0 = one per socket of the topology
+    bool remove_on_close = false;    // delete the log dir at destruction
+    size_t checkpoint_chunk = 4096;  // inner scan_n chunk per add() batch
+    /// Called after a seal is fully durable (file written + flushed), with
+    /// the owning thread id and the segment's max seq. The crash tests
+    /// publish a per-thread sealed watermark through this.
+    std::function<void(int tid, uint64_t max_seq)> on_seal_durable;
+  };
+
+  IngestTier(M& inner, Options opts) : inner_(inner), opts_(std::move(opts)) {
+    dir_ = opts_.dir;
+    ensure_log_dir(dir_);
+    // Seed the presence index from whatever the inner map already holds
+    // (usually nothing): from here on every inner mutation goes through
+    // the mergers or recover(), which keep the mirror in step. No-range
+    // inners can't be enumerated, so they keep the per-probe contains
+    // fallback.
+    track_presence_ = inner_supports_range();
+    if (track_presence_) {
+      Buf seed;
+      inner_scan(0, std::numeric_limits<Key>::max(), seed);
+      for (const auto& [k, v] : seed) mem_.mark_present(k);
+    }
+    const int n = opts_.mergers > 0
+                      ? opts_.mergers
+                      : std::max(1, lsg::numa::ThreadRegistry::topology()
+                                        .num_sockets());
+    queues_.resize(static_cast<size_t>(n));
+    mergers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      mergers_.emplace_back([this, i] { merger_main(i); });
+    }
+    if (opts_.checkpoint_every_ms > 0) {
+      ckpt_thread_ = std::thread([this] { checkpoint_main(); });
+    }
+  }
+
+  IngestTier(const IngestTier&) = delete;
+  IngestTier& operator=(const IngestTier&) = delete;
+
+  ~IngestTier() {
+    finish();
+    if (opts_.remove_on_close) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir_, ec);
+    }
+  }
+
+  const std::string& dir() const { return dir_; }
+
+  /// --- linearizable ack paths -------------------------------------------
+  /// The shard lock is held across {memtable lookup, presence probe on
+  /// miss, seq assignment, memtable upsert}, so per-key ack decisions are
+  /// serialized and the returned bool is the op's true effect. The log
+  /// append happens after unlock (recovery orders by seq, not file order).
+  /// The presence probe is the shard's O(1) mirror of the inner map when
+  /// it can be maintained, else the inner map's own contains.
+
+  bool insert(Key key, Value value) {
+    auto& s = mem_.shard(key);
+    s.mu.lock();
+    // try_emplace keeps the effective path at one hash operation; the
+    // placeholder only becomes visible after the unlock, by which point it
+    // either carries the real entry or was erased on the ineffective path.
+    auto [it, fresh] = s.map.try_emplace(key);
+    const bool present = fresh ? shard_has(s, key) : !it->second.tombstone;
+    if (present) {
+      if (fresh) s.map.erase(it);
+      s.mu.unlock();
+      return false;
+    }
+    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    it->second = MemEntry{seq, value, false};
+    s.mu.unlock();
+    append_log(make_record(seq, key, value, LogOp::kPut));
+    return true;
+  }
+
+  bool remove(Key key) {
+    auto& s = mem_.shard(key);
+    s.mu.lock();
+    auto [it, fresh] = s.map.try_emplace(key);
+    const bool present = fresh ? shard_has(s, key) : !it->second.tombstone;
+    if (!present) {
+      if (fresh) s.map.erase(it);
+      s.mu.unlock();
+      return false;
+    }
+    const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    it->second = MemEntry{seq, 0, true};
+    s.mu.unlock();
+    append_log(make_record(seq, key, 0, LogOp::kDel));
+    return true;
+  }
+
+  bool contains(Key key) {
+    auto& s = mem_.shard(key);
+    s.mu.lock();
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      const bool alive = !it->second.tombstone;
+      s.mu.unlock();
+      return alive;
+    }
+    if (track_presence_) {
+      const bool hit = s.present.contains(key);
+      s.mu.unlock();
+      return hit;
+    }
+    // No mirror: probe the inner map outside the shard lock — its search
+    // can be long and must not convoy writers.
+    s.mu.unlock();
+    return inner_.contains(key);
+  }
+
+  /// --- overlay range reads ------------------------------------------------
+  /// Memtable entries override the inner map per key (tombstones delete,
+  /// puts insert/repaint); under quiescence both sides are exact, so the
+  /// overlay is exact too (RangeConformance runs the ingest variants).
+
+  size_t scan(Key lo, Key hi, Buf& out) {
+    Buf base;
+    inner_scan(lo, hi, base);
+    std::vector<std::pair<Key, MemEntry>> ov;
+    mem_.collect_range(lo, hi, ov);
+    overlay_merge(base, ov, std::numeric_limits<size_t>::max(), out);
+    return out.size();
+  }
+
+  size_t scan_n(Key lo, size_t n, Buf& out) {
+    std::vector<std::pair<Key, MemEntry>> ov;
+    mem_.collect_range(lo, std::numeric_limits<Key>::max(), ov);
+    size_t tombs = 0;
+    for (const auto& [k, e] : ov) {
+      if (e.tombstone) ++tombs;
+    }
+    // Each tombstone can delete at most one of the inner map's first n
+    // results, so n + tombs inner elements guarantee n survivors whenever
+    // the inner map has them; overlay puts only ever add elements earlier.
+    Buf base;
+    inner_scan_n(lo, n + tombs, base);
+    overlay_merge(base, ov, n, out);
+    return out.size();
+  }
+
+  bool succ(Key key, Key& out_key, Value& out_value) {
+    if (key == std::numeric_limits<Key>::max()) return false;
+    std::vector<std::pair<Key, MemEntry>> ov;
+    mem_.collect_range(key + 1, std::numeric_limits<Key>::max(), ov);
+    return overlay_neighbor(ov, key, out_key, out_value, /*forward=*/true);
+  }
+
+  bool pred(Key key, Key& out_key, Value& out_value) {
+    if (key == 0) return false;
+    std::vector<std::pair<Key, MemEntry>> ov;
+    mem_.collect_range(0, key - 1, ov);
+    return overlay_neighbor(ov, key, out_key, out_value, /*forward=*/false);
+  }
+
+  /// --- lifecycle ----------------------------------------------------------
+
+  /// Seal every thread's active segment and wait for the mergers to drain
+  /// all queued segments into the inner map. Only sound once writer threads
+  /// are quiescent (the driver calls this after joining workers).
+  void flush() {
+    for (auto& ps : slots_) {
+      Slot& slot = ps.value;
+      if (slot.active && !slot.active->empty()) seal_and_enqueue(slot);
+      slot.active.reset();
+    }
+    std::unique_lock lk(q_mu_);
+    drain_cv_.wait(lk, [&] {
+      if (active_merges_ != 0) return false;
+      for (const auto& q : queues_) {
+        if (!q.empty()) return false;
+      }
+      return true;
+    });
+  }
+
+  /// flush() + stop and join every background thread. Idempotent; the
+  /// destructor calls it. Counters stay readable afterwards.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    flush();
+    stop_.store(true, std::memory_order_release);
+    {
+      std::lock_guard lk(q_mu_);
+      q_cv_.notify_all();
+    }
+    {
+      std::lock_guard lk(ckpt_wait_mu_);
+      ckpt_cv_.notify_all();
+    }
+    for (auto& t : mergers_) t.join();
+    mergers_.clear();
+    if (ckpt_thread_.joinable()) ckpt_thread_.join();
+  }
+
+  /// Replay the log directory into the (empty) inner map: newest valid
+  /// checkpoint first, then the per-key newest surviving record with
+  /// seq > W (repainting, so checkpoint overlap is idempotent). Call before
+  /// any writer touches the tier.
+  RecoveryStats recover() {
+    LSG_TRACE_SPAN(lsg::obs::Span::kIngestReplay);
+    RecoveredDir rd;
+    if (!scan_log_dir(dir_, rd)) return rd.stats;
+    if (!rd.checkpoint_items.empty()) {
+      // Chunked checkpoint scans emit keys in ascending order; enforce it
+      // anyway so the presence merge walk below stays sound on a
+      // hand-edited or foreign checkpoint.
+      if (!std::is_sorted(rd.checkpoint_items.begin(),
+                          rd.checkpoint_items.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first < b.first;
+                          })) {
+        std::sort(rd.checkpoint_items.begin(), rd.checkpoint_items.end());
+      }
+      inner_bulk_load(rd.checkpoint_items);
+      if (track_presence_) {
+        for (const auto& [k, v] : rd.checkpoint_items) mem_.mark_present(k);
+      }
+    }
+    std::unordered_map<Key, const LogRecord*> fold;
+    for (const LogRecord& r : rd.replay) fold[r.key] = &r;  // seq-sorted: last wins
+    std::vector<const LogRecord*> items;
+    items.reserve(fold.size());
+    for (const auto& [k, r] : fold) items.push_back(r);
+    std::sort(items.begin(), items.end(),
+              [](const LogRecord* a, const LogRecord* b) {
+                return a->key < b->key;
+              });
+    // Presence against the checkpoint via a merge walk: per-key remove of
+    // an absent key is a hint-less near-linear search in the flat inner
+    // graph, and one per replayed record made recovery quadratic. Keys the
+    // checkpoint holds get repainted in place; fresh puts batch into one
+    // sorted bulk_load.
+    Buf fresh;
+    size_t ci = 0;
+    for (const LogRecord* r : items) {
+      while (ci < rd.checkpoint_items.size() &&
+             rd.checkpoint_items[ci].first < r->key) {
+        ++ci;
+      }
+      const bool in_ckpt = ci < rd.checkpoint_items.size() &&
+                           rd.checkpoint_items[ci].first == r->key;
+      if (r->op == static_cast<uint32_t>(LogOp::kDel)) {
+        if (in_ckpt) inner_.remove(r->key);
+        if (track_presence_) mem_.mark_absent(r->key);
+      } else if (in_ckpt) {
+        inner_.remove(r->key);  // repaint: the checkpoint value may be stale
+        inner_.insert(r->key, r->value);
+      } else {
+        fresh.emplace_back(r->key, r->value);
+        if (track_presence_) mem_.mark_present(r->key);
+      }
+    }
+    if (!fresh.empty()) inner_bulk_load(fresh);
+    seq_.store(std::max(rd.stats.max_seq, rd.watermark),
+               std::memory_order_release);
+    recovery_ = rd.stats;
+    return rd.stats;
+  }
+
+  const RecoveryStats& last_recovery() const { return recovery_; }
+
+  /// Take one incremental checkpoint now; returns its watermark W (0 when
+  /// the inner map has no range support or the write failed). Safe
+  /// concurrently with writers and mergers.
+  uint64_t checkpoint_now() {
+    if (!inner_supports_range()) return 0;
+    std::lock_guard ck(ckpt_mu_);
+    LSG_TRACE_SPAN(lsg::obs::Span::kIngestCheckpoint);
+    // Segment files become GC-eligible only if their effects were applied
+    // before this scan began — snapshot the applied list first, so a
+    // record applied mid-scan (possibly missed by the scan) keeps its file.
+    std::vector<std::pair<std::string, uint64_t>> gc_candidates;
+    {
+      std::lock_guard g(gc_mu_);
+      gc_candidates = applied_files_;
+    }
+    const uint64_t s0 = seq_.load(std::memory_order_acquire);
+    const uint64_t min_mem = mem_.min_seq();
+    const uint64_t w = min_mem == 0 ? s0 : std::min(s0, min_mem - 1);
+    CheckpointWriter wr;
+    if (!wr.open(dir_, w, w)) return 0;
+    Buf chunk;
+    Key lo = 0;
+    for (;;) {
+      chunk.clear();
+      const size_t n = inner_scan_n(lo, opts_.checkpoint_chunk, chunk);
+      if (n > 0 && !wr.add(chunk.data(), n)) return 0;
+      if (n < opts_.checkpoint_chunk || chunk.empty()) break;
+      if (chunk.back().first == std::numeric_limits<Key>::max()) break;
+      lo = chunk.back().first + 1;
+    }
+    std::string path;
+    const uint64_t items = wr.items_written();
+    if (!wr.finish(path)) return 0;
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    checkpoint_keys_.store(items, std::memory_order_relaxed);
+    checkpoint_seq_.store(w, std::memory_order_relaxed);
+    lsg::obs::event(lsg::obs::Event::kIngestCheckpoint);
+    {
+      std::lock_guard g(gc_mu_);
+      for (const auto& [p, max_seq] : gc_candidates) {
+        if (max_seq > w) continue;
+        remove_file(p);
+        segments_gced_.fetch_add(1, std::memory_order_relaxed);
+        applied_files_.erase(
+            std::remove_if(applied_files_.begin(), applied_files_.end(),
+                           [&](const auto& e) { return e.first == p; }),
+            applied_files_.end());
+      }
+    }
+    delete_checkpoints_below(dir_, w);
+    return w;
+  }
+
+  /// Lifetime counter snapshot. Exact once finish() has run; a mid-run
+  /// snapshot is a consistent-enough gauge (relaxed reads).
+  TierStats stats() const {
+    TierStats st;
+    for (const auto& ps : slots_) {
+      const Slot& s = ps.value;
+      st.appends += s.appends;
+      st.appended_bytes += s.appended_bytes;
+      st.sealed_segments += s.sealed_segments;
+      st.sealed_bytes += s.sealed_bytes;
+    }
+    st.merge_batches = merge_batches_.load(std::memory_order_relaxed);
+    st.merged_segments = merged_segments_.load(std::memory_order_relaxed);
+    st.drained_keys = drained_keys_.load(std::memory_order_relaxed);
+    st.bulk_loaded_keys = bulk_loaded_keys_.load(std::memory_order_relaxed);
+    st.repainted_keys = repainted_keys_.load(std::memory_order_relaxed);
+    st.stale_skipped = stale_skipped_.load(std::memory_order_relaxed);
+    st.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    st.checkpoint_keys = checkpoint_keys_.load(std::memory_order_relaxed);
+    st.checkpoint_seq = checkpoint_seq_.load(std::memory_order_relaxed);
+    st.segments_gced = segments_gced_.load(std::memory_order_relaxed);
+    st.backlog_peak = backlog_peak_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+  size_t memtable_size() { return mem_.size(); }
+  uint64_t last_seq() const { return seq_.load(std::memory_order_acquire); }
+
+ private:
+  static constexpr size_t kMergeBatch = 8;  // max segments folded per batch
+
+  struct alignas(lsg::common::kCacheLine) Slot {
+    std::unique_ptr<Segment> active;
+    uint64_t next_file_index = 0;
+    uint64_t appends = 0;
+    uint64_t appended_bytes = 0;
+    uint64_t sealed_segments = 0;
+    uint64_t sealed_bytes = 0;
+  };
+
+  struct Applied {
+    uint64_t seq = 0;
+    bool present = false;
+  };
+
+  /// --- inner-map shims (resolved per M at instantiation) -----------------
+
+  /// Presence with inner_.contains() semantics: the O(1) shard mirror when
+  /// it is maintained, else the inner map's own (possibly near-linear)
+  /// search. `shard_has` assumes the caller already holds `s`'s lock and
+  /// that `s` is key's shard; `inner_has` takes the lock itself.
+  bool shard_has(MemTable::Shard& s, Key key) {
+    return track_presence_ ? s.present.contains(key) : inner_.contains(key);
+  }
+
+  bool inner_has(Key key) {
+    return track_presence_ ? mem_.probe_present(key) : inner_.contains(key);
+  }
+
+  bool inner_supports_range() {
+    if constexpr (requires {
+                    { inner_.supports_range() } -> std::convertible_to<bool>;
+                  }) {
+      return inner_.supports_range();
+    } else if constexpr (requires(Buf & b) {
+                           inner_.collect_range(Key{}, Key{}, size_t{}, b);
+                         }) {
+      return true;
+    } else {
+      return false;
+    }
+  }
+
+  size_t inner_scan(Key lo, Key hi, Buf& out) {
+    if constexpr (requires {
+                    { inner_.scan(lo, hi, out) } -> std::convertible_to<size_t>;
+                  }) {
+      return inner_.scan(lo, hi, out);
+    } else if constexpr (requires {
+                           inner_.collect_range(lo, hi, size_t{}, out);
+                         }) {
+      lsg::range::scan(inner_, lo, hi, out);
+      return out.size();
+    } else {
+      out.clear();
+      return 0;
+    }
+  }
+
+  size_t inner_scan_n(Key lo, size_t n, Buf& out) {
+    if constexpr (requires {
+                    { inner_.scan_n(lo, n, out) } -> std::convertible_to<size_t>;
+                  }) {
+      return inner_.scan_n(lo, n, out);
+    } else if constexpr (requires {
+                           inner_.collect_range(lo, Key{}, size_t{}, out);
+                         }) {
+      lsg::range::scan_n(inner_, lo, n, out);
+      return out.size();
+    } else {
+      out.clear();
+      return 0;
+    }
+  }
+
+  bool inner_succ(Key key, Key& ok, Value& ov) {
+    if constexpr (requires { inner_.succ(key, ok, ov); }) {
+      return inner_.succ(key, ok, ov);
+    } else {
+      return false;
+    }
+  }
+
+  bool inner_pred(Key key, Key& ok, Value& ov) {
+    if constexpr (requires { inner_.pred(key, ok, ov); }) {
+      return inner_.pred(key, ok, ov);
+    } else {
+      return false;
+    }
+  }
+
+  size_t inner_bulk_load(const Buf& sorted) {
+    if constexpr (requires { inner_.bulk_load(sorted); }) {
+      return inner_.bulk_load(sorted);
+    } else {
+      return lsg::range::bulk_load_fallback(inner_, sorted);
+    }
+  }
+
+  /// --- write path ---------------------------------------------------------
+
+  void append_log(const LogRecord& r) {
+    LSG_TRACE_SPAN(lsg::obs::Span::kIngestAppend, r.seq);
+    Slot& slot = slots_[static_cast<size_t>(
+                            lsg::numa::ThreadRegistry::current())]
+                     .value;
+    if (!slot.active) new_segment(slot);
+    slot.active->append(r);
+    ++slot.appends;
+    slot.appended_bytes += kRecordBytes;
+    if (slot.active->count == slot.active->cap) seal_and_enqueue(slot);
+  }
+
+  void new_segment(Slot& slot) {
+    auto seg = std::make_unique<Segment>();
+    seg->cap = std::max<size_t>(size_t{1}, opts_.segment_bytes / kRecordBytes);
+    // Arena allocation on the owning thread: the buffer is first-touched
+    // here, landing on the writer's NUMA node (src/alloc discipline).
+    seg->recs = static_cast<LogRecord*>(
+        arena_.allocate(seg->cap * kRecordBytes, alignof(LogRecord)));
+    seg->owner_tid = lsg::numa::ThreadRegistry::current();
+    seg->socket = lsg::numa::ThreadRegistry::node_of(seg->owner_tid);
+    seg->file_index = slot.next_file_index++;
+    slot.active = std::move(seg);
+  }
+
+  void seal_and_enqueue(Slot& slot) {
+    std::unique_ptr<Segment> seg = std::move(slot.active);
+    if (!seg || seg->empty()) return;
+    lsg::obs::TraceSpan span(lsg::obs::Span::kIngestSeal, seg->count);
+    // Seal failure (disk full, bad dir) loses durability for this segment
+    // but not live correctness: the in-memory records still merge below.
+    seal_segment_to_file(dir_, *seg);
+    ++slot.sealed_segments;
+    slot.sealed_bytes += seg->bytes();
+    lsg::obs::event(lsg::obs::Event::kIngestSeal);
+    if (opts_.on_seal_durable) {
+      opts_.on_seal_durable(seg->owner_tid, seg->max_seq);
+    }
+    maybe_crash(CrashPoint::kPostSealPreMerge);
+    {
+      std::lock_guard lk(q_mu_);
+      const size_t qi =
+          static_cast<size_t>(seg->socket) % queues_.size();
+      queues_[qi].push_back(std::move(seg));
+      uint64_t backlog = 0;
+      for (const auto& q : queues_) backlog += q.size();
+      uint64_t peak = backlog_peak_.load(std::memory_order_relaxed);
+      if (backlog > peak) {
+        backlog_peak_.store(backlog, std::memory_order_relaxed);
+      }
+      q_cv_.notify_all();
+    }
+  }
+
+  /// --- merger -------------------------------------------------------------
+
+  void merger_main(int qi) {
+    lsg::numa::ThreadRegistry::register_self();
+    lsg::numa::ThreadRegistry::pin_self_if_possible();
+    std::vector<std::unique_ptr<Segment>> batch;
+    for (;;) {
+      uint64_t ticket = 0;
+      {
+        std::unique_lock lk(q_mu_);
+        auto& q = queues_[static_cast<size_t>(qi)];
+        q_cv_.wait(lk, [&] {
+          return stop_.load(std::memory_order_acquire) || !q.empty();
+        });
+        if (q.empty()) return;  // stop with nothing left to drain
+        const size_t take = std::min(q.size(), kMergeBatch);
+        for (size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(q.front()));
+          q.pop_front();
+        }
+        ticket = next_ticket_++;
+        ++active_merges_;
+      }
+      merge_batch(batch, ticket);
+      batch.clear();
+      {
+        std::lock_guard lk(q_mu_);
+        --active_merges_;
+        drain_cv_.notify_all();
+      }
+    }
+  }
+
+  void merge_batch(std::vector<std::unique_ptr<Segment>>& batch,
+                   uint64_t ticket) {
+    uint64_t recs = 0;
+    for (const auto& s : batch) recs += s->count;
+    lsg::obs::TraceSpan span(lsg::obs::Span::kIngestMerge, recs);
+    lsg::obs::event(lsg::obs::Event::kIngestMergeSeg, batch.size());
+
+    // Fold to the newest action per key (sort/fold outside any lock).
+    std::unordered_map<Key, const LogRecord*> fold;
+    fold.reserve(recs);
+    for (const auto& s : batch) {
+      for (size_t i = 0; i < s->count; ++i) {
+        const LogRecord& r = s->recs[i];
+        auto [it, inserted] = fold.try_emplace(r.key, &r);
+        if (!inserted && it->second->seq < r.seq) it->second = &r;
+      }
+    }
+    std::vector<const LogRecord*> items;
+    items.reserve(fold.size());
+    for (const auto& [k, r] : fold) items.push_back(r);
+    std::sort(items.begin(), items.end(),
+              [](const LogRecord* a, const LogRecord* b) {
+                return a->key < b->key;
+              });
+
+    uint64_t drained = 0, repainted = 0, stale = 0, bulk = 0;
+    {
+      // Apply in ticket order: a later batch can hold an older record for a
+      // key whose newer record sat in an earlier-sealed segment; the
+      // last_applied_ skip table rejects those inversions.
+      std::unique_lock alk(apply_mu_);
+      apply_cv_.wait(alk, [&] { return apply_turn_ == ticket; });
+      Buf run;  // fresh PUTs, already key-sorted for the bulk_load cursor
+      std::vector<std::pair<Key, uint64_t>> run_seqs;
+      for (const LogRecord* r : items) {
+        auto la = last_applied_.find(r->key);
+        if (la != last_applied_.end() && la->second.seq >= r->seq) {
+          ++stale;
+          continue;
+        }
+        const bool present = la != last_applied_.end() ? la->second.present
+                                                       : inner_has(r->key);
+        // merge_applied updates the shard's presence mirror and retires
+        // the memtable entry in one critical section: there is never a
+        // window where the entry stops shadowing this key while the
+        // mirror still disagrees with the inner map.
+        if (r->op == static_cast<uint32_t>(LogOp::kDel)) {
+          if (present) inner_.remove(r->key);
+          last_applied_[r->key] = Applied{r->seq, false};
+          mem_.merge_applied(r->key, r->seq, /*now_present=*/false,
+                             track_presence_);
+        } else if (present) {
+          // Present with a possibly stale binding (a delayed DEL for this
+          // key was skipped as stale): bulk_load would silently keep the
+          // old value, so repaint with a remove+insert pair. Readers never
+          // see the gap — the memtable entry for this key (seq >= r->seq)
+          // stays authoritative until merge_applied below.
+          inner_.remove(r->key);
+          inner_.insert(r->key, r->value);
+          ++repainted;
+          last_applied_[r->key] = Applied{r->seq, true};
+          mem_.merge_applied(r->key, r->seq, /*now_present=*/true,
+                             track_presence_);
+        } else {
+          run.emplace_back(r->key, r->value);
+          run_seqs.emplace_back(r->key, r->seq);
+          last_applied_[r->key] = Applied{r->seq, true};
+        }
+        ++drained;
+      }
+      if (!run.empty()) {
+        bulk = inner_bulk_load(run);
+        for (const auto& [k, s] : run_seqs) {
+          mem_.merge_applied(k, s, /*now_present=*/true, track_presence_);
+        }
+      }
+      ++apply_turn_;
+      apply_cv_.notify_all();
+    }
+
+    merge_batches_.fetch_add(1, std::memory_order_relaxed);
+    merged_segments_.fetch_add(batch.size(), std::memory_order_relaxed);
+    drained_keys_.fetch_add(drained, std::memory_order_relaxed);
+    bulk_loaded_keys_.fetch_add(bulk, std::memory_order_relaxed);
+    repainted_keys_.fetch_add(repainted, std::memory_order_relaxed);
+    stale_skipped_.fetch_add(stale, std::memory_order_relaxed);
+    lsg::obs::event(lsg::obs::Event::kIngestDrainKey, drained);
+    {
+      std::lock_guard g(gc_mu_);
+      for (const auto& s : batch) {
+        if (!s->path.empty()) applied_files_.emplace_back(s->path, s->max_seq);
+      }
+    }
+  }
+
+  /// --- checkpoint thread --------------------------------------------------
+
+  void checkpoint_main() {
+    std::unique_lock lk(ckpt_wait_mu_);
+    while (!stop_.load(std::memory_order_acquire)) {
+      ckpt_cv_.wait_for(lk, std::chrono::milliseconds(opts_.checkpoint_every_ms),
+                        [&] { return stop_.load(std::memory_order_acquire); });
+      if (stop_.load(std::memory_order_acquire)) break;
+      lk.unlock();
+      checkpoint_now();
+      lk.lock();
+    }
+  }
+
+  /// --- overlay helpers ----------------------------------------------------
+
+  /// Merge a sorted inner-map run with memtable overlay entries (unsorted,
+  /// one per key): a put overrides/adds, a tombstone deletes. `out` gets at
+  /// most `limit` elements, ascending.
+  static void overlay_merge(const Buf& base,
+                            std::vector<std::pair<Key, MemEntry>>& ov,
+                            size_t limit, Buf& out) {
+    std::sort(ov.begin(), ov.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.clear();
+    size_t i = 0, j = 0;
+    while (out.size() < limit && (i < base.size() || j < ov.size())) {
+      if (j >= ov.size() ||
+          (i < base.size() && base[i].first < ov[j].first)) {
+        out.push_back(base[i++]);
+      } else if (i >= base.size() || ov[j].first < base[i].first) {
+        if (!ov[j].second.tombstone) {
+          out.emplace_back(ov[j].first, ov[j].second.value);
+        }
+        ++j;
+      } else {  // same key: the overlay entry is newer by construction
+        if (!ov[j].second.tombstone) {
+          out.emplace_back(ov[j].first, ov[j].second.value);
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  /// succ/pred with the overlay applied: walk the inner map's neighbors
+  /// skipping tombstoned keys, and race the nearest overlay put.
+  bool overlay_neighbor(const std::vector<std::pair<Key, MemEntry>>& ov,
+                        Key key, Key& out_key, Value& out_value,
+                        bool forward) {
+    std::unordered_map<Key, MemEntry> omap;
+    bool have_put = false;
+    Key put_key = 0;
+    Value put_value = 0;
+    for (const auto& [k, e] : ov) {
+      omap.emplace(k, e);
+      if (e.tombstone) continue;
+      if (!have_put || (forward ? k < put_key : k > put_key)) {
+        have_put = true;
+        put_key = k;
+        put_value = e.value;
+      }
+    }
+    bool have_inner = false;
+    Key ik = 0;
+    Value iv = 0;
+    Key x = key;
+    for (;;) {
+      const bool ok = forward ? inner_succ(x, ik, iv) : inner_pred(x, ik, iv);
+      if (!ok) break;
+      auto f = omap.find(ik);
+      if (f != omap.end()) {
+        if (f->second.tombstone) {
+          x = ik;  // deleted in the overlay: keep walking
+          continue;
+        }
+        iv = f->second.value;  // repainted in the overlay
+      }
+      have_inner = true;
+      break;
+    }
+    if (have_inner && (!have_put ||
+                       (forward ? ik <= put_key : ik >= put_key))) {
+      out_key = ik;
+      out_value = f_value_for(ik, omap, iv);
+      return true;
+    }
+    if (have_put) {
+      out_key = put_key;
+      out_value = put_value;
+      return true;
+    }
+    return false;
+  }
+
+  static Value f_value_for(Key k, const std::unordered_map<Key, MemEntry>& omap,
+                           Value fallback) {
+    auto f = omap.find(k);
+    return f != omap.end() && !f->second.tombstone ? f->second.value
+                                                   : fallback;
+  }
+
+  /// --- members ------------------------------------------------------------
+
+  M& inner_;
+  Options opts_;
+  std::string dir_;
+
+  lsg::alloc::Arena arena_;
+  MemTable mem_;
+  bool track_presence_ = false;
+  std::atomic<uint64_t> seq_{0};
+  std::array<lsg::common::Padded<Slot>, lsg::numa::kMaxThreads> slots_{};
+
+  std::mutex q_mu_;
+  std::condition_variable q_cv_;
+  std::condition_variable drain_cv_;
+  std::vector<std::deque<std::unique_ptr<Segment>>> queues_;
+  uint64_t next_ticket_ = 0;
+  int active_merges_ = 0;
+  std::atomic<bool> stop_{false};
+  bool finished_ = false;
+
+  std::mutex apply_mu_;
+  std::condition_variable apply_cv_;
+  uint64_t apply_turn_ = 0;
+  std::unordered_map<Key, Applied> last_applied_;
+
+  std::mutex gc_mu_;
+  std::vector<std::pair<std::string, uint64_t>> applied_files_;
+
+  std::mutex ckpt_mu_;       // serializes checkpoint_now
+  std::mutex ckpt_wait_mu_;  // the checkpoint thread's wait
+  std::condition_variable ckpt_cv_;
+  std::thread ckpt_thread_;
+  std::vector<std::thread> mergers_;
+
+  std::atomic<uint64_t> merge_batches_{0};
+  std::atomic<uint64_t> merged_segments_{0};
+  std::atomic<uint64_t> drained_keys_{0};
+  std::atomic<uint64_t> bulk_loaded_keys_{0};
+  std::atomic<uint64_t> repainted_keys_{0};
+  std::atomic<uint64_t> stale_skipped_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> checkpoint_keys_{0};
+  std::atomic<uint64_t> checkpoint_seq_{0};
+  std::atomic<uint64_t> segments_gced_{0};
+  std::atomic<uint64_t> backlog_peak_{0};
+
+  RecoveryStats recovery_;
+};
+
+}  // namespace lsg::ingest

@@ -1,0 +1,135 @@
+// On-disk record formats for the log-structured ingest tier (DESIGN.md §14).
+//
+// Log segments are flat arrays of fixed 32-byte records. Every record is an
+// *effective* operation — the ack path only assigns a sequence number and
+// writes a record when the op changed the abstract set (insert of an absent
+// key, remove of a present key) — so a key's record history is a strict
+// PUT/DEL alternation in sequence order, which is what makes batched merge
+// apply and crash replay simple (ingest.hpp, recovery.cpp).
+//
+// Records carry a CRC32 over their first 28 bytes; a torn tail (partial
+// write at the moment of a crash) fails the CRC or the length check and is
+// truncated by the segment reader. Byte order is native: segments are
+// recovered on the machine that wrote them (trial-scoped durability, not an
+// interchange format).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace lsg::ingest {
+
+using Key = uint64_t;
+using Value = uint64_t;
+
+/// Record operation codes.
+enum class LogOp : uint32_t {
+  kPut = 1,  // insert of an absent key (binds value)
+  kDel = 2,  // remove of a present key
+};
+
+struct LogRecord {
+  uint64_t seq = 0;    // global sequence number (dense over effective ops)
+  uint64_t key = 0;
+  uint64_t value = 0;  // 0 for kDel
+  uint32_t op = 0;     // LogOp
+  uint32_t crc = 0;    // CRC32 over the first 28 bytes
+};
+static_assert(sizeof(LogRecord) == 32, "log records are fixed 32-byte cells");
+
+inline constexpr size_t kRecordBytes = sizeof(LogRecord);
+
+/// Software CRC32 (reflected 0xEDB88320), slice-by-8: eight words of table
+/// lookups per 8 input bytes replace a byte-serial dependency chain — the
+/// per-append CRC sits on the ingest ack path. Tables generated at first
+/// use; values are identical to the classic byte-wise form.
+inline uint32_t crc32(const void* data, size_t len, uint32_t seed = 0) {
+  static const std::array<std::array<uint32_t, 256>, 8> tables = [] {
+    std::array<std::array<uint32_t, 256>, 8> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int j = 1; j < 8; ++j) {
+        t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xFF];
+      }
+    }
+    return t;
+  }();
+  uint32_t c = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  if constexpr (std::endian::native == std::endian::little) {
+    while (len >= 8) {
+      uint64_t w;
+      __builtin_memcpy(&w, p, 8);
+      w ^= c;
+      c = tables[7][w & 0xFF] ^ tables[6][(w >> 8) & 0xFF] ^
+          tables[5][(w >> 16) & 0xFF] ^ tables[4][(w >> 24) & 0xFF] ^
+          tables[3][(w >> 32) & 0xFF] ^ tables[2][(w >> 40) & 0xFF] ^
+          tables[1][(w >> 48) & 0xFF] ^ tables[0][(w >> 56) & 0xFF];
+      p += 8;
+      len -= 8;
+    }
+  }
+  for (size_t i = 0; i < len; ++i) {
+    c = tables[0][(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+/// Stamp a record's CRC field (over everything before it).
+inline void seal_record(LogRecord& r) {
+  r.crc = crc32(&r, offsetof(LogRecord, crc));
+}
+
+inline bool record_valid(const LogRecord& r) {
+  return r.crc == crc32(&r, offsetof(LogRecord, crc)) &&
+         (r.op == static_cast<uint32_t>(LogOp::kPut) ||
+          r.op == static_cast<uint32_t>(LogOp::kDel)) &&
+         r.seq != 0;
+}
+
+inline LogRecord make_record(uint64_t seq, Key k, Value v, LogOp op) {
+  LogRecord r;
+  r.seq = seq;
+  r.key = k;
+  r.value = op == LogOp::kPut ? v : 0;
+  r.op = static_cast<uint32_t>(op);
+  seal_record(r);
+  return r;
+}
+
+/// --- checkpoint file format ---------------------------------------------
+///
+/// ckpt_<gen>.ckpt = CkptHeader, `count` CkptItems, CkptFooter. The footer
+/// CRC covers the header and every item, computed streaming by the writer;
+/// checkpoints are written to a .tmp path and renamed into place, so a
+/// mid-checkpoint crash leaves only an ignorable temp file and the previous
+/// checkpoint stays authoritative (crash.hpp kMidCheckpoint).
+
+inline constexpr uint64_t kCkptMagic = 0x4C53474B43505431ull;  // "LSGKCPT1"
+
+struct CkptHeader {
+  uint64_t magic = kCkptMagic;
+  uint64_t watermark = 0;  // W: every op with seq <= W is reflected in items
+};
+
+struct CkptItem {
+  uint64_t key = 0;
+  uint64_t value = 0;
+};
+
+struct CkptFooter {
+  uint64_t count = 0;  // CkptItems between header and footer
+  uint32_t crc = 0;    // CRC32 over header + items
+  uint32_t pad = 0;
+};
+
+}  // namespace lsg::ingest

@@ -1,0 +1,199 @@
+// Searchable overlay over unsealed (and sealed-but-unmerged) log entries.
+//
+// One entry per key — the newest logged action for that key: PUT(seq, value)
+// or TOMBSTONE(seq). Sharded 256 ways; each shard is a spinlock plus a hash
+// map. The tier holds a shard's lock across its whole ack decision
+// {memtable lookup, presence probe on miss, seq assignment, upsert}, so
+// per-key decisions are serialized and every acked return value is
+// linearizable (DESIGN.md §14). Mergers erase an entry only when its seq
+// still matches the folded action they just applied — a newer overwrite
+// keeps the overlay authoritative.
+//
+// Each shard also carries a presence mirror of the inner map's live key
+// set. The ack paths need presence-on-overlay-miss, but a hint-less
+// contains in the flat inner skip graph (max_level ~ log2 threads, paper
+// §2) is a near-linear walk — one per fresh-key ack made bulk ingest
+// quadratic in the map size. Mergers (and recovery) maintain the mirror in
+// step with every inner-map mutation, so the probe is an O(1) hash lookup
+// with inner_.contains() semantics, under the shard lock the ack decision
+// already holds.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/padding.hpp"
+#include "common/spinlock.hpp"
+#include "ingest/log_format.hpp"
+
+namespace lsg::ingest {
+
+/// Newest logged action for one key.
+struct MemEntry {
+  uint64_t seq = 0;
+  Value value = 0;
+  bool tombstone = false;
+};
+
+class MemTable {
+ public:
+  static constexpr size_t kShards = 256;
+
+  struct Shard {
+    lsg::common::SpinLock mu;
+    std::unordered_map<Key, MemEntry> map;
+    // Mirror of the inner map's live keys that hash to this shard (see the
+    // presence-index note below). Co-located with the overlay map so one
+    // lock covers the whole ack decision {overlay lookup, presence probe}.
+    std::unordered_set<Key> present;
+    // A burst-sized batch (~256k keys across 256 shards) should never
+    // rehash inside the ack window, where the shard lock is held.
+    Shard() { map.reserve(1024); }
+  };
+
+  /// splitmix64 finalizer — uncorrelated with the key-ordering the layered
+  /// maps shard on, so a dense key range spreads across all shards.
+  static size_t shard_index(Key k) {
+    uint64_t x = k + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(x ^ (x >> 31)) & (kShards - 1);
+  }
+
+  Shard& shard(Key k) { return shards_[shard_index(k)].value; }
+  Shard& shard_at(size_t i) { return shards_[i].value; }
+
+  /// Copy out the entry for `key` (locks the shard). False when absent.
+  bool lookup(Key key, MemEntry& out) {
+    Shard& s = shard(key);
+    s.mu.lock();
+    auto it = s.map.find(key);
+    const bool hit = it != s.map.end();
+    if (hit) out = it->second;
+    s.mu.unlock();
+    return hit;
+  }
+
+  /// Erase `key` iff its entry still carries `seq` — the merger's
+  /// post-drain cleanup. A concurrent writer that re-logged the key bumped
+  /// the seq, and its entry must survive the older drain.
+  void erase_exact(Key key, uint64_t seq) {
+    Shard& s = shard(key);
+    s.mu.lock();
+    auto it = s.map.find(key);
+    if (it != s.map.end() && it->second.seq == seq) s.map.erase(it);
+    s.mu.unlock();
+  }
+
+  /// Merger-side atomic retire: record the key's new inner-map presence in
+  /// the shard's mirror (when `track`) and erase_exact the overlay entry —
+  /// one critical section, so there is never a window where the overlay
+  /// stops shadowing a key while the mirror still disagrees with the inner
+  /// map.
+  void merge_applied(Key key, uint64_t seq, bool now_present, bool track) {
+    Shard& s = shard(key);
+    s.mu.lock();
+    if (track) {
+      if (now_present) {
+        s.present.insert(key);
+      } else {
+        s.present.erase(key);
+      }
+    }
+    auto it = s.map.find(key);
+    if (it != s.map.end() && it->second.seq == seq) s.map.erase(it);
+    s.mu.unlock();
+  }
+
+  /// Presence-mirror maintenance for paths with no overlay entry to retire
+  /// (constructor seeding, crash recovery).
+  void mark_present(Key key) {
+    Shard& s = shard(key);
+    s.mu.lock();
+    s.present.insert(key);
+    s.mu.unlock();
+  }
+
+  void mark_absent(Key key) {
+    Shard& s = shard(key);
+    s.mu.lock();
+    s.present.erase(key);
+    s.mu.unlock();
+  }
+
+  /// Locked probe of the presence mirror (merge-path presence decisions;
+  /// the ack paths read `Shard::present` directly under the lock they
+  /// already hold).
+  bool probe_present(Key key) {
+    Shard& s = shard(key);
+    s.mu.lock();
+    const bool hit = s.present.contains(key);
+    s.mu.unlock();
+    return hit;
+  }
+
+  /// Append every entry with key in [lo, hi] to `out` (shard-by-shard
+  /// locking; entries from different shards are each individually current
+  /// as of their shard visit, which the tier's double-collect overlay
+  /// read path tolerates the same way the range engine's scan does).
+  void collect_range(Key lo, Key hi,
+                     std::vector<std::pair<Key, MemEntry>>& out) {
+    for (auto& ps : shards_) {
+      Shard& s = ps.value;
+      s.mu.lock();
+      for (const auto& [k, e] : s.map) {
+        if (k >= lo && k <= hi) out.emplace_back(k, e);
+      }
+      s.mu.unlock();
+    }
+  }
+
+  /// Minimum seq across all live entries, visiting every shard under its
+  /// lock; 0 when empty. With S0 = seq counter before the sweep, the
+  /// checkpoint watermark is min(S0, min_seq()-1): any op not yet applied
+  /// to the inner map either still has its memtable entry (seen here) or
+  /// was assigned seq > S0 (DESIGN.md §14 watermark argument).
+  uint64_t min_seq() {
+    uint64_t m = 0;
+    for (auto& ps : shards_) {
+      Shard& s = ps.value;
+      s.mu.lock();
+      for (const auto& [k, e] : s.map) {
+        (void)k;
+        if (m == 0 || e.seq < m) m = e.seq;
+      }
+      s.mu.unlock();
+    }
+    return m;
+  }
+
+  /// Entry count (locks each shard in turn; a moment-in-time estimate).
+  size_t size() {
+    size_t n = 0;
+    for (auto& ps : shards_) {
+      Shard& s = ps.value;
+      s.mu.lock();
+      n += s.map.size();
+      s.mu.unlock();
+    }
+    return n;
+  }
+
+  void clear() {
+    for (auto& ps : shards_) {
+      Shard& s = ps.value;
+      s.mu.lock();
+      s.map.clear();
+      s.present.clear();
+      s.mu.unlock();
+    }
+  }
+
+ private:
+  std::vector<lsg::common::Padded<Shard>> shards_{kShards};
+};
+
+}  // namespace lsg::ingest

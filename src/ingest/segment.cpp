@@ -1,0 +1,84 @@
+#include "ingest/segment.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "ingest/crash.hpp"
+
+namespace lsg::ingest {
+
+std::string segment_file_name(int tid, uint64_t index) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "seg_%03d_%06llu.log", tid,
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+bool parse_segment_name(const std::string& name, int& tid, uint64_t& index) {
+  unsigned long long t = 0, ix = 0;
+  if (std::sscanf(name.c_str(), "seg_%llu_%llu.log", &t, &ix) != 2) {
+    return false;
+  }
+  if (name.size() < 8 || name.rfind(".log") != name.size() - 4) return false;
+  tid = static_cast<int>(t);
+  index = ix;
+  return true;
+}
+
+bool seal_segment_to_file(const std::string& dir, Segment& seg) {
+  seg.path = dir + "/" + segment_file_name(seg.owner_tid, seg.file_index);
+  std::FILE* f = std::fopen(seg.path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(seg.recs);
+  const size_t total = seg.bytes();
+  if (armed_crash() == CrashPoint::kMidSegmentWrite && seg.count > 1) {
+    // Torn-tail injection: half the records plus a partial cell reach the
+    // file (fwrite + fflush moves them into the page cache, which survives
+    // SIGKILL), then the process dies before the seal completes.
+    const size_t torn = (seg.count / 2) * kRecordBytes + kRecordBytes / 2 + 4;
+    std::fwrite(bytes, 1, torn, f);
+    std::fflush(f);
+    maybe_crash(CrashPoint::kMidSegmentWrite);
+  }
+  const size_t written = std::fwrite(bytes, 1, total, f);
+  const bool ok = written == total && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool read_segment_file(const std::string& path, std::vector<LogRecord>& out,
+                       RecoveryStats& stats) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return false;
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  size_t consumed = 0;
+  LogRecord r;
+  while (consumed + kRecordBytes <= size) {
+    in.read(reinterpret_cast<char*>(&r), kRecordBytes);
+    if (!in) break;
+    if (!record_valid(r)) break;  // torn or corrupt: drop this cell + tail
+    out.push_back(r);
+    ++stats.records_scanned;
+    consumed += kRecordBytes;
+  }
+  stats.truncated_bytes += size - consumed;
+  ++stats.segments_scanned;
+  return true;
+}
+
+bool ensure_log_dir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return !ec || std::filesystem::is_directory(dir);
+}
+
+void remove_file(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace lsg::ingest

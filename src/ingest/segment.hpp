@@ -1,0 +1,66 @@
+// Per-thread append-only log segments: in-memory record buffers sealed to
+// flat files (seg_<tid>_<index>.log) at a size threshold.
+//
+// A segment buffer is owned by exactly one writer thread until it is sealed;
+// sealing writes the whole buffer with one write(2) — group-commit
+// durability: records survive a process kill once the seal completes, and a
+// crash mid-seal leaves a torn tail the reader truncates (CRC per record).
+// The record array is bump-allocated from the tier's arena by the owning
+// thread, so the buffer lands on the writer's NUMA node (first-touch, the
+// same discipline src/alloc uses for shared nodes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ingest/log_format.hpp"
+#include "ingest/stats.hpp"
+
+namespace lsg::ingest {
+
+/// One log segment. In-memory while active/sealed-unmerged; `recs` points
+/// into arena storage sized to exactly `cap` records.
+struct Segment {
+  LogRecord* recs = nullptr;
+  size_t count = 0;
+  size_t cap = 0;
+  uint64_t min_seq = 0;  // 0 while empty
+  uint64_t max_seq = 0;
+  int owner_tid = -1;
+  int socket = 0;        // owner's NUMA node at seal time (merge routing)
+  uint64_t file_index = 0;
+  std::string path;      // set by seal_segment
+
+  bool empty() const { return count == 0; }
+  size_t bytes() const { return count * kRecordBytes; }
+
+  void append(const LogRecord& r) {
+    recs[count++] = r;
+    if (min_seq == 0) min_seq = r.seq;
+    max_seq = r.seq;
+  }
+};
+
+/// Segment file name for (tid, index); parse_segment_name inverts it.
+std::string segment_file_name(int tid, uint64_t index);
+bool parse_segment_name(const std::string& name, int& tid, uint64_t& index);
+
+/// Write `seg`'s records to `dir/segment_file_name(...)` with a single
+/// write(2) (plus the kMidSegmentWrite crash hook, which writes a torn
+/// prefix and dies). Sets seg.path. Returns false on I/O failure.
+bool seal_segment_to_file(const std::string& dir, Segment& seg);
+
+/// Read every CRC-valid record from a segment file, stopping at the first
+/// torn or corrupt cell; the dropped tail length is added to
+/// stats.truncated_bytes. Appends to `out`.
+bool read_segment_file(const std::string& path, std::vector<LogRecord>& out,
+                       RecoveryStats& stats);
+
+/// Create `dir` (and parents) if missing. Returns false on failure.
+bool ensure_log_dir(const std::string& dir);
+
+/// Delete a segment file (checkpoint GC). Best effort.
+void remove_file(const std::string& path);
+
+}  // namespace lsg::ingest

@@ -1,0 +1,72 @@
+// Plain counter structs surfaced through the harness (TrialResult /
+// lsg-trial-v6 "ingest" block) and the ingest tests. Dependency-free so
+// harness/imap.hpp can expose them without pulling the tier in.
+#pragma once
+
+#include <cstdint>
+
+namespace lsg::ingest {
+
+/// Snapshot of one tier's lifetime counters (IngestTier::stats(); summed
+/// across tenants by the driver, across runs by TrialResult::average).
+struct TierStats {
+  uint64_t appends = 0;          // effective ops logged (records written)
+  uint64_t appended_bytes = 0;
+  uint64_t sealed_segments = 0;
+  uint64_t sealed_bytes = 0;     // bytes written to segment files
+  uint64_t merge_batches = 0;
+  uint64_t merged_segments = 0;
+  uint64_t drained_keys = 0;     // per-key folded actions applied to the map
+  uint64_t bulk_loaded_keys = 0; // drained via the sorted bulk_load cursor
+  uint64_t repainted_keys = 0;   // remove+insert (stale binding under inversion)
+  uint64_t stale_skipped = 0;    // folded actions skipped (older than applied)
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_keys = 0;  // items in the newest checkpoint
+  uint64_t checkpoint_seq = 0;   // newest checkpoint's watermark W
+  uint64_t segments_gced = 0;    // applied segment files deleted (<= W)
+  uint64_t backlog_peak = 0;     // max sealed-but-unmerged segments observed
+
+  /// Sealed-but-unmerged segments right now (gauge, not a counter).
+  uint64_t backlog() const {
+    return sealed_segments > merged_segments
+               ? sealed_segments - merged_segments
+               : 0;
+  }
+
+  TierStats& operator+=(const TierStats& o) {
+    appends += o.appends;
+    appended_bytes += o.appended_bytes;
+    sealed_segments += o.sealed_segments;
+    sealed_bytes += o.sealed_bytes;
+    merge_batches += o.merge_batches;
+    merged_segments += o.merged_segments;
+    drained_keys += o.drained_keys;
+    bulk_loaded_keys += o.bulk_loaded_keys;
+    repainted_keys += o.repainted_keys;
+    stale_skipped += o.stale_skipped;
+    checkpoints += o.checkpoints;
+    checkpoint_keys += o.checkpoint_keys;
+    checkpoint_seq = checkpoint_seq > o.checkpoint_seq ? checkpoint_seq
+                                                       : o.checkpoint_seq;
+    segments_gced += o.segments_gced;
+    backlog_peak = backlog_peak > o.backlog_peak ? backlog_peak
+                                                 : o.backlog_peak;
+    return *this;
+  }
+};
+
+/// Outcome of one recovery pass (recovery.cpp + IngestTier::recover_into).
+struct RecoveryStats {
+  bool checkpoint_loaded = false;
+  uint64_t checkpoint_items = 0;
+  uint64_t watermark = 0;         // W of the checkpoint used (0 = none)
+  uint64_t segments_scanned = 0;
+  uint64_t records_scanned = 0;   // CRC-valid records found in segments
+  uint64_t records_replayed = 0;  // records with seq > W applied to the map
+  uint64_t truncated_bytes = 0;   // torn/corrupt segment tails dropped
+  uint64_t seq_gaps = 0;          // missing seqs in (W, max] (lost unsealed
+                                  // buffers; replay is gap-tolerant)
+  uint64_t max_seq = 0;           // newest seq seen anywhere
+};
+
+}  // namespace lsg::ingest

@@ -35,6 +35,10 @@ const char* event_name(Event e) {
     case Event::kShardCacheHit: return "shard_cache_hit";
     case Event::kShardCacheMiss: return "shard_cache_miss";
     case Event::kShardScanStitch: return "shard_scan_stitch";
+    case Event::kIngestSeal: return "ingest_seal";
+    case Event::kIngestMergeSeg: return "ingest_merge_seg";
+    case Event::kIngestDrainKey: return "ingest_drain_key";
+    case Event::kIngestCheckpoint: return "ingest_checkpoint";
   }
   return "?";
 }

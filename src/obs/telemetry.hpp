@@ -56,8 +56,12 @@ enum class Event : uint8_t {
   kShardCacheHit,      // sharded-map hot-key cache served a contains
   kShardCacheMiss,     // cache probe failed (cold, torn, or expired entry)
   kShardScanStitch,    // a scan/scan_n stitched results from >1 shard
+  kIngestSeal,         // ingest segment sealed to disk
+  kIngestMergeSeg,     // sealed segments folded by a merger batch
+  kIngestDrainKey,     // folded per-key actions applied to the inner map
+  kIngestCheckpoint,   // ingest checkpoints completed
 };
-inline constexpr int kNumEvents = 15;
+inline constexpr int kNumEvents = 19;
 const char* event_name(Event e);
 
 /// Plain (copyable) event-counter vector, summed across threads.

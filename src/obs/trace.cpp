@@ -27,6 +27,11 @@ const char* span_name(Span s) {
     case Span::kShardStitch: return "shard_stitch";
     case Span::kShardCacheProbe: return "shard_cache_probe";
     case Span::kShardCachePublish: return "shard_cache_publish";
+    case Span::kIngestAppend: return "ingest_append";
+    case Span::kIngestSeal: return "ingest_seal";
+    case Span::kIngestMerge: return "ingest_merge";
+    case Span::kIngestCheckpoint: return "ingest_checkpoint";
+    case Span::kIngestReplay: return "ingest_replay";
   }
   return "?";
 }
@@ -49,6 +54,12 @@ const char* span_category(Span s) {
     case Span::kShardCacheProbe:
     case Span::kShardCachePublish:
       return "shard";
+    case Span::kIngestAppend:
+    case Span::kIngestSeal:
+    case Span::kIngestMerge:
+    case Span::kIngestCheckpoint:
+    case Span::kIngestReplay:
+      return "ingest";
   }
   return "?";
 }

@@ -72,10 +72,15 @@ enum class Span : uint8_t {
   kShardStitch,        // stitched cross-shard scan (arg = shards touched)
   kShardCacheProbe,    // hot-key cache probe (arg = 1 hit / 0 miss)
   kShardCachePublish,  // cache miss path: shard lookup + seqlock publish
+  kIngestAppend,       // ingest ack logged a record (arg = seq)
+  kIngestSeal,         // segment sealed to disk (arg = records)
+  kIngestMerge,        // merger folded + applied a batch (arg = records)
+  kIngestCheckpoint,   // incremental checkpoint written (ingest tier)
+  kIngestReplay,       // crash recovery replaying a log directory
 };
-inline constexpr int kNumSpans = 12;
+inline constexpr int kNumSpans = 17;
 const char* span_name(Span s);
-/// Export category: "harness", "maint", "range", or "shard".
+/// Export category: "harness", "maint", "range", "shard", or "ingest".
 const char* span_category(Span s);
 
 /// Reserved ring index for spans recorded outside the dense worker id

@@ -536,6 +536,15 @@ class SkipGraph {
     auto from_head = []() -> Node* { return nullptr; };
     size_t added = 0;
     Node* cursor = nullptr;  // last node linked or passed; key < current item
+    // Tower fingers: tower[l] is the last fresh node of height >= l. All
+    // fresh nodes share m_of's membership, so tower[h] is the level-h
+    // predecessor of the next height-h node in an ascending load — seeding
+    // finish_insert with it keeps tower raising O(height) per node, where
+    // a from-head relink search is O(position) and made bulk loads
+    // quadratic once max_level > 0. finish_insert falls back to from_head
+    // re-searches on any concurrent interference, so a stale finger only
+    // costs time, never correctness.
+    Node* tower[kMaxLevels] = {};
     for (const auto& item : items) {
       const K& key = item.first;
       rec.search_begin();
@@ -580,11 +589,16 @@ class SkipGraph {
         if (cas_slot<K, V>(slot, mid, TP::with_ptr(mid, fresh), slot_owner)) {
           ++added;
           if (fresh->height > 0) {
-            finish_insert(fresh, nullptr, from_head);
+            Node* tstart = tower[fresh->height];
+            if (tstart != nullptr && !(tstart->key < key)) {
+              tstart = nullptr;  // out-of-order input: finger unusable
+            }
+            finish_insert(fresh, tstart, from_head);
           } else {
             fresh->set_inserted();
           }
           on_insert(fresh);
+          for (unsigned l = 1; l <= fresh->height; ++l) tower[l] = fresh;
           cursor = fresh;
           break;
         }

@@ -319,6 +319,47 @@ TEST(Cli, RejectsSilentlyIgnoredKnobs) {
   EXPECT_TRUE(err({"--tenants", "4", "-t", "4"}).empty());
 }
 
+TEST(Cli, IngestKnobAudit) {
+  auto parse = [](std::initializer_list<const char*> extra) {
+    std::vector<const char*> argv{"lsg_cli"};
+    argv.insert(argv.end(), extra.begin(), extra.end());
+    return lsg::harness::parse_cli(static_cast<int>(argv.size()),
+                                   argv.data());
+  };
+  auto err = [&](std::initializer_list<const char*> extra) {
+    return parse(extra).error;
+  };
+  // The ingest family of flags is silently ignored without an ingest tier.
+  EXPECT_FALSE(err({"--log-dir", "/tmp/x"}).empty());
+  EXPECT_FALSE(err({"--segment-bytes", "2^16"}).empty());
+  EXPECT_FALSE(err({"--checkpoint-every", "50", "--log-dir", "/tmp/x"})
+                   .empty());
+  // Checkpoints into a per-trial temp dir vanish with it.
+  EXPECT_FALSE(err({"--ingest", "--checkpoint-every", "50"}).empty());
+  // Tenant maps would share one log directory.
+  EXPECT_FALSE(err({"--ingest", "--log-dir", "/tmp/x", "--tenants", "2",
+                    "-t", "2"})
+                   .empty());
+  // Malformed values.
+  EXPECT_FALSE(err({"--ingest", "--segment-bytes", "8"}).empty());
+  EXPECT_FALSE(err({"--ingest", "--checkpoint-every", "0", "--log-dir",
+                    "/tmp/x"})
+                   .empty());
+  // Valid shapes: --ingest or an ingest_* algorithm activates the family.
+  {
+    auto o = parse({"--ingest", "--log-dir", "/tmp/x", "--segment-bytes",
+                    "2^16", "--checkpoint-every", "50"});
+    ASSERT_TRUE(o.error.empty()) << o.error;
+    EXPECT_TRUE(o.cfg.ingest);
+    EXPECT_EQ(o.cfg.log_dir, "/tmp/x");
+    EXPECT_EQ(o.cfg.segment_bytes, uint64_t{1} << 16);
+    EXPECT_EQ(o.cfg.checkpoint_every_ms, 50);
+  }
+  EXPECT_TRUE(
+      err({"-a", "ingest_layered_sg", "--segment-bytes", "2^18"}).empty());
+  EXPECT_TRUE(err({"--ingest"}).empty());
+}
+
 /// The binary-level contract topo_sweep and CI scripts rely on: knob
 /// misuse exits 2 (run_cli), before any trial starts.
 TEST(Cli, RunCliExitsTwoOnKnobMisuse) {
@@ -328,6 +369,8 @@ TEST(Cli, RunCliExitsTwoOnKnobMisuse) {
   EXPECT_EQ(lsg::harness::run_cli(5, bad2), 2);
   const char* bad3[] = {"lsg_cli", "--tenants", "9", "-t", "2"};
   EXPECT_EQ(lsg::harness::run_cli(5, bad3), 2);
+  const char* bad4[] = {"lsg_cli", "--log-dir", "/tmp/x"};
+  EXPECT_EQ(lsg::harness::run_cli(3, bad4), 2);
 }
 
 TEST(Export, CsvRowMatchesHeaderArity) {

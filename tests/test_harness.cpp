@@ -446,7 +446,7 @@ TEST(Report, TrialJsonCarriesWorkloadShape) {
   cfg.phases = parse_phases("load:u100:200,churn:u50:400");
   TrialResult r = run_trial(cfg);
   std::string j = to_json(r);
-  EXPECT_NE(j.find("\"schema\":\"lsg-trial-v5\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\":\"lsg-trial-v6\""), std::string::npos);
   EXPECT_NE(j.find("\"dist\":\"hotspot\""), std::string::npos);
   EXPECT_NE(j.find("\"tenants\":2"), std::string::npos);
   EXPECT_NE(j.find("\"phases\":[{\"name\":\"load\""), std::string::npos);

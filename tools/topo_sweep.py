@@ -19,7 +19,7 @@ grid point:
 
 Any violation prints a FAIL line and the process exits nonzero, so CI can
 gate on it directly.  Results additionally land in --out as JSONL (one
-record per trial, lsg-trial-v5 schema) for offline comparison.
+record per trial, lsg-trial-v6 schema) for offline comparison.
 
 Usage:
   python3 tools/topo_sweep.py --cli build/bench/lsg_cli            # 2x2 grid
@@ -66,7 +66,7 @@ def run_trial(cli, algo, sockets, remote, args, extra=None):
             f"lsg_cli exited {proc.returncode}")
     with open(out) as f:
         rec = json.loads(f.read().splitlines()[-1])
-    if rec.get("schema") != "lsg-trial-v5":
+    if rec.get("schema") != "lsg-trial-v6":
         raise RuntimeError(f"unexpected trial schema: {rec.get('schema')}")
     return rec
 
