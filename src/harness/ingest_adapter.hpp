@@ -35,7 +35,12 @@ class IngestMap final : public IMap {
       : name_(std::move(name)),
         inner_(std::move(inner)),
         tier_(*inner_, make_options(cfg, *inner_)) {
+    // make_options left the checkpoint cadence off so the background
+    // checkpointer cannot scan the inner map (or write a zero-watermark
+    // checkpoint) while recover() is still bulk-loading it; start it only
+    // once the tier is fully recovered.
     if (!cfg.log_dir.empty()) tier_.recover();
+    tier_.start_checkpointer(cfg.checkpoint_every_ms);
   }
 
   bool insert(Key key, Value value) override {
@@ -104,7 +109,9 @@ class IngestMap final : public IMap {
       o.dir = cfg.log_dir;
     }
     o.segment_bytes = cfg.segment_bytes;
-    o.checkpoint_every_ms = cfg.checkpoint_every_ms;
+    // Deliberately NOT cfg.checkpoint_every_ms: the constructor body
+    // recovers first, then starts the cadence via start_checkpointer().
+    o.checkpoint_every_ms = 0;
     return o;
   }
 

@@ -323,6 +323,7 @@ std::string to_json(const TrialResult& r) {
         buf, sizeof(buf),
         ",\"ingest\":{\"appends\":%llu,\"appended_bytes\":%llu,"
         "\"sealed_segments\":%llu,\"sealed_bytes\":%llu,"
+        "\"seal_failures\":%llu,"
         "\"merge_batches\":%llu,\"merged_segments\":%llu,"
         "\"drained_keys\":%llu,\"bulk_loaded_keys\":%llu,"
         "\"repainted_keys\":%llu,\"stale_skipped\":%llu,"
@@ -333,6 +334,7 @@ std::string to_json(const TrialResult& r) {
         static_cast<unsigned long long>(ig.appended_bytes),
         static_cast<unsigned long long>(ig.sealed_segments),
         static_cast<unsigned long long>(ig.sealed_bytes),
+        static_cast<unsigned long long>(ig.seal_failures),
         static_cast<unsigned long long>(ig.merge_batches),
         static_cast<unsigned long long>(ig.merged_segments),
         static_cast<unsigned long long>(ig.drained_keys),

@@ -158,6 +158,8 @@ bool scan_log_dir(const std::string& dir, RecoveredDir& out) {
       ckpts.emplace_back(gen, ent.path().string());
     } else if (parse_segment_name(name, tid, index)) {
       segs.push_back(ent.path().string());
+      uint64_t& next = out.next_file_index[tid];
+      next = std::max(next, index + 1);
     }
   }
   if (ec) return false;

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -55,6 +56,12 @@ struct RecoveredDir {
   uint64_t watermark = 0;
   std::vector<std::pair<Key, Value>> checkpoint_items;
   std::vector<LogRecord> replay;  // sorted by seq, all seq > watermark
+  /// Per owning tid, one past the highest surviving segment file index.
+  /// Surviving files keep their names after recovery, and tids recur across
+  /// processes, so a recovered tier must seed each slot's next_file_index
+  /// from this or its first seals truncate durable records from the
+  /// previous run.
+  std::unordered_map<int, uint64_t> next_file_index;
   RecoveryStats stats;
 };
 

@@ -273,11 +273,25 @@ class IngestTier {
   /// Replay the log directory into the (empty) inner map: newest valid
   /// checkpoint first, then the per-key newest surviving record with
   /// seq > W (repainting, so checkpoint overlap is idempotent). Call before
-  /// any writer touches the tier.
+  /// any writer touches the tier and before the background checkpoint
+  /// cadence starts (construct with checkpoint_every_ms=0 and use
+  /// start_checkpointer() afterwards, as IngestMap does): a checkpoint scan
+  /// racing the recovery bulk loads would capture partial state under a
+  /// zero watermark. ckpt_mu_ is held throughout as a backstop against an
+  /// explicit concurrent checkpoint_now().
   RecoveryStats recover() {
+    std::lock_guard ck(ckpt_mu_);
     LSG_TRACE_SPAN(lsg::obs::Span::kIngestReplay);
     RecoveredDir rd;
     if (!scan_log_dir(dir_, rd)) return rd.stats;
+    // Surviving segment files keep their names; advance every slot's file
+    // index past them so post-recovery seals open fresh files instead of
+    // truncating durable records from the previous run (fopen "wb").
+    for (const auto& [tid, next] : rd.next_file_index) {
+      if (tid < 0 || tid >= static_cast<int>(lsg::numa::kMaxThreads)) continue;
+      Slot& s = slots_[static_cast<size_t>(tid)].value;
+      s.next_file_index = std::max(s.next_file_index, next);
+    }
     if (!rd.checkpoint_items.empty()) {
       // Chunked checkpoint scans emit keys in ascending order; enforce it
       // anyway so the presence merge walk below stays sound on a
@@ -336,6 +350,17 @@ class IngestTier {
   }
 
   const RecoveryStats& last_recovery() const { return recovery_; }
+
+  /// Start the background checkpoint cadence if it is not already running.
+  /// The constructor starts it when Options.checkpoint_every_ms > 0;
+  /// callers that must recover() first construct with 0 and enable the
+  /// cadence here once recovery is done, so a checkpoint scan never races
+  /// the recovery bulk loads. No-op for every_ms <= 0 or after finish().
+  void start_checkpointer(int every_ms) {
+    if (every_ms <= 0 || finished_ || ckpt_thread_.joinable()) return;
+    opts_.checkpoint_every_ms = every_ms;
+    ckpt_thread_ = std::thread([this] { checkpoint_main(); });
+  }
 
   /// Take one incremental checkpoint now; returns its watermark W (0 when
   /// the inner map has no range support or the write failed). Safe
@@ -400,6 +425,7 @@ class IngestTier {
       st.appended_bytes += s.appended_bytes;
       st.sealed_segments += s.sealed_segments;
       st.sealed_bytes += s.sealed_bytes;
+      st.seal_failures += s.seal_failures;
     }
     st.merge_batches = merge_batches_.load(std::memory_order_relaxed);
     st.merged_segments = merged_segments_.load(std::memory_order_relaxed);
@@ -428,6 +454,7 @@ class IngestTier {
     uint64_t appended_bytes = 0;
     uint64_t sealed_segments = 0;
     uint64_t sealed_bytes = 0;
+    uint64_t seal_failures = 0;
   };
 
   struct Applied {
@@ -552,12 +579,19 @@ class IngestTier {
     lsg::obs::TraceSpan span(lsg::obs::Span::kIngestSeal, seg->count);
     // Seal failure (disk full, bad dir) loses durability for this segment
     // but not live correctness: the in-memory records still merge below.
-    seal_segment_to_file(dir_, *seg);
-    ++slot.sealed_segments;
-    slot.sealed_bytes += seg->bytes();
-    lsg::obs::event(lsg::obs::Event::kIngestSeal);
-    if (opts_.on_seal_durable) {
-      opts_.on_seal_durable(seg->owner_tid, seg->max_seq);
+    // Only a seal that actually reached disk counts as sealed or fires
+    // on_seal_durable — the crash tests' durable watermark must never
+    // over-claim.
+    if (seal_segment_to_file(dir_, *seg)) {
+      ++slot.sealed_segments;
+      slot.sealed_bytes += seg->bytes();
+      lsg::obs::event(lsg::obs::Event::kIngestSeal);
+      if (opts_.on_seal_durable) {
+        opts_.on_seal_durable(seg->owner_tid, seg->max_seq);
+      }
+    } else {
+      ++slot.seal_failures;
+      seg->path.clear();  // nothing durable to GC or replay from this file
     }
     maybe_crash(CrashPoint::kPostSealPreMerge);
     {

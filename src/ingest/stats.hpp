@@ -12,8 +12,10 @@ namespace lsg::ingest {
 struct TierStats {
   uint64_t appends = 0;          // effective ops logged (records written)
   uint64_t appended_bytes = 0;
-  uint64_t sealed_segments = 0;
+  uint64_t sealed_segments = 0;  // seals that reached disk (fully durable)
   uint64_t sealed_bytes = 0;     // bytes written to segment files
+  uint64_t seal_failures = 0;    // seals lost to I/O errors (records still
+                                 // merge from memory; durability only is lost)
   uint64_t merge_batches = 0;
   uint64_t merged_segments = 0;
   uint64_t drained_keys = 0;     // per-key folded actions applied to the map
@@ -38,6 +40,7 @@ struct TierStats {
     appended_bytes += o.appended_bytes;
     sealed_segments += o.sealed_segments;
     sealed_bytes += o.sealed_bytes;
+    seal_failures += o.seal_failures;
     merge_batches += o.merge_batches;
     merged_segments += o.merged_segments;
     drained_keys += o.drained_keys;

@@ -296,6 +296,32 @@ TEST(IngestCheckpoint, ScanIgnoresTempAndInvalidFallsBackToOlder) {
   std::filesystem::remove_all("ingest_test_logs");
 }
 
+TEST(IngestCheckpoint, ScanReportsNextFileIndexPerTid) {
+  const std::string dir = unique_dir("nextidx");
+  ASSERT_TRUE(lsg::ingest::ensure_log_dir(dir));
+  std::vector<LogRecord> buf(1);
+  auto write_seg = [&](int tid, uint64_t index, uint64_t seq) {
+    Segment seg;
+    seg.recs = buf.data();
+    seg.cap = 1;
+    seg.owner_tid = tid;
+    seg.file_index = index;
+    seg.append(make_record(seq, seq, seq, LogOp::kPut));
+    ASSERT_TRUE(seal_segment_to_file(dir, seg));
+  };
+  write_seg(0, 0, 1);
+  write_seg(0, 4, 2);  // holes are fine: only the max survivor matters
+  write_seg(7, 2, 3);
+
+  RecoveredDir rd;
+  ASSERT_TRUE(scan_log_dir(dir, rd));
+  ASSERT_EQ(rd.next_file_index.size(), 2u);
+  EXPECT_EQ(rd.next_file_index.at(0), 5u);
+  EXPECT_EQ(rd.next_file_index.at(7), 3u);
+
+  std::filesystem::remove_all("ingest_test_logs");
+}
+
 // --- memtable --------------------------------------------------------------
 
 TEST(IngestMemTable, EraseExactKeepsNewerEntries) {
@@ -573,6 +599,99 @@ TEST_F(IngestTierTest, RecoveryReplaysSealedLog) {
   EXPECT_EQ(tier2.last_seq(), effective + 1);
   EXPECT_TRUE(tier2.contains(probe));
   tier2.finish();
+}
+
+TEST_F(IngestTierTest, PostRecoverySealsDoNotClobberSurvivingSegments) {
+  const std::string dir = unique_dir("reseal");
+  std::map<Key, Value> oracle;
+  uint64_t effective = 0;
+  std::mt19937_64 rng(99);
+  auto churn = [&](Tier& tier, int ops, Key base) {
+    for (int i = 0; i < ops; ++i) {
+      const Key k = base + rng() % 200;
+      if (rng() % 100 < 70) {
+        const Value v = rng();
+        if (tier.insert(k, v)) {
+          oracle[k] = v;
+          ++effective;
+        }
+      } else if (tier.remove(k)) {
+        oracle.erase(k);
+        ++effective;
+      }
+    }
+  };
+  {
+    StdInner inner;
+    Tier::Options o;
+    o.dir = dir;
+    o.segment_bytes = 256;
+    o.mergers = 1;
+    Tier tier(inner, o);
+    churn(tier, 1500, 0);
+    tier.finish();  // every ack durable across many sealed files
+  }
+  {
+    // The same thread (same registry tid) keeps writing through a recovered
+    // tier: without the file-index seeding its first seals would fopen("wb")
+    // the surviving seg_<tid>_<index>.log names and truncate run 1's
+    // durable records.
+    StdInner fresh;
+    Tier::Options o;
+    o.dir = dir;
+    o.segment_bytes = 256;
+    o.mergers = 1;
+    Tier tier(fresh, o);
+    tier.recover();
+    EXPECT_EQ(fresh.snapshot(), oracle);
+    churn(tier, 1500, Key{1} << 16);  // disjoint keys: every record matters
+    tier.finish();
+  }
+  StdInner fresh2;
+  Tier::Options o2;
+  o2.dir = dir;
+  o2.mergers = 1;
+  o2.remove_on_close = true;
+  Tier tier3(fresh2, o2);
+  const RecoveryStats rs = tier3.recover();
+  EXPECT_EQ(rs.seq_gaps, 0u)
+      << "run 2's seals must not have truncated run 1's segments";
+  EXPECT_EQ(rs.records_replayed, effective);
+  EXPECT_EQ(fresh2.snapshot(), oracle);
+  tier3.finish();
+}
+
+TEST_F(IngestTierTest, FailedSealDoesNotClaimDurability) {
+  const std::string dir = unique_dir("sealfail");
+  StdInner inner;
+  Tier::Options o;
+  o.dir = dir;
+  o.segment_bytes = 256;
+  o.mergers = 1;
+  uint64_t durable_max = 0;
+  o.on_seal_durable = [&](int, uint64_t max_seq) { durable_max = max_seq; };
+  Tier tier(inner, o);
+  // Replace the log directory with a plain file: every seal's fopen fails
+  // with ENOTDIR regardless of uid (chmod tricks don't stop root).
+  std::filesystem::remove_all(dir);
+  { std::ofstream block(dir, std::ios::binary); }
+
+  std::map<Key, Value> oracle;
+  for (Key k = 0; k < 64; ++k) {
+    ASSERT_TRUE(tier.insert(k, k + 1));
+    oracle[k] = k + 1;
+  }
+  tier.finish();
+
+  const TierStats st = tier.stats();
+  EXPECT_EQ(st.sealed_segments, 0u);
+  EXPECT_EQ(st.sealed_bytes, 0u);
+  EXPECT_GT(st.seal_failures, 0u);
+  EXPECT_EQ(durable_max, 0u)
+      << "on_seal_durable must not fire for a seal that never reached disk";
+  // Durability is lost but live correctness is not: the in-memory records
+  // still merged into the inner map.
+  EXPECT_EQ(inner.snapshot(), oracle);
 }
 
 TEST_F(IngestTierTest, CheckpointRaisesFloorAndGcsSegments) {
